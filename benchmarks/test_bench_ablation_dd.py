@@ -1,0 +1,45 @@
+"""A2 — ablation: hop-count vs. weighted-cost distance discriminators.
+
+Section 4.3 offers both functions; the trade-off is header bits (hop count
+needs ~log2(d) bits, weighted cost needs log2(weighted diameter)) against any
+difference in delivery or stretch.
+"""
+
+from repro.experiments.ablation import dd_kind_ablation
+from repro.experiments.asciiplot import render_table
+from repro.topologies.abilene import abilene
+from repro.topologies.geant import geant
+
+
+def test_bench_dd_kind_ablation(benchmark):
+    def run():
+        return {
+            "abilene": dd_kind_ablation(abilene(), seed=0),
+            "geant": dd_kind_ablation(geant(), seed=0),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for topology, rows in results.items():
+        print(f"=== Distance discriminator ablation — {topology} (single failures) ===")
+        table = [
+            [
+                row.configuration,
+                row.header_bits,
+                f"{row.delivery_ratio:.3f}",
+                f"{row.mean_stretch:.2f}",
+                f"{row.max_stretch:.2f}",
+            ]
+            for row in rows
+        ]
+        print(render_table(["configuration", "header bits", "delivery", "mean", "max"], table))
+        print()
+
+    for topology, rows in results.items():
+        by_config = {row.configuration: row for row in rows}
+        assert by_config["dd=hop-count"].delivery_ratio == 1.0, topology
+        assert by_config["dd=weighted-cost"].delivery_ratio == 1.0, topology
+        # Hop count is the cheaper encoding (the paper's log2(d) argument).
+        assert (
+            by_config["dd=hop-count"].header_bits <= by_config["dd=weighted-cost"].header_bits
+        ), topology

@@ -1,0 +1,58 @@
+"""A1 — ablation: embedding quality (faces / genus) vs. path stretch.
+
+Section 7 notes that heuristic embeddings of arbitrary networks come "at the
+cost of increased stretch".  The ablation quantifies that trade-off by running
+PR with the exact/heuristic/worst-case rotation systems on the same
+single-failure workload.
+"""
+
+from repro.experiments.ablation import embedding_quality_ablation
+from repro.experiments.asciiplot import render_table
+from repro.topologies.abilene import abilene
+from repro.topologies.teleglobe import teleglobe
+
+
+def _print_rows(title, rows):
+    print()
+    print(f"=== {title} ===")
+    table = [
+        [
+            row.configuration,
+            row.faces,
+            row.genus,
+            f"{row.delivery_ratio:.3f}",
+            f"{row.mean_stretch:.2f}",
+            f"{row.p90_stretch:.2f}",
+            f"{row.max_stretch:.2f}",
+        ]
+        for row in rows
+    ]
+    print(render_table(["configuration", "faces", "genus", "delivery", "mean", "p90", "max"], table))
+
+
+def test_bench_embedding_quality_ablation(benchmark):
+    def run():
+        return {
+            "abilene": embedding_quality_ablation(
+                abilene(), methods=["auto", "greedy", "adjacency"], seed=0
+            ),
+            "teleglobe": embedding_quality_ablation(
+                teleglobe(), methods=["auto", "adjacency"], seed=0
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print_rows("Embedding quality vs stretch — Abilene (single failures)", results["abilene"])
+    _print_rows("Embedding quality vs stretch — Teleglobe (single failures)", results["teleglobe"])
+
+    for topology, rows in results.items():
+        by_config = {row.configuration: row for row in rows}
+        auto = by_config["embedding=auto"]
+        worst = by_config["embedding=adjacency"]
+        assert auto.faces >= worst.faces, topology
+        assert auto.mean_stretch <= worst.mean_stretch + 1e-9, topology
+        assert auto.delivery_ratio >= worst.delivery_ratio, topology
+    # On the planar topology the exact embedding delivers everything.
+    assert {row.configuration: row for row in results["abilene"]}[
+        "embedding=auto"
+    ].delivery_ratio == 1.0

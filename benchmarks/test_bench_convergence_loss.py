@@ -1,0 +1,50 @@
+"""X2 — Section 1 motivation: packets lost during re-convergence vs. under PR.
+
+Reproduces the "heavily loaded OC-192 link down for a second loses more than
+a quarter of a million packets" argument with the discrete-event simulator
+(scaled-down rate, extrapolated back to OC-192) and shows PR's counterfactual.
+"""
+
+from repro.experiments.convergence import convergence_loss_experiment
+from repro.experiments.asciiplot import render_table
+from repro.simulator.des import estimate_packets_lost
+from repro.topologies.abilene import abilene
+
+
+def test_bench_convergence_packet_loss(benchmark):
+    graph = abilene()
+    result = benchmark.pedantic(
+        lambda: convergence_loss_experiment(
+            graph, source="Seattle", destination="KansasCity", rate_pps=1000.0, duration=2.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("=== Packets lost around one link failure (Abilene, Seattle -> KansasCity) ===")
+    print(f"failed link: {result.failed_link[0]} -- {result.failed_link[1]}")
+    print(f"re-convergence completes {result.convergence_time * 1000:.0f} ms after the failure")
+    rows = []
+    for name, report in result.reports.items():
+        rows.append(
+            [
+                name,
+                report.packets_sent,
+                report.packets_dropped,
+                f"{100 * report.loss_fraction:.2f}%",
+                f"{result.extrapolated_losses[name]:,.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["behaviour", "sent (sim)", "dropped (sim)", "loss", "extrapolated loss @ OC-192 (25% load)"],
+            rows,
+        )
+    )
+    paper_figure = estimate_packets_lost(9.95328e9, utilization=0.25, outage_seconds=1.0)
+    print(f"paper's back-of-the-envelope (1 s outage): {paper_figure:,.0f} packets")
+
+    assert paper_figure > 250_000
+    assert result.loss_fraction("Packet Re-cycling") < result.loss_fraction("re-convergence")
+    assert result.loss_fraction("re-convergence") < result.loss_fraction("no-protection")

@@ -1,0 +1,11 @@
+"""F2a — Figure 2(a): stretch CCDF on Abilene under all single link failures."""
+
+from _figure_helpers import assert_paper_shape, print_panel, run_panel
+
+
+def test_bench_figure_2a_abilene_single_failures(benchmark):
+    result = benchmark.pedantic(lambda: run_panel("2a"), rounds=1, iterations=1)
+    print_panel(result, "2a", "Abilene with single failures")
+    assert_paper_shape(result)
+    # Every one of Abilene's 14 links is enumerated.
+    assert result.scenarios == 14

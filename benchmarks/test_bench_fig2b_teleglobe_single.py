@@ -1,0 +1,10 @@
+"""F2b — Figure 2(b): stretch CCDF on Teleglobe under all single link failures."""
+
+from _figure_helpers import assert_paper_shape, print_panel, run_panel
+
+
+def test_bench_figure_2b_teleglobe_single_failures(benchmark):
+    result = benchmark.pedantic(lambda: run_panel("2b"), rounds=1, iterations=1)
+    print_panel(result, "2b", "Teleglobe with single failures")
+    assert_paper_shape(result)
+    assert result.scenarios == 40

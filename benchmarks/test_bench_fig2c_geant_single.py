@@ -1,0 +1,10 @@
+"""F2c — Figure 2(c): stretch CCDF on Géant under all single link failures."""
+
+from _figure_helpers import assert_paper_shape, print_panel, run_panel
+
+
+def test_bench_figure_2c_geant_single_failures(benchmark):
+    result = benchmark.pedantic(lambda: run_panel("2c"), rounds=1, iterations=1)
+    print_panel(result, "2c", "Geant with single failures")
+    assert_paper_shape(result)
+    assert result.scenarios == 54

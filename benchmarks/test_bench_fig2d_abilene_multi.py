@@ -1,0 +1,14 @@
+"""F2d — Figure 2(d): stretch CCDF on Abilene under 4 simultaneous failures."""
+
+from _figure_helpers import assert_paper_shape, print_panel, run_panel
+
+
+def test_bench_figure_2d_abilene_four_failures(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_panel("2d", samples=60, seed=1), rounds=1, iterations=1
+    )
+    print_panel(result, "2d", "Abilene with 4 failures")
+    assert_paper_shape(result)
+    assert result.failures_per_scenario == 4
+    # Multi-failure scenarios stretch more than single failures on average.
+    assert result.mean_stretch("Packet Re-cycling") >= 1.0

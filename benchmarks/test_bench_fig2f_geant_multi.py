@@ -1,0 +1,12 @@
+"""F2f — Figure 2(f): stretch CCDF on Géant under 16 simultaneous failures."""
+
+from _figure_helpers import assert_paper_shape, print_panel, run_panel
+
+
+def test_bench_figure_2f_geant_sixteen_failures(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_panel("2f", samples=20, seed=1), rounds=1, iterations=1
+    )
+    print_panel(result, "2f", "Geant with 16 failures")
+    assert_paper_shape(result)
+    assert result.failures_per_scenario == 16

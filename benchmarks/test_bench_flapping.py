@@ -1,0 +1,45 @@
+"""X4 — Section 7: link flapping and the hold-down counter-measure.
+
+Prints, for hold-downs of increasing length, how many transitions the control
+plane acts on, the time the link is advertised up while actually down (the
+window that endangers cycle following), and the capacity sacrificed while a
+healthy link is still held down.
+"""
+
+from repro.experiments.asciiplot import render_table
+from repro.experiments.flapping import flapping_experiment
+
+
+def test_bench_flapping_hold_down(benchmark):
+    rows = benchmark.pedantic(
+        lambda: flapping_experiment(
+            mean_up_time=2.0, mean_down_time=0.5, horizon=600.0,
+            hold_downs=[0.0, 0.5, 1.0, 2.0, 5.0, 10.0], seed=42,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("=== Link flapping: effect of the hold-down timer (600 s sample path) ===")
+    table = [
+        [
+            f"{row.hold_down:g}",
+            row.raw_transitions,
+            row.acted_transitions,
+            f"{row.advertised_up_while_down:.1f} s",
+            f"{row.advertised_down_while_up:.1f} s",
+        ]
+        for row in rows
+    ]
+    print(render_table(
+        ["hold-down (s)", "raw transitions", "acted on", "advertised up while down",
+         "advertised down while up"],
+        table,
+    ))
+
+    acted = [row.acted_transitions for row in rows]
+    assert acted == sorted(acted, reverse=True)
+    assert rows[-1].acted_transitions < rows[0].acted_transitions
+    assert rows[0].advertised_up_while_down == 0.0
+    assert rows[-1].advertised_down_while_up > rows[0].advertised_down_while_up

@@ -1,0 +1,53 @@
+"""N1 — node failures: the "or node failures" part of the paper's title.
+
+A node failure is modelled as the simultaneous failure of all of the node's
+links.  PR must recover every packet between pairs that do not involve the
+failed router and that remain connected; re-convergence and FCP serve as the
+stretch reference points, exactly as in Figure 2.
+"""
+
+from repro.baselines.fcp import FailureCarryingPackets
+from repro.baselines.reconvergence import Reconvergence
+from repro.core.scheme import PacketRecycling
+from repro.experiments.asciiplot import render_table
+from repro.experiments.nodefail import node_failure_experiment
+from repro.topologies.abilene import abilene
+from repro.topologies.geant import geant
+
+
+def _run(graph):
+    schemes = [
+        Reconvergence(graph),
+        FailureCarryingPackets(graph),
+        PacketRecycling(graph, embedding_seed=0),
+    ]
+    return node_failure_experiment(graph, schemes)
+
+
+def test_bench_single_node_failures(benchmark):
+    results = benchmark.pedantic(
+        lambda: {"abilene": _run(abilene()), "geant": _run(geant())}, rounds=1, iterations=1
+    )
+
+    print()
+    for topology, result in results.items():
+        print(f"=== Single node failures — {topology} "
+              f"({result.scenarios} scenarios, {result.measured_pairs} affected pairs) ===")
+        rows = []
+        for name in result.scheme_names():
+            summary = result.stretch_summary[name]
+            rows.append(
+                [name, f"{result.delivery_ratio[name]:.3f}", f"{summary['mean']:.2f}",
+                 f"{summary['p90']:.2f}", f"{summary['max']:.2f}"]
+            )
+        print(render_table(["scheme", "delivery", "mean stretch", "p90", "max"], rows))
+        print()
+
+    for topology, result in results.items():
+        assert result.delivery_ratio["Re-convergence"] == 1.0, topology
+        assert result.delivery_ratio["Failure-Carrying Packets"] == 1.0, topology
+        assert result.delivery_ratio["Packet Re-cycling"] == 1.0, topology
+        assert (
+            result.stretch_summary["Re-convergence"]["mean"]
+            <= result.stretch_summary["Packet Re-cycling"]["mean"] + 1e-9
+        ), topology

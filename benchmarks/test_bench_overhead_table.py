@@ -1,0 +1,34 @@
+"""X1 — Section 6 overhead comparison (header bits / memory / computation).
+
+The paper argues this comparison qualitatively; the benchmark produces the
+concrete numbers for all three evaluation topologies and checks the claims:
+PR needs 1 + O(log2 d) header bits (it fits in DSCP pool 2 on Abilene),
+far fewer than FCP's worst case, and performs no on-line route computation.
+"""
+
+from repro.experiments.overhead import overhead_experiment
+from repro.metrics.overhead import render_overhead_table
+
+
+def test_bench_overhead_comparison(benchmark):
+    results = benchmark.pedantic(
+        lambda: overhead_experiment(["abilene", "teleglobe", "geant"]), rounds=1, iterations=1
+    )
+    print()
+    for topology, rows in results.items():
+        print(render_overhead_table(topology, rows))
+        print()
+
+    for topology, rows in results.items():
+        by_name = {row.scheme: row for row in rows}
+        pr = by_name["Packet Re-cycling"]
+        fcp = by_name["Failure-Carrying Packets"]
+        reconvergence = by_name["Re-convergence"]
+        assert pr.header_bits < fcp.header_bits, topology
+        assert pr.online_computation == 0, topology
+        assert reconvergence.online_computation > 0, topology
+        assert by_name["Packet Re-cycling (1-bit)"].header_bits == 1, topology
+
+    # Abilene's DD field fits the 4 usable bits of DSCP pool 2 (1 PR + 3 DD).
+    abilene_pr = {row.scheme: row for row in results["abilene"]}["Packet Re-cycling"]
+    assert abilene_pr.header_bits <= 4

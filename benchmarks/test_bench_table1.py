@@ -1,0 +1,34 @@
+"""T1 — Table 1: the cycle following table at node D of the Figure 1 example.
+
+Regenerates the table from the embedding and checks it cell-by-cell against
+the paper; the benchmarked quantity is the offline table-construction time
+for the whole example network.
+"""
+
+from repro.core.tables import CycleFollowingTables
+from repro.topologies.example import example_fig1_embedding
+
+
+def _dart(graph, tail, head):
+    return graph.dart(graph.edge_ids_between(tail, head)[0], tail)
+
+
+def test_bench_table1_cycle_following_table(benchmark):
+    embedding = example_fig1_embedding()
+    tables = benchmark(lambda: CycleFollowingTables(embedding))
+    graph = embedding.graph
+    table_at_d = tables.table_at("D")
+
+    print()
+    print("=== Table 1: Cycle following table at node D ===")
+    print(table_at_d.render())
+
+    expected = {
+        ("B", "D"): (("D", "F"), ("D", "E")),
+        ("E", "D"): (("D", "B"), ("D", "F")),
+        ("F", "D"): (("D", "E"), ("D", "B")),
+    }
+    for (ingress_tail, ingress_head), (cycle_next, complementary_next) in expected.items():
+        row = table_at_d.row_for_ingress(_dart(graph, ingress_tail, ingress_head))
+        assert row.cycle_following == _dart(graph, *cycle_next)
+        assert row.complementary == _dart(graph, *complementary_next)

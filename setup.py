@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only
+so that editable installs work in offline environments whose setuptools/pip
+combination lacks the ``wheel`` package required by the PEP 660 build path
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Packet Re-cycling (PR) — reproduction of Lor, Landa & Rio, HotNets 2010.
+
+The package is organised around a small set of subsystems:
+
+* :mod:`repro.graph` — the graph substrate (multigraphs, darts, shortest
+  paths, connectivity).
+* :mod:`repro.embedding` — cellular graph embeddings (rotation systems,
+  face tracing, planarity, genus minimisation).
+* :mod:`repro.routing` — conventional link-state routing tables and
+  distance discriminators.
+* :mod:`repro.forwarding` — packets, headers, routers and the hop-by-hop
+  forwarding engine.
+* :mod:`repro.core` — the paper's contribution: cycle-following tables and
+  the Packet Re-cycling protocol.
+* :mod:`repro.baselines` — Failure-Carrying Packets, re-convergence,
+  Loop-Free Alternates and a no-protection baseline.
+* :mod:`repro.topologies` — Abilene, Géant, Teleglobe and synthetic
+  topology generators.
+* :mod:`repro.failures` — failure scenario enumeration and sampling.
+* :mod:`repro.metrics` — stretch, CCDFs and overhead accounting.
+* :mod:`repro.simulator` — a discrete-event packet-level simulator.
+* :mod:`repro.experiments` — runners that regenerate every figure and
+  table of the paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro import build_packet_recycling, topologies
+>>> network = topologies.abilene()
+>>> pr = build_packet_recycling(network)
+>>> outcome = pr.deliver("Seattle", "Atlanta", failed_links=set())
+>>> outcome.delivered
+True
+"""
+
+from repro._version import __version__
+from repro.api import (
+    build_packet_recycling,
+    compare_schemes,
+    stretch_ccdf,
+)
+from repro import (
+    baselines,
+    core,
+    embedding,
+    experiments,
+    failures,
+    forwarding,
+    graph,
+    metrics,
+    routing,
+    simulator,
+    topologies,
+)
+
+__all__ = [
+    "__version__",
+    "build_packet_recycling",
+    "compare_schemes",
+    "stretch_ccdf",
+    "baselines",
+    "core",
+    "embedding",
+    "experiments",
+    "failures",
+    "forwarding",
+    "graph",
+    "metrics",
+    "routing",
+    "simulator",
+    "topologies",
+]

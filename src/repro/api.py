@@ -1,0 +1,67 @@
+"""Convenience entry points for the most common library uses.
+
+Most users want one of three things: "give me a PR instance for my topology",
+"compare PR against the baselines under these failures", or "give me the
+stretch CCDF the paper plots".  These helpers wrap the lower-level packages
+so that each of those is a single call; everything they do can also be done
+explicitly through :mod:`repro.core`, :mod:`repro.baselines` and
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.scheme import PacketRecycling
+from repro.experiments.stretch import default_schemes, run_stretch_experiment
+from repro.failures.scenarios import FailureScenario
+from repro.forwarding.engine import ForwardingOutcome
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.multigraph import Graph
+from repro.routing.discriminator import DiscriminatorKind
+
+
+def build_packet_recycling(
+    graph: Graph,
+    discriminator_kind: DiscriminatorKind = DiscriminatorKind.HOP_COUNT,
+    embedding_method: str = "auto",
+    embedding_seed: Optional[int] = 7,
+) -> PacketRecycling:
+    """Build a ready-to-forward Packet Re-cycling instance for a topology.
+
+    This performs the full offline stage of the paper: cellular embedding,
+    cycle-following tables and routing tables with the DD column.
+    """
+    return PacketRecycling(
+        graph,
+        discriminator_kind=discriminator_kind,
+        embedding_method=embedding_method,
+        embedding_seed=embedding_seed,
+    )
+
+
+def compare_schemes(
+    graph: Graph,
+    source: str,
+    destination: str,
+    failed_links: Iterable[int],
+    schemes: Optional[Sequence[ForwardingScheme]] = None,
+) -> Dict[str, ForwardingOutcome]:
+    """Deliver one packet under every scheme and return the outcomes by name."""
+    if schemes is None:
+        schemes = default_schemes(graph)
+    failed = list(failed_links)
+    return {
+        scheme.name: scheme.deliver(source, destination, failed_links=failed)
+        for scheme in schemes
+    }
+
+
+def stretch_ccdf(
+    graph: Graph,
+    scenarios: Sequence[FailureScenario],
+    schemes: Optional[Sequence[ForwardingScheme]] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """The Figure 2 curves ``P(Stretch > x | path)`` for the given scenarios."""
+    result = run_stretch_experiment(graph, scenarios, schemes)
+    return result.ccdf

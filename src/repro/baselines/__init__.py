@@ -1,0 +1,24 @@
+"""Baseline schemes the paper compares Packet Re-cycling against.
+
+Section 6 uses Failure-Carrying Packets and full routing re-convergence "as
+benchmarks, since they are among the few techniques that can handle multiple
+failures".  We additionally provide Loop-Free Alternates (RFC 5286, the
+paper's reference [2]) as a representative single-failure IPFRR mechanism and
+a no-protection baseline that simply drops packets at the failure point.
+"""
+
+from repro.baselines.fcp import FailureCarryingPackets, FcpLogic
+from repro.baselines.reconvergence import Reconvergence, ReconvergedLogic
+from repro.baselines.lfa import LoopFreeAlternates, LfaLogic
+from repro.baselines.noprotection import NoProtection, NoProtectionLogic
+
+__all__ = [
+    "FailureCarryingPackets",
+    "FcpLogic",
+    "Reconvergence",
+    "ReconvergedLogic",
+    "LoopFreeAlternates",
+    "LfaLogic",
+    "NoProtection",
+    "NoProtectionLogic",
+]

@@ -1,0 +1,127 @@
+"""Failure-Carrying Packets (Lakshminarayanan et al., SIGCOMM 2007).
+
+FCP guarantees convergence-free delivery by making packets carry the set of
+failed links they have encountered.  Every router forwards along the shortest
+path computed on its link-state map *minus* the failures listed in the
+header; when the chosen next hop is itself down the router appends that link
+to the header and recomputes.  Delivery is guaranteed whenever the
+destination remains reachable, at the cost of (a) header space proportional
+to the number of carried failures and (b) an SPF computation per carried
+failure combination at every hop — exactly the two overheads the paper's
+Section 6 holds against FCP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.forwarding.headers import link_identifier_bits
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.forwarding.router import ForwardingDecision, RouterLogic
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.graph.shortest_paths import dijkstra
+from repro.routing.tables import RoutingTables
+
+
+class FcpLogic(RouterLogic):
+    """Per-router FCP forwarding behaviour."""
+
+    name = "Failure-Carrying Packets"
+
+    def __init__(self, graph: Graph, routing: RoutingTables, state: NetworkState) -> None:
+        self.graph = graph
+        self.routing = routing
+        self.state = state
+        # Cache of SPF results keyed by (node, carried failure set) so that the
+        # per-packet computational cost can be modelled without redoing work for
+        # identical headers; the counter still reports one SPF per recomputation
+        # a real router would perform.
+        self._spf_cache: Dict[Tuple[str, FrozenSet[int]], Dict[str, Optional[Dart]]] = {}
+
+    def _next_hop_given_failures(
+        self, node: str, destination: str, failures: FrozenSet[int]
+    ) -> Optional[Dart]:
+        """Egress dart of the shortest path on the map minus carried failures."""
+        cache_key = (node, failures)
+        table = self._spf_cache.get(cache_key)
+        if table is None:
+            dist, parent = dijkstra(self.graph, node, excluded_edges=failures)
+            table = {}
+            for target in self.graph.nodes():
+                if target == node or target not in dist:
+                    table[target] = None
+                    continue
+                walk = target
+                while parent[walk][0] != node:
+                    walk = parent[walk][0]
+                _towards, edge_id = parent[walk]
+                table[target] = self.graph.dart(edge_id, node)
+            self._spf_cache[cache_key] = table
+        return table.get(destination)
+
+    def decide(
+        self,
+        node: str,
+        ingress: Optional[Dart],
+        packet: Packet,
+        state: NetworkState,
+    ) -> ForwardingDecision:
+        if state is not self.state:
+            raise ProtocolError("router logic was built for a different network state")
+        destination = packet.header.destination
+        spf_runs = 0
+        failures_added = 0
+
+        for _attempt in range(self.graph.number_of_edges() + 1):
+            carried = packet.header.known_failures()
+            if carried:
+                egress = self._next_hop_given_failures(node, destination, carried)
+                spf_runs += 1
+            else:
+                egress = (
+                    self.routing.egress(node, destination)
+                    if self.routing.has_route(node, destination)
+                    else None
+                )
+            if egress is None:
+                return ForwardingDecision.drop(
+                    "destination unreachable given carried failures",
+                    spf_computations=spf_runs,
+                    failures_recorded=failures_added,
+                )
+            if self.state.dart_usable(egress):
+                return ForwardingDecision.forward(
+                    egress, spf_computations=spf_runs, failures_recorded=failures_added
+                )
+            packet.header.record_failure(egress.edge_id)
+            failures_added += 1
+        raise ProtocolError("FCP failed to converge on a next hop; graph state inconsistent")
+
+
+class FailureCarryingPackets(ForwardingScheme):
+    """FCP packaged as a forwarding scheme."""
+
+    name = "Failure-Carrying Packets"
+
+    def __init__(self, graph: Graph) -> None:
+        super().__init__(graph)
+        self.routing = RoutingTables(graph)
+
+    def build_logic(self, state: NetworkState) -> RouterLogic:
+        return FcpLogic(self.graph, self.routing, state)
+
+    def header_overhead_bits(self, carried_failures: int = 1) -> int:
+        """Header bits for a packet carrying ``carried_failures`` link identifiers."""
+        return carried_failures * link_identifier_bits(self.graph.number_of_edges())
+
+    def router_memory_entries(self) -> int:
+        """FCP needs the full link-state map at every router; count one entry per link."""
+        return self.graph.number_of_nodes() * self.graph.number_of_edges()
+
+    def online_computation_per_failure(self) -> int:
+        """Shortest-path recomputations per newly carried failure at each hop: one."""
+        return 1

@@ -1,0 +1,70 @@
+"""Full routing re-convergence baseline.
+
+For the stretch comparison of Figure 2 the interesting quantity is the path a
+packet takes *after* the network has fully re-converged: the shortest path on
+the failed topology.  (What happens *during* convergence — packets black-holed
+onto the dead link — is modelled separately by :mod:`repro.simulator`, since
+the paper uses it as motivation rather than as a stretch data point.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.forwarding.router import ForwardingDecision, RouterLogic
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.routing.tables import RoutingTables
+
+
+class ReconvergedLogic(RouterLogic):
+    """Routers forward on tables recomputed with global knowledge of the failures."""
+
+    name = "Re-convergence"
+
+    def __init__(self, converged: RoutingTables, state: NetworkState) -> None:
+        self.converged = converged
+        self.state = state
+
+    def decide(
+        self,
+        node: str,
+        ingress: Optional[Dart],
+        packet: Packet,
+        state: NetworkState,
+    ) -> ForwardingDecision:
+        if state is not self.state:
+            raise ProtocolError("router logic was built for a different network state")
+        destination = packet.header.destination
+        if not self.converged.has_route(node, destination):
+            return ForwardingDecision.drop("destination unreachable after re-convergence")
+        egress = self.converged.egress(node, destination)
+        # The converged tables were computed excluding the failed links, so the
+        # egress is up by construction; the engine re-checks the invariant.
+        return ForwardingDecision.forward(egress, spf_computations=0)
+
+
+class Reconvergence(ForwardingScheme):
+    """Idealised re-convergence: packets follow post-convergence shortest paths."""
+
+    name = "Re-convergence"
+
+    def build_logic(self, state: NetworkState) -> RouterLogic:
+        converged = RoutingTables(self.graph, excluded_edges=state.failed_edges)
+        return ReconvergedLogic(converged, state)
+
+    def header_overhead_bits(self) -> int:
+        """Re-convergence needs no extra header bits."""
+        return 0
+
+    def router_memory_entries(self) -> int:
+        """No extra state beyond the ordinary routing table."""
+        return 0
+
+    def online_computation_per_failure(self) -> int:
+        """Every router re-runs SPF once per failure event (plus floods LSAs)."""
+        return self.graph.number_of_nodes()

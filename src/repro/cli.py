@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI exposes the operational workflow and the headline experiments so that
+the reproduction can be driven without writing Python:
+
+* ``topology``  — summarise a built-in or file-based topology.
+* ``embed``     — run the offline stage and write the embedding artefact.
+* ``tables``    — print one router's cycle following table.
+* ``deliver``   — forward one packet under a failure set and show the path.
+* ``figure2``   — regenerate one panel of Figure 2.
+* ``overhead``  — print the Section 6 overhead comparison.
+* ``coverage``  — measure repair coverage under sampled failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.api import build_packet_recycling, compare_schemes
+from repro.core.coverage import coverage_report
+from repro.core.scheme import PacketRecycling
+from repro.embedding.genus import self_paired_edge_count
+from repro.embedding.serialization import save_embedding
+from repro.experiments.asciiplot import ccdf_rows, render_ccdf_plot, render_table
+from repro.experiments.overhead import overhead_experiment
+from repro.experiments.stretch import figure2_panel
+from repro.failures.sampling import sample_multi_link_failures
+from repro.failures.scenarios import single_link_failures
+from repro.graph.connectivity import is_two_edge_connected
+from repro.graph.multigraph import Graph
+from repro.graph.shortest_paths import diameter
+from repro.metrics.overhead import render_overhead_table
+from repro.topologies.parser import load_graph
+from repro.topologies.registry import available_topologies, by_name
+
+
+def _load_topology(spec: str) -> Graph:
+    """A registry name (``abilene``) or a path to an edge-list file."""
+    if spec.lower() in available_topologies():
+        return by_name(spec)
+    return load_graph(spec)
+
+
+def _parse_failed_links(graph: Graph, specs: Sequence[str]) -> List[int]:
+    """Failure specs: either an edge id or ``u-v`` endpoint pairs."""
+    failed: List[int] = []
+    for spec in specs:
+        if spec.isdigit():
+            failed.append(int(spec))
+            continue
+        if "-" not in spec:
+            raise SystemExit(f"cannot parse failed link {spec!r}; use an edge id or 'u-v'")
+        u, v = spec.split("-", 1)
+        edge_ids = graph.edge_ids_between(u, v)
+        if not edge_ids:
+            raise SystemExit(f"no link between {u!r} and {v!r} in {graph.name!r}")
+        failed.extend(edge_ids)
+    return failed
+
+
+# ----------------------------------------------------------------------
+# sub-commands
+# ----------------------------------------------------------------------
+def _cmd_topology(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.topology)
+    print(f"name: {graph.name}")
+    print(f"routers: {graph.number_of_nodes()}")
+    print(f"links: {graph.number_of_edges()}")
+    print(f"hop diameter: {int(diameter(graph, hop_count=True))}")
+    print(f"2-edge-connected: {is_two_edge_connected(graph)}")
+    if args.links:
+        for edge in graph.edges():
+            print(f"  [{edge.edge_id}] {edge.u} -- {edge.v}  weight={edge.weight:g}")
+    return 0
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.topology)
+    scheme = build_packet_recycling(graph, embedding_method=args.method)
+    embedding = scheme.embedding
+    print(f"faces: {embedding.number_of_faces}")
+    print(f"genus: {embedding.genus}")
+    print(f"self-paired links: {self_paired_edge_count(embedding.rotation)}")
+    print(f"header overhead: {scheme.header_overhead_bits()} bits")
+    if args.output:
+        path = save_embedding(embedding, args.output)
+        print(f"embedding written to {path}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.topology)
+    scheme = build_packet_recycling(graph)
+    print(scheme.cycle_tables.table_at(args.router).render())
+    return 0
+
+
+def _cmd_deliver(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.topology)
+    failed = _parse_failed_links(graph, args.fail or [])
+    if args.compare:
+        outcomes = compare_schemes(graph, args.source, args.destination, failed)
+    else:
+        outcomes = {
+            "Packet Re-cycling": build_packet_recycling(graph).deliver(
+                args.source, args.destination, failed_links=failed
+            )
+        }
+    for name, outcome in outcomes.items():
+        status = "delivered" if outcome.delivered else f"LOST ({outcome.drop_reason})"
+        print(f"{name}: {status}")
+        print(f"  path: {' -> '.join(outcome.path)}")
+        print(f"  hops: {outcome.hops}  cost: {outcome.cost:g}")
+    return 0 if all(outcome.delivered for outcome in outcomes.values()) else 1
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    result = figure2_panel(args.panel, samples=args.samples, seed=args.seed)
+    headers = ["stretch x"] + sorted(result.ccdf)
+    print(f"topology={result.topology} failures/scenario={result.failures_per_scenario} "
+          f"scenarios={result.scenarios} pairs={result.measured_pairs}")
+    print(render_table(headers, ccdf_rows(result.ccdf)))
+    if args.plot:
+        print()
+        print(render_ccdf_plot(result.ccdf, title=f"P(Stretch > x | path) — Figure {args.panel}"))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    results = overhead_experiment(args.topologies or None)
+    for topology, rows in results.items():
+        print(render_overhead_table(topology, rows))
+        print()
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.topology)
+    scheme = PacketRecycling(graph, embedding_seed=0)
+    if args.failures <= 1:
+        scenarios = [s.failed_links for s in single_link_failures(graph)]
+    else:
+        scenarios = [
+            s.failed_links
+            for s in sample_multi_link_failures(
+                graph, failures=args.failures, samples=args.samples, seed=args.seed
+            )
+        ]
+    if not scenarios:
+        print("no non-disconnecting scenarios could be generated")
+        return 1
+    report = coverage_report(scheme, scenarios)
+    print(report.summary())
+    return 0 if report.full_coverage else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Packet Re-cycling (HotNets 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topology = sub.add_parser("topology", help="summarise a topology")
+    topology.add_argument("topology", help="registry name (abilene/teleglobe/geant) or file path")
+    topology.add_argument("--links", action="store_true", help="list every link")
+    topology.set_defaults(handler=_cmd_topology)
+
+    embed_cmd = sub.add_parser("embed", help="compute the cellular embedding (offline stage)")
+    embed_cmd.add_argument("topology")
+    embed_cmd.add_argument("--method", default="auto",
+                           choices=["auto", "planar", "greedy", "local-search", "adjacency"])
+    embed_cmd.add_argument("--output", help="write the embedding artefact to this JSON file")
+    embed_cmd.set_defaults(handler=_cmd_embed)
+
+    tables = sub.add_parser("tables", help="print a router's cycle following table")
+    tables.add_argument("topology")
+    tables.add_argument("router")
+    tables.set_defaults(handler=_cmd_tables)
+
+    deliver = sub.add_parser("deliver", help="forward one packet under failures")
+    deliver.add_argument("topology")
+    deliver.add_argument("source")
+    deliver.add_argument("destination")
+    deliver.add_argument("--fail", action="append", default=[],
+                         help="failed link as an edge id or 'u-v' (repeatable)")
+    deliver.add_argument("--compare", action="store_true",
+                         help="also run FCP and re-convergence on the same packet")
+    deliver.set_defaults(handler=_cmd_deliver)
+
+    figure2 = sub.add_parser("figure2", help="regenerate a Figure 2 panel")
+    figure2.add_argument("panel", choices=["2a", "2b", "2c", "2d", "2e", "2f"])
+    figure2.add_argument("--samples", type=int, default=50)
+    figure2.add_argument("--seed", type=int, default=1)
+    figure2.add_argument("--plot", action="store_true", help="also print the ASCII plot")
+    figure2.set_defaults(handler=_cmd_figure2)
+
+    overhead = sub.add_parser("overhead", help="print the Section 6 overhead comparison")
+    overhead.add_argument("topologies", nargs="*", help="defaults to abilene teleglobe geant")
+    overhead.set_defaults(handler=_cmd_overhead)
+
+    coverage = sub.add_parser("coverage", help="measure PR repair coverage")
+    coverage.add_argument("topology")
+    coverage.add_argument("--failures", type=int, default=1)
+    coverage.add_argument("--samples", type=int, default=50)
+    coverage.add_argument("--seed", type=int, default=1)
+    coverage.set_defaults(handler=_cmd_coverage)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

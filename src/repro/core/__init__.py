@@ -1,0 +1,37 @@
+"""Packet Re-cycling — the paper's contribution.
+
+The package turns a cellular embedding (:mod:`repro.embedding`) and the
+conventional routing tables (:mod:`repro.routing`) into a complete fast
+reroute scheme:
+
+* :mod:`~repro.core.tables` — the per-router *cycle following table* of
+  Section 4.1 (incoming interface → cycle-following next hop and
+  complementary next hop).
+* :mod:`~repro.core.protocol` — the forwarding logic: the simple one-bit
+  protocol of Section 4.2 and the full protocol with the decreasing-distance
+  termination condition of Section 4.3.
+* :mod:`~repro.core.scheme` — the :class:`ForwardingScheme` wrappers used by
+  the experiments, including overhead accounting.
+* :mod:`~repro.core.coverage` — repair-coverage analysis (does PR deliver
+  every packet for every non-disconnecting failure combination?).
+"""
+
+from repro.core.tables import CycleFollowingRow, CycleFollowingTable, CycleFollowingTables
+from repro.core.protocol import PacketRecyclingLogic, SimplePacketRecyclingLogic
+from repro.core.scheme import PacketRecycling, SimplePacketRecycling
+from repro.core.coverage import CoverageReport, coverage_report
+from repro.core.interdomain import InterdomainPacketRecycling, MultihomedPrefix
+
+__all__ = [
+    "CycleFollowingRow",
+    "CycleFollowingTable",
+    "CycleFollowingTables",
+    "PacketRecyclingLogic",
+    "SimplePacketRecyclingLogic",
+    "PacketRecycling",
+    "SimplePacketRecycling",
+    "CoverageReport",
+    "coverage_report",
+    "InterdomainPacketRecycling",
+    "MultihomedPrefix",
+]

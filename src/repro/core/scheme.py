@@ -1,0 +1,93 @@
+"""Packet Re-cycling packaged as a :class:`ForwardingScheme`.
+
+These wrappers bundle the offline stage (embedding → cycle following tables,
+shortest paths → routing tables with the DD column) with the forwarding-time
+logic, and expose the overhead accounting used by the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.protocol import PacketRecyclingLogic, SimplePacketRecyclingLogic
+from repro.core.tables import CycleFollowingTables
+from repro.embedding.builder import CellularEmbedding, embed
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.router import RouterLogic
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.multigraph import Graph
+from repro.routing.discriminator import DiscriminatorKind, discriminator_bits_required
+from repro.routing.tables import RoutingTables
+
+
+class PacketRecycling(ForwardingScheme):
+    """The full Packet Re-cycling scheme (Section 4.3).
+
+    Parameters
+    ----------
+    graph:
+        Connected network topology.
+    embedding:
+        Precomputed cellular embedding; computed with the default heuristics
+        when omitted (this mirrors the paper's offline server step).
+    discriminator_kind:
+        Which distance discriminator the DD bits carry (hop count by
+        default, matching the paper's examples).
+    embedding_method, embedding_seed:
+        Forwarded to :func:`repro.embedding.embed` when the embedding is not
+        supplied.
+    """
+
+    name = "Packet Re-cycling"
+
+    def __init__(
+        self,
+        graph: Graph,
+        embedding: Optional[CellularEmbedding] = None,
+        discriminator_kind: DiscriminatorKind = DiscriminatorKind.HOP_COUNT,
+        embedding_method: str = "auto",
+        embedding_seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(graph)
+        self.embedding = embedding if embedding is not None else embed(
+            graph, method=embedding_method, seed=embedding_seed
+        )
+        self.discriminator_kind = discriminator_kind
+        self.routing = RoutingTables(graph, discriminator_kind)
+        self.cycle_tables = CycleFollowingTables(self.embedding)
+
+    def build_logic(self, state: NetworkState) -> RouterLogic:
+        return PacketRecyclingLogic(self.routing, self.cycle_tables, state)
+
+    # ------------------------------------------------------------------
+    # overhead accounting (Section 6)
+    # ------------------------------------------------------------------
+    def dd_bits(self) -> int:
+        """Width of the DD field for this topology and discriminator."""
+        return discriminator_bits_required(self.graph, self.discriminator_kind)
+
+    def header_overhead_bits(self) -> int:
+        """PR bit plus the DD bits — the paper's 1 + O(log2 d) bits."""
+        return 1 + self.dd_bits()
+
+    def router_memory_entries(self) -> int:
+        """Cycle-following entries plus the extra DD column in the routing table."""
+        dd_column_entries = self.routing.memory_entries()
+        return self.cycle_tables.memory_entries() + dd_column_entries
+
+    def online_computation_per_failure(self) -> int:
+        """Route recomputations a router performs when a failure arrives: none."""
+        return 0
+
+
+class SimplePacketRecycling(PacketRecycling):
+    """The one-bit protocol of Section 4.2 (single-failure coverage only)."""
+
+    name = "Packet Re-cycling (1-bit)"
+
+    def build_logic(self, state: NetworkState) -> RouterLogic:
+        return SimplePacketRecyclingLogic(self.routing, self.cycle_tables, state)
+
+    def header_overhead_bits(self) -> int:
+        """A single bit: the PR bit."""
+        return 1

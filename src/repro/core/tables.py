@@ -1,0 +1,167 @@
+"""Cycle following tables (Section 4.1 of the paper).
+
+"The cycle following table of a router is a three-column table with *i*
+entries, where *i* is the number of the interfaces in the router.  The first
+column indicates the incoming interface for each entry, while the second and
+third columns store next hop information that enables forwarding along
+backup paths."
+
+With the rotation-system view of the embedding the two derived columns have
+closed forms:
+
+* **cycle following** — the packet arrived over the dart ``Y -> X``; the next
+  dart of the same cellular cycle is the face successor of ``Y -> X``.
+* **complementary** — the next hop over the complementary cycle of the link
+  implied by the cycle-following column; equivalently (and this is how a
+  router would implement it) the *rotation successor* of the cycle-following
+  outgoing dart at ``X``.
+
+Both facts are verified against the paper's Table 1 in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.embedding.builder import CellularEmbedding
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+
+
+class CycleFollowingRow:
+    """One row of a router's cycle following table."""
+
+    __slots__ = ("incoming", "cycle_following", "complementary")
+
+    def __init__(self, incoming: Dart, cycle_following: Dart, complementary: Dart) -> None:
+        self.incoming = incoming
+        self.cycle_following = cycle_following
+        self.complementary = complementary
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"CycleFollowingRow(in={self.incoming.tail}->{self.incoming.head}, "
+            f"cf=->{self.cycle_following.head}, comp=->{self.complementary.head})"
+        )
+
+
+class CycleFollowingTable:
+    """Cycle following table of a single router.
+
+    Rows are indexed by the *incoming interface*: the dart pointing into this
+    router from the neighbor the packet arrived from.
+    """
+
+    def __init__(self, node: str, rows: Dict[Dart, CycleFollowingRow]) -> None:
+        self.node = node
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> List[CycleFollowingRow]:
+        """All rows, ordered by incoming neighbor name for stable display."""
+        return [self._rows[key] for key in sorted(self._rows, key=lambda dart: (dart.tail, dart.edge_id))]
+
+    def row_for_ingress(self, ingress: Dart) -> CycleFollowingRow:
+        """The row matching the interface the packet arrived on."""
+        try:
+            return self._rows[ingress]
+        except KeyError:
+            raise ProtocolError(
+                f"router {self.node!r} has no cycle-following row for ingress {ingress!r}"
+            ) from None
+
+    def cycle_following_next(self, ingress: Dart) -> Dart:
+        """Second column: next hop that keeps the packet on its current cycle."""
+        return self.row_for_ingress(ingress).cycle_following
+
+    def complementary_next(self, ingress: Dart) -> Dart:
+        """Third column: next hop under failure avoidance."""
+        return self.row_for_ingress(ingress).complementary
+
+    def memory_entries(self) -> int:
+        """Number of stored next-hop values (two per row)."""
+        return 2 * len(self._rows)
+
+    def render(self, interface_name=None) -> str:
+        """Format the table the way the paper's Table 1 does.
+
+        ``interface_name`` maps a dart to a printable interface label; the
+        default produces the paper's ``I<from><to>`` notation.
+        """
+        if interface_name is None:
+            def interface_name(dart: Dart) -> str:
+                return f"I{dart.tail}{dart.head}"
+
+        lines = [f"Cycle following table at node {self.node}."]
+        lines.append("Incoming | Cycle Following | Complementary")
+        for row in self.rows():
+            lines.append(
+                f"{interface_name(row.incoming)} | "
+                f"{interface_name(row.cycle_following)} | "
+                f"{interface_name(row.complementary)}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"CycleFollowingTable(node={self.node!r}, rows={len(self._rows)})"
+
+
+class CycleFollowingTables:
+    """Cycle following tables of every router, derived from one embedding.
+
+    This is the artefact the paper's offline server "uploads to all routers":
+    once built, forwarding never consults the embedding again.
+    """
+
+    def __init__(self, embedding: CellularEmbedding) -> None:
+        self.embedding = embedding
+        self.graph: Graph = embedding.graph
+        self._tables: Dict[str, CycleFollowingTable] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for node in self.graph.nodes():
+            rows: Dict[Dart, CycleFollowingRow] = {}
+            for outgoing in self.graph.darts_out(node):
+                incoming = outgoing.reversed()
+                cycle_following = self.embedding.cycle_following_next(incoming)
+                complementary = self.embedding.complementary_next(cycle_following)
+                rows[incoming] = CycleFollowingRow(incoming, cycle_following, complementary)
+            self._tables[node] = CycleFollowingTable(node, rows)
+
+    def table_at(self, node: str) -> CycleFollowingTable:
+        """The cycle following table installed at ``node``."""
+        try:
+            return self._tables[node]
+        except KeyError:
+            raise ProtocolError(f"no cycle-following table for node {node!r}") from None
+
+    def cycle_following_next(self, node: str, ingress: Dart) -> Dart:
+        """Next hop for a marked packet that arrived at ``node`` over ``ingress``."""
+        return self.table_at(node).cycle_following_next(ingress)
+
+    def failure_avoidance_next(self, node: str, failed_outgoing: Dart) -> Dart:
+        """Next hop over the complementary cycle of a failed outgoing interface.
+
+        Used both when a failure is first detected during normal routing
+        ("forward them along the complementary interface associated with the
+        failed outgoing interface") and when a further failure is met while
+        cycle following.  In rotation-system terms this is simply the next
+        outgoing interface in the rotation at ``node``, which is what makes
+        the mechanism implementable with a single table lookup.
+        """
+        if failed_outgoing.tail != node:
+            raise ProtocolError(
+                f"failed interface {failed_outgoing!r} does not belong to router {node!r}"
+            )
+        return self.embedding.complementary_next(failed_outgoing)
+
+    def memory_entries(self) -> int:
+        """Total stored next-hop values across every router."""
+        return sum(table.memory_entries() for table in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"CycleFollowingTables(graph={self.graph.name!r}, routers={len(self._tables)})"

@@ -1,0 +1,130 @@
+"""High-level embedding API: :class:`CellularEmbedding` and :func:`embed`.
+
+This module plays the role of the paper's "server designated for that
+purpose": given a network graph it computes (offline, before any packet is
+forwarded) the cellular embedding from which every router's cycle-following
+table is later derived.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DisconnectedGraph
+from repro.graph.connectivity import is_connected
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.embedding.faces import Face, FaceSet, average_face_length, euler_genus, trace_faces
+from repro.embedding.genus import minimise_genus
+from repro.embedding.rotation import RotationSystem
+
+
+class CellularEmbedding:
+    """A graph together with a rotation system and its traced faces.
+
+    This is the single artefact the Packet Re-cycling control plane needs:
+    the cycle-following table of every router is read straight off the face
+    structure (Section 4.1 of the paper).
+    """
+
+    def __init__(self, graph: Graph, rotation: RotationSystem) -> None:
+        self.graph = graph
+        self.rotation = rotation
+        self.faces: FaceSet = trace_faces(rotation)
+
+    # ------------------------------------------------------------------
+    # cycle structure queries used by the protocol
+    # ------------------------------------------------------------------
+    def main_cycle(self, dart: Dart) -> Face:
+        """The cycle associated with transmitting over ``dart`` (its own face)."""
+        return self.faces.face_of(dart)
+
+    def complementary_cycle(self, dart: Dart) -> Face:
+        """The oppositely-oriented cycle over the same link (face of the reverse dart).
+
+        This is the backup cycle followed when the link underlying ``dart``
+        fails.
+        """
+        return self.faces.face_of(dart.reversed())
+
+    def cycle_following_next(self, ingress: Dart) -> Dart:
+        """Second column of the cycle following table (Section 4.1).
+
+        For a packet that *arrived* over ``ingress`` (a dart pointing into
+        the current router), the next dart along the same cellular cycle.
+        """
+        return self.rotation.next_in_face(ingress)
+
+    def complementary_next(self, outgoing: Dart) -> Dart:
+        """Next hop along the complementary cycle of the link of ``outgoing``.
+
+        Third column of the cycle following table: the dart used to bypass
+        ``outgoing`` when that link has failed.  It continues the face of the
+        reverse dart, i.e. the complementary cycle, from the same router.
+        """
+        return self.rotation.next_in_face(outgoing.reversed())
+
+    # ------------------------------------------------------------------
+    # summary properties
+    # ------------------------------------------------------------------
+    @property
+    def number_of_faces(self) -> int:
+        """Number of cells of the embedding."""
+        return len(self.faces)
+
+    @property
+    def genus(self) -> int:
+        """Orientable genus of the embedding surface."""
+        return euler_genus(self.graph, self.faces)
+
+    @property
+    def is_planar(self) -> bool:
+        """Whether the embedding lies on the sphere (genus 0)."""
+        return self.genus == 0
+
+    @property
+    def average_cycle_length(self) -> float:
+        """Mean face boundary length in darts."""
+        return average_face_length(self.faces)
+
+    @property
+    def longest_cycle_length(self) -> int:
+        """Length (in darts) of the longest face boundary."""
+        return max((len(face) for face in self.faces), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"CellularEmbedding({self.graph.name!r}, faces={self.number_of_faces}, "
+            f"genus={self.genus})"
+        )
+
+
+def embed(
+    graph: Graph,
+    method: str = "auto",
+    iterations: int = 200,
+    seed: Optional[int] = None,
+) -> CellularEmbedding:
+    """Compute a cellular embedding of a connected network graph.
+
+    Parameters
+    ----------
+    graph:
+        The network topology.  Must be connected (the paper's protocol is
+        intra-domain; a disconnected "network" is not meaningful).
+    method:
+        Passed to :func:`repro.embedding.genus.minimise_genus`: ``"auto"``,
+        ``"planar"``, ``"greedy"``, ``"local-search"`` or ``"adjacency"``.
+    iterations:
+        Local-search budget for non-planar graphs.
+    seed:
+        Seed for the randomised heuristics (ignored by exact planar
+        embedding).
+    """
+    if graph.number_of_nodes() > 0 and not is_connected(graph):
+        raise DisconnectedGraph(
+            f"cannot embed {graph.name!r}: the Packet Re-cycling control plane "
+            "requires a connected intra-domain topology"
+        )
+    rotation = minimise_genus(graph, method=method, iterations=iterations, seed=seed)
+    return CellularEmbedding(graph, rotation)

@@ -1,0 +1,253 @@
+"""Face tracing and Euler genus of a rotation system.
+
+The faces of a cellular embedding are the orbits of the face permutation
+``d -> successor(reverse(d))`` over the darts of the graph.  Each face is an
+oriented closed walk; in the paper's terminology these are the cells
+``c1 ... c4`` of Figure 1(a), and they are exactly the cycles that Packet
+Re-cycling follows to route around failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EmbeddingError
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.embedding.rotation import RotationSystem
+
+
+class Face:
+    """One oriented face (cell) of a cellular embedding.
+
+    Attributes
+    ----------
+    face_id:
+        Small integer identifying the face within its :class:`FaceSet`.
+    darts:
+        The boundary of the face as an ordered tuple of darts; consecutive
+        darts are head-to-tail adjacent, and the last dart leads back to the
+        first.
+    """
+
+    __slots__ = ("face_id", "darts")
+
+    def __init__(self, face_id: int, darts: Sequence[Dart]) -> None:
+        if not darts:
+            raise EmbeddingError("a face must contain at least one dart")
+        self.face_id = face_id
+        self.darts = tuple(darts)
+
+    def __len__(self) -> int:
+        return len(self.darts)
+
+    def __iter__(self):
+        return iter(self.darts)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Boundary nodes in traversal order (tails of the boundary darts)."""
+        return tuple(dart.tail for dart in self.darts)
+
+    @property
+    def node_set(self) -> frozenset:
+        """Set of nodes on the boundary."""
+        return frozenset(dart.tail for dart in self.darts)
+
+    @property
+    def edge_ids(self) -> Tuple[int, ...]:
+        """Edge ids along the boundary, in traversal order (may repeat)."""
+        return tuple(dart.edge_id for dart in self.darts)
+
+    def cost(self, graph: Graph) -> float:
+        """Total weight of the boundary walk."""
+        return sum(graph.weight(dart.edge_id) for dart in self.darts)
+
+    def contains_dart(self, dart: Dart) -> bool:
+        """Whether ``dart`` lies on the boundary (orientation-sensitive)."""
+        return dart in self.darts
+
+    def successor_of(self, dart: Dart) -> Dart:
+        """The boundary dart immediately following ``dart``."""
+        index = self.darts.index(dart)
+        return self.darts[(index + 1) % len(self.darts)]
+
+    def is_simple(self) -> bool:
+        """Whether the boundary visits every node at most once."""
+        nodes = self.nodes
+        return len(nodes) == len(set(nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        walk = "->".join(dart.tail for dart in self.darts)
+        return f"Face({self.face_id}: {walk}->{self.darts[0].tail})"
+
+
+class FaceSet:
+    """All faces of a cellular embedding plus dart-to-face lookup."""
+
+    def __init__(self, faces: Sequence[Face]) -> None:
+        self.faces = list(faces)
+        self._face_of_dart: Dict[Dart, Face] = {}
+        for face in self.faces:
+            for dart in face.darts:
+                if dart in self._face_of_dart:
+                    raise EmbeddingError(
+                        f"dart {dart!r} appears in more than one face; "
+                        "the face set is not a valid cellular decomposition"
+                    )
+                self._face_of_dart[dart] = face
+
+    def __len__(self) -> int:
+        return len(self.faces)
+
+    def __iter__(self):
+        return iter(self.faces)
+
+    def face_of(self, dart: Dart) -> Face:
+        """The unique face whose boundary contains ``dart``."""
+        try:
+            return self._face_of_dart[dart]
+        except KeyError:
+            raise EmbeddingError(f"dart {dart!r} does not belong to any face") from None
+
+    def faces_of_edge(self, dart: Dart) -> Tuple[Face, Face]:
+        """The (main, complementary) faces of the link underlying ``dart``.
+
+        The main face contains ``dart`` itself; the complementary face
+        contains the reverse dart.  They coincide when the edge is a bridge
+        of the embedding (the cell meets itself along the link).
+        """
+        return self.face_of(dart), self.face_of(dart.reversed())
+
+    def number_of_darts(self) -> int:
+        """Total number of darts across all faces."""
+        return len(self._face_of_dart)
+
+    def boundary_nodes(self) -> Dict[int, frozenset]:
+        """Mapping ``face_id -> boundary node set``."""
+        return {face.face_id: face.node_set for face in self.faces}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"FaceSet(faces={len(self.faces)}, darts={len(self._face_of_dart)})"
+
+
+def trace_faces(rotation: RotationSystem) -> FaceSet:
+    """Trace all faces of a rotation system.
+
+    Every dart belongs to exactly one face; the union of all face boundaries
+    uses every dart exactly once, which is what makes the embedding cellular.
+    """
+    remaining = set(rotation.darts())
+    faces: List[Face] = []
+    # Deterministic order: iterate darts sorted so the face ids are stable.
+    for start in sorted(remaining):
+        if start not in remaining:
+            continue
+        walk: List[Dart] = []
+        dart = start
+        while True:
+            if dart not in remaining:
+                raise EmbeddingError(
+                    "face tracing revisited a consumed dart; the rotation system is inconsistent"
+                )
+            remaining.discard(dart)
+            walk.append(dart)
+            dart = rotation.next_in_face(dart)
+            if dart == start:
+                break
+        faces.append(Face(len(faces), walk))
+    return FaceSet(faces)
+
+
+def euler_genus(graph: Graph, faces: FaceSet, components: Optional[int] = None) -> int:
+    """Orientable genus of the embedding via the Euler formula.
+
+    For a connected graph embedded cellularly on an orientable surface,
+    ``V - E + F = 2 - 2g``.  For a graph with ``c`` components the formula
+    becomes ``V - E + F = 2c - 2g`` (one sphere per component joined at no
+    points, i.e. the genus adds up).
+    """
+    if components is None:
+        from repro.graph.connectivity import connected_components
+
+        components = max(1, len(connected_components(graph)))
+    vertices = graph.number_of_nodes()
+    edges = graph.number_of_edges()
+    characteristic = vertices - edges + len(faces)
+    genus_times_two = 2 * components - characteristic
+    if genus_times_two < 0 or genus_times_two % 2 != 0:
+        raise EmbeddingError(
+            f"inconsistent Euler characteristic: V={vertices} E={edges} F={len(faces)} "
+            f"components={components}"
+        )
+    return genus_times_two // 2
+
+
+def face_count_upper_bound(graph: Graph) -> int:
+    """Maximum possible number of faces of any embedding (genus 0 bound)."""
+    from repro.graph.connectivity import connected_components
+
+    components = max(1, len(connected_components(graph)))
+    return graph.number_of_edges() - graph.number_of_nodes() + 2 * components
+
+
+def average_face_length(faces: FaceSet) -> float:
+    """Mean boundary length (in darts) over all faces."""
+    if not faces.faces:
+        return 0.0
+    return sum(len(face) for face in faces.faces) / len(faces.faces)
+
+
+def rotation_from_faces(graph: Graph, face_walks: Iterable[Sequence[Dart]]) -> RotationSystem:
+    """Reconstruct the rotation system whose face tracing yields ``face_walks``.
+
+    For consecutive boundary darts ``u -> v`` followed by ``v -> w`` the face
+    tracing rule states that ``v -> w`` is the rotation successor of
+    ``v -> u``.  Collecting this constraint over all faces determines the
+    successor of every dart exactly once, and therefore the whole rotation
+    system.  This is how the planar embedder (which manipulates faces, not
+    rotations) hands its result back.
+    """
+    successor: Dict[Dart, Dart] = {}
+    for walk in face_walks:
+        walk = list(walk)
+        for index, dart in enumerate(walk):
+            following = walk[(index + 1) % len(walk)]
+            if dart.head != following.tail:
+                raise EmbeddingError(
+                    f"face walk is not head-to-tail adjacent at {dart!r} -> {following!r}"
+                )
+            key = dart.reversed()
+            if key in successor:
+                raise EmbeddingError(
+                    f"dart {key!r} would receive two rotation successors; faces overlap"
+                )
+            successor[key] = following
+
+    rotations: Dict[str, List[Dart]] = {}
+    for node in graph.nodes():
+        darts_at_node = graph.darts_out(node)
+        if not darts_at_node:
+            rotations[node] = []
+            continue
+        missing = [dart for dart in darts_at_node if dart not in successor]
+        if missing:
+            raise EmbeddingError(f"faces do not cover darts {missing!r} at node {node!r}")
+        # Follow the successor permutation to obtain the cyclic order.
+        start = darts_at_node[0]
+        order = [start]
+        current = successor[start]
+        while current != start:
+            if len(order) > len(darts_at_node):
+                raise EmbeddingError(
+                    f"rotation at node {node!r} does not close into a single cycle"
+                )
+            order.append(current)
+            current = successor[current]
+        if len(order) != len(darts_at_node):
+            raise EmbeddingError(
+                f"faces induce a rotation at {node!r} with multiple cycles; "
+                "the face set does not describe a single embedding"
+            )
+        rotations[node] = order
+    return RotationSystem(graph, rotations)

@@ -1,0 +1,287 @@
+"""Heuristic search for low-genus rotation systems of non-planar graphs.
+
+Finding the minimum-genus embedding of an arbitrary graph is NP-hard (the
+paper cites Mohar & Thomassen for this), but *any* rotation system of a
+connected graph is a cellular embedding of *some* orientable surface — so
+correctness of Packet Re-cycling never depends on optimality.  Genus only
+affects path stretch: fewer faces means longer backup cycles.  The heuristics
+below therefore maximise the number of faces:
+
+* :func:`greedy_insertion_rotation` — embed a maximal planar subgraph exactly
+  (DMP), then insert the remaining edges one by one, choosing the rotation
+  positions of their two darts so that the resulting face count is maximal.
+* :func:`local_search_rotation` — hill climbing (optionally with simulated
+  annealing style restarts) over single-dart relocation moves.
+* :func:`minimise_genus` — the public entry point combining both.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import NotPlanar
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.embedding.faces import trace_faces
+from repro.embedding.planarity import is_planar, planar_embedding
+from repro.embedding.rotation import RotationSystem
+
+
+def _face_count(rotation: RotationSystem) -> int:
+    return len(trace_faces(rotation))
+
+
+def self_paired_edge_count(rotation: RotationSystem) -> int:
+    """Number of edges whose two darts lie on the *same* face.
+
+    The paper calls this the "curved cell" case: the main cycle and the
+    complementary cycle of the link coincide.  Such links are exactly the
+    ones Packet Re-cycling cannot route around (the backup cycle of the
+    failed link is the cycle the packet is already stuck on), so the genus
+    heuristics treat eliminating them as more important than gaining an
+    extra face.  Planar embeddings of 2-connected graphs never contain them.
+    """
+    faces = trace_faces(rotation)
+    count = 0
+    for edge in rotation.graph.edges():
+        forward, backward = edge.darts()
+        if faces.face_of(forward) is faces.face_of(backward):
+            count += 1
+    return count
+
+
+def embedding_score(rotation: RotationSystem) -> Tuple[int, int]:
+    """Quality of a rotation system, higher is better.
+
+    Lexicographic: first minimise the number of self-paired (unprotectable)
+    edges, then maximise the number of faces (i.e. minimise genus).
+    """
+    faces = trace_faces(rotation)
+    face_of = {dart: face for face in faces for dart in face.darts}
+    self_paired = 0
+    for edge in rotation.graph.edges():
+        forward, backward = edge.darts()
+        # During greedy construction some edges of the graph may not be part
+        # of the rotation yet; they simply do not contribute to the score.
+        if forward not in face_of or backward not in face_of:
+            continue
+        if face_of[forward] is face_of[backward]:
+            self_paired += 1
+    return (-self_paired, len(faces))
+
+
+def greedy_insertion_rotation(graph: Graph, seed: Optional[int] = None) -> RotationSystem:
+    """Embed a maximal planar subgraph exactly, then insert leftover edges greedily.
+
+    Every leftover edge is inserted at the pair of rotation positions (one
+    per endpoint) that maximises the number of faces of the resulting
+    embedding; ties are broken deterministically.
+    """
+    rng = random.Random(seed)
+    planar_core, deferred = _maximal_planar_core(graph, rng if seed is not None else None)
+
+    base = planar_embedding(planar_core)
+    rotation = RotationSystem(graph, base.as_mapping())
+    for edge_id in deferred:
+        _insert_edge_best(rotation, graph, edge_id)
+    return rotation
+
+
+def _maximal_planar_core(
+    graph: Graph, rng: Optional[random.Random]
+) -> Tuple[Graph, List[int]]:
+    """Grow a maximal planar connected subgraph of ``graph``.
+
+    A spanning tree is added first so that the core stays connected (the
+    planar embedder requires connectivity); the remaining edges are then
+    added greedily in (optionally shuffled) id order as long as planarity is
+    preserved.  Returns the core and the list of deferred edge ids.
+    """
+    from repro.graph.traversal import spanning_tree_edges
+
+    tree = set(spanning_tree_edges(graph))
+    core = graph.edge_subgraph(tree, name=f"{graph.name}-planar-core")
+    remaining = [edge_id for edge_id in graph.edge_ids() if edge_id not in tree]
+    if rng is not None:
+        rng.shuffle(remaining)
+    deferred: List[int] = []
+    for edge_id in remaining:
+        edge = graph.edge(edge_id)
+        core.add_edge_with_id(edge_id, edge.u, edge.v, edge.weight)
+        if not is_planar(core):
+            core.remove_edge(edge_id)
+            deferred.append(edge_id)
+    return core, deferred
+
+
+def _insert_edge_best(rotation: RotationSystem, graph: Graph, edge_id: int) -> None:
+    """Insert both darts of ``edge_id`` at the face-count-maximising positions."""
+    edge = graph.edge(edge_id)
+    dart_uv = edge.dart_from(edge.u)
+    dart_vu = edge.dart_from(edge.v)
+
+    best_score: Optional[Tuple[int, int]] = None
+    best_positions: Tuple[int, int] = (0, 0)
+    rotation_u = rotation.rotation_at(edge.u)
+    rotation_v = rotation.rotation_at(edge.v)
+    positions_u = range(len(rotation_u) + 1) if rotation_u else range(1)
+    positions_v = range(len(rotation_v) + 1) if rotation_v else range(1)
+    for index_u in positions_u:
+        for index_v in positions_v:
+            candidate = rotation.copy()
+            new_u = rotation_u[:index_u] + [dart_uv] + rotation_u[index_u:]
+            new_v = rotation_v[:index_v] + [dart_vu] + rotation_v[index_v:]
+            candidate.set_rotation(edge.u, new_u)
+            candidate.set_rotation(edge.v, new_v)
+            score = embedding_score(candidate)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_positions = (index_u, index_v)
+    index_u, index_v = best_positions
+    rotation.set_rotation(edge.u, rotation_u[:index_u] + [dart_uv] + rotation_u[index_u:])
+    rotation.set_rotation(edge.v, rotation_v[:index_v] + [dart_vu] + rotation_v[index_v:])
+
+
+def repair_self_paired_edges(
+    rotation: RotationSystem,
+    graph: Graph,
+    rounds: int = 4,
+) -> RotationSystem:
+    """Targeted repair: re-insert the darts of self-paired edges at better spots.
+
+    For every edge whose two darts ended up on the same face, remove both
+    darts from the rotation and re-insert them at the position pair with the
+    best :func:`embedding_score`.  A few rounds usually eliminate all
+    self-paired edges on ISP-scale graphs (when the graph structure allows
+    it at all — a cut edge is self-paired in every embedding).
+    """
+    from repro.graph.connectivity import bridges
+
+    unavoidable = set(bridges(graph))
+    current = rotation.copy()
+    for _round in range(rounds):
+        faces = trace_faces(current)
+        face_of = {dart: face for face in faces for dart in face.darts}
+        offenders = []
+        for edge in graph.edges():
+            if edge.edge_id in unavoidable:
+                continue
+            forward, backward = edge.darts()
+            if face_of.get(forward) is face_of.get(backward):
+                offenders.append(edge.edge_id)
+        if not offenders:
+            break
+        for edge_id in offenders:
+            edge = graph.edge(edge_id)
+            forward, backward = edge.darts()
+            current.remove_dart(forward)
+            current.remove_dart(backward)
+            _insert_edge_best(current, graph, edge_id)
+    return current
+
+
+def local_search_rotation(
+    graph: Graph,
+    initial: Optional[RotationSystem] = None,
+    iterations: int = 200,
+    seed: Optional[int] = None,
+) -> RotationSystem:
+    """Hill-climbing over single-dart relocation moves, maximising face count.
+
+    Starting from ``initial`` (or the adjacency-order rotation), repeatedly
+    pick a dart and a new position within its node's rotation at random and
+    keep the move if the number of faces does not decrease.  The search stops
+    after ``iterations`` candidate moves.
+    """
+    rng = random.Random(seed)
+    current = (initial or RotationSystem.from_adjacency_order(graph)).copy()
+    current_score = embedding_score(current)
+    movable = [node for node in graph.nodes() if graph.degree(node) >= 3]
+    if not movable:
+        return current
+    for _round in range(iterations):
+        node = rng.choice(movable)
+        rotation = current.rotation_at(node)
+        dart = rng.choice(rotation)
+        new_index = rng.randrange(len(rotation))
+        candidate = current.copy()
+        candidate.move_dart(dart, new_index)
+        candidate_score = embedding_score(candidate)
+        if candidate_score >= current_score:
+            current = candidate
+            current_score = candidate_score
+    return current
+
+
+def minimise_genus(
+    graph: Graph,
+    method: str = "auto",
+    iterations: int = 200,
+    seed: Optional[int] = None,
+    restarts: int = 4,
+) -> RotationSystem:
+    """Best-effort low-genus rotation system of a connected graph.
+
+    ``method``:
+
+    * ``"auto"`` — exact planar embedding when the graph is planar, otherwise
+      up to ``restarts`` rounds of greedy insertion + local search + repair,
+      keeping the best result and stopping early once an embedding with no
+      self-paired edges (a "strong" embedding, the kind PR needs for full
+      single-failure coverage) has been found.
+    * ``"planar"`` — exact planar embedding; raises :class:`NotPlanar` if
+      impossible.
+    * ``"greedy"`` — greedy edge insertion only.
+    * ``"local-search"`` — local search from the adjacency-order rotation.
+    * ``"adjacency"`` — the raw adjacency-order rotation (no optimisation);
+      useful as a worst-case ablation point.
+    """
+    if method == "planar":
+        return planar_embedding(graph)
+    if method == "adjacency":
+        return RotationSystem.from_adjacency_order(graph)
+    if method == "greedy":
+        return greedy_insertion_rotation(graph, seed=seed)
+    if method == "local-search":
+        return local_search_rotation(graph, iterations=iterations, seed=seed)
+    if method != "auto":
+        raise ValueError(f"unknown embedding method {method!r}")
+
+    if is_planar(graph):
+        return planar_embedding(graph)
+
+    base_seed = 0 if seed is None else seed
+    best: Optional[RotationSystem] = None
+    best_score: Optional[Tuple[int, int]] = None
+
+    def consider(candidate: RotationSystem) -> None:
+        nonlocal best, best_score
+        repaired = repair_self_paired_edges(candidate, graph)
+        if embedding_score(repaired) >= embedding_score(candidate):
+            candidate = repaired
+        score = embedding_score(candidate)
+        if best_score is None or score > best_score:
+            best, best_score = candidate, score
+
+    # A longer budget for the plain local search pass: it starts from a much
+    # worse point (adjacency order) than the greedy-insertion pass does.
+    plain_iterations = max(iterations, 25 * graph.number_of_edges())
+
+    for attempt in range(max(1, restarts)):
+        attempt_seed = base_seed + attempt
+        greedy = greedy_insertion_rotation(graph, seed=attempt_seed)
+        improved = local_search_rotation(
+            graph, initial=greedy, iterations=iterations, seed=attempt_seed
+        )
+        consider(improved if embedding_score(improved) >= embedding_score(greedy) else greedy)
+        if best_score is not None and best_score[0] == 0:
+            # No self-paired edges: every link has a usable backup cycle.
+            break
+        # Second try within the same attempt: local search from scratch, which
+        # escapes starting points where greedy insertion trapped itself.
+        consider(local_search_rotation(graph, iterations=plain_iterations, seed=attempt_seed))
+        if best_score is not None and best_score[0] == 0:
+            break
+    assert best is not None  # restarts >= 1 guarantees at least one candidate
+    return best

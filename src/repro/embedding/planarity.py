@@ -1,0 +1,314 @@
+"""Planarity testing and planar (genus 0) cellular embedding.
+
+The paper notes that for planar networks "very efficient O(n) algorithms are
+available" for computing the embedding.  We implement the classic
+Demoucron–Malgrange–Pertuiset (DMP) *path addition* algorithm instead: it is
+quadratic rather than linear, but it is simple, easy to verify, and more than
+fast enough for ISP-scale topologies (tens to hundreds of nodes).
+
+The algorithm embeds one biconnected component at a time:
+
+1. Start from an arbitrary cycle, which splits the sphere into two faces.
+2. Repeatedly consider the *bridges* (fragments) of the not-yet-embedded
+   part relative to the embedded subgraph.  Each bridge must be drawable
+   inside a single face whose boundary contains all of the bridge's
+   attachment vertices; if some bridge has no such *admissible* face the
+   graph is not planar.
+3. Choose a bridge (preferring one with a unique admissible face, which is
+   forced), embed one path of it through the face, splitting that face in
+   two, and repeat until every edge is embedded.
+
+The face walks maintained by the algorithm are finally converted back into a
+rotation system via :func:`repro.embedding.faces.rotation_from_faces`.
+Rotation systems of separate biconnected components are merged at cut
+vertices by concatenation, which preserves genus 0.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DisconnectedGraph, EmbeddingError, NotPlanar
+from repro.graph.connectivity import biconnected_edge_components, is_connected
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.graph.traversal import find_cycle
+from repro.embedding.faces import rotation_from_faces
+from repro.embedding.rotation import RotationSystem
+
+
+class _Bridge:
+    """A fragment of the not-yet-embedded graph relative to the embedded part."""
+
+    __slots__ = ("edge_ids", "internal_nodes", "attachments")
+
+    def __init__(
+        self,
+        edge_ids: Set[int],
+        internal_nodes: Set[str],
+        attachments: Set[str],
+    ) -> None:
+        self.edge_ids = edge_ids
+        self.internal_nodes = internal_nodes
+        self.attachments = attachments
+
+
+def _cycle_node_sequence(graph: Graph, cycle_edge_ids: Sequence[int]) -> List[Tuple[str, int]]:
+    """Order the edges of a cycle into a closed walk ``[(node, edge_to_next), ...]``."""
+    edges = [graph.edge(edge_id) for edge_id in cycle_edge_ids]
+    if not edges:
+        raise EmbeddingError("cannot order an empty cycle")
+    if len(edges) == 1:
+        raise EmbeddingError("a single edge does not form a cycle")
+    incidence: Dict[str, List[int]] = {}
+    for edge in edges:
+        incidence.setdefault(edge.u, []).append(edge.edge_id)
+        incidence.setdefault(edge.v, []).append(edge.edge_id)
+    for node, incident in incidence.items():
+        if len(incident) != 2:
+            raise EmbeddingError(f"edge set is not a simple cycle at node {node!r}")
+    start = edges[0].u
+    walk: List[Tuple[str, int]] = []
+    node = start
+    used: Set[int] = set()
+    while True:
+        options = [edge_id for edge_id in incidence[node] if edge_id not in used]
+        if not options:
+            break
+        edge_id = options[0]
+        used.add(edge_id)
+        walk.append((node, edge_id))
+        node = graph.edge(edge_id).other(node)
+        if node == start:
+            break
+    if len(walk) != len(edges):
+        raise EmbeddingError("edge set is not a single simple cycle")
+    return walk
+
+
+def _cyclic_slice(darts: Sequence[Dart], start: int, stop: int) -> List[Dart]:
+    """Darts from index ``start`` (inclusive) up to ``stop`` (exclusive), cyclically."""
+    if start <= stop:
+        return list(darts[start:stop])
+    return list(darts[start:]) + list(darts[:stop])
+
+
+def _compute_bridges(graph: Graph, embedded_nodes: Set[str], embedded_edges: Set[int]) -> List[_Bridge]:
+    """All bridges (fragments) of ``graph`` relative to the embedded subgraph."""
+    bridges: List[_Bridge] = []
+    # Singleton bridges: a non-embedded edge whose endpoints are both embedded.
+    for edge in graph.edges():
+        if edge.edge_id in embedded_edges:
+            continue
+        if edge.u in embedded_nodes and edge.v in embedded_nodes:
+            bridges.append(_Bridge({edge.edge_id}, set(), {edge.u, edge.v}))
+    # Component bridges: connected components of the non-embedded nodes, plus
+    # every edge incident to them and the embedded nodes they attach to.
+    unvisited = [node for node in graph.nodes() if node not in embedded_nodes]
+    seen: Set[str] = set()
+    for root in unvisited:
+        if root in seen:
+            continue
+        seen.add(root)
+        internal = {root}
+        queue = deque([root])
+        edge_ids: Set[int] = set()
+        attachments: Set[str] = set()
+        while queue:
+            node = queue.popleft()
+            for neighbor, edge_id, _weight in graph.iter_adjacent(node):
+                edge_ids.add(edge_id)
+                if neighbor in embedded_nodes:
+                    attachments.add(neighbor)
+                elif neighbor not in seen:
+                    seen.add(neighbor)
+                    internal.add(neighbor)
+                    queue.append(neighbor)
+        bridges.append(_Bridge(edge_ids, internal, attachments))
+    return bridges
+
+
+def _path_through_bridge(
+    graph: Graph,
+    bridge: _Bridge,
+    start: str,
+    embedded_nodes: Set[str],
+) -> Tuple[List[str], List[int]]:
+    """A path from attachment ``start`` through the bridge to another attachment.
+
+    Intermediate nodes are internal to the bridge; only the endpoints touch
+    the embedded subgraph.  Returns ``(node_sequence, edge_id_sequence)``.
+    """
+    if not bridge.internal_nodes:
+        # Singleton edge bridge.
+        edge_id = next(iter(bridge.edge_ids))
+        edge = graph.edge(edge_id)
+        return [edge.u, edge.v] if edge.u == start else [edge.v, edge.u], [edge_id]
+
+    parents: Dict[str, Tuple[str, int]] = {}
+    queue = deque([start])
+    visited = {start}
+    target: Optional[str] = None
+    while queue and target is None:
+        node = queue.popleft()
+        if node != start and node in embedded_nodes:
+            continue
+        for neighbor, edge_id, _weight in graph.iter_adjacent(node):
+            if edge_id not in bridge.edge_ids or neighbor in visited:
+                continue
+            visited.add(neighbor)
+            parents[neighbor] = (node, edge_id)
+            if neighbor in embedded_nodes and neighbor != start:
+                target = neighbor
+                break
+            queue.append(neighbor)
+    if target is None:
+        raise EmbeddingError("bridge has no second attachment reachable from the first")
+    nodes = [target]
+    edges: List[int] = []
+    node = target
+    while node != start:
+        parent, edge_id = parents[node]
+        edges.append(edge_id)
+        nodes.append(parent)
+        node = parent
+    nodes.reverse()
+    edges.reverse()
+    return nodes, edges
+
+
+def _embed_biconnected(graph: Graph) -> Dict[str, List[Dart]]:
+    """DMP embedding of one biconnected component given as a standalone graph.
+
+    Returns the rotation (list of darts) at every node of the component.
+    Raises :class:`NotPlanar` if the component cannot be drawn on the sphere.
+    """
+    if graph.number_of_edges() == 1:
+        edge = graph.edges()[0]
+        return {edge.u: [edge.dart_from(edge.u)], edge.v: [edge.dart_from(edge.v)]}
+
+    cycle_edge_ids = find_cycle(graph)
+    if cycle_edge_ids is None:
+        raise EmbeddingError("biconnected component with >1 edge must contain a cycle")
+    walk = _cycle_node_sequence(graph, cycle_edge_ids)
+
+    forward = [graph.edge(edge_id).dart_from(node) for node, edge_id in walk]
+    backward = [dart.reversed() for dart in reversed(forward)]
+    faces: List[List[Dart]] = [forward, backward]
+
+    embedded_nodes: Set[str] = {node for node, _edge_id in walk}
+    embedded_edges: Set[int] = {edge_id for _node, edge_id in walk}
+    total_edges = graph.number_of_edges()
+
+    while len(embedded_edges) < total_edges:
+        bridges = _compute_bridges(graph, embedded_nodes, embedded_edges)
+        if not bridges:
+            raise EmbeddingError("edges remain but no bridge was found; graph inconsistent")
+
+        chosen: Optional[_Bridge] = None
+        chosen_faces: List[int] = []
+        for bridge in bridges:
+            admissible = [
+                index
+                for index, face in enumerate(faces)
+                if bridge.attachments <= {dart.tail for dart in face}
+            ]
+            if not admissible:
+                raise NotPlanar(
+                    f"graph {graph.name!r} is not planar: a fragment with attachments "
+                    f"{sorted(bridge.attachments)} fits in no face"
+                )
+            if chosen is None or (len(admissible) == 1 and len(chosen_faces) != 1):
+                chosen = bridge
+                chosen_faces = admissible
+            if len(chosen_faces) == 1:
+                break
+        assert chosen is not None  # guaranteed: bridges is non-empty
+
+        face_index = chosen_faces[0]
+        face = faces[face_index]
+        boundary_nodes = [dart.tail for dart in face]
+
+        start = sorted(chosen.attachments)[0]
+        path_nodes, path_edges = _path_through_bridge(graph, chosen, start, embedded_nodes)
+        end = path_nodes[-1]
+
+        position_start = boundary_nodes.index(start)
+        position_end = boundary_nodes.index(end)
+
+        path_darts = [
+            graph.edge(edge_id).dart_from(node)
+            for node, edge_id in zip(path_nodes[:-1], path_edges)
+        ]
+        reverse_path_darts = [dart.reversed() for dart in reversed(path_darts)]
+
+        face_one = path_darts + _cyclic_slice(face, position_end, position_start)
+        face_two = reverse_path_darts + _cyclic_slice(face, position_start, position_end)
+
+        faces[face_index] = face_one
+        faces.append(face_two)
+
+        embedded_nodes.update(path_nodes)
+        embedded_edges.update(path_edges)
+
+    rotation = rotation_from_faces(graph, faces)
+    return rotation.as_mapping()
+
+
+def planar_embedding(graph: Graph) -> RotationSystem:
+    """Genus-0 rotation system of a connected planar graph.
+
+    Each biconnected component is embedded independently with DMP and the
+    per-node rotations are concatenated at cut vertices, which keeps the
+    composite embedding planar.  Raises :class:`NotPlanar` when the graph is
+    not planar and :class:`DisconnectedGraph` when it is not connected.
+    """
+    if graph.number_of_nodes() == 0:
+        return RotationSystem(graph, {})
+    if not is_connected(graph):
+        raise DisconnectedGraph(
+            f"planar_embedding requires a connected graph; {graph.name!r} is not connected"
+        )
+
+    rotations: Dict[str, List[Dart]] = {node: [] for node in graph.nodes()}
+    for component_edges in biconnected_edge_components(graph):
+        component_nodes: Set[str] = set()
+        for edge_id in component_edges:
+            edge = graph.edge(edge_id)
+            component_nodes.add(edge.u)
+            component_nodes.add(edge.v)
+        component = graph.subgraph(component_nodes)
+        for edge_id in component.edge_ids():
+            if edge_id not in component_edges:
+                component.remove_edge(edge_id)
+        component_rotation = _embed_biconnected(component)
+        for node, darts in component_rotation.items():
+            rotations[node].extend(darts)
+    return RotationSystem(graph, rotations)
+
+
+def is_planar(graph: Graph) -> bool:
+    """Whether the graph admits a planar embedding.
+
+    Uses the edge-count bound ``E <= 3V - 6`` on the simplified graph as a
+    quick rejection test and falls back to actually running the embedder.
+    """
+    simple_edges = {
+        tuple(sorted((edge.u, edge.v))) for edge in graph.edges()
+    }
+    vertices = graph.number_of_nodes()
+    if vertices >= 3 and len(simple_edges) > 3 * vertices - 6:
+        return False
+    if not is_connected(graph):
+        # Planarity is a per-component property; check each component.
+        from repro.graph.connectivity import connected_components
+
+        return all(
+            is_planar(graph.subgraph(component)) for component in connected_components(graph)
+        )
+    try:
+        planar_embedding(graph)
+    except NotPlanar:
+        return False
+    return True

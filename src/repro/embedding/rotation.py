@@ -1,0 +1,207 @@
+"""Rotation systems: the combinatorial description of a cellular embedding.
+
+A rotation system assigns to every node a cyclic order of its outgoing darts.
+For a connected graph, every rotation system describes exactly one cellular
+embedding of the graph on some orientable closed surface (Mohar & Thomassen,
+*Graphs on Surfaces*); the surface's genus follows from the Euler formula
+once the faces are traced.  This is why the protocol never has to reason
+about the surface explicitly: the rotation system *is* the embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InvalidRotationSystem
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+
+
+class RotationSystem:
+    """Cyclic order of outgoing darts around every node of a graph.
+
+    The class is deliberately immutable-ish: mutation happens through
+    explicit methods (:meth:`insert_dart_after`, :meth:`move_dart`) so that
+    the genus-minimisation heuristics can perform local moves while face
+    tracing stays cheap.
+    """
+
+    def __init__(self, graph: Graph, rotations: Mapping[str, Sequence[Dart]]) -> None:
+        self._graph = graph
+        self._rotations: Dict[str, List[Dart]] = {
+            node: list(rotations.get(node, [])) for node in graph.nodes()
+        }
+        self._positions: Dict[Dart, int] = {}
+        self._rebuild_positions()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency_order(cls, graph: Graph) -> "RotationSystem":
+        """Rotation system that simply follows edge-insertion order.
+
+        This is the "default" embedding: valid but generally far from the
+        minimum genus, hence used only as a starting point for heuristics
+        and in tests.
+        """
+        return cls(graph, {node: graph.darts_out(node) for node in graph.nodes()})
+
+    @classmethod
+    def from_sorted_neighbors(cls, graph: Graph) -> "RotationSystem":
+        """Rotation system ordering darts by (neighbor name, edge id)."""
+        rotations = {
+            node: sorted(graph.darts_out(node), key=lambda dart: (dart.head, dart.edge_id))
+            for node in graph.nodes()
+        }
+        return cls(graph, rotations)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    def rotation_at(self, node: str) -> List[Dart]:
+        """The cyclic dart order at ``node`` (as a plain list starting anywhere)."""
+        return list(self._rotations[node])
+
+    def degree(self, node: str) -> int:
+        """Number of darts at ``node``."""
+        return len(self._rotations[node])
+
+    def darts(self) -> List[Dart]:
+        """All darts of the rotation system."""
+        result: List[Dart] = []
+        for node in self._graph.nodes():
+            result.extend(self._rotations[node])
+        return result
+
+    def successor(self, dart: Dart) -> Dart:
+        """The dart following ``dart`` in the cyclic order at its tail node."""
+        rotation = self._rotations[dart.tail]
+        try:
+            index = self._positions[dart]
+        except KeyError:
+            raise InvalidRotationSystem(f"{dart!r} is not part of the rotation system") from None
+        return rotation[(index + 1) % len(rotation)]
+
+    def predecessor(self, dart: Dart) -> Dart:
+        """The dart preceding ``dart`` in the cyclic order at its tail node."""
+        rotation = self._rotations[dart.tail]
+        try:
+            index = self._positions[dart]
+        except KeyError:
+            raise InvalidRotationSystem(f"{dart!r} is not part of the rotation system") from None
+        return rotation[(index - 1) % len(rotation)]
+
+    def next_in_face(self, dart: Dart) -> Dart:
+        """The dart that follows ``dart`` along the boundary of its face.
+
+        Face tracing rule (fixed orientation convention): after traversing
+        ``u -> v``, the boundary continues with the successor of the reverse
+        dart ``v -> u`` in the rotation at ``v``.  Orbits of this permutation
+        are exactly the faces of the embedding.
+        """
+        return self.successor(dart.reversed())
+
+    def previous_in_face(self, dart: Dart) -> Dart:
+        """Inverse of :meth:`next_in_face`."""
+        return self.predecessor(dart).reversed()
+
+    # ------------------------------------------------------------------
+    # mutation (used by genus heuristics and the planar embedder)
+    # ------------------------------------------------------------------
+    def insert_dart_after(self, anchor: Optional[Dart], dart: Dart) -> None:
+        """Insert ``dart`` into the rotation at its tail, right after ``anchor``.
+
+        With ``anchor=None`` the dart is appended at the end of the stored
+        list (which, the order being cyclic, simply means "anywhere" for an
+        empty or singleton rotation).
+        """
+        rotation = self._rotations.setdefault(dart.tail, [])
+        if dart in self._positions:
+            raise InvalidRotationSystem(f"{dart!r} already present in the rotation system")
+        if anchor is None:
+            rotation.append(dart)
+        else:
+            if anchor.tail != dart.tail:
+                raise InvalidRotationSystem(
+                    f"anchor {anchor!r} and dart {dart!r} have different tails"
+                )
+            index = self._index_of(anchor)
+            rotation.insert(index + 1, dart)
+        self._rebuild_positions(dart.tail)
+
+    def remove_dart(self, dart: Dart) -> None:
+        """Remove ``dart`` from the rotation at its tail."""
+        rotation = self._rotations[dart.tail]
+        index = self._index_of(dart)
+        del rotation[index]
+        self._rebuild_positions(dart.tail)
+
+    def move_dart(self, dart: Dart, new_index: int) -> None:
+        """Move ``dart`` to position ``new_index`` within its tail's rotation."""
+        rotation = self._rotations[dart.tail]
+        index = self._index_of(dart)
+        del rotation[index]
+        rotation.insert(new_index % (len(rotation) + 1), dart)
+        self._rebuild_positions(dart.tail)
+
+    def set_rotation(self, node: str, darts: Sequence[Dart]) -> None:
+        """Replace the full cyclic order at ``node``."""
+        for dart in darts:
+            if dart.tail != node:
+                raise InvalidRotationSystem(f"dart {dart!r} does not leave node {node!r}")
+        self._rotations[node] = list(darts)
+        self._rebuild_positions(node)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _index_of(self, dart: Dart) -> int:
+        try:
+            return self._positions[dart]
+        except KeyError:
+            raise InvalidRotationSystem(f"{dart!r} is not part of the rotation system") from None
+
+    def _rebuild_positions(self, node: Optional[str] = None) -> None:
+        if node is None:
+            self._positions = {}
+            for name, rotation in self._rotations.items():
+                for index, dart in enumerate(rotation):
+                    self._positions[dart] = index
+        else:
+            for stale in [dart for dart in self._positions if dart.tail == node]:
+                del self._positions[stale]
+            for index, dart in enumerate(self._rotations[node]):
+                self._positions[dart] = index
+
+    def copy(self) -> "RotationSystem":
+        """Deep copy sharing the underlying graph object."""
+        return RotationSystem(self._graph, {node: list(r) for node, r in self._rotations.items()})
+
+    def as_mapping(self) -> Dict[str, List[Dart]]:
+        """Plain ``node -> [darts]`` mapping (copies, safe to mutate)."""
+        return {node: list(rotation) for node, rotation in self._rotations.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RotationSystem):
+            return NotImplemented
+        return self._canonical() == other._canonical()
+
+    def _canonical(self) -> Dict[str, Tuple[Dart, ...]]:
+        """Rotation of every node normalised to start at its smallest dart."""
+        canonical: Dict[str, Tuple[Dart, ...]] = {}
+        for node, rotation in self._rotations.items():
+            if not rotation:
+                canonical[node] = ()
+                continue
+            smallest = min(range(len(rotation)), key=lambda i: rotation[i])
+            canonical[node] = tuple(rotation[smallest:] + rotation[:smallest])
+        return canonical
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"RotationSystem(nodes={len(self._rotations)}, darts={len(self._positions)})"

@@ -1,0 +1,72 @@
+"""Persistence of cellular embeddings.
+
+In the paper the embedding is computed "offline, on a server designated for
+that purpose" and then "uploaded to all routers".  These helpers serialise an
+embedding (graph + rotation system) to a plain JSON-compatible dictionary so
+that the artefact produced by the offline stage can be stored, shipped and
+re-loaded by the forwarding plane without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import EmbeddingError
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.embedding.builder import CellularEmbedding
+from repro.embedding.rotation import RotationSystem
+
+
+_FORMAT_VERSION = 1
+
+
+def embedding_to_dict(embedding: CellularEmbedding) -> Dict[str, Any]:
+    """Serialise an embedding (graph, weights and rotation system) to a dict."""
+    graph = embedding.graph
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": graph.nodes(),
+        "edges": [
+            {"id": edge.edge_id, "u": edge.u, "v": edge.v, "weight": edge.weight}
+            for edge in graph.edges()
+        ],
+        "rotation": {
+            node: [[dart.edge_id, dart.head] for dart in embedding.rotation.rotation_at(node)]
+            for node in graph.nodes()
+        },
+    }
+
+
+def embedding_from_dict(payload: Dict[str, Any]) -> CellularEmbedding:
+    """Rebuild an embedding from the dictionary produced by :func:`embedding_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise EmbeddingError(f"unsupported embedding format version {version!r}")
+    graph = Graph(payload.get("name", "network"))
+    for node in payload["nodes"]:
+        graph.ensure_node(node)
+    for edge in payload["edges"]:
+        graph.add_edge_with_id(edge["id"], edge["u"], edge["v"], edge["weight"])
+    rotations = {
+        node: [Dart(edge_id, node, head) for edge_id, head in darts]
+        for node, darts in payload["rotation"].items()
+    }
+    rotation = RotationSystem(graph, rotations)
+    return CellularEmbedding(graph, rotation)
+
+
+def save_embedding(embedding: CellularEmbedding, path: Union[str, Path]) -> Path:
+    """Write an embedding to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(embedding_to_dict(embedding), indent=2, sort_keys=True))
+    return path
+
+
+def load_embedding(path: Union[str, Path]) -> CellularEmbedding:
+    """Load an embedding previously written by :func:`save_embedding`."""
+    payload = json.loads(Path(path).read_text())
+    return embedding_from_dict(payload)

@@ -1,0 +1,99 @@
+"""Validation of rotation systems and cellular embeddings.
+
+The paper's correctness arguments (Section 5) all start from the premise that
+"each link belongs to exactly two cycles, each one flowing in opposing
+direction".  These checks verify that premise — plus internal consistency of
+the data structures — and are used both in tests and before uploading an
+embedding to the forwarding plane.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import EmbeddingError, InvalidRotationSystem
+from repro.graph.multigraph import Graph
+from repro.embedding.faces import FaceSet, euler_genus, trace_faces
+from repro.embedding.rotation import RotationSystem
+
+
+def validate_rotation_system(graph: Graph, rotation: RotationSystem) -> None:
+    """Check that ``rotation`` is a valid rotation system of ``graph``.
+
+    * Every node of the graph has a rotation entry.
+    * The rotation at a node contains exactly the darts leaving that node,
+      each exactly once.
+
+    Raises :class:`InvalidRotationSystem` on the first violation.
+    """
+    for node in graph.nodes():
+        expected = sorted(graph.darts_out(node))
+        actual = sorted(rotation.rotation_at(node))
+        if expected != actual:
+            raise InvalidRotationSystem(
+                f"rotation at node {node!r} lists darts {actual!r} "
+                f"but the graph has darts {expected!r}"
+            )
+
+
+def validate_embedding(
+    graph: Graph, rotation: RotationSystem, faces: Optional[FaceSet] = None
+) -> FaceSet:
+    """Check the cellular-embedding invariants and return the traced faces.
+
+    Invariants checked:
+
+    * the rotation system is valid for the graph;
+    * every dart of the graph lies on exactly one face boundary;
+    * every undirected edge is traversed exactly twice across all faces
+      (once per direction) — the "exactly two cycles" property of Section 3;
+    * consecutive darts of each face are head-to-tail adjacent;
+    * the Euler formula yields a non-negative integer genus.
+    """
+    validate_rotation_system(graph, rotation)
+    if faces is None:
+        faces = trace_faces(rotation)
+
+    darts_seen = {dart for face in faces for dart in face.darts}
+    expected_darts = set(graph.darts())
+    if darts_seen != expected_darts:
+        missing = expected_darts - darts_seen
+        extra = darts_seen - expected_darts
+        raise EmbeddingError(
+            f"face boundaries do not cover the darts exactly: missing={missing!r} extra={extra!r}"
+        )
+
+    traversals_per_edge: dict[int, int] = {}
+    for face in faces:
+        for dart in face.darts:
+            traversals_per_edge[dart.edge_id] = traversals_per_edge.get(dart.edge_id, 0) + 1
+        for dart, following in zip(face.darts, face.darts[1:] + face.darts[:1]):
+            if dart.head != following.tail:
+                raise EmbeddingError(
+                    f"face {face.face_id} is not head-to-tail adjacent at {dart!r} -> {following!r}"
+                )
+    for edge in graph.edges():
+        count = traversals_per_edge.get(edge.edge_id, 0)
+        if count != 2:
+            raise EmbeddingError(
+                f"edge {edge.edge_id} ({edge.u}--{edge.v}) is traversed {count} times, expected 2"
+            )
+
+    # Raises if the characteristic is inconsistent.
+    euler_genus(graph, faces)
+    return faces
+
+
+def embedding_report(graph: Graph, rotation: RotationSystem) -> List[str]:
+    """Human-readable summary lines describing an embedding (used by examples)."""
+    faces = validate_embedding(graph, rotation)
+    genus = euler_genus(graph, faces)
+    lines = [
+        f"graph: {graph.name} ({graph.number_of_nodes()} nodes, {graph.number_of_edges()} links)",
+        f"faces: {len(faces)}",
+        f"genus: {genus} ({'planar/spherical' if genus == 0 else 'non-planar surface'})",
+    ]
+    for face in faces:
+        walk = " -> ".join(dart.tail for dart in face.darts)
+        lines.append(f"  cycle c{face.face_id + 1}: {walk} -> {face.darts[0].tail}")
+    return lines

@@ -1,0 +1,97 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All exceptions raised by the package derive from :class:`ReproError` so that
+callers can catch everything the library throws with a single ``except``
+clause while still being able to distinguish individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFound(GraphError):
+    """A node referenced by name does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFound(GraphError):
+    """An edge referenced by id or endpoints does not exist in the graph."""
+
+    def __init__(self, edge: object) -> None:
+        super().__init__(f"edge {edge!r} is not in the graph")
+        self.edge = edge
+
+
+class DuplicateNode(GraphError):
+    """A node with the same name already exists in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists in the graph")
+        self.node = node
+
+
+class DisconnectedGraph(GraphError):
+    """An operation requires a connected graph but the graph is not."""
+
+
+class NoPathExists(GraphError):
+    """There is no path between the requested source and destination."""
+
+    def __init__(self, source: object, destination: object) -> None:
+        super().__init__(f"no path from {source!r} to {destination!r}")
+        self.source = source
+        self.destination = destination
+
+
+class EmbeddingError(ReproError):
+    """Base class for errors raised by the embedding subsystem."""
+
+
+class NotPlanar(EmbeddingError):
+    """Planar embedding was requested for a graph that is not planar."""
+
+
+class InvalidRotationSystem(EmbeddingError):
+    """A rotation system is inconsistent with its underlying graph."""
+
+
+class RoutingError(ReproError):
+    """Base class for errors raised by the routing subsystem."""
+
+
+class ForwardingError(ReproError):
+    """Base class for errors raised by the forwarding subsystem."""
+
+
+class HeaderFieldOverflow(ForwardingError):
+    """A packet header field was assigned a value it cannot encode."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation reached an inconsistent internal state."""
+
+
+class TopologyError(ReproError):
+    """A topology definition or generator produced an invalid network."""
+
+
+class FailureScenarioError(ReproError):
+    """A failure scenario is inconsistent with the topology it applies to."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was configured inconsistently."""

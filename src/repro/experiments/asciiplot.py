@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment output (tables and CCDF plots).
+
+The paper's figures are line plots; in a library context the most useful
+artefact is the underlying series plus a terminal-friendly rendering, so that
+``pytest benchmarks/`` output can be compared against the paper's figures at
+a glance and piped into CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [format_row(list(headers)), format_row(["-" * width for width in widths])]
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_ccdf_plot(
+    curves: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "P(Stretch > x | path)",
+) -> str:
+    """ASCII rendering of one or more CCDF curves.
+
+    ``curves`` maps a series label to its ``(x, probability)`` points; every
+    series is drawn with a distinct marker on a shared canvas whose x-axis
+    spans the union of the x values and whose y-axis spans [0, 1].
+    """
+    markers = "*o+x#@%&"
+    all_points = [point for curve in curves.values() for point in curve]
+    if not all_points:
+        return f"{title}\n(no data)"
+    x_values = [x for x, _y in all_points]
+    x_min, x_max = min(x_values), max(x_values)
+    span = (x_max - x_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for series_index, (label, curve) in enumerate(sorted(curves.items())):
+        marker = markers[series_index % len(markers)]
+        for x, probability in curve:
+            column = int(round((x - x_min) / span * (width - 1)))
+            row = int(round((1.0 - max(0.0, min(1.0, probability))) * (height - 1)))
+            canvas[row][column] = marker
+
+    lines = [title]
+    for row_index, row in enumerate(canvas):
+        y_label = 1.0 - row_index / (height - 1)
+        lines.append(f"{y_label:4.2f} |" + "".join(row))
+    axis = " " * 6 + "-" * width
+    lines.append(axis)
+    lines.append(" " * 6 + f"{x_min:<10.1f}{'stretch':^{max(0, width - 20)}}{x_max:>10.1f}")
+    legend = "  ".join(
+        f"{markers[index % len(markers)]}={label}" for index, label in enumerate(sorted(curves))
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ccdf_rows(curves: Dict[str, List[Tuple[float, float]]]) -> List[List[object]]:
+    """CCDF curves as table rows: one row per x value, one column per series."""
+    labels = sorted(curves)
+    thresholds = sorted({x for curve in curves.values() for x, _p in curve})
+    lookup = {
+        label: {x: probability for x, probability in curve} for label, curve in curves.items()
+    }
+    rows: List[List[object]] = []
+    for threshold in thresholds:
+        row: List[object] = [f"{threshold:g}"]
+        for label in labels:
+            probability = lookup[label].get(threshold)
+            row.append("-" if probability is None else f"{probability:.3f}")
+        rows.append(row)
+    return rows

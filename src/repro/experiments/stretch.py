@@ -1,0 +1,164 @@
+"""The Figure 2 stretch experiments.
+
+Each panel of Figure 2 is one call to :func:`figure2_panel`: pick the
+topology, generate the failure scenarios (every single link failure for the
+top row; sampled non-disconnecting 4/10/16-link combinations for the bottom
+row), select the (source, destination) pairs whose failure-free shortest path
+is affected and which remain connected, run Re-convergence, FCP and PR on
+exactly the same (scenario, pair) workload, and report the stretch CCDF
+``P(Stretch > x | path)`` for x = 1..15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.fcp import FailureCarryingPackets
+from repro.baselines.reconvergence import Reconvergence
+from repro.core.scheme import PacketRecycling
+from repro.errors import ExperimentError
+from repro.failures.sampling import sample_multi_link_failures
+from repro.failures.scenarios import FailureScenario, all_affecting_pairs, single_link_failures
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.connectivity import same_component
+from repro.graph.multigraph import Graph
+from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
+from repro.metrics.stretch import StretchSample, collect_stretch_samples, stretch_values
+from repro.routing.tables import RoutingTables
+from repro.topologies.registry import by_name
+
+#: Figure 2 panel definitions: (paper label, topology name, failures per scenario).
+FIGURE2_PANELS: Dict[str, Tuple[str, int]] = {
+    "2a": ("abilene", 1),
+    "2b": ("teleglobe", 1),
+    "2c": ("geant", 1),
+    "2d": ("abilene", 4),
+    "2e": ("teleglobe", 10),
+    "2f": ("geant", 16),
+}
+
+
+@dataclass
+class StretchExperimentResult:
+    """Everything a Figure 2 panel reports."""
+
+    topology: str
+    failures_per_scenario: int
+    scenarios: int
+    measured_pairs: int
+    samples: Dict[str, List[StretchSample]] = field(default_factory=dict)
+    ccdf: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    delivery_ratio: Dict[str, float] = field(default_factory=dict)
+
+    def scheme_names(self) -> List[str]:
+        """Scheme names in insertion (presentation) order."""
+        return list(self.samples)
+
+    def mean_stretch(self, scheme: str) -> float:
+        """Mean stretch of the delivered packets of ``scheme``."""
+        return self.summary.get(scheme, {}).get("mean", 0.0)
+
+
+def default_schemes(graph: Graph, embedding_seed: Optional[int] = 7) -> List[ForwardingScheme]:
+    """The three schemes compared in Figure 2, in the paper's legend order."""
+    return [
+        Reconvergence(graph),
+        FailureCarryingPackets(graph),
+        PacketRecycling(graph, embedding_seed=embedding_seed),
+    ]
+
+
+def _pairs_for_scenarios(
+    graph: Graph,
+    scenarios: Sequence[FailureScenario],
+    tables: RoutingTables,
+) -> Dict[Tuple[int, ...], List[Tuple[str, str]]]:
+    """Affected-and-still-connected pairs for every scenario."""
+    pairs_per_scenario: Dict[Tuple[int, ...], List[Tuple[str, str]]] = {}
+    for scenario in scenarios:
+        key = tuple(sorted(scenario.failed_links))
+        affected = all_affecting_pairs(graph, scenario, tables)
+        reachable = [
+            (source, destination)
+            for source, destination in affected
+            if same_component(graph, source, destination, key)
+        ]
+        pairs_per_scenario[key] = reachable
+    return pairs_per_scenario
+
+
+def run_stretch_experiment(
+    graph: Graph,
+    scenarios: Sequence[FailureScenario],
+    schemes: Optional[Sequence[ForwardingScheme]] = None,
+    thresholds: Optional[Sequence[float]] = None,
+) -> StretchExperimentResult:
+    """Run the stretch comparison on an explicit list of scenarios."""
+    if not scenarios:
+        raise ExperimentError("at least one failure scenario is required")
+    if schemes is None:
+        schemes = default_schemes(graph)
+    if thresholds is None:
+        thresholds = default_stretch_thresholds()
+
+    baseline_tables = RoutingTables(graph)
+    pairs_per_scenario = _pairs_for_scenarios(graph, scenarios, baseline_tables)
+    scenario_keys = [tuple(sorted(scenario.failed_links)) for scenario in scenarios]
+    measured_pairs = sum(len(pairs) for pairs in pairs_per_scenario.values())
+
+    result = StretchExperimentResult(
+        topology=graph.name,
+        failures_per_scenario=len(scenarios[0].failed_links),
+        scenarios=len(scenarios),
+        measured_pairs=measured_pairs,
+    )
+    for scheme in schemes:
+        samples = collect_stretch_samples(
+            scheme, scenario_keys, pairs_per_scenario, baseline_tables
+        )
+        values = stretch_values(samples)
+        result.samples[scheme.name] = samples
+        result.ccdf[scheme.name] = ccdf_curve(values, thresholds)
+        result.summary[scheme.name] = distribution_summary(values)
+        delivered = sum(1 for sample in samples if sample.delivered)
+        result.delivery_ratio[scheme.name] = delivered / len(samples) if samples else 1.0
+    return result
+
+
+def figure2_panel(
+    panel: str,
+    samples: int = 100,
+    seed: int = 1,
+    schemes: Optional[Sequence[ForwardingScheme]] = None,
+    graph: Optional[Graph] = None,
+) -> StretchExperimentResult:
+    """Regenerate one panel of Figure 2.
+
+    ``panel`` is one of ``"2a"``–``"2f"``.  Single-failure panels enumerate
+    every link failure; multi-failure panels draw ``samples`` random
+    non-disconnecting combinations with the panel's failure count.
+    """
+    key = panel.lower().lstrip("fig").lstrip("ure").strip() or panel
+    if key not in FIGURE2_PANELS:
+        raise ExperimentError(
+            f"unknown Figure 2 panel {panel!r}; expected one of {sorted(FIGURE2_PANELS)}"
+        )
+    topology_name, failures = FIGURE2_PANELS[key]
+    if graph is None:
+        graph = by_name(topology_name)
+    if failures == 1:
+        scenarios = single_link_failures(graph, only_non_disconnecting=True)
+    else:
+        scenarios = sample_multi_link_failures(
+            graph, failures=failures, samples=samples, seed=seed, require_connected=True
+        )
+        if not scenarios:
+            raise ExperimentError(
+                f"could not sample any non-disconnecting {failures}-failure scenario "
+                f"on {topology_name}"
+            )
+    if schemes is None:
+        schemes = default_schemes(graph)
+    return run_stretch_experiment(graph, scenarios, schemes)

@@ -1,0 +1,29 @@
+"""Failure scenarios: enumeration, sampling and link flapping.
+
+Figure 2 evaluates "different failure scenarios": every single link failure,
+and random combinations of 4 / 10 / 16 simultaneous failures on Abilene /
+Teleglobe / Géant respectively.  The samplers here generate those scenarios,
+restricted (when asked) to combinations that keep the network connected —
+the regime in which the paper guarantees recovery.  The flapping model backs
+the Section 7 discussion about links that oscillate between up and down.
+"""
+
+from repro.failures.scenarios import (
+    FailureScenario,
+    all_affecting_pairs,
+    node_failure_scenarios,
+    single_link_failures,
+)
+from repro.failures.sampling import sample_multi_link_failures
+from repro.failures.flapping import FlapEvent, LinkFlappingProcess, hold_down_filter
+
+__all__ = [
+    "FailureScenario",
+    "all_affecting_pairs",
+    "node_failure_scenarios",
+    "single_link_failures",
+    "sample_multi_link_failures",
+    "FlapEvent",
+    "LinkFlappingProcess",
+    "hold_down_filter",
+]

@@ -1,0 +1,115 @@
+"""Link flapping: intermittent failures and the hold-down counter-measure.
+
+Section 7: "As with all alternate forwarding schemes, PR must cater for the
+possibility of link flapping.  This can be done simply by ensuring that link
+state transitions only happen after the link has been idle for long enough to
+ensure that packets that encountered the link in its failed state do not
+encounter it again in its normal state while cycle following."
+
+:class:`LinkFlappingProcess` generates an up/down event timeline for one link
+and :func:`hold_down_filter` applies exactly that counter-measure: a link is
+only re-announced as up after it has stayed up for a configurable hold-down
+time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class FlapEvent:
+    """One link state transition."""
+
+    time: float
+    #: ``True`` when the link comes up at ``time``, ``False`` when it goes down.
+    up: bool
+
+
+class LinkFlappingProcess:
+    """Alternating up/down periods with exponentially distributed durations."""
+
+    def __init__(
+        self,
+        mean_up_time: float,
+        mean_down_time: float,
+        seed: Optional[int] = None,
+        initially_up: bool = True,
+    ) -> None:
+        if mean_up_time <= 0 or mean_down_time <= 0:
+            raise ValueError("mean up/down times must be positive")
+        self.mean_up_time = mean_up_time
+        self.mean_down_time = mean_down_time
+        self.initially_up = initially_up
+        self._rng = random.Random(seed)
+
+    def events_until(self, horizon: float) -> List[FlapEvent]:
+        """State transitions in ``[0, horizon)``, starting from the initial state."""
+        events: List[FlapEvent] = []
+        time = 0.0
+        up = self.initially_up
+        while True:
+            mean = self.mean_up_time if up else self.mean_down_time
+            time += self._rng.expovariate(1.0 / mean)
+            if time >= horizon:
+                break
+            up = not up
+            events.append(FlapEvent(time=time, up=up))
+        return events
+
+    def downtime_fraction(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon)`` the link spends down (one sample path)."""
+        events = self.events_until(horizon)
+        down_total = 0.0
+        state_up = self.initially_up
+        last_time = 0.0
+        for event in events:
+            if not state_up:
+                down_total += event.time - last_time
+            state_up = event.up
+            last_time = event.time
+        if not state_up:
+            down_total += horizon - last_time
+        return down_total / horizon if horizon > 0 else 0.0
+
+
+def hold_down_filter(events: List[FlapEvent], hold_down: float, horizon: float) -> List[FlapEvent]:
+    """Suppress up-transitions that do not survive a hold-down period.
+
+    The returned timeline is what the routing/PR control plane *acts on*: a
+    link is declared up only once it has been continuously up for
+    ``hold_down`` seconds, while down transitions are propagated immediately
+    (failure detection must stay fast).  This removes the pathological case
+    the paper warns about — a packet that saw the link down re-encountering
+    it up mid-cycle-following — at the cost of advertising slightly less
+    capacity during unstable periods.
+    """
+    filtered: List[FlapEvent] = []
+    advertised_up = True
+    index = 0
+    events = sorted(events, key=lambda event: event.time)
+    while index < len(events):
+        event = events[index]
+        if not event.up:
+            if advertised_up:
+                filtered.append(event)
+                advertised_up = False
+            index += 1
+            continue
+        # Up transition: find out whether the link stays up for the hold-down
+        # period (i.e. no down transition within [event.time, event.time + hold_down)).
+        next_down_time = None
+        for later in events[index + 1:]:
+            if not later.up:
+                next_down_time = later.time
+                break
+        stays_up_until = next_down_time if next_down_time is not None else horizon
+        if stays_up_until - event.time >= hold_down:
+            announce_at = event.time + hold_down
+            if announce_at < horizon and not advertised_up:
+                filtered.append(FlapEvent(time=announce_at, up=True))
+                advertised_up = True
+        index += 1
+    return filtered

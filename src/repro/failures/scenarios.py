@@ -1,0 +1,130 @@
+"""Failure scenario containers and exhaustive enumerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import FailureScenarioError
+from repro.graph.connectivity import is_connected
+from repro.graph.multigraph import Graph
+from repro.routing.tables import RoutingTables
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One failure scenario: a set of simultaneously failed links.
+
+    ``kind`` records how the scenario was produced ("single-link",
+    "multi-link", "node", ...) purely for reporting purposes.
+    """
+
+    failed_links: Tuple[int, ...]
+    kind: str = "custom"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failed_links", tuple(sorted(set(self.failed_links))))
+
+    def __len__(self) -> int:
+        return len(self.failed_links)
+
+    def keeps_connected(self, graph: Graph) -> bool:
+        """Whether the network stays connected under this scenario."""
+        return is_connected(graph, self.failed_links)
+
+    def describe(self, graph: Graph) -> str:
+        """Human-readable description listing the failed links by endpoints."""
+        parts = []
+        for edge_id in self.failed_links:
+            edge = graph.edge(edge_id)
+            parts.append(f"{edge.u}--{edge.v}")
+        label = self.description or self.kind
+        return f"{label}: " + (", ".join(parts) if parts else "no failures")
+
+
+def single_link_failures(graph: Graph, only_non_disconnecting: bool = False) -> List[FailureScenario]:
+    """One scenario per link of the topology.
+
+    With ``only_non_disconnecting=True`` bridges are skipped, since no scheme
+    can recover traffic that must cross a failed bridge.
+    """
+    scenarios: List[FailureScenario] = []
+    for edge in graph.edges():
+        scenario = FailureScenario((edge.edge_id,), kind="single-link")
+        if only_non_disconnecting and not scenario.keeps_connected(graph):
+            continue
+        scenarios.append(scenario)
+    return scenarios
+
+
+def node_failure_scenarios(
+    graph: Graph,
+    only_non_disconnecting: bool = False,
+    exclude: Optional[Iterable[str]] = None,
+) -> List[FailureScenario]:
+    """One scenario per node: all links incident to the node fail together.
+
+    The paper treats node failures as the simultaneous failure of the node's
+    links; traffic sourced at or destined to the failed node is of course
+    unrecoverable and excluded by the experiment's pair selection.
+    """
+    excluded_nodes = set(exclude or ())
+    scenarios: List[FailureScenario] = []
+    for node in graph.nodes():
+        if node in excluded_nodes:
+            continue
+        incident = tuple(graph.incident_edge_ids(node))
+        if not incident:
+            continue
+        scenario = FailureScenario(incident, kind="node", description=f"node {node}")
+        if only_non_disconnecting:
+            remainder = graph.without_edges(incident)
+            remainder.remove_node(node)
+            if remainder.number_of_nodes() > 0 and not is_connected(remainder):
+                continue
+        scenarios.append(scenario)
+    return scenarios
+
+
+def all_affecting_pairs(
+    graph: Graph,
+    scenario: FailureScenario,
+    tables: Optional[RoutingTables] = None,
+) -> List[Tuple[str, str]]:
+    """Ordered (source, destination) pairs whose failure-free path is broken.
+
+    This is the conditioning used for the Figure 2 CCDFs: stretch is measured
+    only over pairs that actually need repairing (pairs whose shortest path
+    does not touch a failed link have stretch exactly 1 under every scheme
+    and would just compress the interesting part of the distribution).
+    """
+    if tables is None:
+        tables = RoutingTables(graph)
+    failed = set(scenario.failed_links)
+    pairs: List[Tuple[str, str]] = []
+    for source in graph.nodes():
+        for destination in graph.nodes():
+            if source == destination or not tables.has_route(source, destination):
+                continue
+            node = source
+            affected = False
+            while node != destination:
+                entry = tables.entry(node, destination)
+                if entry.egress.edge_id in failed:
+                    affected = True
+                    break
+                node = entry.next_hop
+            if affected:
+                pairs.append((source, destination))
+    return pairs
+
+
+def validate_scenario(graph: Graph, scenario: FailureScenario) -> None:
+    """Check that every failed link id exists in the topology."""
+    known = set(graph.edge_ids())
+    unknown = [edge_id for edge_id in scenario.failed_links if edge_id not in known]
+    if unknown:
+        raise FailureScenarioError(
+            f"scenario references unknown links {unknown!r} for topology {graph.name!r}"
+        )

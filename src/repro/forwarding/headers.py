@@ -1,0 +1,163 @@
+"""Packet header fields used by PR and the baseline schemes.
+
+The paper's deployment story is that PR needs only "a single PR bit to
+indicate the forwarding mechanism to use, and enough DD bits to store the
+distance discriminator", and suggests carrying them in pool 2 of the DSCP
+field (the experimental/local-use codepoints of RFC 2474).  FCP, in
+contrast, must carry an explicit list of failed links, which is why the
+paper argues it "employs more bits in the packet header than are currently
+available".  The header model below carries the superset of fields so that
+every scheme can be driven by the same engine, and the per-scheme overhead
+accounting only counts the fields that scheme actually uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.errors import HeaderFieldOverflow
+
+
+class PacketHeader:
+    """Mutable per-packet header state.
+
+    Attributes
+    ----------
+    destination:
+        Destination router name (stands in for the destination IP prefix).
+    pr_bit:
+        The Packet Re-cycling bit: ``True`` while the packet is being cycle
+        followed rather than shortest-path routed.
+    dd_value:
+        Value of the DD bits (distance discriminator written by the first
+        failure-detecting router); ``None`` while the PR bit is clear.
+    fcp_failures:
+        The set of failed link ids a Failure-Carrying Packet has accumulated.
+    ttl:
+        Remaining hop budget; the engine decrements it every hop.
+    """
+
+    __slots__ = ("destination", "pr_bit", "dd_value", "fcp_failures", "ttl")
+
+    def __init__(self, destination: str, ttl: int = 255) -> None:
+        self.destination = destination
+        self.pr_bit = False
+        self.dd_value: Optional[float] = None
+        self.fcp_failures: Set[int] = set()
+        self.ttl = ttl
+
+    # ------------------------------------------------------------------
+    # PR fields
+    # ------------------------------------------------------------------
+    def mark_recycling(self, dd_value: float) -> None:
+        """Set the PR bit and write the DD bits (first failure detection)."""
+        self.pr_bit = True
+        self.dd_value = dd_value
+
+    def clear_recycling(self) -> None:
+        """Clear the PR bit and DD bits (termination condition met)."""
+        self.pr_bit = False
+        self.dd_value = None
+
+    # ------------------------------------------------------------------
+    # FCP fields
+    # ------------------------------------------------------------------
+    def record_failure(self, edge_id: int) -> None:
+        """Append a failed link to the FCP failure list."""
+        self.fcp_failures.add(edge_id)
+
+    def known_failures(self) -> FrozenSet[int]:
+        """Failures the packet is currently carrying."""
+        return frozenset(self.fcp_failures)
+
+    # ------------------------------------------------------------------
+    # overhead accounting
+    # ------------------------------------------------------------------
+    def pr_overhead_bits(self, dd_bits: int) -> int:
+        """Header bits PR occupies: 1 PR bit plus the DD field width."""
+        return 1 + dd_bits
+
+    def fcp_overhead_bits(self, link_id_bits: int) -> int:
+        """Header bits FCP occupies: one link identifier per carried failure."""
+        return len(self.fcp_failures) * link_id_bits
+
+    def copy(self) -> "PacketHeader":
+        """Deep copy (used when fanning one packet out over many scenarios)."""
+        clone = PacketHeader(self.destination, self.ttl)
+        clone.pr_bit = self.pr_bit
+        clone.dd_value = self.dd_value
+        clone.fcp_failures = set(self.fcp_failures)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"PacketHeader(dest={self.destination}, pr={self.pr_bit}, "
+            f"dd={self.dd_value}, fcp={sorted(self.fcp_failures)}, ttl={self.ttl})"
+        )
+
+
+class DscpCodec:
+    """Encode/decode the PR bit and DD bits into a small header field.
+
+    RFC 2474 reserves pool 2 of the DSCP space (codepoints of the form
+    ``xxxx11``) for experimental or local use; the paper proposes carrying
+    the PR state there.  Pool 2 offers 16 codepoints, i.e. 4 freely usable
+    bits, of which one is the PR bit and the rest hold the DD value.  The
+    codec is parameterised by the total number of available bits so that
+    larger fields (e.g. an IPv6 extension) can be modelled too.
+    """
+
+    #: Bits usable in pool 2 of the 6-bit DSCP field (xxxx11 codepoints).
+    DSCP_POOL2_BITS = 4
+
+    def __init__(self, available_bits: int = DSCP_POOL2_BITS) -> None:
+        if available_bits < 1:
+            raise HeaderFieldOverflow("at least one header bit is required for the PR bit")
+        self.available_bits = available_bits
+        self.dd_bits = available_bits - 1
+
+    @property
+    def max_dd_value(self) -> int:
+        """Largest distance discriminator the DD field can carry."""
+        return (1 << self.dd_bits) - 1
+
+    def encode(self, pr_bit: bool, dd_value: Optional[float]) -> int:
+        """Pack the PR bit and DD value into an integer codepoint.
+
+        Raises :class:`HeaderFieldOverflow` if the DD value does not fit —
+        this is exactly the sizing constraint the paper's log2(d) argument
+        is about.
+        """
+        value = int(math.ceil(dd_value)) if dd_value is not None else 0
+        if value < 0:
+            raise HeaderFieldOverflow(f"distance discriminator must be non-negative, got {value}")
+        if value > self.max_dd_value:
+            raise HeaderFieldOverflow(
+                f"distance discriminator {value} does not fit in {self.dd_bits} DD bits"
+            )
+        return (int(pr_bit) << self.dd_bits) | value
+
+    def decode(self, codepoint: int) -> tuple[bool, int]:
+        """Unpack a codepoint produced by :meth:`encode`."""
+        if codepoint < 0 or codepoint >= (1 << self.available_bits):
+            raise HeaderFieldOverflow(
+                f"codepoint {codepoint} does not fit in {self.available_bits} bits"
+            )
+        pr_bit = bool(codepoint >> self.dd_bits)
+        dd_value = codepoint & self.max_dd_value
+        return pr_bit, dd_value
+
+    @classmethod
+    def bits_for_diameter(cls, diameter_hops: int) -> int:
+        """DD bits needed for a network of the given hop diameter (plus the PR bit)."""
+        if diameter_hops <= 0:
+            return 2
+        return 1 + max(1, math.ceil(math.log2(diameter_hops + 1)))
+
+
+def link_identifier_bits(number_of_edges: int) -> int:
+    """Bits needed to name one link unambiguously (used by FCP accounting)."""
+    if number_of_edges <= 1:
+        return 1
+    return math.ceil(math.log2(number_of_edges))

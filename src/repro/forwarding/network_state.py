@@ -1,0 +1,78 @@
+"""Current failure state of the network.
+
+The paper assumes bidirectional failures ("When considering failure coverage,
+we assume that failures are bidirectional", Section 4): a failed link is
+unusable in both directions, and a failed node simply means that all of its
+incident links have failed.  :class:`NetworkState` captures exactly that —
+the set of currently-dead undirected links — and answers the only question
+the data plane ever asks: *is this interface usable right now?*
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.errors import FailureScenarioError
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+
+
+class NetworkState:
+    """The network graph plus the set of currently failed links."""
+
+    def __init__(self, graph: Graph, failed_edges: Iterable[int] = ()) -> None:
+        self.graph = graph
+        self._failed: Set[int] = set()
+        for edge_id in failed_edges:
+            self.fail_link(edge_id)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def fail_link(self, edge_id: int) -> None:
+        """Mark a link as failed (bidirectionally)."""
+        if not any(edge_id == edge.edge_id for edge in self.graph.edges()):
+            raise FailureScenarioError(f"edge {edge_id} is not part of {self.graph.name!r}")
+        self._failed.add(edge_id)
+
+    def restore_link(self, edge_id: int) -> None:
+        """Bring a previously failed link back up."""
+        self._failed.discard(edge_id)
+
+    def fail_node(self, node: str) -> List[int]:
+        """Fail every link incident to ``node`` (the paper's node-failure model)."""
+        incident = self.graph.incident_edge_ids(node)
+        for edge_id in incident:
+            self._failed.add(edge_id)
+        return incident
+
+    def clear(self) -> None:
+        """Restore every link."""
+        self._failed.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def failed_edges(self) -> FrozenSet[int]:
+        """The set of currently failed link ids."""
+        return frozenset(self._failed)
+
+    def is_failed(self, edge_id: int) -> bool:
+        """Whether the link with id ``edge_id`` is down."""
+        return edge_id in self._failed
+
+    def dart_usable(self, dart: Dart) -> bool:
+        """Whether a packet can currently be transmitted over ``dart``."""
+        return dart.edge_id not in self._failed
+
+    def usable_darts_out(self, node: str) -> List[Dart]:
+        """Darts leaving ``node`` whose links are currently up."""
+        return [dart for dart in self.graph.darts_out(node) if self.dart_usable(dart)]
+
+    def is_isolated(self, node: str) -> bool:
+        """Whether every link of ``node`` has failed."""
+        return not self.usable_darts_out(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"NetworkState({self.graph.name!r}, failed={sorted(self._failed)})"

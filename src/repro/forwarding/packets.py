@@ -1,0 +1,55 @@
+"""Packets: header plus the metadata the simulators track per packet."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.forwarding.headers import PacketHeader
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A single packet travelling from ``source`` to ``destination``.
+
+    The path-tracing engine only cares about the header; the discrete-event
+    simulator additionally uses ``size_bytes`` (serialisation delay) and the
+    creation timestamp.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "source",
+        "destination",
+        "header",
+        "size_bytes",
+        "created_at",
+        "dscp",
+    )
+
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        size_bytes: int = 1000,
+        ttl: int = 255,
+        created_at: float = 0.0,
+        packet_id: Optional[int] = None,
+        dscp: int = 0,
+    ) -> None:
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.source = source
+        self.destination = destination
+        self.header = PacketHeader(destination, ttl=ttl)
+        self.size_bytes = size_bytes
+        self.created_at = created_at
+        #: DSCP class of the packet (the remaining DSCP bits of Section 7,
+        #: used by deployment policies to decide which traffic PR protects).
+        self.dscp = dscp
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"Packet(#{self.packet_id} {self.source}->{self.destination}, "
+            f"{self.size_bytes}B, header={self.header!r})"
+        )

@@ -1,0 +1,109 @@
+"""Class-based deployment policies (Section 7).
+
+"Depending on the desired deployment strategy, ISPs can include extra rules
+and policies to limit PR to certain types of traffic (for example by limiting
+it to certain classes identifiable by the remaining DSCP bits)."
+
+:class:`ClassBasedProtection` implements exactly that: packets whose DSCP
+class belongs to the protected set are forwarded by the protected scheme
+(normally Packet Re-cycling), every other packet is forwarded by a fallback
+scheme (plain shortest-path forwarding by default, which drops at failures).
+The policy therefore bounds the extra load cycle following can put on backup
+paths to the traffic classes that actually need "five nines" delivery.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.baselines.noprotection import NoProtection
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.forwarding.router import ForwardingDecision, RouterLogic
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.darts import Dart
+
+#: Expedited Forwarding and the Assured Forwarding class 4 codepoints — a
+#: sensible default for "mission-critical" traffic (RFC 2474 / RFC 2597).
+DEFAULT_PROTECTED_CLASSES: FrozenSet[int] = frozenset({46, 34, 36, 38})
+
+
+class ClassDispatchLogic(RouterLogic):
+    """Dispatch each packet to the protected or fallback logic by DSCP class."""
+
+    name = "Class-based protection"
+
+    def __init__(
+        self,
+        protected: RouterLogic,
+        fallback: RouterLogic,
+        protected_classes: FrozenSet[int],
+    ) -> None:
+        self.protected = protected
+        self.fallback = fallback
+        self.protected_classes = protected_classes
+
+    def decide(
+        self,
+        node: str,
+        ingress: Optional[Dart],
+        packet: Packet,
+        state: NetworkState,
+    ) -> ForwardingDecision:
+        if packet.dscp in self.protected_classes:
+            return self.protected.decide(node, ingress, packet, state)
+        return self.fallback.decide(node, ingress, packet, state)
+
+
+class ClassBasedProtection(ForwardingScheme):
+    """Limit a protection scheme to selected DSCP traffic classes.
+
+    Parameters
+    ----------
+    protected_scheme:
+        The scheme applied to protected classes (normally
+        :class:`~repro.core.scheme.PacketRecycling`).
+    fallback_scheme:
+        The scheme applied to everything else; defaults to plain unprotected
+        shortest-path forwarding.
+    protected_classes:
+        DSCP codepoints that receive protection.
+    """
+
+    name = "Class-based protection"
+
+    def __init__(
+        self,
+        protected_scheme: ForwardingScheme,
+        fallback_scheme: Optional[ForwardingScheme] = None,
+        protected_classes: Iterable[int] = DEFAULT_PROTECTED_CLASSES,
+    ) -> None:
+        super().__init__(protected_scheme.graph)
+        self.protected_scheme = protected_scheme
+        self.fallback_scheme = (
+            fallback_scheme if fallback_scheme is not None else NoProtection(protected_scheme.graph)
+        )
+        if self.fallback_scheme.graph is not protected_scheme.graph:
+            # Both planes must forward over the same physical topology.
+            self.fallback_scheme = NoProtection(protected_scheme.graph)
+        self.protected_classes = frozenset(protected_classes)
+        self.name = f"{protected_scheme.name} [protected classes only]"
+
+    def is_protected(self, dscp: int) -> bool:
+        """Whether packets of the given DSCP class receive protection."""
+        return dscp in self.protected_classes
+
+    def build_logic(self, state: NetworkState) -> RouterLogic:
+        return ClassDispatchLogic(
+            self.protected_scheme.build_logic(state),
+            self.fallback_scheme.build_logic(state),
+            self.protected_classes,
+        )
+
+    def header_overhead_bits(self) -> int:
+        """Protected packets carry the protected scheme's fields."""
+        return self.protected_scheme.header_overhead_bits()
+
+    def router_memory_entries(self) -> int:
+        """The protected scheme's state is installed regardless of the policy."""
+        return self.protected_scheme.router_memory_entries()

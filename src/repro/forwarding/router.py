@@ -1,0 +1,104 @@
+"""The per-router decision interface shared by every forwarding scheme.
+
+Each scheme (Packet Re-cycling, FCP, re-convergence, LFA, ...) is expressed
+as a :class:`RouterLogic`: given the router it is running on, the interface
+the packet arrived on and the packet itself, decide what to do next.  The
+hop-by-hop engine owns everything else (moving the packet, TTL, accounting),
+which keeps the protocol implementations small and close to the paper's
+pseudo-description.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.errors import ForwardingError
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.graph.darts import Dart
+
+
+class Action(str, enum.Enum):
+    """What a router decided to do with a packet."""
+
+    FORWARD = "forward"
+    DELIVER = "deliver"
+    DROP = "drop"
+
+
+class ForwardingDecision:
+    """Outcome of one router's forwarding decision.
+
+    ``counters`` carries per-decision accounting increments (e.g. how many
+    SPF computations an FCP router had to run), which the engine accumulates
+    into the final outcome.
+    """
+
+    __slots__ = ("action", "egress", "drop_reason", "counters")
+
+    def __init__(
+        self,
+        action: Action,
+        egress: Optional[Dart] = None,
+        drop_reason: Optional[str] = None,
+        counters: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if action is Action.FORWARD and egress is None:
+            raise ForwardingError("a FORWARD decision requires an egress dart")
+        if action is not Action.FORWARD and egress is not None:
+            raise ForwardingError(f"{action.value} decisions must not carry an egress dart")
+        self.action = action
+        self.egress = egress
+        self.drop_reason = drop_reason
+        self.counters = dict(counters or {})
+
+    @classmethod
+    def forward(cls, egress: Dart, **counters: float) -> "ForwardingDecision":
+        """Forward the packet out of ``egress``."""
+        return cls(Action.FORWARD, egress=egress, counters=counters)
+
+    @classmethod
+    def deliver(cls, **counters: float) -> "ForwardingDecision":
+        """The packet has reached its destination."""
+        return cls(Action.DELIVER, counters=counters)
+
+    @classmethod
+    def drop(cls, reason: str, **counters: float) -> "ForwardingDecision":
+        """Discard the packet."""
+        return cls(Action.DROP, drop_reason=reason, counters=counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        if self.action is Action.FORWARD:
+            return f"ForwardingDecision(forward via {self.egress!r})"
+        if self.action is Action.DROP:
+            return f"ForwardingDecision(drop: {self.drop_reason})"
+        return "ForwardingDecision(deliver)"
+
+
+class RouterLogic:
+    """Per-router forwarding behaviour of one scheme.
+
+    Subclasses implement :meth:`decide`.  The engine guarantees that
+    ``node != packet.header.destination`` when calling (delivery is detected
+    by the engine itself) and that the returned egress dart leaves ``node``;
+    it *verifies* that the egress link is up and raises
+    :class:`~repro.errors.ProtocolError` otherwise, because forwarding onto a
+    link known to be dead would be a protocol bug, not a simulation artefact.
+    """
+
+    #: Human-readable scheme name (used in experiment tables).
+    name = "abstract"
+
+    def decide(
+        self,
+        node: str,
+        ingress: Optional[Dart],
+        packet: Packet,
+        state: NetworkState,
+    ) -> ForwardingDecision:
+        """Decide what ``node`` does with ``packet`` arrived over ``ingress``.
+
+        ``ingress`` is ``None`` when the packet originates at ``node``.
+        """
+        raise NotImplementedError

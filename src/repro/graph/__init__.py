@@ -1,0 +1,61 @@
+"""Graph substrate used by every other subsystem of the reproduction.
+
+The paper's protocol operates on an undirected, weighted network graph in
+which every physical link gives rise to two *darts* (directed half-edges),
+one per direction of data flow.  This package provides:
+
+* :class:`~repro.graph.multigraph.Graph` — an undirected weighted multigraph
+  with stable integer edge identifiers and explicit darts.
+* :mod:`~repro.graph.shortest_paths` — Dijkstra and BFS shortest paths,
+  shortest-path trees towards a destination and path-cost helpers.
+* :mod:`~repro.graph.connectivity` — connected components, bridges,
+  articulation points, biconnected components and 2-edge-connectivity.
+* :mod:`~repro.graph.traversal` — breadth/depth-first traversals and
+  spanning trees.
+"""
+
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Edge, Graph
+from repro.graph.shortest_paths import (
+    all_pairs_shortest_costs,
+    dijkstra,
+    path_cost,
+    shortest_path,
+    shortest_path_cost,
+    shortest_path_dag,
+    shortest_path_tree_to,
+)
+from repro.graph.connectivity import (
+    articulation_points,
+    biconnected_edge_components,
+    bridges,
+    connected_components,
+    edge_connectivity_at_least,
+    is_connected,
+    is_two_edge_connected,
+)
+from repro.graph.traversal import bfs_order, bfs_tree, dfs_order, spanning_tree_edges
+
+__all__ = [
+    "Dart",
+    "Edge",
+    "Graph",
+    "all_pairs_shortest_costs",
+    "dijkstra",
+    "path_cost",
+    "shortest_path",
+    "shortest_path_cost",
+    "shortest_path_dag",
+    "shortest_path_tree_to",
+    "articulation_points",
+    "biconnected_edge_components",
+    "bridges",
+    "connected_components",
+    "edge_connectivity_at_least",
+    "is_connected",
+    "is_two_edge_connected",
+    "bfs_order",
+    "bfs_tree",
+    "dfs_order",
+    "spanning_tree_edges",
+]

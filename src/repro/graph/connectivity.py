@@ -1,0 +1,223 @@
+"""Connectivity analysis: components, bridges, biconnectivity.
+
+Packet Re-cycling only guarantees recovery while the network stays connected,
+and single-failure coverage of the 1-bit protocol additionally requires
+2-edge-connectivity.  The failure-scenario samplers therefore need fast
+connectivity checks with an ``excluded_edges`` parameter, and the planar
+embedding algorithm needs the biconnected decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import NodeNotFound
+from repro.graph.multigraph import Graph
+
+
+def connected_components(
+    graph: Graph,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> List[Set[str]]:
+    """Connected components as a list of node sets (insertion order of roots)."""
+    excluded: FrozenSet[int] = frozenset(excluded_edges or ())
+    seen: Set[str] = set()
+    components: List[Set[str]] = []
+    for root in graph.nodes():
+        if root in seen:
+            continue
+        component = {root}
+        stack = [root]
+        seen.add(root)
+        while stack:
+            node = stack.pop()
+            for neighbor, _edge_id, _weight in graph.iter_adjacent(node, excluded):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    return components
+
+
+def is_connected(
+    graph: Graph,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> bool:
+    """Whether the graph (minus ``excluded_edges``) is connected.
+
+    The empty graph is considered connected; isolated nodes created by edge
+    removal make the graph disconnected.
+    """
+    if graph.number_of_nodes() == 0:
+        return True
+    return len(connected_components(graph, excluded_edges)) == 1
+
+
+def same_component(
+    graph: Graph,
+    u: str,
+    v: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> bool:
+    """Whether ``u`` and ``v`` remain connected once ``excluded_edges`` fail."""
+    if not graph.has_node(u):
+        raise NodeNotFound(u)
+    if not graph.has_node(v):
+        raise NodeNotFound(v)
+    if u == v:
+        return True
+    excluded: FrozenSet[int] = frozenset(excluded_edges or ())
+    seen: Set[str] = {u}
+    stack = [u]
+    while stack:
+        node = stack.pop()
+        for neighbor, _edge_id, _weight in graph.iter_adjacent(node, excluded):
+            if neighbor == v:
+                return True
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return False
+
+
+def _bridge_and_articulation_search(
+    graph: Graph,
+) -> Tuple[List[int], Set[str], List[Set[int]]]:
+    """Shared Tarjan-style DFS returning bridges, articulation points and
+    biconnected components (as edge-id sets)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    bridges_found: List[int] = []
+    articulation: Set[str] = set()
+    components: List[Set[int]] = []
+    edge_stack: List[int] = []
+    counter = [0]
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        # Iterative DFS: each frame is (node, parent_edge_id, iterator state).
+        stack: List[Tuple[str, Optional[int], List[Tuple[str, int]], int]] = []
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        adjacency = [(edge.other(root), edge.edge_id) for edge in graph.incident_edges(root)]
+        stack.append((root, None, adjacency, 0))
+        root_children = 0
+
+        while stack:
+            node, parent_edge, adjacency, pointer = stack[-1]
+            if pointer < len(adjacency):
+                stack[-1] = (node, parent_edge, adjacency, pointer + 1)
+                neighbor, edge_id = adjacency[pointer]
+                if edge_id == parent_edge:
+                    continue
+                if neighbor not in index:
+                    if node == root:
+                        root_children += 1
+                    edge_stack.append(edge_id)
+                    index[neighbor] = low[neighbor] = counter[0]
+                    counter[0] += 1
+                    child_adjacency = [
+                        (edge.other(neighbor), edge.edge_id)
+                        for edge in graph.incident_edges(neighbor)
+                    ]
+                    stack.append((neighbor, edge_id, child_adjacency, 0))
+                else:
+                    # Back edge (or parallel edge) to an already-visited node.
+                    if index[neighbor] < index[node]:
+                        edge_stack.append(edge_id)
+                    low[node] = min(low[node], index[neighbor])
+            else:
+                stack.pop()
+                if not stack:
+                    continue
+                parent = stack[-1][0]
+                low[parent] = min(low[parent], low[node])
+                if parent_edge is not None and low[node] > index[parent]:
+                    bridges_found.append(parent_edge)
+                if parent_edge is not None and low[node] >= index[parent]:
+                    if parent != root:
+                        articulation.add(parent)
+                    # Pop the biconnected component delimited by parent_edge.
+                    component: Set[int] = set()
+                    while edge_stack:
+                        popped = edge_stack.pop()
+                        component.add(popped)
+                        if popped == parent_edge:
+                            break
+                    if component:
+                        components.append(component)
+        if root_children >= 2:
+            articulation.add(root)
+    return bridges_found, articulation, components
+
+
+def bridges(graph: Graph) -> List[int]:
+    """Edge ids whose removal disconnects their component (cut edges)."""
+    found, _articulation, _components = _bridge_and_articulation_search(graph)
+    return sorted(found)
+
+
+def articulation_points(graph: Graph) -> Set[str]:
+    """Nodes whose removal disconnects their component (cut vertices)."""
+    _found, articulation, _components = _bridge_and_articulation_search(graph)
+    return articulation
+
+
+def biconnected_edge_components(graph: Graph) -> List[Set[int]]:
+    """Biconnected components as sets of edge ids.
+
+    Every edge belongs to exactly one component; a bridge forms a component
+    of size one.  The planar embedding algorithm embeds each biconnected
+    component independently and merges the rotation systems at cut vertices.
+    """
+    _found, _articulation, components = _bridge_and_articulation_search(graph)
+    return components
+
+
+def is_two_edge_connected(graph: Graph) -> bool:
+    """Whether the graph is connected and has no bridges.
+
+    This is the condition under which the simple 1-bit protocol of
+    Section 4.2 guarantees recovery from any single link failure.
+    """
+    if graph.number_of_nodes() <= 1:
+        return True
+    return is_connected(graph) and not bridges(graph)
+
+
+def edge_connectivity_at_least(graph: Graph, k: int) -> bool:
+    """Whether every pair of nodes remains connected after any ``k - 1`` edge
+    failures.
+
+    For the small values of ``k`` used in the failure samplers (k <= 3) a
+    direct check is used: ``k = 1`` is plain connectivity, ``k = 2`` is
+    bridge-freeness, larger ``k`` falls back to exhaustive removal of
+    ``k - 1``-subsets, which is only intended for the small ISP topologies
+    in this package.
+    """
+    if k <= 0:
+        return True
+    if k == 1:
+        return is_connected(graph)
+    if k == 2:
+        return is_two_edge_connected(graph)
+    if not is_connected(graph):
+        return False
+    from itertools import combinations
+
+    edge_ids = graph.edge_ids()
+    for removal in combinations(edge_ids, k - 1):
+        if not is_connected(graph, removal):
+            return False
+    return True
+
+
+def non_disconnecting(graph: Graph, edge_ids: Iterable[int]) -> bool:
+    """Whether removing ``edge_ids`` keeps the graph connected.
+
+    This is the paper's feasibility condition: PR guarantees recovery for
+    every failure combination that does not disconnect the network.
+    """
+    return is_connected(graph, edge_ids)

@@ -1,0 +1,50 @@
+"""Darts: directed half-edges of an undirected multigraph.
+
+Packet Re-cycling reasons about *unidirectional links*: the physical link
+``{u, v}`` is used either in the direction ``u -> v`` or ``v -> u``, and the
+cellular embedding associates a distinct cycle with each direction.  A
+:class:`Dart` captures exactly one such direction of one physical edge.
+
+Because the graph is a multigraph (two routers may be joined by parallel
+links), a dart is identified by the *edge id* plus the tail node, not by the
+``(tail, head)`` pair alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Dart:
+    """One direction of one physical edge.
+
+    Attributes
+    ----------
+    edge_id:
+        Stable integer identifier of the underlying undirected edge.
+    tail:
+        Node the dart leaves from.
+    head:
+        Node the dart points to.
+
+    The dart ``u -> v`` models the router interface at ``u`` that transmits
+    towards ``v``; its :meth:`reversed` counterpart models the interface at
+    ``v`` that transmits towards ``u``.
+    """
+
+    edge_id: int
+    tail: str
+    head: str
+
+    def reversed(self) -> "Dart":
+        """Return the dart for the same edge traversed in the other direction."""
+        return Dart(self.edge_id, self.head, self.tail)
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """The ``(tail, head)`` pair of the dart."""
+        return (self.tail, self.head)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"Dart({self.tail}->{self.head}, edge={self.edge_id})"

@@ -1,0 +1,361 @@
+"""Undirected weighted multigraph with stable edge identifiers and darts.
+
+This is the single graph type used across the reproduction.  Design goals:
+
+* **Stable edge identifiers** — the Packet Re-cycling data plane refers to
+  individual physical links (e.g. "edge 7 has failed").  Edge ids are small
+  integers allocated sequentially and never reused, so failure sets remain
+  valid across copies.
+* **Multigraph support** — ISP backbones routinely run parallel links
+  between the same pair of PoPs; the embedding machinery handles parallel
+  edges naturally, so the graph type must too.
+* **Explicit darts** — the embedding, the cycle-following tables and the
+  forwarding engine all operate on directed half-edges
+  (:class:`~repro.graph.darts.Dart`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DuplicateNode, EdgeNotFound, GraphError, NodeNotFound
+from repro.graph.darts import Dart
+
+
+class Edge:
+    """One undirected physical link of the network.
+
+    Attributes
+    ----------
+    edge_id:
+        Stable integer identifier of the edge.
+    u, v:
+        The two endpoint nodes.  The order carries no meaning.
+    weight:
+        Positive routing cost of the link (IGP metric, latency, ...).
+    """
+
+    __slots__ = ("edge_id", "u", "v", "weight")
+
+    def __init__(self, edge_id: int, u: str, v: str, weight: float) -> None:
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        self.edge_id = edge_id
+        self.u = u
+        self.v = v
+        self.weight = float(weight)
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """The ``(u, v)`` endpoint pair in insertion order."""
+        return (self.u, self.v)
+
+    def other(self, node: str) -> str:
+        """Return the endpoint that is not ``node``.
+
+        Raises :class:`~repro.errors.GraphError` if ``node`` is not an
+        endpoint of this edge.
+        """
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise GraphError(f"node {node!r} is not an endpoint of edge {self.edge_id}")
+
+    def dart_from(self, tail: str) -> Dart:
+        """Return the dart of this edge that leaves ``tail``."""
+        return Dart(self.edge_id, tail, self.other(tail))
+
+    def darts(self) -> Tuple[Dart, Dart]:
+        """Return both darts of this edge."""
+        return (Dart(self.edge_id, self.u, self.v), Dart(self.edge_id, self.v, self.u))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"Edge({self.edge_id}: {self.u}--{self.v}, w={self.weight})"
+
+
+class Graph:
+    """Undirected weighted multigraph.
+
+    Nodes are identified by strings (router names); edges by stable integer
+    ids.  The class intentionally exposes a small, explicit API rather than
+    mirroring a full-blown graph library: everything the protocol needs and
+    nothing more.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._adjacency: Dict[str, List[int]] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> str:
+        """Add a node, raising :class:`DuplicateNode` if it already exists."""
+        if node in self._adjacency:
+            raise DuplicateNode(node)
+        self._adjacency[node] = []
+        return node
+
+    def ensure_node(self, node: str) -> str:
+        """Add a node if it is not present; never raises."""
+        if node not in self._adjacency:
+            self._adjacency[node] = []
+        return node
+
+    def add_edge(self, u: str, v: str, weight: float = 1.0) -> int:
+        """Add an undirected edge between ``u`` and ``v`` and return its id.
+
+        Both endpoints are created on demand.  Self-loops are rejected
+        because they are meaningless for a router-level topology.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        self.ensure_node(u)
+        self.ensure_node(v)
+        edge_id = self._next_edge_id
+        self._next_edge_id += 1
+        edge = Edge(edge_id, u, v, weight)
+        self._edges[edge_id] = edge
+        self._adjacency[u].append(edge_id)
+        self._adjacency[v].append(edge_id)
+        return edge_id
+
+    def add_edge_with_id(self, edge_id: int, u: str, v: str, weight: float = 1.0) -> int:
+        """Add an edge with a caller-chosen id (used to mirror another graph).
+
+        The id must not already be in use.  Subsequent automatically
+        allocated ids continue above the largest id ever used.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        if edge_id in self._edges:
+            raise GraphError(f"edge id {edge_id} is already in use")
+        self.ensure_node(u)
+        self.ensure_node(v)
+        edge = Edge(edge_id, u, v, weight)
+        self._edges[edge_id] = edge
+        self._adjacency[u].append(edge_id)
+        self._adjacency[v].append(edge_id)
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        return edge_id
+
+    def remove_edge(self, edge_id: int) -> Edge:
+        """Remove an edge by id and return it."""
+        edge = self.edge(edge_id)
+        self._adjacency[edge.u].remove(edge_id)
+        self._adjacency[edge.v].remove(edge_id)
+        del self._edges[edge_id]
+        return edge
+
+    def remove_node(self, node: str) -> List[Edge]:
+        """Remove a node and all incident edges; return the removed edges."""
+        if node not in self._adjacency:
+            raise NodeNotFound(node)
+        removed = [self.remove_edge(edge_id) for edge_id in list(self._adjacency[node])]
+        del self._adjacency[node]
+        return removed
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: str) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def nodes(self) -> List[str]:
+        """All node names, in insertion order."""
+        return list(self._adjacency)
+
+    def edges(self) -> List[Edge]:
+        """All edges, in insertion (edge id) order."""
+        return [self._edges[edge_id] for edge_id in sorted(self._edges)]
+
+    def edge_ids(self) -> List[int]:
+        """All edge ids in increasing order."""
+        return sorted(self._edges)
+
+    def edge(self, edge_id: int) -> Edge:
+        """Look an edge up by id, raising :class:`EdgeNotFound` if absent."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise EdgeNotFound(edge_id) from None
+
+    def has_node(self, node: str) -> bool:
+        """Whether ``node`` exists in the graph."""
+        return node in self._adjacency
+
+    def has_edge_between(self, u: str, v: str) -> bool:
+        """Whether at least one edge joins ``u`` and ``v``."""
+        return bool(self.edge_ids_between(u, v))
+
+    def edge_ids_between(self, u: str, v: str) -> List[int]:
+        """All edge ids joining ``u`` and ``v`` (possibly several in a multigraph)."""
+        if u not in self._adjacency or v not in self._adjacency:
+            return []
+        return [
+            edge_id
+            for edge_id in self._adjacency[u]
+            if self._edges[edge_id].other(u) == v
+        ]
+
+    def number_of_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adjacency)
+
+    def number_of_edges(self) -> int:
+        """Number of undirected edges (parallel edges counted individually)."""
+        return len(self._edges)
+
+    def degree(self, node: str) -> int:
+        """Number of incident edges of ``node``."""
+        return len(self.incident_edge_ids(node))
+
+    def incident_edge_ids(self, node: str) -> List[int]:
+        """Edge ids incident to ``node`` in insertion order."""
+        try:
+            return list(self._adjacency[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def incident_edges(self, node: str) -> List[Edge]:
+        """Edges incident to ``node`` in insertion order."""
+        return [self._edges[edge_id] for edge_id in self.incident_edge_ids(node)]
+
+    def neighbors(self, node: str) -> List[str]:
+        """Adjacent nodes of ``node`` (duplicates removed, order preserved)."""
+        seen: Dict[str, None] = {}
+        for edge in self.incident_edges(node):
+            seen.setdefault(edge.other(node), None)
+        return list(seen)
+
+    def darts_out(self, node: str) -> List[Dart]:
+        """Darts leaving ``node``, one per incident edge, in insertion order."""
+        return [edge.dart_from(node) for edge in self.incident_edges(node)]
+
+    def darts(self) -> List[Dart]:
+        """All darts of the graph (two per edge)."""
+        result: List[Dart] = []
+        for edge in self.edges():
+            result.extend(edge.darts())
+        return result
+
+    def dart(self, edge_id: int, tail: str) -> Dart:
+        """The dart of edge ``edge_id`` leaving ``tail``."""
+        return self.edge(edge_id).dart_from(tail)
+
+    def weight(self, edge_id: int) -> float:
+        """Weight of the edge with id ``edge_id``."""
+        return self.edge(edge_id).weight
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(edge.weight for edge in self._edges.values())
+
+    def iter_adjacent(
+        self, node: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Iterator[Tuple[str, int, float]]:
+        """Yield ``(neighbor, edge_id, weight)`` triples for ``node``.
+
+        ``excluded_edges`` models failed links: those edges are skipped, which
+        is how every routing computation in the package prunes failures.
+        """
+        excluded = frozenset(excluded_edges or ())
+        for edge_id in self.incident_edge_ids(node):
+            if edge_id in excluded:
+                continue
+            edge = self._edges[edge_id]
+            yield edge.other(node), edge_id, edge.weight
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Graph":
+        """Deep copy preserving node order, edge ids and weights."""
+        clone = Graph(name or self.name)
+        for node in self._adjacency:
+            clone._adjacency[node] = list(self._adjacency[node])
+        clone._edges = {
+            edge_id: Edge(edge.edge_id, edge.u, edge.v, edge.weight)
+            for edge_id, edge in self._edges.items()
+        }
+        clone._next_edge_id = self._next_edge_id
+        return clone
+
+    def without_edges(self, edge_ids: Iterable[int], name: Optional[str] = None) -> "Graph":
+        """Copy of the graph with the given edges removed (edge ids preserved)."""
+        clone = self.copy(name or f"{self.name}-pruned")
+        for edge_id in set(edge_ids):
+            if edge_id in clone._edges:
+                clone.remove_edge(edge_id)
+        return clone
+
+    def edge_subgraph(self, edge_ids: Iterable[int], name: Optional[str] = None) -> "Graph":
+        """Copy containing every node but only the given edges (ids preserved)."""
+        keep = set(edge_ids)
+        clone = Graph(name or f"{self.name}-edges")
+        for node in self._adjacency:
+            clone.ensure_node(node)
+        for edge_id in sorted(keep):
+            edge = self.edge(edge_id)
+            clone.add_edge_with_id(edge_id, edge.u, edge.v, edge.weight)
+        clone._next_edge_id = max(clone._next_edge_id, self._next_edge_id)
+        return clone
+
+    def subgraph(self, nodes: Iterable[str], name: Optional[str] = None) -> "Graph":
+        """Copy containing only ``nodes`` and the edges among them (ids preserved)."""
+        keep = set(nodes)
+        clone = Graph(name or f"{self.name}-sub")
+        for node in self._adjacency:
+            if node in keep:
+                clone._adjacency[node] = []
+        for edge_id in sorted(self._edges):
+            edge = self._edges[edge_id]
+            if edge.u in keep and edge.v in keep:
+                clone._edges[edge_id] = Edge(edge.edge_id, edge.u, edge.v, edge.weight)
+                clone._adjacency[edge.u].append(edge_id)
+                clone._adjacency[edge.v].append(edge_id)
+        clone._next_edge_id = self._next_edge_id
+        return clone
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Sequence[Tuple[str, str]] | Sequence[Tuple[str, str, float]],
+        name: str = "network",
+    ) -> "Graph":
+        """Build a graph from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        graph = cls(name)
+        for item in edges:
+            if len(item) == 2:
+                u, v = item  # type: ignore[misc]
+                graph.add_edge(u, v, 1.0)
+            else:
+                u, v, weight = item  # type: ignore[misc]
+                graph.add_edge(u, v, weight)
+        return graph
+
+    def to_edge_list(self) -> List[Tuple[str, str, float]]:
+        """Export the graph as ``(u, v, weight)`` tuples in edge-id order."""
+        return [(edge.u, edge.v, edge.weight) for edge in self.edges()]
+
+    def adjacency_mapping(self) -> Mapping[str, List[str]]:
+        """Read-only style adjacency mapping ``node -> [neighbors]`` (with duplicates)."""
+        return {
+            node: [self._edges[edge_id].other(node) for edge_id in edge_ids]
+            for node, edge_ids in self._adjacency.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"Graph({self.name!r}, nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

@@ -1,0 +1,221 @@
+"""Shortest-path computations over the multigraph substrate.
+
+Everything in the reproduction that needs a route — the failure-free routing
+tables, the re-convergence baseline, FCP's per-hop recomputation, the
+distance discriminators of Section 4.3 — goes through the functions in this
+module.  All of them accept an ``excluded_edges`` set so that failed links
+can be pruned without copying the graph.
+
+Tie-breaking is deterministic: when two paths have equal cost the one whose
+next hop (and, recursively, whose node sequence) sorts first lexicographically
+wins.  Determinism matters because the paper's protocol relies on every
+router computing the *same* shortest-path tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NodeNotFound, NoPathExists
+from repro.graph.multigraph import Graph
+
+#: Distances are floats; equality comparisons use an absolute tolerance to be
+#: robust against summation order differences.
+_COST_EPSILON = 1e-9
+
+
+def _check_node(graph: Graph, node: str) -> None:
+    if not graph.has_node(node):
+        raise NodeNotFound(node)
+
+
+def dijkstra(
+    graph: Graph,
+    source: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> Tuple[Dict[str, float], Dict[str, Tuple[str, int]]]:
+    """Single-source shortest paths from ``source``.
+
+    Returns ``(dist, parent)`` where ``dist[v]`` is the cost of the shortest
+    path from ``source`` to ``v`` and ``parent[v] = (u, edge_id)`` is the
+    predecessor of ``v`` on that path (absent for the source and for
+    unreachable nodes).
+
+    ``excluded_edges`` is the set of failed link ids to ignore.
+    """
+    _check_node(graph, source)
+    excluded: FrozenSet[int] = frozenset(excluded_edges or ())
+    dist: Dict[str, float] = {source: 0.0}
+    parent: Dict[str, Tuple[str, int]] = {}
+    # Heap entries carry the node name as a tie-breaker so that equal-cost
+    # paths are resolved deterministically by lexicographic order.
+    heap: List[Tuple[float, str]] = [(0.0, source)]
+    finalized: set[str] = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in finalized:
+            continue
+        finalized.add(node)
+        for neighbor, edge_id, weight in graph.iter_adjacent(node, excluded):
+            if neighbor in finalized:
+                continue
+            candidate = cost + weight
+            current = dist.get(neighbor)
+            better = current is None or candidate < current - _COST_EPSILON
+            tie = (
+                current is not None
+                and abs(candidate - current) <= _COST_EPSILON
+                and (node, edge_id) < parent.get(neighbor, (node, edge_id))
+            )
+            if better or tie:
+                dist[neighbor] = candidate
+                parent[neighbor] = (node, edge_id)
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist, parent
+
+
+def shortest_path(
+    graph: Graph,
+    source: str,
+    destination: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Node sequence of the shortest path from ``source`` to ``destination``.
+
+    Raises :class:`~repro.errors.NoPathExists` when the destination is
+    unreachable once ``excluded_edges`` are pruned.
+    """
+    _check_node(graph, destination)
+    dist, parent = dijkstra(graph, source, excluded_edges)
+    if destination not in dist:
+        raise NoPathExists(source, destination)
+    path = [destination]
+    node = destination
+    while node != source:
+        node, _edge_id = parent[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def shortest_path_cost(
+    graph: Graph,
+    source: str,
+    destination: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> float:
+    """Cost of the shortest path from ``source`` to ``destination``."""
+    _check_node(graph, destination)
+    dist, _parent = dijkstra(graph, source, excluded_edges)
+    if destination not in dist:
+        raise NoPathExists(source, destination)
+    return dist[destination]
+
+
+def path_cost(graph: Graph, path: Sequence[str], hop_count: bool = False) -> float:
+    """Cost of a node sequence, using the cheapest parallel edge per hop.
+
+    With ``hop_count=True`` the cost is simply the number of hops, which is
+    one of the two distance-discriminator functions suggested by the paper.
+    """
+    if len(path) < 2:
+        return 0.0
+    if hop_count:
+        return float(len(path) - 1)
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        edge_ids = graph.edge_ids_between(u, v)
+        if not edge_ids:
+            raise NoPathExists(u, v)
+        total += min(graph.weight(edge_id) for edge_id in edge_ids)
+    return total
+
+
+def shortest_path_tree_to(
+    graph: Graph,
+    destination: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> Dict[str, Tuple[str, int]]:
+    """Next hops towards ``destination`` for every node that can reach it.
+
+    Returns a mapping ``node -> (next_hop, edge_id)`` describing the
+    shortest-path tree rooted at ``destination`` (the paper's Figure 1(a)
+    "shortest path tree from all other nodes to F").  The destination itself
+    is not present in the mapping.
+
+    Because the graph is undirected with symmetric weights, the tree is
+    obtained by running Dijkstra from the destination and reversing the
+    parent pointers.
+    """
+    _check_node(graph, destination)
+    _dist, parent = dijkstra(graph, destination, excluded_edges)
+    next_hops: Dict[str, Tuple[str, int]] = {}
+    for node, (towards, edge_id) in parent.items():
+        # ``towards`` is one hop closer to the destination than ``node``.
+        next_hops[node] = (towards, edge_id)
+    return next_hops
+
+
+def shortest_path_dag(
+    graph: Graph,
+    destination: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> Dict[str, List[Tuple[str, int]]]:
+    """All equal-cost next hops towards ``destination`` for every node.
+
+    Unlike :func:`shortest_path_tree_to`, which keeps a single deterministic
+    next hop, this returns every neighbor that lies on *some* shortest path,
+    which is what ECMP-aware schemes (and the LFA baseline) need.
+    """
+    _check_node(graph, destination)
+    dist, _parent = dijkstra(graph, destination, excluded_edges)
+    excluded_set = frozenset(excluded_edges or ())
+    dag: Dict[str, List[Tuple[str, int]]] = {}
+    for node in graph.nodes():
+        if node == destination or node not in dist:
+            continue
+        options: List[Tuple[str, int]] = []
+        for neighbor, edge_id, weight in graph.iter_adjacent(node, excluded_set):
+            if neighbor not in dist:
+                continue
+            if abs(dist[neighbor] + weight - dist[node]) <= _COST_EPSILON:
+                options.append((neighbor, edge_id))
+        options.sort()
+        dag[node] = options
+    return dag
+
+
+def all_pairs_shortest_costs(
+    graph: Graph,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """All-pairs shortest path costs (one Dijkstra per node)."""
+    return {node: dijkstra(graph, node, excluded_edges)[0] for node in graph.nodes()}
+
+
+def eccentricity(
+    graph: Graph,
+    node: str,
+    hop_count: bool = True,
+) -> float:
+    """Eccentricity of ``node``: distance to the farthest reachable node.
+
+    With ``hop_count=True`` distances are counted in hops regardless of edge
+    weights, which is the quantity the paper's ``log2(d)`` DD-bit bound uses.
+    """
+    if hop_count:
+        unit = graph.copy()
+        for edge in unit.edges():
+            edge.weight = 1.0
+        dist, _parent = dijkstra(unit, node)
+    else:
+        dist, _parent = dijkstra(graph, node)
+    return max(dist.values()) if dist else 0.0
+
+
+def diameter(graph: Graph, hop_count: bool = True) -> float:
+    """Diameter of the graph (maximum eccentricity over all nodes)."""
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    return max(eccentricity(graph, node, hop_count) for node in graph.nodes())

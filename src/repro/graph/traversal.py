@@ -1,0 +1,159 @@
+"""Breadth- and depth-first traversals and spanning trees.
+
+These helpers back the topology generators (which need spanning structures to
+guarantee connectivity) and several embedding heuristics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import NodeNotFound
+from repro.graph.multigraph import Graph
+
+
+def bfs_order(
+    graph: Graph,
+    source: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Nodes reachable from ``source`` in breadth-first order."""
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    excluded: FrozenSet[int] = frozenset(excluded_edges or ())
+    order = [source]
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor, _edge_id, _weight in graph.iter_adjacent(node, excluded):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_tree(
+    graph: Graph,
+    source: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> Dict[str, Tuple[str, int]]:
+    """Breadth-first tree: ``node -> (parent, edge_id)`` for reachable nodes."""
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    excluded: FrozenSet[int] = frozenset(excluded_edges or ())
+    parent: Dict[str, Tuple[str, int]] = {}
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor, edge_id, _weight in graph.iter_adjacent(node, excluded):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                parent[neighbor] = (node, edge_id)
+                queue.append(neighbor)
+    return parent
+
+
+def dfs_order(
+    graph: Graph,
+    source: str,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> List[str]:
+    """Nodes reachable from ``source`` in depth-first (pre-)order."""
+    if not graph.has_node(source):
+        raise NodeNotFound(source)
+    excluded: FrozenSet[int] = frozenset(excluded_edges or ())
+    order: List[str] = []
+    seen = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        neighbors = [
+            neighbor
+            for neighbor, _edge_id, _weight in graph.iter_adjacent(node, excluded)
+        ]
+        # Reverse so that the lexicographically-first neighbor is visited first.
+        for neighbor in sorted(set(neighbors), reverse=True):
+            if neighbor not in seen:
+                stack.append(neighbor)
+    return order
+
+
+def spanning_tree_edges(
+    graph: Graph,
+    root: Optional[str] = None,
+) -> List[int]:
+    """Edge ids of a breadth-first spanning tree of the component of ``root``.
+
+    If ``root`` is omitted the first node of the graph is used.  The result
+    contains ``len(component) - 1`` edges.
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        return []
+    start = root if root is not None else nodes[0]
+    tree = bfs_tree(graph, start)
+    return sorted(edge_id for _parent, edge_id in tree.values())
+
+
+def find_cycle(graph: Graph) -> Optional[List[int]]:
+    """Return the edge ids of some simple cycle, or ``None`` if the graph is a forest.
+
+    The planar embedding algorithm (DMP) seeds its embedding with an
+    arbitrary cycle; this helper finds one via DFS back-edge detection.
+    Parallel edges form a 2-cycle and are returned as such.
+    """
+    # Parallel edges: a cycle of length two.
+    seen_pairs: Dict[Tuple[str, str], int] = {}
+    for edge in graph.edges():
+        key = tuple(sorted((edge.u, edge.v)))
+        if key in seen_pairs:
+            return [seen_pairs[key], edge.edge_id]
+        seen_pairs[key] = edge.edge_id
+
+    visited: Dict[str, Tuple[Optional[str], Optional[int]]] = {}
+    for root in graph.nodes():
+        if root in visited:
+            continue
+        visited[root] = (None, None)
+        stack: List[Tuple[str, Optional[int]]] = [(root, None)]
+        while stack:
+            node, parent_edge = stack.pop()
+            for neighbor, edge_id, _weight in graph.iter_adjacent(node):
+                if edge_id == parent_edge:
+                    continue
+                if neighbor not in visited:
+                    visited[neighbor] = (node, edge_id)
+                    stack.append((neighbor, edge_id))
+                else:
+                    # Back edge found: reconstruct the cycle through the tree.
+                    cycle_edges = [edge_id]
+                    walk = node
+                    ancestry = set()
+                    probe = neighbor
+                    while probe is not None:
+                        ancestry.add(probe)
+                        probe = visited[probe][0]
+                    while walk not in ancestry:
+                        parent, tree_edge = visited[walk]
+                        if parent is None or tree_edge is None:
+                            break
+                        cycle_edges.append(tree_edge)
+                        walk = parent
+                    meet = walk
+                    walk = neighbor
+                    while walk != meet:
+                        parent, tree_edge = visited[walk]
+                        if parent is None or tree_edge is None:
+                            break
+                        cycle_edges.append(tree_edge)
+                        walk = parent
+                    return cycle_edges
+    return None

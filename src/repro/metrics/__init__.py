@@ -1,0 +1,25 @@
+"""Evaluation metrics: path stretch, CCDFs and overhead accounting.
+
+Section 6 defines "the stretch of a path as the ratio between the total path
+cost while cycle following and the path cost of the normal shortest path" and
+plots its complementary CDF; it also compares the schemes on packet-header
+overhead, router memory and per-failure computation.  This package computes
+all of those quantities from forwarding outcomes.
+"""
+
+from repro.metrics.stretch import StretchSample, collect_stretch_samples, stretch_of_outcome
+from repro.metrics.ccdf import ccdf, ccdf_curve, distribution_summary, percentile
+from repro.metrics.overhead import OverheadRow, overhead_comparison, render_overhead_table
+
+__all__ = [
+    "StretchSample",
+    "collect_stretch_samples",
+    "stretch_of_outcome",
+    "ccdf",
+    "ccdf_curve",
+    "distribution_summary",
+    "percentile",
+    "OverheadRow",
+    "overhead_comparison",
+    "render_overhead_table",
+]

@@ -1,0 +1,77 @@
+"""Complementary CDFs and distribution summaries.
+
+Figure 2 plots ``P(Stretch > x | path)`` for ``x`` between 1 and 15; these
+helpers turn a bag of stretch values into exactly that curve, plus the usual
+summary statistics used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def ccdf(values: Sequence[float], threshold: float) -> float:
+    """Empirical ``P(X > threshold)`` of the sample ``values``."""
+    if not values:
+        return 0.0
+    exceeding = sum(1 for value in values if value > threshold)
+    return exceeding / len(values)
+
+
+def ccdf_curve(values: Sequence[float], thresholds: Iterable[float]) -> List[Tuple[float, float]]:
+    """The CCDF evaluated at each threshold, as ``(x, P(X > x))`` pairs."""
+    ordered = sorted(values)
+    curve: List[Tuple[float, float]] = []
+    total = len(ordered)
+    for threshold in thresholds:
+        if total == 0:
+            curve.append((threshold, 0.0))
+            continue
+        # Binary search for the first value strictly greater than the threshold.
+        low, high = 0, total
+        while low < high:
+            middle = (low + high) // 2
+            if ordered[middle] <= threshold:
+                low = middle + 1
+            else:
+                high = middle
+        curve.append((threshold, (total - low) / total))
+    return curve
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1]) of ``values``."""
+    if not values:
+        raise ValueError("cannot compute a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def distribution_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean, median, p90, p99 and max of a sample (empty sample → zeros)."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "median": percentile(values, 0.5),
+        "p90": percentile(values, 0.9),
+        "p99": percentile(values, 0.99),
+        "max": max(values),
+    }
+
+
+def default_stretch_thresholds() -> List[float]:
+    """The x-axis grid of Figure 2: stretch 1 to 15."""
+    return [float(value) for value in range(1, 16)]

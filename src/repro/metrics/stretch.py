@@ -1,0 +1,108 @@
+"""Path-length stretch (the paper's Figure 2 metric).
+
+"Consistently with prior work, we define the stretch of a path as the ratio
+between the total path cost while cycle following and the path cost of the
+normal shortest path."  The denominator is the failure-free shortest path
+cost between the same pair; the numerator is the cost of whatever path the
+scheme actually produced under the failure scenario.  Undelivered packets
+have no stretch — they are reported separately as losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.forwarding.engine import ForwardingOutcome
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.multigraph import Graph
+from repro.routing.tables import RoutingTables
+
+
+@dataclass(frozen=True)
+class StretchSample:
+    """One (scheme, scenario, source, destination) stretch measurement."""
+
+    scheme: str
+    source: str
+    destination: str
+    failed_links: Tuple[int, ...]
+    stretch: Optional[float]
+    delivered: bool
+    hops: int
+    cost: float
+    baseline_cost: float
+
+    @property
+    def lost(self) -> bool:
+        """Whether the packet was not delivered (no stretch value exists)."""
+        return not self.delivered
+
+
+def stretch_of_outcome(
+    outcome: ForwardingOutcome,
+    baseline_cost: float,
+) -> Optional[float]:
+    """Stretch of one delivered outcome, or ``None`` if it was not delivered."""
+    if not outcome.delivered or baseline_cost <= 0:
+        return None
+    return outcome.cost / baseline_cost
+
+
+def collect_stretch_samples(
+    scheme: ForwardingScheme,
+    scenarios: Iterable[Sequence[int]],
+    pairs_per_scenario: Dict[Tuple[int, ...], List[Tuple[str, str]]],
+    baseline_tables: Optional[RoutingTables] = None,
+) -> List[StretchSample]:
+    """Stretch samples of ``scheme`` over (scenario, pair) combinations.
+
+    ``pairs_per_scenario`` maps each (sorted) failure tuple to the pairs to
+    measure for it — typically the pairs whose failure-free path is affected
+    and which remain connected (see :mod:`repro.experiments.stretch`).
+    """
+    graph: Graph = scheme.graph
+    if baseline_tables is None:
+        baseline_tables = RoutingTables(graph)
+    samples: List[StretchSample] = []
+    for scenario in scenarios:
+        key = tuple(sorted(scenario))
+        pairs = pairs_per_scenario.get(key, [])
+        if not pairs:
+            continue
+        outcomes = scheme.deliver_many(pairs, failed_links=key)
+        for (source, destination), outcome in outcomes.items():
+            baseline_cost = baseline_tables.cost(source, destination)
+            samples.append(
+                StretchSample(
+                    scheme=scheme.name,
+                    source=source,
+                    destination=destination,
+                    failed_links=key,
+                    stretch=stretch_of_outcome(outcome, baseline_cost),
+                    delivered=outcome.delivered,
+                    hops=outcome.hops,
+                    cost=outcome.cost,
+                    baseline_cost=baseline_cost,
+                )
+            )
+    return samples
+
+
+def stretch_values(samples: Iterable[StretchSample]) -> List[float]:
+    """The stretch values of the delivered samples only."""
+    return [sample.stretch for sample in samples if sample.stretch is not None]
+
+
+def loss_fraction(samples: Sequence[StretchSample]) -> float:
+    """Fraction of samples that were not delivered."""
+    if not samples:
+        return 0.0
+    lost = sum(1 for sample in samples if sample.lost)
+    return lost / len(samples)
+
+
+def max_stretch(samples: Iterable[StretchSample]) -> float:
+    """Largest observed stretch (0 when nothing was delivered)."""
+    values = stretch_values(samples)
+    return max(values) if values else 0.0

@@ -1,0 +1,150 @@
+"""Full routing re-convergence: the paper's second comparison point.
+
+Traditional link-state re-convergence floods the failure throughout the
+network, lets every router re-run SPF and install new FIB entries.  Two views
+of this process are needed by the reproduction:
+
+* the **end state** (:func:`converged_tables`): routing tables recomputed on
+  the failed topology — the ideal paths against which Figure 2 measures the
+  re-convergence stretch;
+* the **transient** (:class:`ReconvergenceModel` /
+  :class:`ConvergenceTimeline`): how long the network forwards onto a dead
+  link before new tables are in place, which drives the packet-loss estimate
+  of the introduction (a heavily loaded OC-192 link down for one second loses
+  on the order of a quarter of a million 1 kB packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.graph.multigraph import Graph
+from repro.graph.shortest_paths import dijkstra
+from repro.routing.discriminator import DiscriminatorKind
+from repro.routing.tables import RoutingTables
+
+
+def converged_tables(
+    graph: Graph,
+    failed_edges: Iterable[int],
+    discriminator_kind: DiscriminatorKind = DiscriminatorKind.HOP_COUNT,
+) -> RoutingTables:
+    """Routing tables after the network has fully re-converged around failures."""
+    return RoutingTables(graph, discriminator_kind, excluded_edges=failed_edges)
+
+
+@dataclass
+class ConvergenceTimeline:
+    """Per-router timeline of one re-convergence episode (seconds).
+
+    Attributes
+    ----------
+    failure_time:
+        Instant the link went down.
+    detection_time:
+        Instant the adjacent routers declared the link dead.
+    updated_at:
+        Instant each router finished installing its new FIB.
+    converged_time:
+        Instant the last router finished (network-wide convergence).
+    """
+
+    failure_time: float
+    detection_time: float
+    updated_at: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def converged_time(self) -> float:
+        if not self.updated_at:
+            return self.detection_time
+        return max(self.updated_at.values())
+
+    def blackhole_duration(self, node: str) -> float:
+        """How long ``node`` kept forwarding onto stale routes after the failure."""
+        return max(0.0, self.updated_at.get(node, self.detection_time) - self.failure_time)
+
+
+class ReconvergenceModel:
+    """Timing model of link-state re-convergence.
+
+    The model is deliberately simple and conservative, following the standard
+    decomposition used in the IP fast-reroute literature: failure detection,
+    LSA origination, hop-by-hop flooding, SPF computation and FIB update.
+    All parameters are per-event constants; flooding time grows with the
+    hop distance from the failure.
+    """
+
+    def __init__(
+        self,
+        detection_delay: float = 0.05,
+        lsa_origination_delay: float = 0.01,
+        per_hop_flooding_delay: float = 0.01,
+        spf_computation_delay: float = 0.1,
+        fib_update_delay: float = 0.5,
+    ) -> None:
+        self.detection_delay = detection_delay
+        self.lsa_origination_delay = lsa_origination_delay
+        self.per_hop_flooding_delay = per_hop_flooding_delay
+        self.spf_computation_delay = spf_computation_delay
+        self.fib_update_delay = fib_update_delay
+
+    def convergence_delay(self, graph: Graph, failed_edge: int, failure_time: float = 0.0) -> ConvergenceTimeline:
+        """Timeline of the re-convergence episode triggered by one link failure.
+
+        Flooding distances are measured on the topology *without* the failed
+        link (LSAs cannot cross it).
+        """
+        edge = graph.edge(failed_edge)
+        detection = failure_time + self.detection_delay
+        origination = detection + self.lsa_origination_delay
+
+        hop_graph = graph.copy()
+        for other in hop_graph.edges():
+            other.weight = 1.0
+        distances: Dict[str, float] = {}
+        for endpoint in (edge.u, edge.v):
+            dist, _parent = dijkstra(hop_graph, endpoint, excluded_edges={failed_edge})
+            for node, hops in dist.items():
+                if node not in distances or hops < distances[node]:
+                    distances[node] = hops
+
+        timeline = ConvergenceTimeline(failure_time=failure_time, detection_time=detection)
+        for node in graph.nodes():
+            hops = distances.get(node)
+            if hops is None:
+                # Node cut off from the failure endpoints; it never learns and
+                # never updates — model it as converging at detection time
+                # since its routes cannot involve the failed link anyway.
+                timeline.updated_at[node] = detection
+                continue
+            timeline.updated_at[node] = (
+                origination
+                + hops * self.per_hop_flooding_delay
+                + self.spf_computation_delay
+                + self.fib_update_delay
+            )
+        return timeline
+
+    def network_convergence_time(self, graph: Graph, failed_edge: int) -> float:
+        """Seconds from failure until the last router has re-converged."""
+        timeline = self.convergence_delay(graph, failed_edge)
+        return timeline.converged_time - timeline.failure_time
+
+
+def affected_destinations(
+    tables: RoutingTables,
+    node: str,
+    failed_edges: Iterable[int],
+) -> List[str]:
+    """Destinations whose failure-free route at ``node`` uses a failed link.
+
+    These are the destinations for which ``node`` blackholes traffic until it
+    re-converges (or, with PR, the destinations whose packets get the PR bit).
+    """
+    failed = frozenset(failed_edges)
+    affected: List[str] = []
+    for entry in tables.table_of(node):
+        if entry.egress.edge_id in failed:
+            affected.append(entry.destination)
+    return affected

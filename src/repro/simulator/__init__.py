@@ -1,0 +1,37 @@
+"""Discrete-event packet-level simulator.
+
+The stretch results of Figure 2 only need path tracing, but the paper's
+motivation is about *time*: "If, for instance, a heavily loaded OC-192 link
+is down for a second, more than a quarter of a million packets could be
+lost".  This package provides a small discrete-event simulator with link
+propagation and serialisation delays, constant-bit-rate flows, link failure
+events and per-router re-convergence times, so that the packets-lost-during-
+convergence experiment (and the PR counterfactual, which loses none) can be
+run end to end.
+"""
+
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.links import LinkModel, OC192
+from repro.simulator.flows import TrafficFlow
+from repro.simulator.forwarders import (
+    ConvergenceAwareForwarder,
+    ProtectionForwarder,
+    StaticForwarder,
+    TimeAwareForwarder,
+)
+from repro.simulator.des import PacketLevelSimulator, SimulationReport, estimate_packets_lost
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "LinkModel",
+    "OC192",
+    "TrafficFlow",
+    "ConvergenceAwareForwarder",
+    "ProtectionForwarder",
+    "StaticForwarder",
+    "TimeAwareForwarder",
+    "PacketLevelSimulator",
+    "SimulationReport",
+    "estimate_packets_lost",
+]

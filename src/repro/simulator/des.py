@@ -1,0 +1,188 @@
+"""The packet-level discrete-event simulator.
+
+The simulator moves individual packets hop by hop through the topology with
+serialisation and propagation delays, FIFO per-link queueing, constant-rate
+flows, and a forwarding behaviour that may change over time (stale tables →
+converged tables, or an always-on fast-reroute scheme).  It exists to answer
+the question posed by the paper's introduction quantitatively: *how many
+packets does one link failure cost under re-convergence, and how many under
+PR?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.simulator.events import EventQueue
+from repro.simulator.flows import TrafficFlow
+from repro.simulator.forwarders import TimeAwareForwarder
+from repro.simulator.links import LinkModel
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate statistics of one simulation run."""
+
+    forwarder: str
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    packets_in_flight: int = 0
+    total_latency: float = 0.0
+    total_hops: int = 0
+    drop_times: List[float] = field(default_factory=list)
+    events_processed: int = 0
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of sent packets that were dropped."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_sent
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency of delivered packets (seconds)."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_latency / self.packets_delivered
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count of delivered packets."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_hops / self.packets_delivered
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.forwarder}: sent={self.packets_sent} delivered={self.packets_delivered} "
+            f"dropped={self.packets_dropped} ({100.0 * self.loss_fraction:.2f}% loss), "
+            f"mean latency={1000.0 * self.mean_latency:.2f} ms"
+        )
+
+
+class PacketLevelSimulator:
+    """Discrete-event simulation of flows over a (possibly failing) topology."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        forwarder: TimeAwareForwarder,
+        link_model: Optional[LinkModel] = None,
+        max_hops: int = 1024,
+    ) -> None:
+        self.graph = graph
+        self.forwarder = forwarder
+        self.link_model = link_model if link_model is not None else LinkModel()
+        self.max_hops = max_hops
+        self.queue = EventQueue()
+        self.report = SimulationReport(forwarder=forwarder.name)
+        # Per-dart next-free time models FIFO serialisation on each interface.
+        self._interface_free_at: Dict[Dart, float] = {}
+        self._hops_taken: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # workload setup
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: TrafficFlow) -> None:
+        """Schedule every packet emission of ``flow``."""
+        if not self.graph.has_node(flow.source) or not self.graph.has_node(flow.destination):
+            raise SimulationError("flow endpoints must exist in the topology")
+        emission = flow.start
+        index = 0
+        while emission < flow.end:
+            self._schedule_emission(flow, emission)
+            index += 1
+            emission = flow.start + index * flow.interval
+
+    def _schedule_emission(self, flow: TrafficFlow, time: float) -> None:
+        def emit() -> None:
+            packet = Packet(
+                flow.source,
+                flow.destination,
+                size_bytes=flow.packet_size_bytes,
+                created_at=self.queue.now,
+            )
+            self.report.packets_sent += 1
+            self.report.packets_in_flight += 1
+            self._hops_taken[packet.packet_id] = 0
+            self._arrive(packet, flow.source, None)
+
+        self.queue.schedule(time, emit, label=f"emit {flow.source}->{flow.destination}")
+
+    # ------------------------------------------------------------------
+    # packet movement
+    # ------------------------------------------------------------------
+    def _arrive(self, packet: Packet, node: str, ingress: Optional[Dart]) -> None:
+        now = self.queue.now
+        if node == packet.destination:
+            self.report.packets_delivered += 1
+            self.report.packets_in_flight -= 1
+            self.report.total_latency += now - packet.created_at
+            self.report.total_hops += self._hops_taken.pop(packet.packet_id, 0)
+            return
+        if self._hops_taken.get(packet.packet_id, 0) >= self.max_hops:
+            self._drop(packet, now)
+            return
+        egress = self.forwarder.egress_for(now, node, ingress, packet)
+        if egress is None:
+            self._drop(packet, now)
+            return
+        self._transmit(packet, egress)
+
+    def _drop(self, packet: Packet, time: float) -> None:
+        self.report.packets_dropped += 1
+        self.report.packets_in_flight -= 1
+        self.report.drop_times.append(time)
+        self._hops_taken.pop(packet.packet_id, None)
+
+    def _transmit(self, packet: Packet, egress: Dart) -> None:
+        now = self.queue.now
+        serialization = self.link_model.serialization_delay(packet.size_bytes)
+        start = max(now, self._interface_free_at.get(egress, now))
+        finish = start + serialization
+        self._interface_free_at[egress] = finish
+        propagation = self.link_model.propagation_delay(self.graph.weight(egress.edge_id))
+        arrival_time = finish + propagation
+        self._hops_taken[packet.packet_id] = self._hops_taken.get(packet.packet_id, 0) + 1
+
+        def deliver_to_next_hop() -> None:
+            self._arrive(packet, egress.head, egress)
+
+        self.queue.schedule(arrival_time, deliver_to_next_hop, label=f"rx {egress.head}")
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SimulationReport:
+        """Process all scheduled events (optionally only up to ``until``)."""
+        self.report.events_processed += self.queue.run(until=until)
+        return self.report
+
+
+def estimate_packets_lost(
+    link_rate_bps: float,
+    utilization: float,
+    outage_seconds: float,
+    packet_size_bytes: int = 1000,
+) -> float:
+    """Closed-form check of the introduction's back-of-the-envelope number.
+
+    A link of ``link_rate_bps`` loaded at ``utilization`` and black-holed for
+    ``outage_seconds`` drops ``rate * utilization * outage / packet size``
+    packets.  For an OC-192 at full load, one second and 1 kB packets this is
+    ≈ 1.24 million packets; at the ~25 % load implied by the paper's "more
+    than a quarter of a million packets" phrasing it is ≈ 311 k.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise SimulationError("utilization must lie in [0, 1]")
+    bits_lost = link_rate_bps * utilization * outage_seconds
+    return bits_lost / (packet_size_bytes * 8.0)

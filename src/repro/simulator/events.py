@@ -1,0 +1,79 @@
+"""Event queue for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event.
+
+    Events compare by ``(time, sequence)`` so that simultaneous events are
+    processed in scheduling order, which keeps runs reproducible.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Minimal binary-heap event queue with monotonic time checking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last processed event)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run at simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before current time {self._now}"
+            )
+        event = Event(time=time, sequence=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        return self.schedule(self._now + delay, action, label)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Process events in time order until the queue drains or ``until`` is reached.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._heap and processed < max_events:
+            if until is not None and self._heap[0].time > until:
+                break
+            event = heapq.heappop(self._heap)
+            self._now = event.time
+            event.action()
+            processed += 1
+            self._processed += 1
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return processed

@@ -1,0 +1,43 @@
+"""Link models: capacity and propagation delay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Transmission characteristics shared by every link of a simulation.
+
+    Attributes
+    ----------
+    capacity_bps:
+        Line rate in bits per second (serialisation delay = size / capacity).
+    propagation_delay_s:
+        One-way propagation delay per hop.  When ``delay_per_km_s`` is set,
+        the per-hop delay is instead derived from the link weight interpreted
+        as a distance in kilometres (the built-in ISP topologies use
+        kilometre weights).
+    delay_per_km_s:
+        Propagation delay per kilometre of link length (``None`` disables the
+        distance-based model).
+    """
+
+    capacity_bps: float = 10_000_000_000.0
+    propagation_delay_s: float = 0.005
+    delay_per_km_s: Optional[float] = None
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Time to clock one packet of ``size_bytes`` onto the wire."""
+        return (size_bytes * 8.0) / self.capacity_bps
+
+    def propagation_delay(self, link_weight: float) -> float:
+        """One-way propagation delay for a link of the given weight."""
+        if self.delay_per_km_s is not None:
+            return link_weight * self.delay_per_km_s
+        return self.propagation_delay_s
+
+
+#: An OC-192 backbone link (~9.95 Gbit/s), the example of the paper's introduction.
+OC192 = LinkModel(capacity_bps=9_953_280_000.0, propagation_delay_s=0.005)

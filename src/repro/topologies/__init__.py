@@ -1,0 +1,60 @@
+"""Network topologies used by the paper's evaluation plus synthetic generators.
+
+The paper evaluates PR on three ISP topologies: Abilene, Teleglobe and Géant.
+Abilene is public and reproduced exactly; the Géant (2009-era) and Teleglobe
+(Rocketfuel AS6453) graphs are reconstructions of comparable size and
+structure (see DESIGN.md §3 for the substitution rationale).  The package
+also contains the six-node example of Figure 1(a) — with the exact cellular
+embedding (cycles c1–c4) used throughout Section 4 — and a set of synthetic
+generators used by the tests, the property-based suites and the ablation
+benchmarks.
+"""
+
+from repro.topologies.example import example_fig1, example_fig1_embedding
+from repro.topologies.abilene import abilene
+from repro.topologies.geant import geant
+from repro.topologies.teleglobe import teleglobe
+from repro.topologies.generators import (
+    barbell_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    k33_graph,
+    k5_graph,
+    ladder_graph,
+    petersen_graph,
+    random_planar_graph,
+    ring_graph,
+    torus_grid_graph,
+    waxman_graph,
+    wheel_graph,
+)
+from repro.topologies.parser import graph_from_text, graph_to_text, load_graph, save_graph
+from repro.topologies.registry import available_topologies, by_name
+
+__all__ = [
+    "example_fig1",
+    "example_fig1_embedding",
+    "abilene",
+    "geant",
+    "teleglobe",
+    "barbell_graph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "k33_graph",
+    "k5_graph",
+    "ladder_graph",
+    "petersen_graph",
+    "random_planar_graph",
+    "ring_graph",
+    "torus_grid_graph",
+    "waxman_graph",
+    "wheel_graph",
+    "graph_from_text",
+    "graph_to_text",
+    "load_graph",
+    "save_graph",
+    "available_topologies",
+    "by_name",
+]

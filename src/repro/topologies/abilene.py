@@ -1,0 +1,83 @@
+"""The Abilene (Internet2) backbone, as used in the paper's Figure 2(a)/(d).
+
+Abilene's research backbone connected 11 points of presence with 14 OC-192
+links; the node set and link set below are the standard published ones
+(the paper's reference [21]).  Link weights are the great-circle distances
+between the PoP cities rounded to kilometres, which is the conventional
+choice when the original IGP metrics are not needed; a unit-weight variant
+is available for hop-count experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.multigraph import Graph
+
+#: PoP cities with (latitude, longitude), used to derive distance weights.
+ABILENE_COORDINATES: Dict[str, Tuple[float, float]] = {
+    "Seattle": (47.61, -122.33),
+    "Sunnyvale": (37.37, -122.04),
+    "LosAngeles": (34.05, -118.24),
+    "Denver": (39.74, -104.99),
+    "KansasCity": (39.10, -94.58),
+    "Houston": (29.76, -95.37),
+    "Chicago": (41.88, -87.63),
+    "Indianapolis": (39.77, -86.16),
+    "Atlanta": (33.75, -84.39),
+    "Washington": (38.91, -77.04),
+    "NewYork": (40.71, -74.01),
+}
+
+#: The 14 Abilene backbone links.
+ABILENE_LINKS: List[Tuple[str, str]] = [
+    ("Seattle", "Sunnyvale"),
+    ("Seattle", "Denver"),
+    ("Sunnyvale", "LosAngeles"),
+    ("Sunnyvale", "Denver"),
+    ("LosAngeles", "Houston"),
+    ("Denver", "KansasCity"),
+    ("KansasCity", "Houston"),
+    ("KansasCity", "Indianapolis"),
+    ("Houston", "Atlanta"),
+    ("Indianapolis", "Chicago"),
+    ("Indianapolis", "Atlanta"),
+    ("Chicago", "NewYork"),
+    ("Atlanta", "Washington"),
+    ("NewYork", "Washington"),
+]
+
+
+def great_circle_km(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Great-circle distance in kilometres between two (lat, lon) points."""
+    import math
+
+    lat1, lon1 = map(math.radians, a)
+    lat2, lon2 = map(math.radians, b)
+    delta_lat = lat2 - lat1
+    delta_lon = lon2 - lon1
+    haversine = (
+        math.sin(delta_lat / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(delta_lon / 2) ** 2
+    )
+    earth_radius_km = 6371.0
+    return 2 * earth_radius_km * math.asin(math.sqrt(haversine))
+
+
+def abilene(unit_weights: bool = False) -> Graph:
+    """The 11-node / 14-link Abilene backbone.
+
+    With ``unit_weights=True`` every link costs 1 (pure hop-count routing);
+    otherwise links are weighted by the great-circle distance between their
+    endpoint cities, rounded to whole kilometres.
+    """
+    graph = Graph("abilene")
+    for city in ABILENE_COORDINATES:
+        graph.ensure_node(city)
+    for u, v in ABILENE_LINKS:
+        if unit_weights:
+            weight = 1.0
+        else:
+            weight = round(great_circle_km(ABILENE_COORDINATES[u], ABILENE_COORDINATES[v]))
+        graph.add_edge(u, v, max(1.0, weight))
+    return graph

@@ -1,0 +1,84 @@
+"""The six-node example network of Figure 1(a), with its exact embedding.
+
+The paper never lists the example's links explicitly, but Sections 4.1–4.3
+pin them down completely:
+
+* Table 1 shows node ``D`` with interfaces towards ``B``, ``E`` and ``F``.
+* Cycle ``c1`` is the face ``F -> D -> E -> F`` (Table 1 rows for ``IFD``
+  and the complementary column for ``IBD``).
+* Cycle ``c2`` is ``D -> B -> C -> E -> D`` (the backup walk of the single
+  failure example of Section 4.2).
+* Cycle ``c3`` is ``B -> A -> C -> B`` (the multi-failure walk of
+  Section 4.3: B forwards over ``IBA`` and the packet reaches C "after being
+  forwarded by A").
+* Cycle ``c4`` is the outer face ``A -> B -> D -> F -> E -> C -> A``
+  (the remaining darts; the footnote explains its apparently opposite
+  orientation as a stereographic-projection artifact).
+
+Euler's formula checks out (6 - 8 + 4 = 2, a sphere), every link lies on
+exactly two oppositely-oriented cycles, and the link weights below make the
+shortest path tree towards ``F`` match the thick edges of Figure 1
+(``A-B-D-E-F``, with ``C`` joining at ``E``), including the ``DD = 2`` value
+node ``D`` writes in the Section 4.3 walk-through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.embedding.builder import CellularEmbedding
+from repro.embedding.faces import rotation_from_faces
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+
+#: Link weights chosen so that the shortest-path tree to ``F`` uses
+#: A-B, B-D, D-E, E-F and C-E, as drawn (thick edges) in Figure 1.
+_EXAMPLE_EDGES: List[Tuple[str, str, float]] = [
+    ("A", "B", 1.0),
+    ("A", "C", 3.0),
+    ("B", "C", 2.0),
+    ("B", "D", 1.0),
+    ("C", "E", 1.0),
+    ("D", "E", 1.0),
+    ("D", "F", 3.0),
+    ("E", "F", 1.0),
+]
+
+#: The four cellular cycles of Figure 1(a), as node walks.
+_EXAMPLE_FACES: Dict[str, List[str]] = {
+    "c1": ["F", "D", "E"],
+    "c2": ["D", "B", "C", "E"],
+    "c3": ["B", "A", "C"],
+    "c4": ["A", "B", "D", "F", "E", "C"],
+}
+
+
+def example_fig1() -> Graph:
+    """The six-node network of Figure 1(a)."""
+    return Graph.from_edge_list(_EXAMPLE_EDGES, name="fig1-example")
+
+
+def _dart_between(graph: Graph, tail: str, head: str) -> Dart:
+    edge_ids = graph.edge_ids_between(tail, head)
+    if not edge_ids:
+        raise ValueError(f"example graph has no edge {tail}--{head}")
+    return graph.dart(edge_ids[0], tail)
+
+
+def example_fig1_embedding() -> CellularEmbedding:
+    """The exact cellular embedding (cycles c1–c4) used in the paper's examples."""
+    graph = example_fig1()
+    face_walks = []
+    for nodes in _EXAMPLE_FACES.values():
+        walk = [
+            _dart_between(graph, tail, head)
+            for tail, head in zip(nodes, nodes[1:] + nodes[:1])
+        ]
+        face_walks.append(walk)
+    rotation = rotation_from_faces(graph, face_walks)
+    return CellularEmbedding(graph, rotation)
+
+
+def example_face_names() -> Dict[str, List[str]]:
+    """The paper's cycle names mapped to their node walks (for display/tests)."""
+    return {name: list(nodes) for name, nodes in _EXAMPLE_FACES.items()}

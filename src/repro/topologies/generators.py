@@ -1,0 +1,291 @@
+"""Synthetic topology generators.
+
+These back the unit tests, the hypothesis property suites (random connected
+graphs of controlled size) and the embedding-quality ablation benchmark.
+All generators produce :class:`~repro.graph.multigraph.Graph` instances with
+string node names of the form ``n0, n1, ...`` (or ``r<row>c<col>`` for
+grids), unit weights unless stated otherwise, and deterministic output for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.graph.connectivity import is_connected
+from repro.graph.multigraph import Graph
+
+
+def _node(index: int) -> str:
+    return f"n{index}"
+
+
+def ring_graph(size: int, weight: float = 1.0) -> Graph:
+    """A cycle of ``size`` nodes (the smallest 2-edge-connected topologies)."""
+    if size < 3:
+        raise TopologyError("a ring needs at least 3 nodes")
+    graph = Graph(f"ring-{size}")
+    for index in range(size):
+        graph.ensure_node(_node(index))
+    for index in range(size):
+        graph.add_edge(_node(index), _node((index + 1) % size), weight)
+    return graph
+
+
+def grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """A planar ``rows x cols`` grid."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be positive")
+    graph = Graph(f"grid-{rows}x{cols}")
+    for row in range(rows):
+        for col in range(cols):
+            graph.ensure_node(f"r{row}c{col}")
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                graph.add_edge(f"r{row}c{col}", f"r{row}c{col + 1}", weight)
+            if row + 1 < rows:
+                graph.add_edge(f"r{row}c{col}", f"r{row + 1}c{col}", weight)
+    return graph
+
+
+def torus_grid_graph(rows: int, cols: int, weight: float = 1.0) -> Graph:
+    """A grid with wrap-around links — a natural genus-1 (toroidal) topology."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("a torus grid needs at least 3x3 nodes")
+    graph = Graph(f"torus-{rows}x{cols}")
+    for row in range(rows):
+        for col in range(cols):
+            graph.ensure_node(f"r{row}c{col}")
+    for row in range(rows):
+        for col in range(cols):
+            graph.add_edge(f"r{row}c{col}", f"r{row}c{(col + 1) % cols}", weight)
+            graph.add_edge(f"r{row}c{col}", f"r{(row + 1) % rows}c{col}", weight)
+    return graph
+
+
+def complete_graph(size: int, weight: float = 1.0) -> Graph:
+    """The complete graph K_n (non-planar for n >= 5)."""
+    if size < 2:
+        raise TopologyError("a complete graph needs at least 2 nodes")
+    graph = Graph(f"complete-{size}")
+    for index in range(size):
+        graph.ensure_node(_node(index))
+    for left, right in itertools.combinations(range(size), 2):
+        graph.add_edge(_node(left), _node(right), weight)
+    return graph
+
+
+def k5_graph() -> Graph:
+    """K5, the smallest non-planar complete graph."""
+    graph = complete_graph(5)
+    graph.name = "k5"
+    return graph
+
+
+def k33_graph() -> Graph:
+    """K3,3, the other Kuratowski obstruction to planarity."""
+    graph = Graph("k33")
+    left = [f"a{index}" for index in range(3)]
+    right = [f"b{index}" for index in range(3)]
+    for node in left + right:
+        graph.ensure_node(node)
+    for u in left:
+        for v in right:
+            graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 3-regular, non-planar, girth 5 — a good stress test."""
+    graph = Graph("petersen")
+    outer = [f"o{index}" for index in range(5)]
+    inner = [f"i{index}" for index in range(5)]
+    for node in outer + inner:
+        graph.ensure_node(node)
+    for index in range(5):
+        graph.add_edge(outer[index], outer[(index + 1) % 5], 1.0)
+        graph.add_edge(inner[index], inner[(index + 2) % 5], 1.0)
+        graph.add_edge(outer[index], inner[index], 1.0)
+    return graph
+
+
+def wheel_graph(spokes: int, weight: float = 1.0) -> Graph:
+    """A hub connected to every node of a ring (planar, 2-connected)."""
+    if spokes < 3:
+        raise TopologyError("a wheel needs at least 3 spokes")
+    graph = ring_graph(spokes, weight)
+    graph.name = f"wheel-{spokes}"
+    graph.ensure_node("hub")
+    for index in range(spokes):
+        graph.add_edge("hub", _node(index), weight)
+    return graph
+
+
+def ladder_graph(rungs: int, weight: float = 1.0) -> Graph:
+    """Two parallel paths joined by rungs (planar, 2-connected for rungs >= 2)."""
+    if rungs < 2:
+        raise TopologyError("a ladder needs at least 2 rungs")
+    graph = Graph(f"ladder-{rungs}")
+    for index in range(rungs):
+        graph.ensure_node(f"t{index}")
+        graph.ensure_node(f"b{index}")
+    for index in range(rungs):
+        graph.add_edge(f"t{index}", f"b{index}", weight)
+        if index + 1 < rungs:
+            graph.add_edge(f"t{index}", f"t{index + 1}", weight)
+            graph.add_edge(f"b{index}", f"b{index + 1}", weight)
+    return graph
+
+
+def barbell_graph(bell_size: int, path_length: int = 1) -> Graph:
+    """Two complete graphs joined by a path — a topology full of bridges."""
+    if bell_size < 3:
+        raise TopologyError("each bell needs at least 3 nodes")
+    graph = Graph(f"barbell-{bell_size}-{path_length}")
+    left = [f"l{index}" for index in range(bell_size)]
+    right = [f"r{index}" for index in range(bell_size)]
+    for node in left + right:
+        graph.ensure_node(node)
+    for u, v in itertools.combinations(left, 2):
+        graph.add_edge(u, v, 1.0)
+    for u, v in itertools.combinations(right, 2):
+        graph.add_edge(u, v, 1.0)
+    previous = left[0]
+    for index in range(path_length):
+        middle = f"m{index}"
+        graph.ensure_node(middle)
+        graph.add_edge(previous, middle, 1.0)
+        previous = middle
+    graph.add_edge(previous, right[0], 1.0)
+    return graph
+
+
+def erdos_renyi_graph(
+    size: int,
+    probability: float,
+    seed: Optional[int] = None,
+    ensure_connectivity: bool = True,
+) -> Graph:
+    """G(n, p) random graph, optionally patched into connectivity with a ring.
+
+    The patching (adding ring edges between consecutive isolated parts) keeps
+    the degree distribution close to G(n, p) while guaranteeing the graph is
+    usable by the embedding and routing layers, which require connectivity.
+    """
+    if size < 2:
+        raise TopologyError("a random graph needs at least 2 nodes")
+    if not 0.0 <= probability <= 1.0:
+        raise TopologyError("edge probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(f"gnp-{size}-{probability}")
+    for index in range(size):
+        graph.ensure_node(_node(index))
+    for left, right in itertools.combinations(range(size), 2):
+        if rng.random() < probability:
+            graph.add_edge(_node(left), _node(right), 1.0)
+    if ensure_connectivity and not is_connected(graph):
+        for index in range(size):
+            u, v = _node(index), _node((index + 1) % size)
+            if not graph.has_edge_between(u, v):
+                graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def waxman_graph(
+    size: int,
+    alpha: float = 0.6,
+    beta: float = 0.4,
+    seed: Optional[int] = None,
+    ensure_connectivity: bool = True,
+) -> Graph:
+    """Waxman random geometric graph (the classic ISP-like generator).
+
+    Nodes are placed uniformly in the unit square; an edge joins ``u`` and
+    ``v`` with probability ``alpha * exp(-d(u, v) / (beta * L))`` where ``L``
+    is the maximum possible distance.  Weights are the Euclidean distances
+    scaled by 100 and rounded up, so that shortest paths prefer short links.
+    """
+    if size < 2:
+        raise TopologyError("a Waxman graph needs at least 2 nodes")
+    rng = random.Random(seed)
+    positions = {_node(index): (rng.random(), rng.random()) for index in range(size)}
+    graph = Graph(f"waxman-{size}")
+    for node in positions:
+        graph.ensure_node(node)
+    max_distance = math.sqrt(2.0)
+    names = list(positions)
+    for u, v in itertools.combinations(names, 2):
+        (x1, y1), (x2, y2) = positions[u], positions[v]
+        distance = math.hypot(x1 - x2, y1 - y2)
+        if rng.random() < alpha * math.exp(-distance / (beta * max_distance)):
+            graph.add_edge(u, v, max(1.0, math.ceil(distance * 100)))
+    if ensure_connectivity and not is_connected(graph):
+        ordered = sorted(names, key=lambda name: positions[name])
+        for left, right in zip(ordered, ordered[1:]):
+            if not graph.has_edge_between(left, right):
+                (x1, y1), (x2, y2) = positions[left], positions[right]
+                graph.add_edge(left, right, max(1.0, math.ceil(math.hypot(x1 - x2, y1 - y2) * 100)))
+    return graph
+
+
+def random_planar_graph(
+    rows: int,
+    cols: int,
+    extra_diagonals: int = 0,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A random planar 2-connected graph: a grid plus non-crossing diagonals.
+
+    Each grid cell can host at most one diagonal, which keeps the graph
+    planar by construction; ``extra_diagonals`` cells (chosen at random) get
+    one.
+    """
+    graph = grid_graph(rows, cols)
+    graph.name = f"planar-{rows}x{cols}-{extra_diagonals}"
+    rng = random.Random(seed)
+    cells = [(row, col) for row in range(rows - 1) for col in range(cols - 1)]
+    rng.shuffle(cells)
+    for row, col in cells[: max(0, extra_diagonals)]:
+        if rng.random() < 0.5:
+            graph.add_edge(f"r{row}c{col}", f"r{row + 1}c{col + 1}", 1.0)
+        else:
+            graph.add_edge(f"r{row}c{col + 1}", f"r{row + 1}c{col}", 1.0)
+    return graph
+
+
+def random_connected_graph(
+    size: int,
+    extra_edges: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A random connected graph: random spanning tree plus ``extra_edges`` chords.
+
+    Useful for property-based tests that need arbitrary connected inputs of
+    controlled density.
+    """
+    if size < 2:
+        raise TopologyError("need at least 2 nodes")
+    rng = random.Random(seed)
+    graph = Graph(f"random-connected-{size}-{extra_edges}")
+    names = [_node(index) for index in range(size)]
+    for name in names:
+        graph.ensure_node(name)
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    for index in range(1, size):
+        attach = rng.randrange(index)
+        graph.add_edge(shuffled[index], shuffled[attach], 1.0)
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 20 * extra_edges + 20:
+        attempts += 1
+        u, v = rng.sample(names, 2)
+        if not graph.has_edge_between(u, v):
+            graph.add_edge(u, v, 1.0)
+            added += 1
+    return graph

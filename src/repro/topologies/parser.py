@@ -1,0 +1,82 @@
+"""Plain-text topology format: load and save weighted edge lists.
+
+The format is intentionally trivial (one link per line, ``u v [weight]``,
+``#`` comments) so that users can drop in their own ISP topologies — e.g.
+Rocketfuel or Topology Zoo exports converted with a one-line awk script —
+and run the full experiment suite on them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import TopologyError
+from repro.graph.multigraph import Graph
+
+
+def graph_from_text(text: str, name: str = "network") -> Graph:
+    """Parse a weighted edge list.
+
+    Each non-empty, non-comment line is ``<node> <node> [<weight>]``.  Nodes
+    appearing only in a ``node <name>`` line (no links) are allowed so that
+    topologies with isolated routers can at least be represented.
+    """
+    graph = Graph(name)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "node":
+            if len(parts) != 2:
+                raise TopologyError(f"line {line_number}: expected 'node <name>'")
+            graph.ensure_node(parts[1])
+            continue
+        if len(parts) == 2:
+            u, v = parts
+            weight = 1.0
+        elif len(parts) == 3:
+            u, v = parts[0], parts[1]
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                raise TopologyError(
+                    f"line {line_number}: weight {parts[2]!r} is not a number"
+                ) from None
+        else:
+            raise TopologyError(
+                f"line {line_number}: expected '<node> <node> [<weight>]', got {raw_line!r}"
+            )
+        if weight <= 0:
+            raise TopologyError(f"line {line_number}: weight must be positive, got {weight}")
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def graph_to_text(graph: Graph) -> str:
+    """Serialise a graph to the edge-list format accepted by :func:`graph_from_text`."""
+    lines = [f"# topology: {graph.name}"]
+    connected_nodes = set()
+    for edge in graph.edges():
+        connected_nodes.add(edge.u)
+        connected_nodes.add(edge.v)
+    for node in graph.nodes():
+        if node not in connected_nodes:
+            lines.append(f"node {node}")
+    for edge in graph.edges():
+        lines.append(f"{edge.u} {edge.v} {edge.weight:g}")
+    return "\n".join(lines) + "\n"
+
+
+def load_graph(path: Union[str, Path], name: Optional[str] = None) -> Graph:
+    """Load a topology file written in the edge-list format."""
+    path = Path(path)
+    return graph_from_text(path.read_text(), name=name or path.stem)
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> Path:
+    """Write ``graph`` to ``path`` in the edge-list format; returns the path."""
+    path = Path(path)
+    path.write_text(graph_to_text(graph))
+    return path

@@ -1,0 +1,34 @@
+"""Registry of the named topologies used by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import TopologyError
+from repro.graph.multigraph import Graph
+from repro.topologies.abilene import abilene
+from repro.topologies.example import example_fig1
+from repro.topologies.geant import geant
+from repro.topologies.teleglobe import teleglobe
+
+_REGISTRY: Dict[str, Callable[[], Graph]] = {
+    "abilene": abilene,
+    "teleglobe": teleglobe,
+    "geant": geant,
+    "fig1-example": example_fig1,
+}
+
+
+def available_topologies() -> List[str]:
+    """Names accepted by :func:`by_name`, in display order."""
+    return list(_REGISTRY)
+
+
+def by_name(name: str) -> Graph:
+    """Build a topology by its registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        )
+    return _REGISTRY[key]()

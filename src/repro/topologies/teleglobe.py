@@ -1,0 +1,87 @@
+"""Teleglobe (AS6453) PoP-level topology approximation, Figure 2(b)/(e).
+
+The paper uses the Teleglobe backbone as measured by Rocketfuel (reference
+[18]).  The Rocketfuel PoP maps are not redistributable, so this module
+reconstructs a PoP-level graph of the same scale and flavour: a global
+tier-1 carrier with North-American, European and Asian PoP clusters joined
+by transoceanic links (26 PoPs, 40 links, mean degree ≈ 3.1).  Stretch
+distributions on this reconstruction have the same qualitative shape as on
+the measured topology — a dense continental core with long "detour" backup
+paths across oceans — which is what the Figure 2(b)/(e) comparison exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.multigraph import Graph
+from repro.topologies.abilene import great_circle_km
+
+#: PoP cities with approximate (latitude, longitude).
+TELEGLOBE_COORDINATES: Dict[str, Tuple[float, float]] = {
+    "NewYork": (40.71, -74.01),
+    "Newark": (40.74, -74.17),
+    "Montreal": (45.50, -73.57),
+    "Toronto": (43.65, -79.38),
+    "Chicago": (41.88, -87.63),
+    "Ashburn": (39.04, -77.49),
+    "Atlanta": (33.75, -84.39),
+    "Miami": (25.76, -80.19),
+    "Dallas": (32.78, -96.80),
+    "LosAngeles": (34.05, -118.24),
+    "PaloAlto": (37.44, -122.14),
+    "Seattle": (47.61, -122.33),
+    "London": (51.51, -0.13),
+    "Paris": (48.86, 2.35),
+    "Frankfurt": (50.11, 8.68),
+    "Amsterdam": (52.37, 4.90),
+    "Madrid": (40.42, -3.70),
+    "Marseille": (43.30, 5.37),
+    "HongKong": (22.32, 114.17),
+    "Singapore": (1.35, 103.82),
+    "Tokyo": (35.68, 139.69),
+    "Sydney": (-33.87, 151.21),
+    "Mumbai": (19.08, 72.88),
+    "Chennai": (13.08, 80.27),
+    "Dubai": (25.20, 55.27),
+    "SaoPaulo": (-23.55, -46.63),
+}
+
+#: PoP-level links of the reconstruction (40 links).
+TELEGLOBE_LINKS: List[Tuple[str, str]] = [
+    # North-American core
+    ("Seattle", "PaloAlto"), ("Seattle", "Chicago"), ("PaloAlto", "LosAngeles"),
+    ("LosAngeles", "Dallas"), ("Dallas", "Atlanta"), ("Dallas", "Chicago"),
+    ("Atlanta", "Miami"), ("Atlanta", "Ashburn"), ("Ashburn", "NewYork"),
+    ("Ashburn", "Chicago"), ("NewYork", "Newark"), ("Newark", "Ashburn"),
+    ("NewYork", "Montreal"), ("Montreal", "Toronto"), ("Toronto", "Chicago"),
+    ("NewYork", "Chicago"),
+    # Transatlantic
+    ("NewYork", "London"), ("Newark", "London"), ("NewYork", "Paris"),
+    ("Montreal", "Amsterdam"),
+    # European core
+    ("London", "Paris"), ("London", "Amsterdam"), ("Paris", "Frankfurt"),
+    ("Amsterdam", "Frankfurt"), ("Paris", "Madrid"), ("Madrid", "Marseille"),
+    ("Paris", "Marseille"),
+    # Middle East / Asia / Pacific
+    ("Marseille", "Dubai"), ("Dubai", "Mumbai"), ("Mumbai", "Chennai"),
+    ("Chennai", "Singapore"), ("Mumbai", "Singapore"), ("Singapore", "HongKong"),
+    ("HongKong", "Tokyo"), ("Tokyo", "Seattle"), ("Tokyo", "LosAngeles"),
+    ("Singapore", "Sydney"), ("Sydney", "LosAngeles"),
+    # South America
+    ("SaoPaulo", "Miami"), ("SaoPaulo", "NewYork"),
+]
+
+
+def teleglobe(unit_weights: bool = False) -> Graph:
+    """The 26-PoP Teleglobe (AS6453) reconstruction."""
+    graph = Graph("teleglobe")
+    for city in TELEGLOBE_COORDINATES:
+        graph.ensure_node(city)
+    for u, v in TELEGLOBE_LINKS:
+        if unit_weights:
+            weight = 1.0
+        else:
+            weight = round(great_circle_km(TELEGLOBE_COORDINATES[u], TELEGLOBE_COORDINATES[v]))
+        graph.add_edge(u, v, max(1.0, weight))
+    return graph

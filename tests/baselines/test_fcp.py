@@ -1,0 +1,77 @@
+"""Unit tests for the Failure-Carrying Packets baseline."""
+
+import pytest
+
+from repro.baselines.fcp import FailureCarryingPackets
+from repro.failures.sampling import all_multi_link_failures
+from repro.failures.scenarios import single_link_failures
+from repro.core.coverage import coverage_report
+from repro.graph.shortest_paths import shortest_path_cost
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestFailureFreeBehaviour:
+    def test_matches_shortest_path(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        outcome = scheme.deliver("Seattle", "Washington")
+        assert outcome.delivered
+        assert outcome.cost == pytest.approx(
+            shortest_path_cost(abilene_graph, "Seattle", "Washington")
+        )
+        assert outcome.counter("spf_computations") == 0
+
+
+class TestFailureHandling:
+    def test_single_failure_recovered_with_one_recorded_failure(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        failed = _edge(abilene_graph, "Denver", "KansasCity")
+        outcome = scheme.deliver("Seattle", "KansasCity", failed_links=[failed])
+        assert outcome.delivered
+        assert outcome.counter("failures_recorded") == 1
+        assert outcome.counter("spf_computations") >= 1
+
+    def test_full_coverage_single_failures(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        scenarios = [s.failed_links for s in single_link_failures(abilene_graph)]
+        report = coverage_report(scheme, scenarios)
+        assert report.full_coverage
+
+    def test_full_coverage_dual_failures(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        scenarios = [
+            s.failed_links
+            for s in all_multi_link_failures(abilene_graph, 2, require_connected=True, limit=40)
+        ]
+        report = coverage_report(scheme, scenarios)
+        assert report.full_coverage
+
+    def test_unreachable_destination_dropped(self):
+        from repro.graph.multigraph import Graph
+
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        scheme = FailureCarryingPackets(graph)
+        bridge = graph.edge_ids_between("c", "d")[0]
+        outcome = scheme.deliver("a", "d", failed_links=[bridge])
+        assert not outcome.delivered
+        assert "unreachable" in outcome.drop_reason
+
+    def test_stretch_never_below_one(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        failed = _edge(abilene_graph, "Houston", "Atlanta")
+        outcome = scheme.deliver("LosAngeles", "Atlanta", failed_links=[failed])
+        baseline = shortest_path_cost(abilene_graph, "LosAngeles", "Atlanta")
+        assert outcome.cost >= baseline - 1e-9
+
+
+class TestOverheads:
+    def test_header_bits_grow_with_carried_failures(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        assert scheme.header_overhead_bits(1) == 4
+        assert scheme.header_overhead_bits(3) == 12
+
+    def test_online_computation_nonzero(self, abilene_graph):
+        scheme = FailureCarryingPackets(abilene_graph)
+        assert scheme.online_computation_per_failure() >= 1

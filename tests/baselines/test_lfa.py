@@ -1,0 +1,71 @@
+"""Unit tests for the Loop-Free Alternates baseline."""
+
+import pytest
+
+from repro.baselines.lfa import LoopFreeAlternates
+from repro.core.coverage import coverage_report
+from repro.failures.scenarios import single_link_failures
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import ring_graph
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestAlternateComputation:
+    def test_alternates_satisfy_loop_free_condition(self, abilene_graph):
+        scheme = LoopFreeAlternates(abilene_graph)
+        for (node, destination), darts in scheme.alternates.items():
+            for dart in darts:
+                neighbor = dart.head
+                assert (
+                    scheme._costs[neighbor][destination]
+                    < scheme._costs[neighbor][node] + scheme._costs[node][destination]
+                )
+
+    def test_primary_next_hop_never_listed_as_alternate(self, abilene_graph):
+        scheme = LoopFreeAlternates(abilene_graph)
+        for (node, destination), darts in scheme.alternates.items():
+            primary = scheme.routing.next_hop(node, destination)
+            assert all(dart.head != primary for dart in darts)
+
+
+class TestForwarding:
+    def test_failure_free_forwarding_matches_shortest_path(self, abilene_graph):
+        scheme = LoopFreeAlternates(abilene_graph)
+        outcome = scheme.deliver("Seattle", "NewYork")
+        assert outcome.delivered
+        assert outcome.counter("lfa_activations") == 0
+
+    def test_protected_failure_uses_alternate(self, diamond_graph):
+        # In K4 every neighbor of the source is a loop-free alternate towards
+        # the destination, so the failed primary link is always repairable.
+        scheme = LoopFreeAlternates(diamond_graph)
+        failed = _edge(diamond_graph, "a", "d")
+        outcome = scheme.deliver("a", "d", failed_links=[failed])
+        assert outcome.delivered
+        assert outcome.counter("lfa_activations") >= 1
+
+    def test_ring_adjacent_destination_has_no_loop_free_alternate(self):
+        """On a ring the LFA inequality fails for the neighbor destination
+        (the alternate's own path is exactly as long as going back through
+        the protecting router), so that failure is not repairable — the
+        coverage gap the paper's mechanism closes."""
+        ring = ring_graph(6)
+        scheme = LoopFreeAlternates(ring)
+        assert ("n0", "n1") not in scheme.alternates
+        outcome = scheme.deliver("n0", "n1", failed_links=[_edge(ring, "n0", "n1")])
+        assert not outcome.delivered
+
+    def test_lower_coverage_than_pr(self, abilene_graph, abilene_pr):
+        scenarios = [s.failed_links for s in single_link_failures(abilene_graph)]
+        lfa_report = coverage_report(LoopFreeAlternates(abilene_graph), scenarios)
+        pr_report = coverage_report(abilene_pr, scenarios)
+        assert pr_report.coverage == 1.0
+        assert lfa_report.coverage <= pr_report.coverage
+
+    def test_no_header_overhead(self, abilene_graph):
+        scheme = LoopFreeAlternates(abilene_graph)
+        assert scheme.header_overhead_bits() == 0
+        assert scheme.router_memory_entries() == len(scheme.alternates)

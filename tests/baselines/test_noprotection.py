@@ -1,0 +1,37 @@
+"""Unit tests for the no-protection baseline."""
+
+from repro.baselines.noprotection import NoProtection
+from repro.core.coverage import coverage_report
+from repro.failures.scenarios import all_affecting_pairs, single_link_failures
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestNoProtection:
+    def test_delivers_when_path_unaffected(self, abilene_graph):
+        scheme = NoProtection(abilene_graph)
+        failed = _edge(abilene_graph, "Seattle", "Denver")
+        outcome = scheme.deliver("Atlanta", "Washington", failed_links=[failed])
+        assert outcome.delivered
+
+    def test_drops_at_the_failure_point(self, abilene_graph):
+        scheme = NoProtection(abilene_graph)
+        failed = _edge(abilene_graph, "Chicago", "NewYork")
+        outcome = scheme.deliver("Indianapolis", "NewYork", failed_links=[failed])
+        assert not outcome.delivered
+        assert outcome.path[-1] == "Chicago"
+
+    def test_loses_every_affected_pair(self, abilene_graph):
+        scheme = NoProtection(abilene_graph)
+        scenario = single_link_failures(abilene_graph)[0]
+        affected = all_affecting_pairs(abilene_graph, scenario)
+        outcomes = scheme.deliver_many(affected, failed_links=scenario.failed_links)
+        assert all(not outcome.delivered for outcome in outcomes.values())
+
+    def test_coverage_is_the_floor(self, abilene_graph, abilene_pr):
+        scenarios = [s.failed_links for s in single_link_failures(abilene_graph)]
+        floor = coverage_report(NoProtection(abilene_graph), scenarios)
+        pr = coverage_report(abilene_pr, scenarios)
+        assert floor.coverage < pr.coverage

@@ -1,0 +1,48 @@
+"""Unit tests for the re-convergence baseline scheme."""
+
+import pytest
+
+from repro.baselines.reconvergence import Reconvergence
+from repro.core.coverage import coverage_report
+from repro.failures.scenarios import single_link_failures
+from repro.graph.shortest_paths import shortest_path_cost
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestReconvergence:
+    def test_follows_post_convergence_shortest_path(self, abilene_graph):
+        scheme = Reconvergence(abilene_graph)
+        failed = _edge(abilene_graph, "Chicago", "NewYork")
+        outcome = scheme.deliver("Chicago", "NewYork", failed_links=[failed])
+        assert outcome.delivered
+        expected = shortest_path_cost(abilene_graph, "Chicago", "NewYork", excluded_edges=[failed])
+        assert outcome.cost == pytest.approx(expected)
+
+    def test_optimal_stretch_among_schemes(self, abilene_graph, abilene_pr):
+        """Re-convergence is the stretch lower bound: no scheme can do better."""
+        failed = [_edge(abilene_graph, "Denver", "KansasCity")]
+        reconv = Reconvergence(abilene_graph).deliver("Seattle", "KansasCity", failed_links=failed)
+        pr = abilene_pr.deliver("Seattle", "KansasCity", failed_links=failed)
+        assert reconv.cost <= pr.cost + 1e-9
+
+    def test_full_coverage(self, abilene_graph):
+        scheme = Reconvergence(abilene_graph)
+        scenarios = [s.failed_links for s in single_link_failures(abilene_graph)]
+        assert coverage_report(scheme, scenarios).full_coverage
+
+    def test_unreachable_destination_dropped(self):
+        from repro.graph.multigraph import Graph
+
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        scheme = Reconvergence(graph)
+        outcome = scheme.deliver("a", "d", failed_links=[graph.edge_ids_between("c", "d")[0]])
+        assert not outcome.delivered
+
+    def test_no_extra_overheads(self, abilene_graph):
+        scheme = Reconvergence(abilene_graph)
+        assert scheme.header_overhead_bits() == 0
+        assert scheme.router_memory_entries() == 0
+        assert scheme.online_computation_per_failure() == abilene_graph.number_of_nodes()

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (ISP topologies, their embeddings, PR instances) are
+session-scoped: they are immutable for the purposes of the tests that use
+them, and rebuilding the Teleglobe embedding for every test would dominate
+the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheme import PacketRecycling
+from repro.embedding.builder import embed
+from repro.graph.multigraph import Graph
+from repro.routing.tables import RoutingTables
+from repro.topologies.abilene import abilene
+from repro.topologies.example import example_fig1, example_fig1_embedding
+from repro.topologies.geant import geant
+from repro.topologies.teleglobe import teleglobe
+
+
+@pytest.fixture(scope="session")
+def fig1_graph() -> Graph:
+    """The six-node example network of Figure 1(a)."""
+    return example_fig1()
+
+
+@pytest.fixture(scope="session")
+def fig1_embedding():
+    """The exact embedding (cycles c1–c4) of Figure 1(a)."""
+    return example_fig1_embedding()
+
+
+@pytest.fixture(scope="session")
+def fig1_pr(fig1_embedding) -> PacketRecycling:
+    """Packet Re-cycling on the paper's example network."""
+    return PacketRecycling(fig1_embedding.graph, embedding=fig1_embedding)
+
+
+@pytest.fixture(scope="session")
+def abilene_graph() -> Graph:
+    return abilene()
+
+@pytest.fixture(scope="session")
+def teleglobe_graph() -> Graph:
+    return teleglobe()
+
+
+@pytest.fixture(scope="session")
+def geant_graph() -> Graph:
+    return geant()
+
+
+@pytest.fixture(scope="session")
+def abilene_embedding(abilene_graph):
+    return embed(abilene_graph, seed=0)
+
+
+@pytest.fixture(scope="session")
+def teleglobe_embedding(teleglobe_graph):
+    return embed(teleglobe_graph, seed=0)
+
+
+@pytest.fixture(scope="session")
+def abilene_pr(abilene_graph, abilene_embedding) -> PacketRecycling:
+    return PacketRecycling(abilene_graph, embedding=abilene_embedding)
+
+
+@pytest.fixture(scope="session")
+def teleglobe_pr(teleglobe_graph, teleglobe_embedding) -> PacketRecycling:
+    return PacketRecycling(teleglobe_graph, embedding=teleglobe_embedding)
+
+
+@pytest.fixture(scope="session")
+def abilene_tables(abilene_graph) -> RoutingTables:
+    return RoutingTables(abilene_graph)
+
+
+@pytest.fixture()
+def square_graph() -> Graph:
+    """A 4-node cycle, the smallest useful 2-edge-connected test graph."""
+    return Graph.from_edge_list([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], name="square")
+
+
+@pytest.fixture()
+def diamond_graph() -> Graph:
+    """K4: planar, 3-connected, every face a triangle."""
+    return Graph.from_edge_list(
+        [("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")],
+        name="k4",
+    )

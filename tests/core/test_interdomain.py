@@ -1,0 +1,92 @@
+"""Tests for the multi-homed prefix extension (Section 7)."""
+
+import pytest
+
+from repro.core.interdomain import (
+    InterdomainPacketRecycling,
+    MultihomedPrefix,
+    augment_with_prefixes,
+)
+from repro.errors import TopologyError
+
+
+@pytest.fixture(scope="module")
+def prefixes():
+    return [
+        MultihomedPrefix("10.0.0.0/8", (("NewYork", 10.0), ("LosAngeles", 20.0))),
+        MultihomedPrefix("192.168.0.0/16", (("Washington", 5.0), ("Seattle", 5.0))),
+    ]
+
+
+@pytest.fixture(scope="module")
+def interdomain(request, prefixes):
+    abilene_graph = request.getfixturevalue("abilene_graph")
+    return InterdomainPacketRecycling(abilene_graph, prefixes)
+
+
+class TestAugmentation:
+    def test_virtual_nodes_and_links_added(self, abilene_graph, prefixes):
+        augmented, egress_edges = augment_with_prefixes(abilene_graph, prefixes)
+        assert augmented.number_of_nodes() == abilene_graph.number_of_nodes() + 2
+        assert augmented.number_of_edges() == abilene_graph.number_of_edges() + 4
+        assert ("10.0.0.0/8", "NewYork") in egress_edges
+
+    def test_base_graph_untouched(self, abilene_graph, prefixes):
+        before = abilene_graph.number_of_edges()
+        augment_with_prefixes(abilene_graph, prefixes)
+        assert abilene_graph.number_of_edges() == before
+
+    def test_unknown_egress_rejected(self, abilene_graph):
+        bad = [MultihomedPrefix("x", (("Narnia", 1.0),))]
+        with pytest.raises(TopologyError):
+            augment_with_prefixes(abilene_graph, bad)
+
+    def test_duplicate_prefix_rejected(self, abilene_graph):
+        duplicated = [
+            MultihomedPrefix("p", (("Seattle", 1.0),)),
+            MultihomedPrefix("p", (("Denver", 1.0),)),
+        ]
+        with pytest.raises(TopologyError):
+            augment_with_prefixes(abilene_graph, duplicated)
+
+
+class TestForwarding:
+    def test_failure_free_uses_preferred_egress(self, interdomain):
+        outcome = interdomain.deliver("Washington", "10.0.0.0/8")
+        assert outcome.delivered
+        assert interdomain.exit_router(outcome) == "NewYork"
+        assert interdomain.preferred_egress("Washington", "10.0.0.0/8") == "NewYork"
+
+    def test_withdrawn_preferred_egress_falls_back_to_the_other_exit(self, interdomain):
+        outcome = interdomain.deliver(
+            "Washington", "10.0.0.0/8", withdrawn_egresses=["NewYork"]
+        )
+        assert outcome.delivered
+        assert interdomain.exit_router(outcome) == "LosAngeles"
+
+    def test_internal_failure_on_the_way_to_the_egress_is_recovered(self, interdomain, abilene_graph):
+        failed = abilene_graph.edge_ids_between("Chicago", "NewYork")
+        outcome = interdomain.deliver("Chicago", "10.0.0.0/8", failed_links=failed)
+        assert outcome.delivered
+
+    def test_withdrawing_every_egress_loses_the_packet(self, interdomain):
+        outcome = interdomain.deliver(
+            "Washington", "10.0.0.0/8", withdrawn_egresses=["NewYork", "LosAngeles"]
+        )
+        assert not outcome.delivered
+
+    def test_unknown_prefix_rejected(self, interdomain):
+        with pytest.raises(TopologyError):
+            interdomain.deliver("Washington", "8.8.8.0/24")
+
+    def test_unknown_withdrawal_rejected(self, interdomain):
+        with pytest.raises(TopologyError):
+            interdomain.deliver("Washington", "10.0.0.0/8", withdrawn_egresses=["Denver"])
+
+    def test_header_budget_still_tiny(self, interdomain):
+        assert interdomain.header_overhead_bits() <= 5
+
+    def test_second_prefix_with_equal_cost_exits(self, interdomain):
+        outcome = interdomain.deliver("KansasCity", "192.168.0.0/16")
+        assert outcome.delivered
+        assert interdomain.exit_router(outcome) in {"Washington", "Seattle"}

@@ -1,0 +1,128 @@
+"""End-to-end reproduction of the paper's worked examples (Sections 4.1–4.3).
+
+These tests pin the implementation to the exact artefacts printed in the
+paper: Table 1, the single-failure walk-through of Figure 1(b) and the
+multi-failure walk-through of Figure 1(c).
+"""
+
+import pytest
+
+from repro.core.tables import CycleFollowingTables
+
+
+def _dart(graph, tail, head):
+    return graph.dart(graph.edge_ids_between(tail, head)[0], tail)
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestTable1:
+    """Table 1: cycle following table at node D."""
+
+    @pytest.fixture()
+    def table_at_d(self, fig1_embedding):
+        return CycleFollowingTables(fig1_embedding).table_at("D")
+
+    def test_number_of_rows_matches_interfaces(self, table_at_d, fig1_graph):
+        assert len(table_at_d) == fig1_graph.degree("D") == 3
+
+    def test_row_ibd(self, table_at_d, fig1_graph):
+        row = table_at_d.row_for_ingress(_dart(fig1_graph, "B", "D"))
+        assert row.cycle_following == _dart(fig1_graph, "D", "F")
+        assert row.complementary == _dart(fig1_graph, "D", "E")
+
+    def test_row_ied(self, table_at_d, fig1_graph):
+        row = table_at_d.row_for_ingress(_dart(fig1_graph, "E", "D"))
+        assert row.cycle_following == _dart(fig1_graph, "D", "B")
+        assert row.complementary == _dart(fig1_graph, "D", "F")
+
+    def test_row_ifd(self, table_at_d, fig1_graph):
+        row = table_at_d.row_for_ingress(_dart(fig1_graph, "F", "D"))
+        assert row.cycle_following == _dart(fig1_graph, "D", "E")
+        assert row.complementary == _dart(fig1_graph, "D", "B")
+
+    def test_render_matches_paper_layout(self, table_at_d):
+        rendered = table_at_d.render()
+        assert "Cycle following table at node D." in rendered
+        assert "IBD | IDF | IDE" in rendered
+        assert "IED | IDB | IDF" in rendered
+        assert "IFD | IDE | IDB" in rendered
+
+
+class TestPaperCycles:
+    """The named cycles c1–c4 of Figure 1(a)."""
+
+    def test_c1_is_the_main_cycle_of_d_to_e(self, fig1_graph, fig1_embedding):
+        face = fig1_embedding.main_cycle(_dart(fig1_graph, "D", "E"))
+        assert set(face.nodes) == {"F", "D", "E"}
+
+    def test_c2_is_the_complementary_cycle_of_d_to_e(self, fig1_graph, fig1_embedding):
+        face = fig1_embedding.complementary_cycle(_dart(fig1_graph, "D", "E"))
+        assert set(face.nodes) == {"D", "B", "C", "E"}
+
+    def test_c3_contains_b_a_c(self, fig1_graph, fig1_embedding):
+        face = fig1_embedding.main_cycle(_dart(fig1_graph, "B", "A"))
+        assert set(face.nodes) == {"A", "B", "C"}
+
+    def test_c4_is_the_outer_face(self, fig1_graph, fig1_embedding):
+        face = fig1_embedding.main_cycle(_dart(fig1_graph, "A", "B"))
+        assert len(face) == 6
+
+    def test_every_link_on_exactly_two_cycles(self, fig1_graph, fig1_embedding):
+        for edge in fig1_graph.edges():
+            forward, backward = edge.darts()
+            main = fig1_embedding.faces.face_of(forward)
+            complementary = fig1_embedding.faces.face_of(backward)
+            assert main is not complementary
+
+
+class TestSingleFailureWalkthrough:
+    """Section 4.2 / Figure 1(b): link D-E fails, packet A -> F."""
+
+    def test_failure_free_path(self, fig1_graph, fig1_pr):
+        outcome = fig1_pr.deliver("A", "F")
+        assert outcome.path == ["A", "B", "D", "E", "F"]
+
+    def test_packet_follows_cycle_c2_and_is_delivered(self, fig1_graph, fig1_pr):
+        outcome = fig1_pr.deliver("A", "F", failed_links=[_edge(fig1_graph, "D", "E")])
+        assert outcome.delivered
+        # A->B->D (shortest path), D detects the failure and sends the packet
+        # along c2 (D->B->C->E); E clears the PR bit and delivers via E->F.
+        assert outcome.path == ["A", "B", "D", "B", "C", "E", "F"]
+
+    def test_second_failure_on_a_b_also_recovered(self, fig1_graph, fig1_pr):
+        failed = [_edge(fig1_graph, "D", "E"), _edge(fig1_graph, "A", "B")]
+        outcome = fig1_pr.deliver("A", "F", failed_links=failed)
+        assert outcome.delivered
+        # Section 4.2: the packet first follows c3 (A->C->B) to reach B, then
+        # recovery proceeds exactly as in the single-failure case.
+        assert outcome.path[:4] == ["A", "C", "B", "D"]
+
+
+class TestMultipleFailureWalkthrough:
+    """Section 4.3 / Figure 1(c): links D-E and B-C fail, packet A -> F."""
+
+    def test_dd_walkthrough_path(self, fig1_graph, fig1_pr):
+        failed = [_edge(fig1_graph, "D", "E"), _edge(fig1_graph, "B", "C")]
+        outcome = fig1_pr.deliver("A", "F", failed_links=failed)
+        assert outcome.delivered
+        # D marks the packet (DD = 2) and sends it along c2; B hits the B-C
+        # failure, keeps cycle following over IBA (c3); A forwards to C; C
+        # keeps cycle following onto c2; E terminates and delivers.
+        assert outcome.path == ["A", "B", "D", "B", "A", "C", "E", "F"]
+
+    def test_dd_value_written_by_d_is_two(self, fig1_graph, fig1_pr):
+        # Verified indirectly: D's discriminator to F on the failure-free
+        # topology is the value the protocol writes into the DD bits.
+        assert fig1_pr.routing.discriminator("D", "F") == 2.0
+
+    def test_all_pairs_delivered_under_the_fig1c_failures(self, fig1_graph, fig1_pr):
+        failed = [_edge(fig1_graph, "D", "E"), _edge(fig1_graph, "B", "C")]
+        nodes = fig1_graph.nodes()
+        for source in nodes:
+            for destination in nodes:
+                if source == destination:
+                    continue
+                assert fig1_pr.deliver(source, destination, failed_links=failed).delivered

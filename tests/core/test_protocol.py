@@ -1,0 +1,153 @@
+"""Unit tests for the PR forwarding logics (1-bit and DD variants)."""
+
+import pytest
+
+from repro.core.protocol import PacketRecyclingLogic, SimplePacketRecyclingLogic
+from repro.core.scheme import PacketRecycling, SimplePacketRecycling
+from repro.core.tables import CycleFollowingTables
+from repro.errors import ProtocolError
+from repro.forwarding.engine import DeliveryStatus
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.forwarding.router import Action
+from repro.routing.tables import RoutingTables
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestNormalRouting:
+    def test_failure_free_forwarding_uses_routing_table(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph)
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("A", "F")
+        decision = logic.decide("A", None, packet, state)
+        assert decision.action is Action.FORWARD
+        assert decision.egress.head == "B"
+        assert not packet.header.pr_bit
+
+    def test_failure_detection_sets_pr_bit_and_dd(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph, [_edge(fig1_graph, "D", "E")])
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("D", "F")
+        decision = logic.decide("D", None, packet, state)
+        assert decision.action is Action.FORWARD
+        assert decision.egress.head == "B"  # complementary interface of IDE
+        assert packet.header.pr_bit
+        assert packet.header.dd_value == 2.0
+        assert decision.counters.get("recycling_started") == 1
+
+    def test_isolated_router_drops(self, fig1_graph, fig1_embedding):
+        failures = [edge.edge_id for edge in fig1_graph.incident_edges("D")]
+        state = NetworkState(fig1_graph, failures)
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        decision = logic.decide("D", None, Packet("D", "F"), state)
+        assert decision.action is Action.DROP
+
+    def test_mismatched_state_rejected(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph)
+        other_state = NetworkState(fig1_graph)
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        with pytest.raises(ProtocolError):
+            logic.decide("A", None, Packet("A", "F"), other_state)
+
+    def test_marked_packet_without_ingress_rejected(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph)
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("A", "F")
+        packet.header.mark_recycling(1.0)
+        with pytest.raises(ProtocolError):
+            logic.decide("A", None, packet, state)
+
+
+class TestCycleFollowing:
+    def test_marked_packet_follows_cycle_table(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph, [_edge(fig1_graph, "D", "E")])
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("A", "F")
+        packet.header.mark_recycling(2.0)
+        ingress = fig1_graph.dart(_edge(fig1_graph, "B", "D"), "D").reversed()
+        # Packet arrived at B over D->B while cycle following c2.
+        decision = logic.decide("B", fig1_graph.dart(_edge(fig1_graph, "B", "D"), "D"), packet, state)
+        assert decision.action is Action.FORWARD
+        assert decision.egress.head == "C"
+        assert packet.header.pr_bit
+
+    def test_termination_clears_pr_bit(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph, [_edge(fig1_graph, "D", "E")])
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("A", "F")
+        packet.header.mark_recycling(2.0)
+        # Packet arrives at E over C->E while following c2; the next cycle hop
+        # E->D is down; E's discriminator (1) < DD (2) so routing resumes.
+        ingress = fig1_graph.dart(_edge(fig1_graph, "C", "E"), "C")
+        decision = logic.decide("E", ingress, packet, state)
+        assert decision.action is Action.FORWARD
+        assert decision.egress.head == "F"
+        assert not packet.header.pr_bit
+        assert packet.header.dd_value is None
+
+    def test_equal_discriminator_keeps_cycle_following(self, fig1_graph, fig1_embedding):
+        state = NetworkState(
+            fig1_graph, [_edge(fig1_graph, "D", "E"), _edge(fig1_graph, "B", "C")]
+        )
+        logic = PacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("A", "F")
+        packet.header.mark_recycling(2.0)
+        # C's discriminator to F is 2 == DD, so it must keep cycle following.
+        ingress = fig1_graph.dart(_edge(fig1_graph, "A", "C"), "A")
+        decision = logic.decide("C", ingress, packet, state)
+        assert decision.action is Action.FORWARD
+        assert packet.header.pr_bit
+        assert decision.egress.head == "E"
+
+
+class TestSimpleProtocol:
+    def test_single_failure_recovery(self, fig1_graph, fig1_embedding):
+        scheme = SimplePacketRecycling(fig1_graph, embedding=fig1_embedding)
+        outcome = scheme.deliver("A", "F", failed_links=[_edge(fig1_graph, "D", "E")])
+        assert outcome.delivered
+        assert outcome.path == ["A", "B", "D", "B", "C", "E", "F"]
+
+    def test_simple_protocol_has_no_dd_bits(self, fig1_graph, fig1_embedding):
+        scheme = SimplePacketRecycling(fig1_graph, embedding=fig1_embedding)
+        assert scheme.header_overhead_bits() == 1
+
+    def test_fig1c_multi_failure_loops_without_dd(self, fig1_graph, fig1_embedding):
+        """Figure 1(c)'s point: without the DD termination condition the
+        packet loops between the two failures."""
+        scheme = SimplePacketRecycling(fig1_graph, embedding=fig1_embedding)
+        failed = [_edge(fig1_graph, "D", "E"), _edge(fig1_graph, "B", "C")]
+        outcome = scheme.deliver("A", "F", failed_links=failed)
+        assert outcome.status is DeliveryStatus.TTL_EXCEEDED
+
+    def test_full_protocol_fixes_the_same_scenario(self, fig1_graph, fig1_pr):
+        failed = [_edge(fig1_graph, "D", "E"), _edge(fig1_graph, "B", "C")]
+        assert fig1_pr.deliver("A", "F", failed_links=failed).delivered
+
+    def test_simple_logic_marks_without_dd(self, fig1_graph, fig1_embedding):
+        state = NetworkState(fig1_graph, [_edge(fig1_graph, "D", "E")])
+        logic = SimplePacketRecyclingLogic(
+            RoutingTables(fig1_graph), CycleFollowingTables(fig1_embedding), state
+        )
+        packet = Packet("D", "F")
+        logic.decide("D", None, packet, state)
+        assert packet.header.pr_bit
+        assert packet.header.dd_value is None

@@ -1,0 +1,62 @@
+"""Unit tests for the PacketRecycling scheme wrapper (overheads, construction)."""
+
+import pytest
+
+from repro.core.scheme import PacketRecycling, SimplePacketRecycling
+from repro.embedding.builder import embed
+from repro.routing.discriminator import DiscriminatorKind
+from repro.topologies.generators import ring_graph
+
+
+class TestConstruction:
+    def test_embedding_computed_when_not_supplied(self):
+        ring = ring_graph(5)
+        scheme = PacketRecycling(ring)
+        assert scheme.embedding.number_of_faces == 2
+
+    def test_supplied_embedding_is_used(self, abilene_graph, abilene_embedding):
+        scheme = PacketRecycling(abilene_graph, embedding=abilene_embedding)
+        assert scheme.embedding is abilene_embedding
+
+    def test_discriminator_kind_propagates(self, abilene_graph, abilene_embedding):
+        scheme = PacketRecycling(
+            abilene_graph,
+            embedding=abilene_embedding,
+            discriminator_kind=DiscriminatorKind.WEIGHTED_COST,
+        )
+        assert scheme.routing.discriminator_kind is DiscriminatorKind.WEIGHTED_COST
+
+
+class TestOverheads:
+    def test_header_bits_is_one_plus_dd_bits(self, abilene_pr):
+        assert abilene_pr.header_overhead_bits() == 1 + abilene_pr.dd_bits()
+
+    def test_abilene_header_fits_in_four_bits(self, abilene_pr):
+        # The paper proposes DSCP pool 2 (4 usable bits); Abilene fits.
+        assert abilene_pr.header_overhead_bits() <= 4
+
+    def test_memory_entries_cover_cycle_tables_and_dd_column(self, abilene_graph, abilene_pr):
+        expected_cycle_entries = 2 * sum(
+            abilene_graph.degree(node) for node in abilene_graph.nodes()
+        )
+        nodes = abilene_graph.number_of_nodes()
+        assert abilene_pr.router_memory_entries() == expected_cycle_entries + nodes * (nodes - 1)
+
+    def test_no_online_computation(self, abilene_pr):
+        assert abilene_pr.online_computation_per_failure() == 0
+
+    def test_simple_variant_single_bit(self, abilene_graph, abilene_embedding):
+        scheme = SimplePacketRecycling(abilene_graph, embedding=abilene_embedding)
+        assert scheme.header_overhead_bits() == 1
+
+
+class TestFailureFreeForwarding:
+    def test_matches_shortest_path_costs(self, abilene_graph, abilene_pr, abilene_tables):
+        for source, destination in [("Seattle", "Atlanta"), ("LosAngeles", "NewYork")]:
+            outcome = abilene_pr.deliver(source, destination)
+            assert outcome.delivered
+            assert outcome.cost == pytest.approx(abilene_tables.cost(source, destination))
+
+    def test_no_pr_bit_needed_without_failures(self, abilene_pr):
+        outcome = abilene_pr.deliver("Denver", "Washington")
+        assert outcome.counter("recycling_started") == 0

@@ -1,0 +1,83 @@
+"""Unit tests for cycle-following tables on arbitrary topologies."""
+
+import pytest
+
+from repro.core.tables import CycleFollowingTables
+from repro.errors import ProtocolError
+from repro.graph.darts import Dart
+
+
+class TestStructure:
+    def test_one_row_per_interface(self, abilene_graph, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        for node in abilene_graph.nodes():
+            assert len(tables.table_at(node)) == abilene_graph.degree(node)
+
+    def test_rows_are_permutations_of_outgoing_interfaces(self, abilene_graph, abilene_embedding):
+        """The paper notes the forwarding table is a permutation over the
+        output interfaces: every outgoing dart appears exactly once in the
+        cycle-following column."""
+        tables = CycleFollowingTables(abilene_embedding)
+        for node in abilene_graph.nodes():
+            column = [row.cycle_following for row in tables.table_at(node).rows()]
+            assert sorted(column) == sorted(abilene_graph.darts_out(node))
+
+    def test_memory_entries(self, abilene_graph, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        assert tables.memory_entries() == 2 * sum(
+            abilene_graph.degree(node) for node in abilene_graph.nodes()
+        )
+
+    def test_unknown_node_raises(self, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        with pytest.raises(ProtocolError):
+            tables.table_at("Narnia")
+
+    def test_unknown_ingress_raises(self, abilene_graph, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        with pytest.raises(ProtocolError):
+            tables.table_at("Denver").row_for_ingress(Dart(99, "Nowhere", "Denver"))
+
+
+class TestSemantics:
+    def test_cycle_following_stays_on_the_ingress_face(self, abilene_graph, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        faces = abilene_embedding.faces
+        for dart in abilene_graph.darts():
+            ingress = dart
+            out = tables.cycle_following_next(ingress.head, ingress)
+            assert faces.face_of(out) is faces.face_of(ingress)
+
+    def test_complementary_column_is_backup_of_cycle_following_link(
+        self, abilene_graph, abilene_embedding
+    ):
+        tables = CycleFollowingTables(abilene_embedding)
+        faces = abilene_embedding.faces
+        for node in abilene_graph.nodes():
+            for row in tables.table_at(node).rows():
+                complementary_face = faces.face_of(row.cycle_following.reversed())
+                assert row.complementary in complementary_face.darts
+
+    def test_failure_avoidance_is_rotation_successor(self, abilene_graph, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        rotation = abilene_embedding.rotation
+        for dart in abilene_graph.darts():
+            assert tables.failure_avoidance_next(dart.tail, dart) == rotation.successor(dart)
+
+    def test_failure_avoidance_checks_ownership(self, abilene_graph, abilene_embedding):
+        tables = CycleFollowingTables(abilene_embedding)
+        dart = abilene_graph.darts()[0]
+        with pytest.raises(ProtocolError):
+            tables.failure_avoidance_next(dart.head, dart)
+
+    def test_repeated_cycle_following_returns_to_start(self, abilene_graph, abilene_embedding):
+        """Following the cycle-following column from any ingress walks a full
+        cellular cycle and comes back to the same dart."""
+        tables = CycleFollowingTables(abilene_embedding)
+        start = abilene_graph.darts()[0]
+        dart = start
+        for _step in range(2 * abilene_graph.number_of_edges() + 1):
+            dart = tables.cycle_following_next(dart.head, dart)
+            if dart == start:
+                break
+        assert dart == start

@@ -1,0 +1,65 @@
+"""Unit tests for the high-level embedding builder."""
+
+import pytest
+
+from repro.embedding.builder import CellularEmbedding, embed
+from repro.embedding.rotation import RotationSystem
+from repro.errors import DisconnectedGraph
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import k5_graph, ring_graph
+
+
+class TestCellularEmbedding:
+    def test_faces_traced_on_construction(self, fig1_graph, fig1_embedding):
+        assert fig1_embedding.number_of_faces == 4
+        assert fig1_embedding.genus == 0
+        assert fig1_embedding.is_planar
+
+    def test_cycle_queries_are_consistent(self, fig1_embedding):
+        for dart in fig1_embedding.graph.darts():
+            main = fig1_embedding.main_cycle(dart)
+            complementary = fig1_embedding.complementary_cycle(dart)
+            assert dart in main.darts
+            assert dart.reversed() in complementary.darts
+
+    def test_cycle_following_next_stays_on_face(self, fig1_embedding):
+        for dart in fig1_embedding.graph.darts():
+            nxt = fig1_embedding.cycle_following_next(dart)
+            assert fig1_embedding.faces.face_of(nxt) is fig1_embedding.faces.face_of(dart)
+            assert nxt.tail == dart.head
+
+    def test_complementary_next_is_rotation_successor(self, fig1_embedding):
+        rotation = fig1_embedding.rotation
+        for dart in fig1_embedding.graph.darts():
+            assert fig1_embedding.complementary_next(dart) == rotation.successor(dart)
+
+    def test_average_and_longest_cycle_length(self, fig1_embedding):
+        assert fig1_embedding.longest_cycle_length == 6
+        assert fig1_embedding.average_cycle_length == pytest.approx(16 / 4)
+
+
+class TestEmbedFunction:
+    def test_planar_topology(self, abilene_graph):
+        embedding = embed(abilene_graph)
+        assert embedding.is_planar
+        assert embedding.number_of_faces == 5
+
+    def test_non_planar_topology(self):
+        embedding = embed(k5_graph(), seed=0)
+        assert embedding.genus >= 1
+
+    def test_disconnected_rejected(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        graph.ensure_node("island")
+        with pytest.raises(DisconnectedGraph):
+            embed(graph)
+
+    def test_method_forwarding(self):
+        ring = ring_graph(4)
+        embedding = embed(ring, method="adjacency")
+        assert isinstance(embedding, CellularEmbedding)
+        assert isinstance(embedding.rotation, RotationSystem)
+
+    def test_empty_graph(self):
+        embedding = embed(Graph())
+        assert embedding.number_of_faces == 0

@@ -1,0 +1,110 @@
+"""Unit tests for face tracing and Euler genus."""
+
+import pytest
+
+from repro.embedding.faces import (
+    Face,
+    average_face_length,
+    euler_genus,
+    face_count_upper_bound,
+    rotation_from_faces,
+    trace_faces,
+)
+from repro.embedding.rotation import RotationSystem
+from repro.errors import EmbeddingError
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import complete_graph, ring_graph
+
+
+class TestTraceFaces:
+    def test_single_edge_has_one_face_of_two_darts(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        faces = trace_faces(RotationSystem.from_adjacency_order(graph))
+        assert len(faces) == 1
+        assert len(faces.faces[0]) == 2
+
+    def test_ring_has_two_faces(self):
+        ring = ring_graph(6)
+        faces = trace_faces(RotationSystem.from_adjacency_order(ring))
+        assert len(faces) == 2
+        assert all(len(face) == 6 for face in faces)
+
+    def test_every_dart_in_exactly_one_face(self, fig1_embedding):
+        darts_seen = [dart for face in fig1_embedding.faces for dart in face.darts]
+        assert len(darts_seen) == len(set(darts_seen))
+        assert set(darts_seen) == set(fig1_embedding.graph.darts())
+
+    def test_faces_are_head_to_tail_walks(self, fig1_embedding):
+        for face in fig1_embedding.faces:
+            for dart, following in zip(face.darts, face.darts[1:] + face.darts[:1]):
+                assert dart.head == following.tail
+
+    def test_face_of_lookup(self, fig1_embedding):
+        some_dart = fig1_embedding.graph.darts()[0]
+        face = fig1_embedding.faces.face_of(some_dart)
+        assert some_dart in face.darts
+
+    def test_faces_of_edge_returns_main_and_complementary(self, fig1_embedding):
+        dart = fig1_embedding.graph.darts()[0]
+        main, complementary = fig1_embedding.faces.faces_of_edge(dart)
+        assert dart in main.darts
+        assert dart.reversed() in complementary.darts
+
+
+class TestEulerGenus:
+    def test_ring_is_planar(self):
+        ring = ring_graph(5)
+        faces = trace_faces(RotationSystem.from_adjacency_order(ring))
+        assert euler_genus(ring, faces) == 0
+
+    def test_k5_adjacency_rotation_has_positive_genus_or_zero(self):
+        k5 = complete_graph(5)
+        faces = trace_faces(RotationSystem.from_adjacency_order(k5))
+        # K5 is not planar, so any embedding has genus >= 1.
+        assert euler_genus(k5, faces) >= 1
+
+    def test_upper_bound_matches_planar_case(self, fig1_graph, fig1_embedding):
+        assert face_count_upper_bound(fig1_graph) == fig1_embedding.number_of_faces
+
+    def test_average_face_length(self):
+        ring = ring_graph(4)
+        faces = trace_faces(RotationSystem.from_adjacency_order(ring))
+        assert average_face_length(faces) == pytest.approx(4.0)
+
+
+class TestFaceClass:
+    def test_empty_face_rejected(self):
+        with pytest.raises(EmbeddingError):
+            Face(0, [])
+
+    def test_nodes_and_cost(self, fig1_graph, fig1_embedding):
+        face = fig1_embedding.faces.faces[0]
+        assert len(face.nodes) == len(face)
+        assert face.cost(fig1_graph) > 0
+
+    def test_successor_of(self, fig1_embedding):
+        face = fig1_embedding.faces.faces[0]
+        assert face.successor_of(face.darts[-1]) == face.darts[0]
+
+    def test_is_simple_for_planar_2_connected(self, fig1_embedding):
+        assert all(face.is_simple() for face in fig1_embedding.faces)
+
+
+class TestRotationFromFaces:
+    def test_round_trip(self, fig1_embedding):
+        graph = fig1_embedding.graph
+        walks = [face.darts for face in fig1_embedding.faces]
+        rebuilt = rotation_from_faces(graph, walks)
+        assert rebuilt == fig1_embedding.rotation
+
+    def test_rejects_non_adjacent_walks(self):
+        graph = Graph.from_edge_list([("a", "b"), ("c", "d")])
+        bad_walk = [graph.dart(0, "a"), graph.dart(1, "c")]
+        with pytest.raises(EmbeddingError):
+            rotation_from_faces(graph, [bad_walk])
+
+    def test_rejects_incomplete_cover(self, fig1_embedding):
+        graph = fig1_embedding.graph
+        walks = [face.darts for face in fig1_embedding.faces][:-1]
+        with pytest.raises(EmbeddingError):
+            rotation_from_faces(graph, walks)

@@ -1,0 +1,111 @@
+"""Unit tests for the genus-minimisation heuristics."""
+
+import pytest
+
+from repro.embedding.faces import euler_genus, trace_faces
+from repro.embedding.genus import (
+    embedding_score,
+    greedy_insertion_rotation,
+    local_search_rotation,
+    minimise_genus,
+    repair_self_paired_edges,
+    self_paired_edge_count,
+)
+from repro.embedding.rotation import RotationSystem
+from repro.embedding.validation import validate_embedding
+from repro.topologies.generators import (
+    complete_graph,
+    k33_graph,
+    k5_graph,
+    petersen_graph,
+    ring_graph,
+    torus_grid_graph,
+)
+
+
+class TestGreedyInsertion:
+    @pytest.mark.parametrize("graph_factory", [k5_graph, k33_graph])
+    def test_kuratowski_graphs_reach_genus_one(self, graph_factory):
+        graph = graph_factory()
+        rotation = greedy_insertion_rotation(graph, seed=0)
+        faces = validate_embedding(graph, rotation)
+        assert euler_genus(graph, faces) == 1
+
+    def test_planar_input_stays_planar(self):
+        ring = ring_graph(6)
+        rotation = greedy_insertion_rotation(ring, seed=1)
+        faces = validate_embedding(ring, rotation)
+        assert euler_genus(ring, faces) == 0
+
+    def test_result_is_valid_rotation_system(self):
+        graph = petersen_graph()
+        rotation = greedy_insertion_rotation(graph, seed=3)
+        validate_embedding(graph, rotation)
+
+
+class TestLocalSearch:
+    def test_never_decreases_score(self):
+        graph = k5_graph()
+        initial = RotationSystem.from_adjacency_order(graph)
+        improved = local_search_rotation(graph, initial=initial, iterations=60, seed=0)
+        assert embedding_score(improved) >= embedding_score(initial)
+
+    def test_result_is_valid(self):
+        graph = complete_graph(6)
+        improved = local_search_rotation(graph, iterations=40, seed=5)
+        validate_embedding(graph, improved)
+
+    def test_degree_two_graph_returned_unchanged(self):
+        ring = ring_graph(5)
+        initial = RotationSystem.from_adjacency_order(ring)
+        assert local_search_rotation(ring, initial=initial, iterations=10, seed=0) == initial
+
+
+class TestRepairSelfPaired:
+    def test_repair_does_not_invalidate(self):
+        graph = petersen_graph()
+        rotation = RotationSystem.from_adjacency_order(graph)
+        repaired = repair_self_paired_edges(rotation, graph)
+        validate_embedding(graph, repaired)
+        assert self_paired_edge_count(repaired) <= self_paired_edge_count(rotation)
+
+    def test_bridge_stays_self_paired(self):
+        from repro.graph.multigraph import Graph
+
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        rotation = minimise_genus(graph)
+        # The bridge c--d has both darts on one face in every embedding.
+        assert self_paired_edge_count(rotation) == 1
+
+
+class TestMinimiseGenus:
+    def test_planar_graph_gets_exact_embedding(self, abilene_graph):
+        rotation = minimise_genus(abilene_graph)
+        faces = trace_faces(rotation)
+        assert euler_genus(abilene_graph, faces) == 0
+
+    def test_non_planar_graph_gets_valid_low_genus_embedding(self):
+        graph = k5_graph()
+        rotation = minimise_genus(graph, seed=0)
+        faces = validate_embedding(graph, rotation)
+        assert euler_genus(graph, faces) == 1
+
+    def test_teleglobe_embedding_has_no_self_paired_edges(self, teleglobe_graph):
+        rotation = minimise_genus(teleglobe_graph, seed=0)
+        validate_embedding(teleglobe_graph, rotation)
+        assert self_paired_edge_count(rotation) == 0
+
+    def test_torus_grid(self):
+        torus = torus_grid_graph(3, 3)
+        rotation = minimise_genus(torus, seed=1, iterations=100)
+        faces = validate_embedding(torus, rotation)
+        assert euler_genus(torus, faces) >= 1
+
+    def test_methods_dispatch(self, abilene_graph):
+        for method in ("auto", "planar", "greedy", "local-search", "adjacency"):
+            rotation = minimise_genus(abilene_graph, method=method, iterations=20, seed=0)
+            validate_embedding(abilene_graph, rotation)
+
+    def test_unknown_method_raises(self, abilene_graph):
+        with pytest.raises(ValueError):
+            minimise_genus(abilene_graph, method="magic")

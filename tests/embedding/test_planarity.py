@@ -1,0 +1,140 @@
+"""Unit tests for planarity testing and the DMP planar embedder."""
+
+import pytest
+
+from repro.embedding.faces import euler_genus, trace_faces
+from repro.embedding.planarity import is_planar, planar_embedding
+from repro.embedding.validation import validate_embedding
+from repro.errors import DisconnectedGraph, NotPlanar
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import (
+    complete_graph,
+    grid_graph,
+    k33_graph,
+    k5_graph,
+    ladder_graph,
+    petersen_graph,
+    ring_graph,
+    wheel_graph,
+)
+
+
+class TestIsPlanar:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: ring_graph(8),
+            lambda: grid_graph(4, 5),
+            lambda: wheel_graph(6),
+            lambda: ladder_graph(5),
+            lambda: complete_graph(4),
+        ],
+    )
+    def test_planar_families(self, graph_factory):
+        assert is_planar(graph_factory())
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [k5_graph, k33_graph, petersen_graph, lambda: complete_graph(6)],
+    )
+    def test_non_planar_families(self, graph_factory):
+        assert not is_planar(graph_factory())
+
+    def test_isp_topologies(self, abilene_graph, geant_graph):
+        assert is_planar(abilene_graph)
+        assert is_planar(geant_graph)
+
+    def test_disconnected_graph_checked_per_component(self):
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c")])
+        graph.ensure_node("island")
+        assert is_planar(graph)
+
+    def test_dense_graph_rejected_by_edge_bound(self):
+        assert not is_planar(complete_graph(8))
+
+
+class TestPlanarEmbedding:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: ring_graph(5),
+            lambda: grid_graph(3, 4),
+            lambda: wheel_graph(7),
+            lambda: complete_graph(4),
+            lambda: ladder_graph(4),
+        ],
+    )
+    def test_embedding_is_genus_zero_and_valid(self, graph_factory):
+        graph = graph_factory()
+        rotation = planar_embedding(graph)
+        faces = validate_embedding(graph, rotation)
+        assert euler_genus(graph, faces) == 0
+
+    def test_abilene_planar_embedding(self, abilene_graph):
+        rotation = planar_embedding(abilene_graph)
+        faces = validate_embedding(abilene_graph, rotation)
+        assert euler_genus(abilene_graph, faces) == 0
+        # Euler: F = E - V + 2 = 14 - 11 + 2.
+        assert len(faces) == 5
+
+    def test_geant_planar_embedding(self, geant_graph):
+        rotation = planar_embedding(geant_graph)
+        faces = validate_embedding(geant_graph, rotation)
+        assert euler_genus(geant_graph, faces) == 0
+
+    def test_non_planar_raises(self):
+        with pytest.raises(NotPlanar):
+            planar_embedding(k5_graph())
+
+    def test_k33_raises(self):
+        with pytest.raises(NotPlanar):
+            planar_embedding(k33_graph())
+
+    def test_disconnected_raises(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        graph.ensure_node("island")
+        with pytest.raises(DisconnectedGraph):
+            planar_embedding(graph)
+
+    def test_graph_with_bridges_and_cut_vertices(self):
+        graph = Graph.from_edge_list(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"), ("d", "e"), ("e", "f"), ("d", "f")]
+        )
+        rotation = planar_embedding(graph)
+        faces = validate_embedding(graph, rotation)
+        assert euler_genus(graph, faces) == 0
+
+    def test_single_edge_graph(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        rotation = planar_embedding(graph)
+        faces = validate_embedding(graph, rotation)
+        assert len(faces) == 1
+
+    def test_tree_embedding(self):
+        tree = Graph.from_edge_list([("a", "b"), ("b", "c"), ("b", "d"), ("d", "e")])
+        rotation = planar_embedding(tree)
+        faces = validate_embedding(tree, rotation)
+        # A tree embeds with a single face walking every edge twice.
+        assert len(faces) == 1
+
+    def test_multigraph_embedding(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "a")
+        rotation = planar_embedding(graph)
+        faces = validate_embedding(graph, rotation)
+        assert euler_genus(graph, faces) == 0
+
+    def test_empty_graph(self):
+        graph = Graph()
+        rotation = planar_embedding(graph)
+        assert rotation.darts() == []
+
+    def test_larger_grid_face_count(self):
+        grid = grid_graph(5, 5)
+        rotation = planar_embedding(grid)
+        faces = trace_faces(rotation)
+        # 4x4 inner cells plus the outer face.
+        assert len(faces) == 17

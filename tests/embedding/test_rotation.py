@@ -1,0 +1,123 @@
+"""Unit tests for rotation systems."""
+
+import pytest
+
+from repro.errors import InvalidRotationSystem
+from repro.embedding.rotation import RotationSystem
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+
+
+@pytest.fixture()
+def triangle() -> Graph:
+    return Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c")])
+
+
+class TestConstruction:
+    def test_from_adjacency_order_covers_all_darts(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        assert sorted(rotation.darts()) == sorted(triangle.darts())
+
+    def test_from_sorted_neighbors_orders_by_name(self, triangle):
+        rotation = RotationSystem.from_sorted_neighbors(triangle)
+        heads = [dart.head for dart in rotation.rotation_at("a")]
+        assert heads == sorted(heads)
+
+    def test_missing_nodes_get_empty_rotation(self):
+        graph = Graph()
+        graph.add_node("solo")
+        rotation = RotationSystem(graph, {})
+        assert rotation.rotation_at("solo") == []
+
+
+class TestSuccessorPredecessor:
+    def test_successor_cycles_through_rotation(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        darts = rotation.rotation_at("a")
+        assert rotation.successor(darts[0]) == darts[1]
+        assert rotation.successor(darts[-1]) == darts[0]
+
+    def test_predecessor_is_inverse_of_successor(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        for dart in rotation.darts():
+            assert rotation.predecessor(rotation.successor(dart)) == dart
+
+    def test_unknown_dart_raises(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        with pytest.raises(InvalidRotationSystem):
+            rotation.successor(Dart(99, "a", "b"))
+
+    def test_next_in_face_uses_reverse_dart(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        dart = triangle.darts_out("a")[0]
+        expected = rotation.successor(dart.reversed())
+        assert rotation.next_in_face(dart) == expected
+
+    def test_previous_in_face_inverts_next_in_face(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        for dart in rotation.darts():
+            assert rotation.previous_in_face(rotation.next_in_face(dart)) == dart
+
+
+class TestMutation:
+    def test_move_dart_changes_order(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        darts = rotation.rotation_at("a")
+        rotation.move_dart(darts[0], 1)
+        assert rotation.rotation_at("a")[1] == darts[0]
+
+    def test_insert_and_remove_dart(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        rotation = RotationSystem.from_adjacency_order(graph)
+        extra_edge = graph.add_edge("a", "c")
+        new_dart = graph.dart(extra_edge, "a")
+        rotation.insert_dart_after(rotation.rotation_at("a")[0], new_dart)
+        assert new_dart in rotation.rotation_at("a")
+        rotation.remove_dart(new_dart)
+        assert new_dart not in rotation.rotation_at("a")
+
+    def test_insert_duplicate_raises(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        dart = rotation.rotation_at("a")[0]
+        with pytest.raises(InvalidRotationSystem):
+            rotation.insert_dart_after(None, dart)
+
+    def test_insert_with_mismatched_anchor_raises(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        anchor = rotation.rotation_at("a")[0]
+        with pytest.raises(InvalidRotationSystem):
+            rotation.insert_dart_after(anchor, Dart(50, "b", "z"))
+
+    def test_set_rotation_validates_tail(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        with pytest.raises(InvalidRotationSystem):
+            rotation.set_rotation("a", [Dart(0, "b", "a")])
+
+    def test_copy_is_independent(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        clone = rotation.copy()
+        darts = clone.rotation_at("a")
+        clone.move_dart(darts[0], 1)
+        assert rotation.rotation_at("a") != clone.rotation_at("a") or len(darts) == 1
+
+
+class TestEquality:
+    def test_cyclic_shifts_are_equal(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        darts = rotation.rotation_at("a")
+        shifted = rotation.copy()
+        shifted.set_rotation("a", darts[1:] + darts[:1])
+        assert rotation == shifted
+
+    def test_different_orders_are_not_equal(self):
+        graph = Graph.from_edge_list([("x", "a"), ("x", "b"), ("x", "c")])
+        rotation = RotationSystem.from_adjacency_order(graph)
+        darts = rotation.rotation_at("x")
+        swapped = rotation.copy()
+        swapped.set_rotation("x", [darts[0], darts[2], darts[1]])
+        assert rotation != swapped
+
+    def test_as_mapping_round_trip(self, triangle):
+        rotation = RotationSystem.from_adjacency_order(triangle)
+        rebuilt = RotationSystem(triangle, rotation.as_mapping())
+        assert rotation == rebuilt

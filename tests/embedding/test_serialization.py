@@ -1,0 +1,53 @@
+"""Unit tests for embedding persistence."""
+
+import pytest
+
+from repro.embedding.builder import embed
+from repro.embedding.serialization import (
+    embedding_from_dict,
+    embedding_to_dict,
+    load_embedding,
+    save_embedding,
+)
+from repro.errors import EmbeddingError
+from repro.topologies.generators import ring_graph
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_rotation(self, fig1_embedding):
+        payload = embedding_to_dict(fig1_embedding)
+        rebuilt = embedding_from_dict(payload)
+        assert rebuilt.rotation == fig1_embedding.rotation
+        assert rebuilt.number_of_faces == fig1_embedding.number_of_faces
+
+    def test_dict_round_trip_preserves_weights(self, fig1_embedding):
+        rebuilt = embedding_from_dict(embedding_to_dict(fig1_embedding))
+        original = {e.edge_id: e.weight for e in fig1_embedding.graph.edges()}
+        restored = {e.edge_id: e.weight for e in rebuilt.graph.edges()}
+        assert original == restored
+
+    def test_file_round_trip(self, tmp_path):
+        embedding = embed(ring_graph(5))
+        path = save_embedding(embedding, tmp_path / "ring.embedding.json")
+        loaded = load_embedding(path)
+        assert loaded.rotation == embedding.rotation
+        assert loaded.graph.name == embedding.graph.name
+
+    def test_abilene_round_trip(self, abilene_embedding):
+        rebuilt = embedding_from_dict(embedding_to_dict(abilene_embedding))
+        assert rebuilt.genus == abilene_embedding.genus
+        assert rebuilt.number_of_faces == abilene_embedding.number_of_faces
+
+
+class TestValidation:
+    def test_unknown_format_version_rejected(self, fig1_embedding):
+        payload = embedding_to_dict(fig1_embedding)
+        payload["format_version"] = 999
+        with pytest.raises(EmbeddingError):
+            embedding_from_dict(payload)
+
+    def test_payload_is_json_serialisable(self, fig1_embedding):
+        import json
+
+        text = json.dumps(embedding_to_dict(fig1_embedding))
+        assert "rotation" in text

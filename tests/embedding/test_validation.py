@@ -1,0 +1,50 @@
+"""Unit tests for embedding validation."""
+
+import pytest
+
+from repro.embedding.rotation import RotationSystem
+from repro.embedding.validation import embedding_report, validate_embedding, validate_rotation_system
+from repro.errors import EmbeddingError, InvalidRotationSystem
+from repro.graph.darts import Dart
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import ring_graph
+
+
+class TestRotationValidation:
+    def test_valid_rotation_passes(self):
+        ring = ring_graph(4)
+        validate_rotation_system(ring, RotationSystem.from_adjacency_order(ring))
+
+    def test_missing_dart_detected(self):
+        graph = Graph.from_edge_list([("a", "b"), ("a", "c")])
+        rotation = RotationSystem(graph, {"a": [graph.dart(0, "a")], "b": [graph.dart(0, "b")], "c": [graph.dart(1, "c")]})
+        with pytest.raises(InvalidRotationSystem):
+            validate_rotation_system(graph, rotation)
+
+    def test_foreign_dart_detected(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        rotation = RotationSystem(graph, {
+            "a": [graph.dart(0, "a"), Dart(7, "a", "z")],
+            "b": [graph.dart(0, "b")],
+        })
+        with pytest.raises(InvalidRotationSystem):
+            validate_rotation_system(graph, rotation)
+
+
+class TestEmbeddingValidation:
+    def test_paper_example_is_valid(self, fig1_embedding):
+        faces = validate_embedding(fig1_embedding.graph, fig1_embedding.rotation)
+        assert len(faces) == 4
+
+    def test_every_edge_traversed_exactly_twice(self, abilene_graph, abilene_embedding):
+        faces = validate_embedding(abilene_graph, abilene_embedding.rotation)
+        traversals = {}
+        for face in faces:
+            for dart in face.darts:
+                traversals[dart.edge_id] = traversals.get(dart.edge_id, 0) + 1
+        assert all(count == 2 for count in traversals.values())
+
+    def test_report_mentions_every_cycle(self, fig1_graph, fig1_embedding):
+        lines = embedding_report(fig1_graph, fig1_embedding.rotation)
+        assert any("genus: 0" in line for line in lines)
+        assert sum(1 for line in lines if line.strip().startswith("cycle")) == 4

@@ -1,0 +1,57 @@
+"""Tests for the ablation experiments (embedding quality and DD kind)."""
+
+import pytest
+
+from repro.experiments.ablation import dd_kind_ablation, embedding_quality_ablation
+from repro.failures.scenarios import single_link_failures
+from repro.topologies.generators import petersen_graph
+
+
+class TestEmbeddingQualityAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, request):
+        abilene_graph = request.getfixturevalue("abilene_graph")
+        scenarios = single_link_failures(abilene_graph)[:6]
+        return embedding_quality_ablation(
+            abilene_graph, methods=["auto", "adjacency"], scenarios=scenarios
+        )
+
+    def test_one_row_per_method(self, rows):
+        assert [row.configuration for row in rows] == ["embedding=auto", "embedding=adjacency"]
+
+    def test_auto_embedding_has_at_least_as_many_faces(self, rows):
+        by_config = {row.configuration: row for row in rows}
+        assert by_config["embedding=auto"].faces >= by_config["embedding=adjacency"].faces
+
+    def test_better_embedding_never_increases_mean_stretch(self, rows):
+        by_config = {row.configuration: row for row in rows}
+        assert (
+            by_config["embedding=auto"].mean_stretch
+            <= by_config["embedding=adjacency"].mean_stretch + 1e-9
+        )
+
+    def test_delivery_ratio_reported(self, rows):
+        assert all(0.0 <= row.delivery_ratio <= 1.0 for row in rows)
+
+    def test_non_planar_graph_ablation_runs(self):
+        graph = petersen_graph()
+        rows = embedding_quality_ablation(graph, methods=["auto"], seed=1)
+        assert rows[0].genus >= 1
+
+
+class TestDdKindAblation:
+    def test_both_kinds_compared(self, abilene_graph):
+        scenarios = single_link_failures(abilene_graph)[:5]
+        rows = dd_kind_ablation(abilene_graph, scenarios=scenarios)
+        configs = {row.configuration for row in rows}
+        assert configs == {"dd=hop-count", "dd=weighted-cost"}
+
+    def test_full_delivery_under_both_kinds(self, abilene_graph):
+        scenarios = single_link_failures(abilene_graph)[:5]
+        rows = dd_kind_ablation(abilene_graph, scenarios=scenarios)
+        assert all(row.delivery_ratio == 1.0 for row in rows)
+
+    def test_weighted_kind_needs_more_header_bits(self, abilene_graph):
+        scenarios = single_link_failures(abilene_graph)[:3]
+        rows = {row.configuration: row for row in dd_kind_ablation(abilene_graph, scenarios=scenarios)}
+        assert rows["dd=weighted-cost"].header_bits >= rows["dd=hop-count"].header_bits

@@ -1,0 +1,47 @@
+"""Tests for the convergence-loss experiment (the paper's motivation, X2)."""
+
+import pytest
+
+from repro.experiments.convergence import convergence_loss_experiment
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    abilene_pr = request.getfixturevalue("abilene_pr")
+    return convergence_loss_experiment(
+        abilene_pr.graph,
+        source="Seattle",
+        destination="KansasCity",
+        rate_pps=500.0,
+        duration=1.5,
+        failure_time=0.2,
+    )
+
+
+class TestConvergenceLoss:
+    def test_all_three_behaviours_reported(self, result):
+        assert set(result.reports) == {"no-protection", "re-convergence", "Packet Re-cycling"}
+
+    def test_loss_ordering(self, result):
+        assert result.loss_fraction("Packet Re-cycling") <= result.loss_fraction("re-convergence")
+        assert result.loss_fraction("re-convergence") <= result.loss_fraction("no-protection")
+
+    def test_reconvergence_loses_packets_but_not_all(self, result):
+        assert 0.0 < result.loss_fraction("re-convergence") < 1.0
+
+    def test_pr_loses_essentially_nothing(self, result):
+        # Only packets already in flight during the detection window can be lost.
+        assert result.loss_fraction("Packet Re-cycling") < 0.05
+
+    def test_extrapolation_is_paper_scale(self, result):
+        # At OC-192 rates the sub-second convergence episode still costs on
+        # the order of 10^5 packets (the paper's quarter-million figure is for
+        # a full one-second outage, pinned separately in the simulator tests).
+        assert result.extrapolated_losses["re-convergence"] > 100_000
+        assert (
+            result.extrapolated_losses["Packet Re-cycling"]
+            < 0.2 * result.extrapolated_losses["re-convergence"]
+        )
+
+    def test_convergence_time_is_subsecond_but_positive(self, result):
+        assert 0.1 < result.convergence_time < 2.0

@@ -1,0 +1,45 @@
+"""Tests for the link-flapping hold-down experiment."""
+
+import pytest
+
+from repro.experiments.flapping import flapping_experiment
+
+
+class TestFlappingExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return flapping_experiment(
+            mean_up_time=2.0, mean_down_time=0.5, horizon=200.0,
+            hold_downs=[0.0, 1.0, 5.0, 20.0], seed=7,
+        )
+
+    def test_one_row_per_hold_down(self, rows):
+        assert [row.hold_down for row in rows] == [0.0, 1.0, 5.0, 20.0]
+
+    def test_acted_transitions_decrease_with_hold_down(self, rows):
+        acted = [row.acted_transitions for row in rows]
+        assert acted == sorted(acted, reverse=True)
+
+    def test_zero_hold_down_acts_on_every_transition(self, rows):
+        assert rows[0].acted_transitions == rows[0].raw_transitions
+
+    def test_no_hold_down_has_no_inconsistency(self, rows):
+        # Acting immediately on every transition means the advertised state is
+        # never up while the link is down.
+        assert rows[0].advertised_up_while_down == pytest.approx(0.0, abs=1e-9)
+
+    def test_capacity_loss_grows_with_hold_down(self, rows):
+        loss = [row.advertised_down_while_up for row in rows]
+        assert loss[0] <= loss[-1]
+        assert loss[-1] > 0.0
+
+    def test_hold_down_never_advertises_up_while_down(self, rows):
+        # Down transitions are propagated immediately, so the hold-down never
+        # *adds* inconsistency time.
+        for row in rows:
+            assert row.advertised_up_while_down <= rows[0].advertised_up_while_down + 1e-9
+
+    def test_deterministic_for_a_seed(self):
+        first = flapping_experiment(seed=3, horizon=100.0)
+        second = flapping_experiment(seed=3, horizon=100.0)
+        assert first == second

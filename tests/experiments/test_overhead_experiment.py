@@ -1,0 +1,50 @@
+"""Tests for the overhead experiment and ASCII rendering."""
+
+from repro.experiments.asciiplot import ccdf_rows, render_ccdf_plot, render_table
+from repro.experiments.overhead import overhead_experiment
+
+
+class TestOverheadExperiment:
+    def test_runs_on_abilene_only(self):
+        results = overhead_experiment(["abilene"], include_extras=False)
+        assert set(results) == {"abilene"}
+        rows = results["abilene"]
+        assert {row.scheme for row in rows} == {
+            "Re-convergence",
+            "Failure-Carrying Packets",
+            "Packet Re-cycling",
+        }
+
+    def test_extras_add_variants(self):
+        results = overhead_experiment(["abilene"], include_extras=True)
+        names = {row.scheme for row in results["abilene"]}
+        assert "Packet Re-cycling (1-bit)" in names
+        assert "Loop-Free Alternates" in names
+
+    def test_pr_header_bits_smallest_among_header_users(self):
+        rows = overhead_experiment(["abilene"], include_extras=False)["abilene"]
+        by_name = {row.scheme: row for row in rows}
+        assert by_name["Packet Re-cycling"].header_bits < by_name["Failure-Carrying Packets"].header_bits
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "b"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_ccdf_plot_contains_legend(self):
+        curves = {"PR": [(1.0, 0.9), (5.0, 0.2)], "FCP": [(1.0, 0.5), (5.0, 0.0)]}
+        plot = render_ccdf_plot(curves)
+        assert "legend:" in plot
+        assert "P(Stretch > x | path)" in plot
+
+    def test_render_ccdf_plot_empty(self):
+        assert "(no data)" in render_ccdf_plot({})
+
+    def test_ccdf_rows_shape(self):
+        curves = {"PR": [(1.0, 0.9), (2.0, 0.2)], "FCP": [(1.0, 0.5)]}
+        rows = ccdf_rows(curves)
+        assert rows[0][0] == "1"
+        assert len(rows[0]) == 3

@@ -1,0 +1,73 @@
+"""Tests for the link-flapping model and the hold-down counter-measure."""
+
+import pytest
+
+from repro.failures.flapping import FlapEvent, LinkFlappingProcess, hold_down_filter
+
+
+class TestFlappingProcess:
+    def test_events_are_time_ordered_and_alternate(self):
+        process = LinkFlappingProcess(mean_up_time=1.0, mean_down_time=0.5, seed=3)
+        events = process.events_until(50.0)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        states = [event.up for event in events]
+        assert all(first != second for first, second in zip(states, states[1:]))
+
+    def test_first_event_is_a_failure_when_initially_up(self):
+        process = LinkFlappingProcess(mean_up_time=1.0, mean_down_time=1.0, seed=1)
+        events = process.events_until(100.0)
+        assert events and events[0].up is False
+
+    def test_downtime_fraction_tracks_means(self):
+        process = LinkFlappingProcess(mean_up_time=3.0, mean_down_time=1.0, seed=7)
+        fraction = process.downtime_fraction(5000.0)
+        assert fraction == pytest.approx(0.25, abs=0.05)
+
+    def test_seed_determinism(self):
+        a = LinkFlappingProcess(1.0, 1.0, seed=5).events_until(20.0)
+        b = LinkFlappingProcess(1.0, 1.0, seed=5).events_until(20.0)
+        assert a == b
+
+    def test_invalid_means_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFlappingProcess(0.0, 1.0)
+
+
+class TestHoldDown:
+    def test_short_up_periods_suppressed(self):
+        events = [
+            FlapEvent(1.0, up=False),
+            FlapEvent(1.2, up=True),   # up for only 0.3 s
+            FlapEvent(1.5, up=False),
+            FlapEvent(2.0, up=True),   # stays up
+        ]
+        filtered = hold_down_filter(events, hold_down=1.0, horizon=10.0)
+        downs = [event for event in filtered if not event.up]
+        ups = [event for event in filtered if event.up]
+        assert len(downs) == 1
+        assert len(ups) == 1
+        assert ups[0].time == pytest.approx(3.0)
+
+    def test_down_transitions_not_delayed(self):
+        events = [FlapEvent(2.0, up=False)]
+        filtered = hold_down_filter(events, hold_down=5.0, horizon=10.0)
+        assert filtered == [FlapEvent(2.0, up=False)]
+
+    def test_hold_down_reduces_transition_count(self):
+        process = LinkFlappingProcess(mean_up_time=0.5, mean_down_time=0.5, seed=11)
+        raw = process.events_until(200.0)
+        filtered = hold_down_filter(raw, hold_down=2.0, horizon=200.0)
+        assert len(filtered) < len(raw)
+
+    def test_announced_state_never_flaps_faster_than_hold_down(self):
+        process = LinkFlappingProcess(mean_up_time=0.5, mean_down_time=0.5, seed=13)
+        raw = process.events_until(100.0)
+        filtered = hold_down_filter(raw, hold_down=3.0, horizon=100.0)
+        up_times = [event.time for event in filtered if event.up]
+        down_times = [event.time for event in filtered if not event.up]
+        # Every announced up must be at least hold_down after the preceding down.
+        for up_time in up_times:
+            previous_downs = [t for t in down_times if t < up_time]
+            if previous_downs:
+                assert up_time - max(previous_downs) >= 3.0 - 1e-9

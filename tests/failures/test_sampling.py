@@ -1,0 +1,65 @@
+"""Tests for multi-failure sampling."""
+
+import pytest
+
+from repro.errors import FailureScenarioError
+from repro.failures.sampling import all_multi_link_failures, sample_multi_link_failures
+from repro.graph.connectivity import is_connected
+from repro.topologies.generators import ring_graph
+
+
+class TestSampling:
+    def test_sampled_scenarios_have_requested_size(self, abilene_graph):
+        scenarios = sample_multi_link_failures(abilene_graph, failures=4, samples=20, seed=1)
+        assert scenarios
+        assert all(len(s) == 4 for s in scenarios)
+
+    def test_sampled_scenarios_keep_network_connected(self, abilene_graph):
+        scenarios = sample_multi_link_failures(abilene_graph, failures=3, samples=25, seed=2)
+        assert all(is_connected(abilene_graph, s.failed_links) for s in scenarios)
+
+    def test_seed_determinism(self, abilene_graph):
+        first = sample_multi_link_failures(abilene_graph, failures=4, samples=10, seed=9)
+        second = sample_multi_link_failures(abilene_graph, failures=4, samples=10, seed=9)
+        assert [s.failed_links for s in first] == [s.failed_links for s in second]
+
+    def test_unique_scenarios_by_default(self, abilene_graph):
+        scenarios = sample_multi_link_failures(abilene_graph, failures=2, samples=30, seed=3)
+        combos = [s.failed_links for s in scenarios]
+        assert len(combos) == len(set(combos))
+
+    def test_geant_sixteen_failures_possible(self, geant_graph):
+        scenarios = sample_multi_link_failures(geant_graph, failures=16, samples=5, seed=4)
+        assert len(scenarios) == 5
+
+    def test_invalid_failure_counts_rejected(self, abilene_graph):
+        with pytest.raises(FailureScenarioError):
+            sample_multi_link_failures(abilene_graph, failures=0, samples=1)
+        with pytest.raises(FailureScenarioError):
+            sample_multi_link_failures(abilene_graph, failures=100, samples=1)
+
+    def test_ring_cannot_survive_two_failures(self):
+        ring = ring_graph(5)
+        scenarios = sample_multi_link_failures(
+            ring, failures=2, samples=5, seed=0, max_attempts_per_sample=50
+        )
+        assert scenarios == []
+
+    def test_allow_disconnecting_combinations(self):
+        ring = ring_graph(5)
+        scenarios = sample_multi_link_failures(
+            ring, failures=2, samples=5, seed=0, require_connected=False
+        )
+        assert len(scenarios) == 5
+
+
+class TestExhaustiveEnumeration:
+    def test_counts_non_disconnecting_dual_failures(self):
+        ring = ring_graph(4)
+        assert all_multi_link_failures(ring, 2) == []
+        singles = all_multi_link_failures(ring, 1)
+        assert len(singles) == 4
+
+    def test_limit_respected(self, abilene_graph):
+        scenarios = all_multi_link_failures(abilene_graph, 2, limit=7)
+        assert len(scenarios) == 7

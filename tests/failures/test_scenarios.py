@@ -1,0 +1,86 @@
+"""Tests for failure scenario containers and enumerators."""
+
+import pytest
+
+from repro.errors import FailureScenarioError
+from repro.failures.scenarios import (
+    FailureScenario,
+    all_affecting_pairs,
+    node_failure_scenarios,
+    single_link_failures,
+    validate_scenario,
+)
+from repro.routing.tables import RoutingTables
+from repro.topologies.generators import ring_graph
+
+
+class TestFailureScenario:
+    def test_links_are_sorted_and_deduplicated(self):
+        scenario = FailureScenario((5, 1, 5, 3))
+        assert scenario.failed_links == (1, 3, 5)
+        assert len(scenario) == 3
+
+    def test_keeps_connected(self, abilene_graph):
+        edge = abilene_graph.edge_ids_between("Seattle", "Denver")[0]
+        assert FailureScenario((edge,)).keeps_connected(abilene_graph)
+
+    def test_describe_lists_endpoints(self, abilene_graph):
+        edge = abilene_graph.edge_ids_between("Seattle", "Denver")[0]
+        text = FailureScenario((edge,), kind="single-link").describe(abilene_graph)
+        assert "Seattle--Denver" in text
+
+    def test_validate_scenario(self, abilene_graph):
+        validate_scenario(abilene_graph, FailureScenario((0,)))
+        with pytest.raises(FailureScenarioError):
+            validate_scenario(abilene_graph, FailureScenario((999,)))
+
+
+class TestSingleLinkFailures:
+    def test_one_scenario_per_link(self, abilene_graph):
+        scenarios = single_link_failures(abilene_graph)
+        assert len(scenarios) == abilene_graph.number_of_edges()
+
+    def test_non_disconnecting_filter_drops_bridges(self):
+        from repro.graph.multigraph import Graph
+
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        assert len(single_link_failures(graph)) == 4
+        assert len(single_link_failures(graph, only_non_disconnecting=True)) == 3
+
+
+class TestNodeFailures:
+    def test_one_scenario_per_node(self, abilene_graph):
+        scenarios = node_failure_scenarios(abilene_graph)
+        assert len(scenarios) == abilene_graph.number_of_nodes()
+
+    def test_scenario_covers_all_incident_links(self, abilene_graph):
+        scenarios = {s.description: s for s in node_failure_scenarios(abilene_graph)}
+        denver = scenarios["node Denver"]
+        assert set(denver.failed_links) == set(abilene_graph.incident_edge_ids("Denver"))
+
+    def test_exclusion_list(self, abilene_graph):
+        scenarios = node_failure_scenarios(abilene_graph, exclude=["Denver"])
+        assert all(s.description != "node Denver" for s in scenarios)
+
+    def test_non_disconnecting_filter(self):
+        ring = ring_graph(5)
+        # Removing any single ring node keeps the remaining path connected.
+        assert len(node_failure_scenarios(ring, only_non_disconnecting=True)) == 5
+
+
+class TestAffectedPairs:
+    def test_only_pairs_crossing_the_failure(self, abilene_graph):
+        tables = RoutingTables(abilene_graph)
+        edge = abilene_graph.edge_ids_between("Chicago", "NewYork")[0]
+        pairs = all_affecting_pairs(abilene_graph, FailureScenario((edge,)), tables)
+        assert ("Indianapolis", "NewYork") in pairs
+        assert ("Seattle", "Sunnyvale") not in pairs
+
+    def test_unaffected_scenario_has_no_pairs(self, abilene_graph):
+        pairs = all_affecting_pairs(abilene_graph, FailureScenario(()))
+        assert pairs == []
+
+    def test_pairs_are_ordered_pairs(self, abilene_graph):
+        edge = abilene_graph.edge_ids_between("Chicago", "NewYork")[0]
+        pairs = all_affecting_pairs(abilene_graph, FailureScenario((edge,)))
+        assert all(source != destination for source, destination in pairs)

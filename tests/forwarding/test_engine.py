@@ -1,0 +1,117 @@
+"""Unit tests for the hop-by-hop forwarding engine and decisions."""
+
+import pytest
+
+from repro.errors import ForwardingError, ProtocolError
+from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome, HopByHopEngine
+from repro.forwarding.network_state import NetworkState
+from repro.forwarding.packets import Packet
+from repro.forwarding.router import Action, ForwardingDecision, RouterLogic
+from repro.graph.multigraph import Graph
+from repro.routing.tables import RoutingTables
+
+
+class _ShortestPathLogic(RouterLogic):
+    """Minimal logic used to exercise the engine: plain shortest paths."""
+
+    name = "test-shortest-path"
+
+    def __init__(self, tables: RoutingTables) -> None:
+        self.tables = tables
+
+    def decide(self, node, ingress, packet, state):
+        if not self.tables.has_route(node, packet.header.destination):
+            return ForwardingDecision.drop("no route")
+        egress = self.tables.egress(node, packet.header.destination)
+        if not state.dart_usable(egress):
+            return ForwardingDecision.drop("link down", failures_detected=1)
+        return ForwardingDecision.forward(egress, forwarded=1)
+
+
+class _BouncingLogic(RouterLogic):
+    """Pathological logic that ping-pongs forever (for TTL testing)."""
+
+    name = "test-bouncer"
+
+    def decide(self, node, ingress, packet, state):
+        if ingress is not None:
+            return ForwardingDecision.forward(ingress.reversed())
+        return ForwardingDecision.forward(state.graph.darts_out(node)[0])
+
+
+class _BrokenLogic(RouterLogic):
+    """Logic that forwards onto a failed link (a protocol bug the engine must catch)."""
+
+    name = "test-broken"
+
+    def decide(self, node, ingress, packet, state):
+        return ForwardingDecision.forward(state.graph.darts_out(node)[0])
+
+
+@pytest.fixture()
+def line_graph() -> Graph:
+    return Graph.from_edge_list([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+class TestForwardingDecision:
+    def test_forward_requires_egress(self):
+        with pytest.raises(ForwardingError):
+            ForwardingDecision(Action.FORWARD)
+
+    def test_deliver_must_not_carry_egress(self, line_graph):
+        with pytest.raises(ForwardingError):
+            ForwardingDecision(Action.DELIVER, egress=line_graph.darts()[0])
+
+    def test_constructors(self, line_graph):
+        dart = line_graph.darts()[0]
+        assert ForwardingDecision.forward(dart).action is Action.FORWARD
+        assert ForwardingDecision.deliver().action is Action.DELIVER
+        assert ForwardingDecision.drop("x").drop_reason == "x"
+
+
+class TestEngine:
+    def test_delivery_along_shortest_path(self, line_graph):
+        state = NetworkState(line_graph)
+        engine = HopByHopEngine(state, _ShortestPathLogic(RoutingTables(line_graph)))
+        outcome = engine.forward("a", "d")
+        assert outcome.delivered
+        assert outcome.path == ["a", "b", "c", "d"]
+        assert outcome.hops == 3
+        assert outcome.cost == pytest.approx(3.0)
+        assert outcome.counter("forwarded") == 3
+
+    def test_source_equals_destination_is_delivered_immediately(self, line_graph):
+        state = NetworkState(line_graph)
+        engine = HopByHopEngine(state, _ShortestPathLogic(RoutingTables(line_graph)))
+        outcome = engine.forward_packet(Packet("a", "a"))
+        assert outcome.delivered and outcome.hops == 0
+
+    def test_drop_reported(self, line_graph):
+        state = NetworkState(line_graph, [1])  # b--c down
+        engine = HopByHopEngine(state, _ShortestPathLogic(RoutingTables(line_graph)))
+        outcome = engine.forward("a", "d")
+        assert outcome.status is DeliveryStatus.DROPPED
+        assert outcome.drop_reason == "link down"
+        assert outcome.path == ["a", "b"]
+
+    def test_ttl_exceeded_detected(self, line_graph):
+        state = NetworkState(line_graph)
+        engine = HopByHopEngine(state, _BouncingLogic())
+        outcome = engine.forward("a", "d", ttl=10)
+        assert outcome.status is DeliveryStatus.TTL_EXCEEDED
+        assert outcome.hops == 10
+
+    def test_forwarding_onto_failed_link_is_a_protocol_error(self, line_graph):
+        state = NetworkState(line_graph, [0])
+        engine = HopByHopEngine(state, _BrokenLogic())
+        with pytest.raises(ProtocolError):
+            engine.forward("a", "d")
+
+    def test_outcome_helpers(self):
+        outcome = ForwardingOutcome(
+            source="a", destination="b", status=DeliveryStatus.DELIVERED,
+            path=["a", "b"], cost=1.0, hops=1, counters={"x": 2.0},
+        )
+        assert outcome.delivered
+        assert outcome.counter("x") == 2.0
+        assert outcome.counter("missing") == 0.0

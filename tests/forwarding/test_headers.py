@@ -1,0 +1,99 @@
+"""Unit tests for packet headers and the DSCP codec."""
+
+import pytest
+
+from repro.errors import HeaderFieldOverflow
+from repro.forwarding.headers import DscpCodec, PacketHeader, link_identifier_bits
+
+
+class TestPacketHeader:
+    def test_initial_state(self):
+        header = PacketHeader("F")
+        assert header.destination == "F"
+        assert not header.pr_bit
+        assert header.dd_value is None
+        assert header.known_failures() == frozenset()
+
+    def test_mark_and_clear_recycling(self):
+        header = PacketHeader("F")
+        header.mark_recycling(3.0)
+        assert header.pr_bit and header.dd_value == 3.0
+        header.clear_recycling()
+        assert not header.pr_bit and header.dd_value is None
+
+    def test_fcp_failure_accumulation(self):
+        header = PacketHeader("F")
+        header.record_failure(4)
+        header.record_failure(4)
+        header.record_failure(9)
+        assert header.known_failures() == frozenset({4, 9})
+
+    def test_overhead_accounting(self):
+        header = PacketHeader("F")
+        assert header.pr_overhead_bits(dd_bits=3) == 4
+        header.record_failure(1)
+        header.record_failure(2)
+        assert header.fcp_overhead_bits(link_id_bits=5) == 10
+
+    def test_copy_is_deep(self):
+        header = PacketHeader("F")
+        header.mark_recycling(2.0)
+        header.record_failure(1)
+        clone = header.copy()
+        clone.clear_recycling()
+        clone.record_failure(2)
+        assert header.pr_bit and header.known_failures() == frozenset({1})
+
+
+class TestDscpCodec:
+    def test_pool2_default_capacity(self):
+        codec = DscpCodec()
+        assert codec.available_bits == 4
+        assert codec.max_dd_value == 7
+
+    def test_encode_decode_round_trip(self):
+        codec = DscpCodec(available_bits=5)
+        for pr_bit in (False, True):
+            for dd in range(codec.max_dd_value + 1):
+                assert codec.decode(codec.encode(pr_bit, dd)) == (pr_bit, dd)
+
+    def test_none_dd_encodes_as_zero(self):
+        codec = DscpCodec()
+        assert codec.decode(codec.encode(False, None)) == (False, 0)
+
+    def test_overflow_rejected(self):
+        codec = DscpCodec()
+        with pytest.raises(HeaderFieldOverflow):
+            codec.encode(True, codec.max_dd_value + 1)
+
+    def test_negative_dd_rejected(self):
+        with pytest.raises(HeaderFieldOverflow):
+            DscpCodec().encode(True, -1)
+
+    def test_decode_range_checked(self):
+        with pytest.raises(HeaderFieldOverflow):
+            DscpCodec().decode(16)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(HeaderFieldOverflow):
+            DscpCodec(available_bits=0)
+
+    def test_bits_for_diameter(self):
+        assert DscpCodec.bits_for_diameter(5) == 1 + 3
+        assert DscpCodec.bits_for_diameter(1) == 2
+        assert DscpCodec.bits_for_diameter(0) == 2
+
+    def test_abilene_fits_in_dscp_pool2(self, abilene_graph):
+        from repro.routing.discriminator import DiscriminatorKind, discriminator_bits_required
+
+        dd_bits = discriminator_bits_required(abilene_graph, DiscriminatorKind.HOP_COUNT)
+        codec = DscpCodec()
+        assert 1 + dd_bits <= codec.available_bits
+
+
+class TestLinkIdentifierBits:
+    def test_small_and_large_networks(self):
+        assert link_identifier_bits(1) == 1
+        assert link_identifier_bits(14) == 4
+        assert link_identifier_bits(54) == 6
+        assert link_identifier_bits(1024) == 10

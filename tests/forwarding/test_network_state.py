@@ -1,0 +1,56 @@
+"""Unit tests for the network failure state."""
+
+import pytest
+
+from repro.errors import FailureScenarioError
+from repro.forwarding.network_state import NetworkState
+from repro.graph.multigraph import Graph
+
+
+@pytest.fixture()
+def square_state(square_graph) -> NetworkState:
+    return NetworkState(square_graph)
+
+
+class TestFailureManagement:
+    def test_initially_everything_up(self, square_graph, square_state):
+        assert square_state.failed_edges == frozenset()
+        assert all(square_state.dart_usable(dart) for dart in square_graph.darts())
+
+    def test_fail_and_restore_link(self, square_graph, square_state):
+        square_state.fail_link(0)
+        assert square_state.is_failed(0)
+        assert not square_state.dart_usable(square_graph.dart(0, square_graph.edge(0).u))
+        square_state.restore_link(0)
+        assert not square_state.is_failed(0)
+
+    def test_fail_unknown_link_rejected(self, square_state):
+        with pytest.raises(FailureScenarioError):
+            square_state.fail_link(99)
+
+    def test_fail_node_fails_all_incident_links(self, square_graph):
+        state = NetworkState(square_graph)
+        failed = state.fail_node("a")
+        assert len(failed) == 2
+        assert state.is_isolated("a")
+
+    def test_clear(self, square_graph):
+        state = NetworkState(square_graph, [0, 1])
+        state.clear()
+        assert state.failed_edges == frozenset()
+
+    def test_constructor_failures(self, square_graph):
+        state = NetworkState(square_graph, [2])
+        assert state.failed_edges == frozenset({2})
+
+
+class TestQueries:
+    def test_usable_darts_out(self, square_graph):
+        state = NetworkState(square_graph, [0])
+        usable = state.usable_darts_out(square_graph.edge(0).u)
+        assert all(dart.edge_id != 0 for dart in usable)
+
+    def test_is_isolated(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        state = NetworkState(graph, [0])
+        assert state.is_isolated("a") and state.is_isolated("b")

@@ -1,0 +1,52 @@
+"""Unit tests for packets and the scheme base class."""
+
+import pytest
+
+from repro.errors import ForwardingError
+from repro.forwarding.packets import Packet
+from repro.forwarding.scheme import ForwardingScheme
+from repro.baselines.noprotection import NoProtection
+from repro.graph.multigraph import Graph
+
+
+class TestPacket:
+    def test_packet_ids_are_unique(self):
+        first = Packet("a", "b")
+        second = Packet("a", "b")
+        assert first.packet_id != second.packet_id
+
+    def test_header_destination_matches(self):
+        packet = Packet("a", "z", ttl=9)
+        assert packet.header.destination == "z"
+        assert packet.header.ttl == 9
+
+    def test_explicit_packet_id_respected(self):
+        assert Packet("a", "b", packet_id=1234).packet_id == 1234
+
+    def test_default_size_is_1kb(self):
+        assert Packet("a", "b").size_bytes == 1000
+
+
+class TestForwardingSchemeBase:
+    def test_deliver_rejects_same_source_destination(self, abilene_graph):
+        scheme = NoProtection(abilene_graph)
+        with pytest.raises(ForwardingError):
+            scheme.deliver("Denver", "Denver")
+
+    def test_default_ttl_scales_with_network_size(self, abilene_graph):
+        scheme = NoProtection(abilene_graph)
+        assert scheme.default_ttl() >= 8 * abilene_graph.number_of_edges()
+
+    def test_deliver_many_uses_shared_state(self, abilene_graph):
+        scheme = NoProtection(abilene_graph)
+        pairs = [("Seattle", "Atlanta"), ("Denver", "NewYork")]
+        outcomes = scheme.deliver_many(pairs)
+        assert set(outcomes) == set(pairs)
+        assert all(outcome.delivered for outcome in outcomes.values())
+
+    def test_base_class_overheads_default_to_zero(self):
+        scheme = ForwardingScheme(Graph.from_edge_list([("a", "b")]))
+        assert scheme.header_overhead_bits() == 0
+        assert scheme.router_memory_entries() == 0
+        with pytest.raises(NotImplementedError):
+            scheme.build_logic(None)  # type: ignore[arg-type]

@@ -1,0 +1,58 @@
+"""Tests for the class-based deployment policy of Section 7."""
+
+import pytest
+
+from repro.baselines.lfa import LoopFreeAlternates
+from repro.forwarding.policy import DEFAULT_PROTECTED_CLASSES, ClassBasedProtection
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestClassBasedProtection:
+    @pytest.fixture(scope="class")
+    def policy(self, request):
+        abilene_pr = request.getfixturevalue("abilene_pr")
+        return ClassBasedProtection(abilene_pr)
+
+    def test_protected_class_is_recycled(self, policy, abilene_graph):
+        failed = [_edge(abilene_graph, "KansasCity", "Indianapolis")]
+        outcome = policy.deliver("Seattle", "Atlanta", failed_links=failed, dscp=46)
+        assert outcome.delivered
+
+    def test_unprotected_class_is_dropped_at_the_failure(self, policy, abilene_graph):
+        failed = [_edge(abilene_graph, "KansasCity", "Indianapolis")]
+        outcome = policy.deliver("Seattle", "Atlanta", failed_links=failed, dscp=0)
+        assert not outcome.delivered
+        assert outcome.path[-1] == "KansasCity"
+
+    def test_failure_free_forwarding_identical_for_both_classes(self, policy):
+        protected = policy.deliver("Seattle", "Atlanta", dscp=46)
+        best_effort = policy.deliver("Seattle", "Atlanta", dscp=0)
+        assert protected.path == best_effort.path
+
+    def test_default_protected_classes_include_ef(self, policy):
+        assert 46 in DEFAULT_PROTECTED_CLASSES
+        assert policy.is_protected(46)
+        assert not policy.is_protected(0)
+
+    def test_custom_protected_classes(self, abilene_pr, abilene_graph):
+        policy = ClassBasedProtection(abilene_pr, protected_classes={7})
+        failed = [_edge(abilene_graph, "KansasCity", "Indianapolis")]
+        assert policy.deliver("Seattle", "Atlanta", failed_links=failed, dscp=7).delivered
+        assert not policy.deliver("Seattle", "Atlanta", failed_links=failed, dscp=46).delivered
+
+    def test_custom_fallback_scheme(self, abilene_pr, abilene_graph):
+        policy = ClassBasedProtection(abilene_pr, fallback_scheme=LoopFreeAlternates(abilene_graph))
+        # With an LFA fallback, unprotected traffic gets best-effort repair
+        # where an alternate exists, and PR still covers the protected class.
+        failed = [_edge(abilene_graph, "KansasCity", "Indianapolis")]
+        assert policy.deliver("Seattle", "Atlanta", failed_links=failed, dscp=46).delivered
+
+    def test_overheads_come_from_the_protected_scheme(self, policy, abilene_pr):
+        assert policy.header_overhead_bits() == abilene_pr.header_overhead_bits()
+        assert policy.router_memory_entries() == abilene_pr.router_memory_entries()
+
+    def test_name_mentions_policy(self, policy):
+        assert "protected classes" in policy.name

@@ -1,0 +1,130 @@
+"""Unit tests for connectivity analysis."""
+
+import pytest
+
+from repro.graph.connectivity import (
+    articulation_points,
+    biconnected_edge_components,
+    bridges,
+    connected_components,
+    edge_connectivity_at_least,
+    is_connected,
+    is_two_edge_connected,
+    non_disconnecting,
+    same_component,
+)
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import barbell_graph, ring_graph
+
+
+@pytest.fixture()
+def two_triangles_with_bridge() -> Graph:
+    """Two triangles joined by one bridge edge."""
+    return Graph.from_edge_list(
+        [
+            ("a", "b"), ("b", "c"), ("a", "c"),
+            ("c", "d"),  # the bridge
+            ("d", "e"), ("e", "f"), ("d", "f"),
+        ]
+    )
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, two_triangles_with_bridge):
+        assert len(connected_components(two_triangles_with_bridge)) == 1
+        assert is_connected(two_triangles_with_bridge)
+
+    def test_components_after_failures(self, two_triangles_with_bridge):
+        bridge_edge = two_triangles_with_bridge.edge_ids_between("c", "d")[0]
+        components = connected_components(two_triangles_with_bridge, {bridge_edge})
+        assert len(components) == 2
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+    def test_isolated_node_disconnects(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        graph.ensure_node("island")
+        assert not is_connected(graph)
+
+    def test_same_component(self, two_triangles_with_bridge):
+        bridge_edge = two_triangles_with_bridge.edge_ids_between("c", "d")[0]
+        assert same_component(two_triangles_with_bridge, "a", "f")
+        assert not same_component(two_triangles_with_bridge, "a", "f", {bridge_edge})
+        assert same_component(two_triangles_with_bridge, "a", "a", {bridge_edge})
+
+
+class TestBridgesAndArticulation:
+    def test_bridge_detection(self, two_triangles_with_bridge):
+        bridge_edge = two_triangles_with_bridge.edge_ids_between("c", "d")[0]
+        assert bridges(two_triangles_with_bridge) == [bridge_edge]
+
+    def test_cycle_has_no_bridges(self):
+        assert bridges(ring_graph(6)) == []
+
+    def test_every_tree_edge_is_a_bridge(self):
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("b", "d")])
+        assert sorted(bridges(graph)) == [0, 1, 2]
+
+    def test_parallel_edges_are_not_bridges(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        assert bridges(graph) == []
+
+    def test_articulation_points(self, two_triangles_with_bridge):
+        assert articulation_points(two_triangles_with_bridge) == {"c", "d"}
+
+    def test_no_articulation_in_ring(self):
+        assert articulation_points(ring_graph(5)) == set()
+
+    def test_barbell_articulation(self):
+        graph = barbell_graph(3, path_length=1)
+        cut_vertices = articulation_points(graph)
+        assert "m0" in cut_vertices
+        assert "l0" in cut_vertices and "r0" in cut_vertices
+
+
+class TestBiconnectedComponents:
+    def test_partition_of_edges(self, two_triangles_with_bridge):
+        components = biconnected_edge_components(two_triangles_with_bridge)
+        all_edges = sorted(edge for component in components for edge in component)
+        assert all_edges == two_triangles_with_bridge.edge_ids()
+
+    def test_triangles_and_bridge_are_separate_components(self, two_triangles_with_bridge):
+        components = biconnected_edge_components(two_triangles_with_bridge)
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 3, 3]
+
+    def test_ring_is_one_component(self):
+        components = biconnected_edge_components(ring_graph(7))
+        assert len(components) == 1
+        assert len(components[0]) == 7
+
+
+class TestEdgeConnectivity:
+    def test_two_edge_connected_ring(self):
+        assert is_two_edge_connected(ring_graph(4))
+
+    def test_bridge_breaks_two_edge_connectivity(self, two_triangles_with_bridge):
+        assert not is_two_edge_connected(two_triangles_with_bridge)
+
+    def test_single_node_is_two_edge_connected(self):
+        graph = Graph()
+        graph.add_node("a")
+        assert is_two_edge_connected(graph)
+
+    def test_edge_connectivity_at_least(self):
+        ring = ring_graph(5)
+        assert edge_connectivity_at_least(ring, 1)
+        assert edge_connectivity_at_least(ring, 2)
+        assert not edge_connectivity_at_least(ring, 3)
+
+    def test_non_disconnecting(self, two_triangles_with_bridge):
+        triangle_edge = two_triangles_with_bridge.edge_ids_between("a", "b")[0]
+        bridge_edge = two_triangles_with_bridge.edge_ids_between("c", "d")[0]
+        assert non_disconnecting(two_triangles_with_bridge, [triangle_edge])
+        assert not non_disconnecting(two_triangles_with_bridge, [bridge_edge])
+
+    def test_abilene_is_two_edge_connected(self, abilene_graph):
+        assert is_two_edge_connected(abilene_graph)

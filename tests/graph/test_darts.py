@@ -1,0 +1,28 @@
+"""Unit tests for darts (directed half-edges)."""
+
+from repro.graph.darts import Dart
+
+
+def test_reversed_swaps_endpoints_and_keeps_edge_id():
+    dart = Dart(3, "u", "v")
+    back = dart.reversed()
+    assert back == Dart(3, "v", "u")
+    assert back.reversed() == dart
+
+
+def test_endpoints_property():
+    assert Dart(0, "a", "b").endpoints == ("a", "b")
+
+
+def test_darts_are_hashable_and_comparable():
+    forward = Dart(1, "a", "b")
+    duplicate = Dart(1, "a", "b")
+    other = Dart(2, "a", "b")
+    assert forward == duplicate
+    assert len({forward, duplicate, other}) == 2
+    assert sorted([other, forward])[0] == forward
+
+
+def test_dart_ordering_is_by_edge_then_tail():
+    assert Dart(0, "z", "a") < Dart(1, "a", "b")
+    assert Dart(2, "a", "b") < Dart(2, "b", "a")

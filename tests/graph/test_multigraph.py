@@ -1,0 +1,179 @@
+"""Unit tests for the multigraph substrate."""
+
+import pytest
+
+from repro.errors import DuplicateNode, EdgeNotFound, GraphError, NodeNotFound
+from repro.graph.multigraph import Edge, Graph
+
+
+class TestNodeManagement:
+    def test_add_node_returns_name(self):
+        graph = Graph()
+        assert graph.add_node("a") == "a"
+
+    def test_add_duplicate_node_raises(self):
+        graph = Graph()
+        graph.add_node("a")
+        with pytest.raises(DuplicateNode):
+            graph.add_node("a")
+
+    def test_ensure_node_is_idempotent(self):
+        graph = Graph()
+        graph.ensure_node("a")
+        graph.ensure_node("a")
+        assert graph.nodes() == ["a"]
+
+    def test_contains_and_len(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert "a" in graph
+        assert "c" not in graph
+        assert len(graph) == 2
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("a", "c")])
+        removed = graph.remove_node("b")
+        assert len(removed) == 2
+        assert graph.number_of_edges() == 1
+        assert not graph.has_node("b")
+
+    def test_remove_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFound):
+            graph.remove_node("ghost")
+
+
+class TestEdgeManagement:
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        edge_id = graph.add_edge("a", "b", 2.0)
+        assert graph.has_node("a") and graph.has_node("b")
+        assert graph.edge(edge_id).weight == 2.0
+
+    def test_edge_ids_are_sequential_and_stable(self):
+        graph = Graph()
+        first = graph.add_edge("a", "b")
+        second = graph.add_edge("b", "c")
+        graph.remove_edge(first)
+        third = graph.add_edge("c", "d")
+        assert (first, second, third) == (0, 1, 2)
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "a")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Edge(0, "a", "b", 0.0)
+
+    def test_parallel_edges_supported(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("a", "b", 5.0)
+        assert graph.number_of_edges() == 2
+        assert len(graph.edge_ids_between("a", "b")) == 2
+
+    def test_edge_lookup_missing_raises(self):
+        graph = Graph()
+        with pytest.raises(EdgeNotFound):
+            graph.edge(42)
+
+    def test_add_edge_with_id(self):
+        graph = Graph()
+        graph.add_edge_with_id(10, "a", "b", 3.0)
+        assert graph.edge(10).weight == 3.0
+        # Automatic ids continue above the explicit one.
+        assert graph.add_edge("b", "c") == 11
+
+    def test_add_edge_with_duplicate_id_raises(self):
+        graph = Graph()
+        graph.add_edge_with_id(3, "a", "b")
+        with pytest.raises(GraphError):
+            graph.add_edge_with_id(3, "b", "c")
+
+    def test_edge_other_and_dart(self):
+        graph = Graph()
+        edge_id = graph.add_edge("a", "b")
+        edge = graph.edge(edge_id)
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+        with pytest.raises(GraphError):
+            edge.other("c")
+        dart = edge.dart_from("b")
+        assert dart.tail == "b" and dart.head == "a"
+
+
+class TestInspection:
+    @pytest.fixture()
+    def triangle(self) -> Graph:
+        return Graph.from_edge_list([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 3.0)])
+
+    def test_degree_and_neighbors(self, triangle):
+        assert triangle.degree("a") == 2
+        assert set(triangle.neighbors("a")) == {"b", "c"}
+
+    def test_darts_out_and_all_darts(self, triangle):
+        darts = triangle.darts_out("a")
+        assert all(dart.tail == "a" for dart in darts)
+        assert len(triangle.darts()) == 2 * triangle.number_of_edges()
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == pytest.approx(6.0)
+
+    def test_iter_adjacent_respects_exclusions(self, triangle):
+        edge_ab = triangle.edge_ids_between("a", "b")[0]
+        visible = list(triangle.iter_adjacent("a", excluded_edges={edge_ab}))
+        assert [neighbor for neighbor, _e, _w in visible] == ["c"]
+
+    def test_has_edge_between(self, triangle):
+        assert triangle.has_edge_between("a", "b")
+        assert not triangle.has_edge_between("a", "z")
+
+    def test_incident_edges_missing_node(self, triangle):
+        with pytest.raises(NodeNotFound):
+            triangle.incident_edge_ids("zzz")
+
+    def test_adjacency_mapping(self, triangle):
+        mapping = triangle.adjacency_mapping()
+        assert sorted(mapping["b"]) == ["a", "c"]
+
+
+class TestDerivedGraphs:
+    @pytest.fixture()
+    def square(self) -> Graph:
+        return Graph.from_edge_list([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+
+    def test_copy_is_independent(self, square):
+        clone = square.copy()
+        clone.remove_edge(0)
+        assert square.number_of_edges() == 4
+        assert clone.number_of_edges() == 3
+
+    def test_copy_preserves_edge_ids_and_weights(self, square):
+        clone = square.copy()
+        assert clone.to_edge_list() == square.to_edge_list()
+        assert clone.edge_ids() == square.edge_ids()
+
+    def test_without_edges(self, square):
+        pruned = square.without_edges([0, 2])
+        assert pruned.number_of_edges() == 2
+        assert square.number_of_edges() == 4
+
+    def test_subgraph_keeps_ids(self, square):
+        sub = square.subgraph(["a", "b", "c"])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 2
+        assert set(sub.edge_ids()) <= set(square.edge_ids())
+
+    def test_edge_subgraph(self, square):
+        sub = square.edge_subgraph([1, 3])
+        assert sub.number_of_edges() == 2
+        assert sub.number_of_nodes() == 4
+        assert sub.edge(1).endpoints == square.edge(1).endpoints
+
+    def test_from_edge_list_with_and_without_weights(self):
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c", 4.0)])
+        assert graph.edge(0).weight == 1.0
+        assert graph.edge(1).weight == 4.0

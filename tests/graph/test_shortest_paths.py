@@ -1,0 +1,137 @@
+"""Unit tests for shortest-path computations."""
+
+import pytest
+
+from repro.errors import NodeNotFound, NoPathExists
+from repro.graph.multigraph import Graph
+from repro.graph.shortest_paths import (
+    all_pairs_shortest_costs,
+    diameter,
+    dijkstra,
+    eccentricity,
+    path_cost,
+    shortest_path,
+    shortest_path_cost,
+    shortest_path_dag,
+    shortest_path_tree_to,
+)
+
+
+@pytest.fixture()
+def weighted_graph() -> Graph:
+    # a --1-- b --1-- c
+    #  \------5------/
+    return Graph.from_edge_list([("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 5.0)])
+
+
+class TestDijkstra:
+    def test_distances(self, weighted_graph):
+        dist, _parent = dijkstra(weighted_graph, "a")
+        assert dist == {"a": 0.0, "b": 1.0, "c": 2.0}
+
+    def test_parents_form_tree(self, weighted_graph):
+        _dist, parent = dijkstra(weighted_graph, "a")
+        assert parent["c"][0] == "b"
+        assert parent["b"][0] == "a"
+
+    def test_excluded_edges_change_route(self, weighted_graph):
+        edge_ab = weighted_graph.edge_ids_between("a", "b")[0]
+        dist, _parent = dijkstra(weighted_graph, "a", excluded_edges={edge_ab})
+        assert dist["b"] == pytest.approx(6.0)
+
+    def test_unknown_source_raises(self, weighted_graph):
+        with pytest.raises(NodeNotFound):
+            dijkstra(weighted_graph, "zzz")
+
+    def test_unreachable_nodes_absent(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        graph.ensure_node("island")
+        dist, _parent = dijkstra(graph, "a")
+        assert "island" not in dist
+
+    def test_parallel_edges_use_cheapest(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 10.0)
+        graph.add_edge("a", "b", 2.0)
+        dist, parent = dijkstra(graph, "a")
+        assert dist["b"] == pytest.approx(2.0)
+        assert parent["b"][1] == 1
+
+    def test_deterministic_tie_breaking(self):
+        # Two equal-cost paths a-b-d and a-c-d: the lexicographically smaller
+        # predecessor must win, on every call.
+        graph = Graph.from_edge_list([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        parents = {dijkstra(graph, "a")[1]["d"][0] for _ in range(5)}
+        assert parents == {"b"}
+
+
+class TestShortestPath:
+    def test_node_sequence(self, weighted_graph):
+        assert shortest_path(weighted_graph, "a", "c") == ["a", "b", "c"]
+
+    def test_cost(self, weighted_graph):
+        assert shortest_path_cost(weighted_graph, "a", "c") == pytest.approx(2.0)
+
+    def test_no_path_raises(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        graph.ensure_node("island")
+        with pytest.raises(NoPathExists):
+            shortest_path(graph, "a", "island")
+
+    def test_path_to_self(self, weighted_graph):
+        assert shortest_path(weighted_graph, "a", "a") == ["a"]
+
+    def test_path_cost_hop_count(self, weighted_graph):
+        assert path_cost(weighted_graph, ["a", "b", "c"], hop_count=True) == 2.0
+        assert path_cost(weighted_graph, ["a", "c"], hop_count=False) == pytest.approx(5.0)
+
+    def test_path_cost_invalid_hop_raises(self, weighted_graph):
+        with pytest.raises(NoPathExists):
+            path_cost(weighted_graph, ["a", "zzz"])
+
+
+class TestTreesAndDags:
+    def test_tree_to_destination(self, weighted_graph):
+        tree = shortest_path_tree_to(weighted_graph, "c")
+        assert tree["a"][0] == "b"
+        assert tree["b"][0] == "c"
+        assert "c" not in tree
+
+    def test_tree_respects_failures(self, weighted_graph):
+        edge_bc = weighted_graph.edge_ids_between("b", "c")[0]
+        tree = shortest_path_tree_to(weighted_graph, "c", excluded_edges={edge_bc})
+        assert tree["a"][0] == "c"
+        assert tree["b"][0] == "a"
+
+    def test_dag_contains_all_equal_cost_next_hops(self):
+        graph = Graph.from_edge_list([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        dag = shortest_path_dag(graph, "d")
+        assert {hop for hop, _e in dag["a"]} == {"b", "c"}
+
+    def test_all_pairs(self, weighted_graph):
+        costs = all_pairs_shortest_costs(weighted_graph)
+        assert costs["a"]["c"] == pytest.approx(2.0)
+        assert costs["c"]["a"] == pytest.approx(2.0)
+
+
+class TestDiameter:
+    def test_hop_diameter_ignores_weights(self, weighted_graph):
+        assert diameter(weighted_graph, hop_count=True) == 1.0 or diameter(
+            weighted_graph, hop_count=True
+        ) == 2.0
+        # Triangle: every node reaches every other in one hop.
+        assert diameter(weighted_graph, hop_count=True) == 1.0
+
+    def test_weighted_diameter(self, weighted_graph):
+        # Costliest shortest path is a->c (or c->a) at cost 2 via b.
+        assert diameter(weighted_graph, hop_count=False) == pytest.approx(2.0)
+
+    def test_eccentricity(self, weighted_graph):
+        assert eccentricity(weighted_graph, "a", hop_count=True) == 1.0
+
+    def test_empty_graph(self):
+        assert diameter(Graph()) == 0.0
+
+    def test_path_graph_diameter(self):
+        graph = Graph.from_edge_list([("a", "b"), ("b", "c"), ("c", "d")])
+        assert diameter(graph, hop_count=True) == 3.0

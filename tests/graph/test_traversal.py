@@ -1,0 +1,86 @@
+"""Unit tests for traversals, spanning trees and cycle finding."""
+
+import pytest
+
+from repro.errors import NodeNotFound
+from repro.graph.multigraph import Graph
+from repro.graph.traversal import bfs_order, bfs_tree, dfs_order, find_cycle, spanning_tree_edges
+from repro.topologies.generators import grid_graph, ring_graph
+
+
+@pytest.fixture()
+def path_graph() -> Graph:
+    return Graph.from_edge_list([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+class TestBfs:
+    def test_order_starts_at_source(self, path_graph):
+        assert bfs_order(path_graph, "a") == ["a", "b", "c", "d"]
+
+    def test_order_respects_exclusions(self, path_graph):
+        edge_bc = path_graph.edge_ids_between("b", "c")[0]
+        assert bfs_order(path_graph, "a", {edge_bc}) == ["a", "b"]
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(NodeNotFound):
+            bfs_order(path_graph, "zzz")
+
+    def test_tree_has_one_entry_per_reachable_node(self, path_graph):
+        tree = bfs_tree(path_graph, "a")
+        assert set(tree) == {"b", "c", "d"}
+        assert tree["d"][0] == "c"
+
+
+class TestDfs:
+    def test_visits_every_node(self):
+        grid = grid_graph(3, 3)
+        assert len(dfs_order(grid, "r0c0")) == 9
+
+    def test_prefers_lexicographic_neighbors(self, path_graph):
+        order = dfs_order(path_graph, "b")
+        assert order[0] == "b"
+        assert order[1] == "a"
+
+
+class TestSpanningTree:
+    def test_tree_size(self):
+        grid = grid_graph(3, 4)
+        assert len(spanning_tree_edges(grid)) == 11
+
+    def test_tree_of_empty_graph(self):
+        assert spanning_tree_edges(Graph()) == []
+
+    def test_tree_edges_exist(self, path_graph):
+        assert sorted(spanning_tree_edges(path_graph)) == [0, 1, 2]
+
+
+class TestFindCycle:
+    def test_tree_has_no_cycle(self, path_graph):
+        assert find_cycle(path_graph) is None
+
+    def test_ring_cycle_found(self):
+        ring = ring_graph(5)
+        cycle = find_cycle(ring)
+        assert cycle is not None
+        assert sorted(cycle) == ring.edge_ids()
+
+    def test_parallel_edges_form_cycle(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        cycle = find_cycle(graph)
+        assert cycle is not None and len(cycle) == 2
+
+    def test_cycle_edges_form_closed_walk(self):
+        graph = Graph.from_edge_list(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "e")]
+        )
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        # Every node on the cycle must have even degree within the cycle edges.
+        degree = {}
+        for edge_id in cycle:
+            edge = graph.edge(edge_id)
+            degree[edge.u] = degree.get(edge.u, 0) + 1
+            degree[edge.v] = degree.get(edge.v, 0) + 1
+        assert all(count == 2 for count in degree.values())

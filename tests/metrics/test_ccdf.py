@@ -1,0 +1,69 @@
+"""Tests for CCDF and distribution summary helpers."""
+
+import pytest
+
+from repro.metrics.ccdf import (
+    ccdf,
+    ccdf_curve,
+    default_stretch_thresholds,
+    distribution_summary,
+    percentile,
+)
+
+
+class TestCcdf:
+    def test_point_ccdf(self):
+        values = [1.0, 2.0, 2.0, 4.0]
+        assert ccdf(values, 0.5) == 1.0
+        assert ccdf(values, 1.0) == 0.75
+        assert ccdf(values, 2.0) == 0.25
+        assert ccdf(values, 4.0) == 0.0
+
+    def test_empty_sample(self):
+        assert ccdf([], 1.0) == 0.0
+
+    def test_curve_is_monotone_decreasing(self):
+        values = [1.0, 1.5, 2.0, 3.0, 8.0]
+        curve = ccdf_curve(values, default_stretch_thresholds())
+        probabilities = [probability for _x, probability in curve]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_curve_matches_point_function(self):
+        values = [1.2, 2.5, 3.7, 3.7, 9.0]
+        for threshold, probability in ccdf_curve(values, [1, 2, 3, 4, 10]):
+            assert probability == pytest.approx(ccdf(values, threshold))
+
+    def test_default_thresholds_span_figure_axis(self):
+        thresholds = default_stretch_thresholds()
+        assert thresholds[0] == 1.0 and thresholds[-1] == 15.0 and len(thresholds) == 15
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        assert percentile([5.0, 7.0], 0.0) == 5.0
+        assert percentile([5.0, 7.0], 1.0) == 7.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = distribution_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["median"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+
+    def test_empty_summary(self):
+        summary = distribution_summary([])
+        assert summary["count"] == 0 and summary["mean"] == 0.0

@@ -1,0 +1,41 @@
+"""Tests for the overhead comparison."""
+
+from repro.baselines.fcp import FailureCarryingPackets
+from repro.baselines.reconvergence import Reconvergence
+from repro.metrics.overhead import overhead_comparison, render_overhead_table
+
+
+class TestOverheadComparison:
+    def test_one_row_per_scheme(self, abilene_graph, abilene_pr):
+        rows = overhead_comparison(
+            abilene_graph, [Reconvergence(abilene_graph), FailureCarryingPackets(abilene_graph), abilene_pr]
+        )
+        assert [row.scheme for row in rows] == [
+            "Re-convergence",
+            "Failure-Carrying Packets",
+            "Packet Re-cycling",
+        ]
+
+    def test_pr_uses_fewer_header_bits_than_fcp_worst_case(self, abilene_graph, abilene_pr):
+        rows = {
+            row.scheme: row
+            for row in overhead_comparison(
+                abilene_graph, [FailureCarryingPackets(abilene_graph), abilene_pr]
+            )
+        }
+        assert rows["Packet Re-cycling"].header_bits < rows["Failure-Carrying Packets"].header_bits
+
+    def test_pr_has_no_online_computation(self, abilene_graph, abilene_pr):
+        rows = {row.scheme: row for row in overhead_comparison(abilene_graph, [abilene_pr])}
+        assert rows["Packet Re-cycling"].online_computation == 0
+
+    def test_worst_case_failures_default_is_cycle_rank(self, abilene_graph):
+        rows = overhead_comparison(abilene_graph, [FailureCarryingPackets(abilene_graph)])
+        # cycle rank of Abilene = 14 - 11 + 1 = 4; 4 bits per link id.
+        assert rows[0].header_bits == 4 * 4
+
+    def test_render_table_contains_all_schemes(self, abilene_graph, abilene_pr):
+        rows = overhead_comparison(abilene_graph, [Reconvergence(abilene_graph), abilene_pr])
+        text = render_overhead_table("abilene", rows)
+        assert "Re-convergence" in text and "Packet Re-cycling" in text
+        assert "Header bits" in text

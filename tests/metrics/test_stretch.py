@@ -1,0 +1,85 @@
+"""Tests for stretch measurement."""
+
+import pytest
+
+from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
+from repro.metrics.stretch import (
+    StretchSample,
+    collect_stretch_samples,
+    loss_fraction,
+    max_stretch,
+    stretch_of_outcome,
+    stretch_values,
+)
+from repro.failures.scenarios import all_affecting_pairs, single_link_failures
+from repro.routing.tables import RoutingTables
+
+
+def _outcome(delivered: bool, cost: float) -> ForwardingOutcome:
+    return ForwardingOutcome(
+        source="a",
+        destination="b",
+        status=DeliveryStatus.DELIVERED if delivered else DeliveryStatus.DROPPED,
+        path=["a", "b"],
+        cost=cost,
+        hops=1,
+    )
+
+
+class TestStretchOfOutcome:
+    def test_ratio_of_costs(self):
+        assert stretch_of_outcome(_outcome(True, 30.0), 10.0) == pytest.approx(3.0)
+
+    def test_undelivered_has_no_stretch(self):
+        assert stretch_of_outcome(_outcome(False, 30.0), 10.0) is None
+
+    def test_zero_baseline_guarded(self):
+        assert stretch_of_outcome(_outcome(True, 30.0), 0.0) is None
+
+
+class TestSampleHelpers:
+    def _sample(self, stretch, delivered=True):
+        return StretchSample(
+            scheme="x", source="a", destination="b", failed_links=(0,),
+            stretch=stretch, delivered=delivered, hops=1, cost=1.0, baseline_cost=1.0,
+        )
+
+    def test_values_ignore_losses(self):
+        samples = [self._sample(2.0), self._sample(None, delivered=False)]
+        assert stretch_values(samples) == [2.0]
+
+    def test_loss_fraction(self):
+        samples = [self._sample(2.0), self._sample(None, delivered=False)]
+        assert loss_fraction(samples) == 0.5
+        assert loss_fraction([]) == 0.0
+
+    def test_max_stretch(self):
+        samples = [self._sample(2.0), self._sample(7.5)]
+        assert max_stretch(samples) == 7.5
+        assert max_stretch([]) == 0.0
+
+
+class TestCollectSamples:
+    def test_samples_on_abilene_single_failures(self, abilene_graph, abilene_pr):
+        tables = RoutingTables(abilene_graph)
+        scenarios = single_link_failures(abilene_graph)[:3]
+        pairs = {
+            tuple(sorted(s.failed_links)): all_affecting_pairs(abilene_graph, s, tables)
+            for s in scenarios
+        }
+        samples = collect_stretch_samples(
+            abilene_pr, [s.failed_links for s in scenarios], pairs, tables
+        )
+        assert samples
+        assert all(sample.delivered for sample in samples)
+        assert all(sample.stretch >= 1.0 - 1e-9 for sample in samples)
+
+    def test_baseline_cost_is_failure_free_cost(self, abilene_graph, abilene_pr, abilene_tables):
+        scenario = single_link_failures(abilene_graph)[0]
+        pairs = {tuple(scenario.failed_links): [("Seattle", "Sunnyvale")]}
+        samples = collect_stretch_samples(
+            abilene_pr, [scenario.failed_links], pairs, abilene_tables
+        )
+        assert samples[0].baseline_cost == pytest.approx(
+            abilene_tables.cost("Seattle", "Sunnyvale")
+        )

@@ -1,0 +1,60 @@
+"""Hypothesis strategies shared by the property-based test suites."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.graph.multigraph import Graph
+from repro.topologies.generators import random_connected_graph, random_planar_graph
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 4, max_nodes: int = 10, max_extra_edges: int = 8):
+    """Small random connected graphs (spanning tree + random chords)."""
+    size = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    extra = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_connected_graph(size, extra_edges=extra, seed=seed)
+
+
+@st.composite
+def planar_two_connected_graphs(draw, max_rows: int = 4, max_cols: int = 4):
+    """Small random planar 2-edge-connected graphs (grids with diagonals)."""
+    rows = draw(st.integers(min_value=2, max_value=max_rows))
+    cols = draw(st.integers(min_value=2, max_value=max_cols))
+    diagonals = draw(st.integers(min_value=0, max_value=(rows - 1) * (cols - 1)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_planar_graph(rows, cols, extra_diagonals=diagonals, seed=seed)
+
+
+@st.composite
+def weighted_connected_graphs(draw, min_nodes: int = 4, max_nodes: int = 9):
+    """Connected graphs with random positive integer weights."""
+    graph = draw(connected_graphs(min_nodes=min_nodes, max_nodes=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    reweighted = Graph(graph.name)
+    for node in graph.nodes():
+        reweighted.ensure_node(node)
+    for edge in graph.edges():
+        reweighted.add_edge_with_id(edge.edge_id, edge.u, edge.v, float(rng.randint(1, 10)))
+    return reweighted
+
+
+@st.composite
+def non_disconnecting_failure_sets(draw, graph: Graph, max_failures: int = 4):
+    """A random failure set that keeps ``graph`` connected (may be empty)."""
+    from repro.graph.connectivity import is_connected
+
+    count = draw(st.integers(min_value=0, max_value=max_failures))
+    edge_ids = graph.edge_ids()
+    chosen: list[int] = []
+    order = draw(st.permutations(edge_ids))
+    for edge_id in order:
+        if len(chosen) >= count:
+            break
+        if is_connected(graph, chosen + [edge_id]):
+            chosen.append(edge_id)
+    return tuple(sorted(chosen))

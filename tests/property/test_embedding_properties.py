@@ -1,0 +1,63 @@
+"""Property-based tests for the embedding machinery."""
+
+from hypothesis import given, settings
+
+from repro.embedding.builder import CellularEmbedding
+from repro.embedding.faces import euler_genus, trace_faces
+from repro.embedding.genus import minimise_genus
+from repro.embedding.planarity import planar_embedding
+from repro.embedding.rotation import RotationSystem
+from repro.embedding.serialization import embedding_from_dict, embedding_to_dict
+from repro.embedding.validation import validate_embedding
+
+from tests.property.strategies import connected_graphs, planar_two_connected_graphs
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=connected_graphs())
+def test_any_rotation_system_is_a_valid_cellular_embedding(graph):
+    """Every rotation system of a connected graph traces into a consistent
+    face set satisfying the two-traversals-per-edge invariant and Euler's
+    formula — the fact Section 3 relies on."""
+    rotation = RotationSystem.from_adjacency_order(graph)
+    faces = validate_embedding(graph, rotation)
+    assert euler_genus(graph, faces) >= 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=planar_two_connected_graphs())
+def test_planar_embedder_always_reaches_genus_zero(graph):
+    rotation = planar_embedding(graph)
+    faces = validate_embedding(graph, rotation)
+    assert euler_genus(graph, faces) == 0
+    # 2-connected planar embeddings have simple face boundaries, which is the
+    # structural property PR's backup cycles rely on.
+    assert all(len(set(face.nodes)) == len(face.nodes) for face in faces)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=connected_graphs(max_nodes=8, max_extra_edges=6))
+def test_minimise_genus_never_does_worse_than_adjacency_order(graph):
+    baseline = trace_faces(RotationSystem.from_adjacency_order(graph))
+    optimised = trace_faces(minimise_genus(graph, iterations=60, seed=1))
+    assert len(optimised) >= len(baseline)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=planar_two_connected_graphs(max_rows=3, max_cols=4))
+def test_serialization_round_trip(graph):
+    embedding = CellularEmbedding(graph, planar_embedding(graph))
+    rebuilt = embedding_from_dict(embedding_to_dict(embedding))
+    assert rebuilt.rotation == embedding.rotation
+    assert rebuilt.number_of_faces == embedding.number_of_faces
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=connected_graphs())
+def test_face_permutation_is_a_bijection_on_darts(graph):
+    """next_in_face is a permutation: every dart has exactly one successor and
+    one predecessor along its face."""
+    rotation = RotationSystem.from_adjacency_order(graph)
+    darts = rotation.darts()
+    successors = [rotation.next_in_face(dart) for dart in darts]
+    assert sorted(successors) == sorted(darts)

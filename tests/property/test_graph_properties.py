@@ -1,0 +1,70 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.connectivity import bridges, is_connected
+from repro.graph.shortest_paths import dijkstra
+
+from tests.property.strategies import connected_graphs, weighted_connected_graphs
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=weighted_connected_graphs(), data=st.data())
+def test_shortest_path_costs_are_symmetric(graph, data):
+    """Undirected graphs with symmetric weights give symmetric distances."""
+    nodes = graph.nodes()
+    source = data.draw(st.sampled_from(nodes))
+    target = data.draw(st.sampled_from(nodes))
+    forward, _ = dijkstra(graph, source)
+    backward, _ = dijkstra(graph, target)
+    assert abs(forward[target] - backward[source]) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=weighted_connected_graphs(), data=st.data())
+def test_triangle_inequality(graph, data):
+    """dist(a, c) <= dist(a, b) + dist(b, c) for every intermediate b."""
+    nodes = graph.nodes()
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    c = data.draw(st.sampled_from(nodes))
+    dist_a, _ = dijkstra(graph, a)
+    dist_b, _ = dijkstra(graph, b)
+    assert dist_a[c] <= dist_a[b] + dist_b[c] + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=weighted_connected_graphs(), data=st.data())
+def test_parent_pointers_reconstruct_consistent_costs(graph, data):
+    """Walking the parent pointers accumulates exactly the reported distance."""
+    nodes = graph.nodes()
+    source = data.draw(st.sampled_from(nodes))
+    dist, parent = dijkstra(graph, source)
+    for node in nodes:
+        if node == source:
+            continue
+        total = 0.0
+        walk = node
+        while walk != source:
+            towards, edge_id = parent[walk]
+            total += graph.weight(edge_id)
+            walk = towards
+        assert abs(total - dist[node]) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=connected_graphs())
+def test_bridges_are_exactly_the_disconnecting_edges(graph):
+    """An edge is reported as a bridge iff removing it disconnects the graph."""
+    reported = set(bridges(graph))
+    for edge_id in graph.edge_ids():
+        disconnects = not is_connected(graph, [edge_id])
+        assert (edge_id in reported) == disconnects
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=connected_graphs())
+def test_copy_round_trip_preserves_structure(graph):
+    clone = graph.copy()
+    assert clone.to_edge_list() == graph.to_edge_list()
+    assert clone.nodes() == graph.nodes()

@@ -1,0 +1,71 @@
+"""Unit tests for the re-convergence model."""
+
+import pytest
+
+from repro.routing.reconvergence import (
+    ReconvergenceModel,
+    affected_destinations,
+    converged_tables,
+)
+from repro.routing.tables import RoutingTables
+
+
+class TestConvergedTables:
+    def test_routes_avoid_failed_links(self, abilene_graph):
+        edge = abilene_graph.edge_ids_between("Denver", "KansasCity")[0]
+        converged = converged_tables(abilene_graph, [edge])
+        for node in abilene_graph.nodes():
+            for destination in abilene_graph.nodes():
+                if node == destination or not converged.has_route(node, destination):
+                    continue
+                assert converged.egress(node, destination).edge_id != edge
+
+    def test_costs_never_improve_after_failure(self, abilene_graph, abilene_tables):
+        edge = abilene_graph.edge_ids_between("Chicago", "NewYork")[0]
+        converged = converged_tables(abilene_graph, [edge])
+        for node in abilene_graph.nodes():
+            if node == "NewYork" or not converged.has_route(node, "NewYork"):
+                continue
+            assert converged.cost(node, "NewYork") >= abilene_tables.cost(node, "NewYork") - 1e-9
+
+
+class TestReconvergenceModel:
+    def test_timeline_ordering(self, abilene_graph):
+        model = ReconvergenceModel()
+        edge = abilene_graph.edge_ids_between("Denver", "KansasCity")[0]
+        timeline = model.convergence_delay(abilene_graph, edge, failure_time=1.0)
+        assert timeline.failure_time == 1.0
+        assert timeline.detection_time > timeline.failure_time
+        assert timeline.converged_time >= timeline.detection_time
+
+    def test_adjacent_routers_converge_first(self, abilene_graph):
+        model = ReconvergenceModel()
+        edge_id = abilene_graph.edge_ids_between("Denver", "KansasCity")[0]
+        timeline = model.convergence_delay(abilene_graph, edge_id)
+        assert timeline.updated_at["Denver"] <= timeline.updated_at["Seattle"]
+        assert timeline.updated_at["KansasCity"] <= timeline.updated_at["NewYork"]
+
+    def test_network_convergence_time_positive_and_subsecond_default(self, abilene_graph):
+        model = ReconvergenceModel()
+        edge_id = abilene_graph.edge_ids_between("Atlanta", "Washington")[0]
+        total = model.network_convergence_time(abilene_graph, edge_id)
+        assert 0.5 < total < 2.0
+
+    def test_blackhole_duration(self, abilene_graph):
+        model = ReconvergenceModel()
+        edge_id = abilene_graph.edge_ids_between("Atlanta", "Washington")[0]
+        timeline = model.convergence_delay(abilene_graph, edge_id)
+        assert timeline.blackhole_duration("Atlanta") > 0.0
+
+
+class TestAffectedDestinations:
+    def test_only_destinations_behind_the_failure(self, abilene_graph):
+        tables = RoutingTables(abilene_graph)
+        edge_id = abilene_graph.edge_ids_between("Chicago", "NewYork")[0]
+        affected = affected_destinations(tables, "Chicago", [edge_id])
+        assert "NewYork" in affected
+        assert "Indianapolis" not in affected
+
+    def test_no_failures_means_nothing_affected(self, abilene_graph):
+        tables = RoutingTables(abilene_graph)
+        assert affected_destinations(tables, "Chicago", []) == []

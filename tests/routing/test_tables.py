@@ -1,0 +1,96 @@
+"""Unit tests for routing tables with the distance-discriminator column."""
+
+import pytest
+
+from repro.errors import NoPathExists, RoutingError
+from repro.graph.multigraph import Graph
+from repro.graph.shortest_paths import shortest_path_cost
+from repro.routing.discriminator import DiscriminatorKind
+from repro.routing.tables import RoutingTables, build_routing_tables
+
+
+class TestFigureOneTables:
+    """The example weights make the shortest path tree to F match Figure 1."""
+
+    def test_shortest_path_tree_to_f(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        assert tables.next_hop("A", "F") == "B"
+        assert tables.next_hop("B", "F") == "D"
+        assert tables.next_hop("D", "F") == "E"
+        assert tables.next_hop("E", "F") == "F"
+        assert tables.next_hop("C", "F") == "E"
+
+    def test_paper_dd_value_at_d(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        # Section 4.3: "it will set the PR bit and set 2 as the value of the DD bits".
+        assert tables.discriminator("D", "F") == 2.0
+
+    def test_dd_strictly_decreases_along_path(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        path = tables.shortest_path("A", "F")
+        values = [tables.discriminator(node, "F") for node in path[:-1]] + [0.0]
+        assert values == sorted(values, reverse=True)
+        assert len(set(values)) == len(values)
+
+
+class TestLookups:
+    def test_cost_matches_dijkstra(self, abilene_graph, abilene_tables):
+        for destination in ("Atlanta", "Seattle"):
+            for node in abilene_graph.nodes():
+                if node == destination:
+                    continue
+                expected = shortest_path_cost(abilene_graph, node, destination)
+                assert abilene_tables.cost(node, destination) == pytest.approx(expected)
+
+    def test_self_lookups(self, abilene_tables):
+        assert abilene_tables.cost("Denver", "Denver") == 0.0
+        assert abilene_tables.hops("Denver", "Denver") == 0
+        assert abilene_tables.discriminator("Denver", "Denver") == 0.0
+        with pytest.raises(RoutingError):
+            abilene_tables.entry("Denver", "Denver")
+
+    def test_egress_leaves_the_node(self, abilene_graph, abilene_tables):
+        for node in abilene_graph.nodes():
+            for destination in abilene_graph.nodes():
+                if node == destination:
+                    continue
+                egress = abilene_tables.egress(node, destination)
+                assert egress.tail == node
+                assert egress.head == abilene_tables.next_hop(node, destination)
+
+    def test_unreachable_destination_raises(self):
+        graph = Graph.from_edge_list([("a", "b")])
+        graph.ensure_node("island")
+        tables = RoutingTables(graph)
+        assert not tables.has_route("a", "island")
+        with pytest.raises(NoPathExists):
+            tables.entry("a", "island")
+
+    def test_shortest_path_following_next_hops(self, abilene_tables):
+        path = abilene_tables.shortest_path("Seattle", "Atlanta")
+        assert path[0] == "Seattle" and path[-1] == "Atlanta"
+        assert len(path) == abilene_tables.hops("Seattle", "Atlanta") + 1
+
+    def test_memory_entries_counts_all_pairs(self, abilene_graph, abilene_tables):
+        nodes = abilene_graph.number_of_nodes()
+        assert abilene_tables.memory_entries() == nodes * (nodes - 1)
+
+    def test_table_of_is_sorted(self, abilene_tables):
+        table = abilene_tables.table_of("Denver")
+        destinations = [entry.destination for entry in table]
+        assert destinations == sorted(destinations)
+
+
+class TestDiscriminatorKinds:
+    def test_hop_count_discriminator(self, fig1_graph):
+        tables = build_routing_tables(fig1_graph, DiscriminatorKind.HOP_COUNT)
+        assert tables.discriminator("A", "F") == tables.hops("A", "F")
+
+    def test_weighted_cost_discriminator(self, fig1_graph):
+        tables = build_routing_tables(fig1_graph, DiscriminatorKind.WEIGHTED_COST)
+        assert tables.discriminator("A", "F") == pytest.approx(tables.cost("A", "F"))
+
+    def test_excluded_edges_build_converged_tables(self, fig1_graph):
+        edge_de = fig1_graph.edge_ids_between("D", "E")[0]
+        converged = RoutingTables(fig1_graph, excluded_edges=[edge_de])
+        assert converged.next_hop("D", "F") != "E"

@@ -1,0 +1,101 @@
+"""Tests for the packet-level discrete-event simulator."""
+
+import pytest
+
+from repro.core.scheme import PacketRecycling
+from repro.forwarding.network_state import NetworkState
+from repro.routing.reconvergence import ReconvergenceModel
+from repro.routing.tables import RoutingTables
+from repro.simulator.des import PacketLevelSimulator, estimate_packets_lost
+from repro.simulator.flows import TrafficFlow
+from repro.simulator.forwarders import (
+    ConvergenceAwareForwarder,
+    ProtectionForwarder,
+    StaticForwarder,
+)
+from repro.simulator.links import LinkModel
+
+
+def _edge(graph, u, v):
+    return graph.edge_ids_between(u, v)[0]
+
+
+class TestFailureFreeSimulation:
+    def test_all_packets_delivered(self, abilene_graph):
+        state = NetworkState(abilene_graph)
+        simulator = PacketLevelSimulator(abilene_graph, StaticForwarder(abilene_graph, state))
+        simulator.add_flow(TrafficFlow("Seattle", "Washington", rate_pps=200.0, end=0.5))
+        report = simulator.run()
+        assert report.packets_sent == 100
+        assert report.packets_delivered == 100
+        assert report.packets_dropped == 0
+        assert report.loss_fraction == 0.0
+
+    def test_latency_accounts_for_propagation(self, abilene_graph, abilene_tables):
+        state = NetworkState(abilene_graph)
+        link = LinkModel(propagation_delay_s=0.01)
+        simulator = PacketLevelSimulator(
+            abilene_graph, StaticForwarder(abilene_graph, state), link
+        )
+        simulator.add_flow(TrafficFlow("Seattle", "Denver", rate_pps=10.0, end=0.2))
+        report = simulator.run()
+        hops = abilene_tables.hops("Seattle", "Denver")
+        assert report.mean_latency == pytest.approx(hops * 0.01, rel=0.05)
+        assert report.mean_hops == pytest.approx(hops)
+
+
+class TestFailureSimulation:
+    def test_static_forwarder_loses_affected_traffic(self, abilene_graph):
+        failed = _edge(abilene_graph, "Denver", "KansasCity")
+        state = NetworkState(abilene_graph, [failed])
+        simulator = PacketLevelSimulator(abilene_graph, StaticForwarder(abilene_graph, state))
+        simulator.add_flow(TrafficFlow("Seattle", "KansasCity", rate_pps=100.0, end=1.0))
+        report = simulator.run()
+        assert report.packets_dropped == report.packets_sent
+
+    def test_convergence_aware_forwarder_recovers_after_updates(self, abilene_graph):
+        failed = _edge(abilene_graph, "Denver", "KansasCity")
+        state = NetworkState(abilene_graph, [failed])
+        timeline = ReconvergenceModel().convergence_delay(abilene_graph, failed, failure_time=0.0)
+        forwarder = ConvergenceAwareForwarder(abilene_graph, state, timeline.updated_at)
+        simulator = PacketLevelSimulator(abilene_graph, forwarder)
+        simulator.add_flow(TrafficFlow("Seattle", "KansasCity", rate_pps=100.0, end=2.0))
+        report = simulator.run()
+        assert 0 < report.packets_dropped < report.packets_sent
+        # Losses stop once the network has converged.
+        assert max(report.drop_times) <= timeline.converged_time + 0.1
+
+    def test_pr_forwarder_loses_nothing_after_detection(self, abilene_graph, abilene_pr):
+        failed = _edge(abilene_graph, "Denver", "KansasCity")
+        state = NetworkState(abilene_graph, [failed])
+        forwarder = ProtectionForwarder(abilene_pr, state, active_from=0.0)
+        simulator = PacketLevelSimulator(abilene_graph, forwarder)
+        simulator.add_flow(TrafficFlow("Seattle", "KansasCity", rate_pps=100.0, end=1.0))
+        report = simulator.run()
+        assert report.packets_dropped == 0
+        assert report.packets_delivered == report.packets_sent
+
+    def test_pr_loss_limited_to_detection_window(self, abilene_graph, abilene_pr):
+        failed = _edge(abilene_graph, "Denver", "KansasCity")
+        state = NetworkState(abilene_graph, [failed])
+        forwarder = ProtectionForwarder(abilene_pr, state, active_from=0.05)
+        simulator = PacketLevelSimulator(abilene_graph, forwarder)
+        simulator.add_flow(TrafficFlow("Denver", "KansasCity", rate_pps=100.0, end=1.0))
+        report = simulator.run()
+        assert report.packets_dropped <= 0.05 * 100 + 1
+        assert report.packets_dropped < report.packets_sent
+
+
+class TestEstimatePacketsLost:
+    def test_paper_quarter_million_claim(self):
+        """OC-192 at ~25% load, one second, 1 kB packets: >250k packets."""
+        lost = estimate_packets_lost(9.95328e9, utilization=0.25, outage_seconds=1.0)
+        assert lost > 250_000
+
+    def test_full_load_is_about_1_24_million(self):
+        lost = estimate_packets_lost(9.95328e9, utilization=1.0, outage_seconds=1.0)
+        assert lost == pytest.approx(1.244e6, rel=0.01)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(Exception):
+            estimate_packets_lost(1e9, utilization=1.5, outage_seconds=1.0)

@@ -1,0 +1,62 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(2.0, lambda: log.append("late"))
+        queue.schedule(1.0, lambda: log.append("early"))
+        queue.run()
+        assert log == ["early", "late"]
+
+    def test_simultaneous_events_run_in_scheduling_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append("first"))
+        queue.schedule(1.0, lambda: log.append("second"))
+        queue.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        observed = []
+        queue.schedule(3.5, lambda: observed.append(queue.now))
+        queue.run()
+        assert observed == [3.5]
+        assert queue.now == 3.5
+
+    def test_schedule_in_uses_relative_delay(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: queue.schedule_in(0.5, lambda: log.append(queue.now)))
+        queue.run()
+        assert log == [pytest.approx(1.5)]
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule(0.5, lambda: None)
+
+    def test_run_until_stops_early(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(5.0, lambda: log.append(5))
+        queue.run(until=2.0)
+        assert log == [1]
+        assert len(queue) == 1
+
+    def test_processed_event_count(self):
+        queue = EventQueue()
+        for time in (1.0, 2.0, 3.0):
+            queue.schedule(time, lambda: None)
+        assert queue.run() == 3
+        assert queue.processed_events == 3

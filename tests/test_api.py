@@ -1,0 +1,52 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+import repro
+from repro.api import build_packet_recycling, compare_schemes, stretch_ccdf
+from repro.failures.scenarios import single_link_failures
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_subpackages_reachable(self):
+        assert repro.topologies.abilene().number_of_nodes() == 11
+        assert callable(repro.build_packet_recycling)
+
+
+class TestBuildPacketRecycling:
+    def test_quickstart_flow(self, abilene_graph):
+        pr = build_packet_recycling(abilene_graph)
+        outcome = pr.deliver("Seattle", "Atlanta")
+        assert outcome.delivered
+
+    def test_embedding_method_forwarded(self, abilene_graph):
+        pr = build_packet_recycling(abilene_graph, embedding_method="planar")
+        assert pr.embedding.is_planar
+
+
+class TestCompareSchemes:
+    def test_all_default_schemes_compared(self, abilene_graph):
+        failed = abilene_graph.edge_ids_between("Denver", "KansasCity")
+        outcomes = compare_schemes(abilene_graph, "Seattle", "KansasCity", failed)
+        assert set(outcomes) == {
+            "Re-convergence",
+            "Failure-Carrying Packets",
+            "Packet Re-cycling",
+        }
+        assert all(outcome.delivered for outcome in outcomes.values())
+
+    def test_custom_scheme_list(self, abilene_graph, abilene_pr):
+        outcomes = compare_schemes(abilene_graph, "Seattle", "Atlanta", [], schemes=[abilene_pr])
+        assert list(outcomes) == ["Packet Re-cycling"]
+
+
+class TestStretchCcdf:
+    def test_returns_one_curve_per_scheme(self, abilene_graph, abilene_pr):
+        scenarios = single_link_failures(abilene_graph)[:4]
+        curves = stretch_ccdf(abilene_graph, scenarios, schemes=[abilene_pr])
+        assert set(curves) == {"Packet Re-cycling"}
+        xs = [x for x, _p in curves["Packet Re-cycling"]]
+        assert xs == [float(value) for value in range(1, 16)]

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_summary(self, capsys):
+        assert main(["topology", "abilene"]) == 0
+        output = capsys.readouterr().out
+        assert "routers: 11" in output and "links: 14" in output
+
+    def test_link_listing(self, capsys):
+        main(["topology", "abilene", "--links"])
+        output = capsys.readouterr().out
+        assert "Seattle -- Sunnyvale" in output
+
+    def test_file_topology(self, tmp_path, capsys):
+        path = tmp_path / "net.topo"
+        path.write_text("a b 1\nb c 1\nc a 1\n")
+        assert main(["topology", str(path)]) == 0
+        assert "routers: 3" in capsys.readouterr().out
+
+
+class TestEmbedCommand:
+    def test_embed_and_write_artifact(self, tmp_path, capsys):
+        output = tmp_path / "abilene.json"
+        assert main(["embed", "abilene", "--output", str(output)]) == 0
+        stdout = capsys.readouterr().out
+        assert "genus: 0" in stdout
+        assert output.exists()
+
+    def test_embed_method_choice(self, capsys):
+        assert main(["embed", "abilene", "--method", "planar"]) == 0
+        assert "self-paired links: 0" in capsys.readouterr().out
+
+
+class TestTablesCommand:
+    def test_router_table_printed(self, capsys):
+        assert main(["tables", "fig1-example", "D"]) == 0
+        output = capsys.readouterr().out
+        assert "Cycle following table at node D." in output
+        assert "IBD | IDF | IDE" in output
+
+
+class TestDeliverCommand:
+    def test_delivery_without_failures(self, capsys):
+        assert main(["deliver", "abilene", "Seattle", "Atlanta"]) == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_delivery_with_named_failure(self, capsys):
+        code = main([
+            "deliver", "abilene", "Seattle", "Atlanta",
+            "--fail", "KansasCity-Indianapolis",
+        ])
+        assert code == 0
+        assert "Houston" in capsys.readouterr().out
+
+    def test_compare_flag_runs_all_schemes(self, capsys):
+        assert main(["deliver", "abilene", "Seattle", "Atlanta", "--compare"]) == 0
+        output = capsys.readouterr().out
+        assert "Failure-Carrying Packets" in output and "Re-convergence" in output
+
+    def test_unknown_failure_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["deliver", "abilene", "Seattle", "Atlanta", "--fail", "Mars-Venus"])
+
+
+class TestExperimentCommands:
+    def test_figure2_panel(self, capsys):
+        assert main(["figure2", "2a", "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "Packet Re-cycling" in output
+        assert "P(Stretch > x | path)" in output
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "abilene"]) == 0
+        assert "Header bits" in capsys.readouterr().out
+
+    def test_coverage_single_failures(self, capsys):
+        assert main(["coverage", "abilene"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+
+    def test_coverage_multi_failures(self, capsys):
+        assert main(["coverage", "abilene", "--failures", "2", "--samples", "10"]) == 0
+        assert "delivered" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure2", "9z"])

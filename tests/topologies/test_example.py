@@ -1,0 +1,49 @@
+"""Tests for the Figure 1(a) example network and its embedding."""
+
+import pytest
+
+from repro.embedding.validation import validate_embedding
+from repro.routing.tables import RoutingTables
+from repro.topologies.example import example_face_names, example_fig1, example_fig1_embedding
+
+
+class TestExampleGraph:
+    def test_six_nodes_eight_links(self, fig1_graph):
+        assert fig1_graph.number_of_nodes() == 6
+        assert fig1_graph.number_of_edges() == 8
+
+    def test_node_d_has_three_interfaces(self, fig1_graph):
+        assert fig1_graph.degree("D") == 3
+        assert set(fig1_graph.neighbors("D")) == {"B", "E", "F"}
+
+    def test_shortest_path_tree_matches_figure(self, fig1_graph):
+        tables = RoutingTables(fig1_graph)
+        assert tables.shortest_path("A", "F") == ["A", "B", "D", "E", "F"]
+        assert tables.shortest_path("C", "F") == ["C", "E", "F"]
+
+
+class TestExampleEmbedding:
+    def test_four_cycles_on_the_sphere(self, fig1_embedding):
+        assert fig1_embedding.number_of_faces == 4
+        assert fig1_embedding.genus == 0
+
+    def test_embedding_is_valid(self, fig1_embedding):
+        validate_embedding(fig1_embedding.graph, fig1_embedding.rotation, fig1_embedding.faces)
+
+    def test_face_names_match_cycle_walks(self, fig1_embedding):
+        names = example_face_names()
+        node_sets = {frozenset(nodes) for nodes in names.values()}
+        traced = {face.node_set for face in fig1_embedding.faces}
+        assert node_sets == traced
+
+    def test_fresh_instances_are_equal_but_independent(self):
+        first = example_fig1()
+        second = example_fig1()
+        assert first.to_edge_list() == second.to_edge_list()
+        first.remove_edge(0)
+        assert second.number_of_edges() == 8
+
+    def test_embedding_builder_reproducible(self):
+        first = example_fig1_embedding()
+        second = example_fig1_embedding()
+        assert first.rotation == second.rotation

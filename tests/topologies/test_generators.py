@@ -1,0 +1,101 @@
+"""Tests for the synthetic topology generators."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graph.connectivity import is_connected, is_two_edge_connected
+from repro.embedding.planarity import is_planar
+from repro.topologies.generators import (
+    barbell_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    k33_graph,
+    k5_graph,
+    ladder_graph,
+    petersen_graph,
+    random_connected_graph,
+    random_planar_graph,
+    ring_graph,
+    torus_grid_graph,
+    waxman_graph,
+    wheel_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_ring(self):
+        ring = ring_graph(5)
+        assert ring.number_of_nodes() == 5 and ring.number_of_edges() == 5
+        assert all(ring.degree(node) == 2 for node in ring.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring_graph(2)
+
+    def test_grid(self):
+        grid = grid_graph(3, 4)
+        assert grid.number_of_nodes() == 12
+        assert grid.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_torus_grid_is_regular(self):
+        torus = torus_grid_graph(3, 4)
+        assert all(torus.degree(node) == 4 for node in torus.nodes())
+
+    def test_complete_graph(self):
+        k6 = complete_graph(6)
+        assert k6.number_of_edges() == 15
+
+    def test_wheel(self):
+        wheel = wheel_graph(5)
+        assert wheel.degree("hub") == 5
+        assert is_two_edge_connected(wheel)
+
+    def test_ladder(self):
+        ladder = ladder_graph(4)
+        assert ladder.number_of_nodes() == 8
+        assert is_two_edge_connected(ladder)
+
+    def test_barbell_has_a_bridge(self):
+        from repro.graph.connectivity import bridges
+
+        assert len(bridges(barbell_graph(3, path_length=2))) >= 2
+
+    def test_kuratowski_and_petersen_are_non_planar(self):
+        assert not is_planar(k5_graph())
+        assert not is_planar(k33_graph())
+        assert not is_planar(petersen_graph())
+
+    def test_petersen_is_three_regular(self):
+        petersen = petersen_graph()
+        assert all(petersen.degree(node) == 3 for node in petersen.nodes())
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_is_seed_deterministic(self):
+        first = erdos_renyi_graph(12, 0.3, seed=5)
+        second = erdos_renyi_graph(12, 0.3, seed=5)
+        assert first.to_edge_list() == second.to_edge_list()
+
+    def test_erdos_renyi_connectivity_patch(self):
+        sparse = erdos_renyi_graph(15, 0.01, seed=1, ensure_connectivity=True)
+        assert is_connected(sparse)
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_waxman_connected_and_weighted(self):
+        graph = waxman_graph(20, seed=3)
+        assert is_connected(graph)
+        assert all(edge.weight >= 1.0 for edge in graph.edges())
+
+    def test_random_planar_stays_planar(self):
+        graph = random_planar_graph(4, 4, extra_diagonals=5, seed=2)
+        assert is_planar(graph)
+        assert is_connected(graph)
+
+    def test_random_connected_graph(self):
+        graph = random_connected_graph(15, extra_edges=10, seed=4)
+        assert is_connected(graph)
+        assert graph.number_of_edges() == 14 + 10

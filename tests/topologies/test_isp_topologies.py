@@ -1,0 +1,99 @@
+"""Tests for the three ISP topologies of the paper's evaluation."""
+
+import pytest
+
+from repro.graph.connectivity import is_connected, is_two_edge_connected
+from repro.graph.shortest_paths import diameter
+from repro.topologies.abilene import ABILENE_LINKS, abilene, great_circle_km
+from repro.topologies.geant import GEANT_LINKS, geant
+from repro.topologies.teleglobe import TELEGLOBE_LINKS, teleglobe
+
+
+class TestAbilene:
+    def test_size_matches_published_backbone(self, abilene_graph):
+        assert abilene_graph.number_of_nodes() == 11
+        assert abilene_graph.number_of_edges() == 14
+
+    def test_two_edge_connected(self, abilene_graph):
+        assert is_two_edge_connected(abilene_graph)
+
+    def test_unit_weight_variant(self):
+        unit = abilene(unit_weights=True)
+        assert all(edge.weight == 1.0 for edge in unit.edges())
+
+    def test_distance_weights_are_plausible(self, abilene_graph):
+        weights = [edge.weight for edge in abilene_graph.edges()]
+        assert all(100 < weight < 4000 for weight in weights)
+
+    def test_hop_diameter(self, abilene_graph):
+        assert diameter(abilene_graph, hop_count=True) == 5.0
+
+    def test_known_link_present(self, abilene_graph):
+        assert abilene_graph.has_edge_between("Denver", "KansasCity")
+        assert not abilene_graph.has_edge_between("Seattle", "NewYork")
+
+
+class TestGeant:
+    def test_size(self, geant_graph):
+        assert geant_graph.number_of_nodes() == 34
+        assert geant_graph.number_of_edges() == len(GEANT_LINKS) == 54
+
+    def test_connected_and_resilient(self, geant_graph):
+        assert is_connected(geant_graph)
+        assert is_two_edge_connected(geant_graph)
+
+    def test_every_country_has_degree_at_least_two(self, geant_graph):
+        assert min(geant_graph.degree(node) for node in geant_graph.nodes()) >= 2
+
+    def test_unit_weights_variant(self):
+        assert all(edge.weight == 1.0 for edge in geant(unit_weights=True).edges())
+
+
+class TestTeleglobe:
+    def test_size(self, teleglobe_graph):
+        assert teleglobe_graph.number_of_nodes() == 26
+        assert teleglobe_graph.number_of_edges() == len(TELEGLOBE_LINKS) == 40
+
+    def test_connected_and_resilient(self, teleglobe_graph):
+        assert is_connected(teleglobe_graph)
+        assert is_two_edge_connected(teleglobe_graph)
+
+    def test_mean_degree_matches_tier1_profile(self, teleglobe_graph):
+        mean_degree = 2 * teleglobe_graph.number_of_edges() / teleglobe_graph.number_of_nodes()
+        assert 2.5 < mean_degree < 4.0
+
+    def test_transoceanic_links_are_long(self, teleglobe_graph):
+        edge_ids = teleglobe_graph.edge_ids_between("NewYork", "London")
+        assert teleglobe_graph.weight(edge_ids[0]) > 5000
+
+    def test_unit_weights_variant(self):
+        assert all(edge.weight == 1.0 for edge in teleglobe(unit_weights=True).edges())
+
+
+class TestGreatCircle:
+    def test_zero_distance_for_same_point(self):
+        assert great_circle_km((10.0, 20.0), (10.0, 20.0)) == pytest.approx(0.0)
+
+    def test_known_distance_new_york_london(self):
+        new_york = (40.71, -74.01)
+        london = (51.51, -0.13)
+        assert great_circle_km(new_york, london) == pytest.approx(5570, rel=0.02)
+
+    def test_symmetry(self):
+        a, b = (47.61, -122.33), (33.75, -84.39)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+
+class TestLinkListsAreConsistent:
+    @pytest.mark.parametrize(
+        "links", [ABILENE_LINKS, GEANT_LINKS, TELEGLOBE_LINKS], ids=["abilene", "geant", "teleglobe"]
+    )
+    def test_no_duplicate_links(self, links):
+        normalised = {tuple(sorted(link)) for link in links}
+        assert len(normalised) == len(links)
+
+    @pytest.mark.parametrize(
+        "links", [ABILENE_LINKS, GEANT_LINKS, TELEGLOBE_LINKS], ids=["abilene", "geant", "teleglobe"]
+    )
+    def test_no_self_links(self, links):
+        assert all(u != v for u, v in links)
