@@ -4,40 +4,40 @@ The 1-bit protocol must cover every single link failure on 2-connected
 topologies; the full protocol must cover every sampled non-disconnecting
 multi-failure combination on the planar topologies.  LFA and no-protection
 are included to show the coverage gap PR closes.
+
+The measurement runs through the campaign runner with ``coverage="full"``
+(every still-connected ordered pair is attempted), so both campaigns share
+one offline-stage artifact cache and the same parallel, resumable path as
+the Figure 2 sweeps.
 """
 
-from repro.baselines.lfa import LoopFreeAlternates
-from repro.baselines.noprotection import NoProtection
-from repro.core.coverage import coverage_report
-from repro.core.scheme import PacketRecycling, SimplePacketRecycling
+from _figure_helpers import campaign_cache_dir
+
 from repro.experiments.asciiplot import render_table
-from repro.failures.sampling import sample_multi_link_failures
-from repro.failures.scenarios import single_link_failures
-from repro.topologies.abilene import abilene
-from repro.topologies.geant import geant
+from repro.runner import CampaignSpec, ScenarioSpec, run_campaign
 
 
 def test_bench_single_and_multi_failure_coverage(benchmark):
     def run():
+        single_spec = CampaignSpec(
+            topologies=("abilene",),
+            schemes=("pr-1bit", "pr", "lfa", "noprotection"),
+            scenarios=(ScenarioSpec(kind="single-link", non_disconnecting=False),),
+            coverage="full",
+            record_samples=False,
+        )
+        multi_spec = CampaignSpec(
+            topologies=("geant",),
+            schemes=("pr",),
+            scenarios=(ScenarioSpec(kind="multi-link", failures=8, samples=15),),
+            seed=2,
+            coverage="full",
+            record_samples=False,
+        )
         reports = {}
-        abilene_graph = abilene()
-        geant_graph = geant()
-        single = [s.failed_links for s in single_link_failures(abilene_graph)]
-        multi = [
-            s.failed_links
-            for s in sample_multi_link_failures(geant_graph, failures=8, samples=15, seed=2)
-        ]
-        reports["Abilene / single / PR (1-bit)"] = coverage_report(
-            SimplePacketRecycling(abilene_graph, embedding_seed=0), single
-        )
-        reports["Abilene / single / PR"] = coverage_report(
-            PacketRecycling(abilene_graph, embedding_seed=0), single
-        )
-        reports["Abilene / single / LFA"] = coverage_report(LoopFreeAlternates(abilene_graph), single)
-        reports["Abilene / single / none"] = coverage_report(NoProtection(abilene_graph), single)
-        reports["Geant / 8 failures / PR"] = coverage_report(
-            PacketRecycling(geant_graph, embedding_seed=0), multi
-        )
+        for spec in (single_spec, multi_spec):
+            result = run_campaign(spec, workers=1, cache_dir=campaign_cache_dir())
+            reports.update(result.coverage_reports())
         return reports
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -45,13 +45,17 @@ def test_bench_single_and_multi_failure_coverage(benchmark):
     print()
     print("=== Repair coverage (delivered / attempted among still-connected pairs) ===")
     rows = [
-        [name, report.attempts, report.delivered, f"{100 * report.coverage:.2f}%", report.looped]
-        for name, report in reports.items()
+        [f"{topology} / {scheme}", report.attempts, report.delivered,
+         f"{100 * report.coverage:.2f}%", report.looped]
+        for (topology, scheme), report in reports.items()
     ]
-    print(render_table(["scenario / scheme", "attempts", "delivered", "coverage", "loops"], rows))
+    print(render_table(["topology / scheme", "attempts", "delivered", "coverage", "loops"], rows))
 
-    assert reports["Abilene / single / PR (1-bit)"].full_coverage
-    assert reports["Abilene / single / PR"].full_coverage
-    assert reports["Geant / 8 failures / PR"].full_coverage
-    assert reports["Abilene / single / LFA"].coverage < 1.0
-    assert reports["Abilene / single / none"].coverage < reports["Abilene / single / LFA"].coverage
+    assert reports[("abilene", "Packet Re-cycling (1-bit)")].full_coverage
+    assert reports[("abilene", "Packet Re-cycling")].full_coverage
+    assert reports[("geant", "Packet Re-cycling")].full_coverage
+    assert reports[("abilene", "Loop-Free Alternates")].coverage < 1.0
+    assert (
+        reports[("abilene", "No protection")].coverage
+        < reports[("abilene", "Loop-Free Alternates")].coverage
+    )

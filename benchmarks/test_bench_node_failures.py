@@ -4,30 +4,27 @@ A node failure is modelled as the simultaneous failure of all of the node's
 links.  PR must recover every packet between pairs that do not involve the
 failed router and that remain connected; re-convergence and FCP serve as the
 stretch reference points, exactly as in Figure 2.
+
+The sweep runs as one multi-topology campaign through the runner (scenario
+kind ``"node"``), sharing the session artifact cache with the other drivers.
 """
 
-from repro.baselines.fcp import FailureCarryingPackets
-from repro.baselines.reconvergence import Reconvergence
-from repro.core.scheme import PacketRecycling
+from _figure_helpers import campaign_cache_dir
+
 from repro.experiments.asciiplot import render_table
-from repro.experiments.nodefail import node_failure_experiment
-from repro.topologies.abilene import abilene
-from repro.topologies.geant import geant
-
-
-def _run(graph):
-    schemes = [
-        Reconvergence(graph),
-        FailureCarryingPackets(graph),
-        PacketRecycling(graph, embedding_seed=0),
-    ]
-    return node_failure_experiment(graph, schemes)
+from repro.runner import node_failure_campaign_spec, run_campaign
 
 
 def test_bench_single_node_failures(benchmark):
-    results = benchmark.pedantic(
-        lambda: {"abilene": _run(abilene()), "geant": _run(geant())}, rounds=1, iterations=1
-    )
+    def run():
+        spec = node_failure_campaign_spec(["abilene", "geant"])
+        campaign = run_campaign(spec, workers=1, cache_dir=campaign_cache_dir())
+        return {
+            topology: campaign.stretch_result(topology)
+            for topology in spec.topologies
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     print()
     for topology, result in results.items():
@@ -35,7 +32,7 @@ def test_bench_single_node_failures(benchmark):
               f"({result.scenarios} scenarios, {result.measured_pairs} affected pairs) ===")
         rows = []
         for name in result.scheme_names():
-            summary = result.stretch_summary[name]
+            summary = result.summary[name]
             rows.append(
                 [name, f"{result.delivery_ratio[name]:.3f}", f"{summary['mean']:.2f}",
                  f"{summary['p90']:.2f}", f"{summary['max']:.2f}"]
@@ -48,6 +45,6 @@ def test_bench_single_node_failures(benchmark):
         assert result.delivery_ratio["Failure-Carrying Packets"] == 1.0, topology
         assert result.delivery_ratio["Packet Re-cycling"] == 1.0, topology
         assert (
-            result.stretch_summary["Re-convergence"]["mean"]
-            <= result.stretch_summary["Packet Re-cycling"]["mean"] + 1e-9
+            result.summary["Re-convergence"]["mean"]
+            <= result.summary["Packet Re-cycling"]["mean"] + 1e-9
         ), topology

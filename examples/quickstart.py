@@ -6,6 +6,10 @@ tables with the DD column), then delivers packets with and without link
 failures and prints what happened.
 
 Run with:  python examples/quickstart.py
+
+See README.md at the repository root for installation, the CLI tour and the
+campaign-runner workflow (parallel sweeps over the whole evaluation grid:
+``python -m repro sweep ...``).
 """
 
 from repro import build_packet_recycling, topologies

@@ -21,6 +21,9 @@ The package is organised around a small set of subsystems:
 * :mod:`repro.simulator` — a discrete-event packet-level simulator.
 * :mod:`repro.experiments` — runners that regenerate every figure and
   table of the paper's evaluation.
+* :mod:`repro.runner` — the campaign runner: declarative parallel sweeps
+  over the evaluation grid with a content-addressed offline-stage artifact
+  cache and resumable JSONL result stores.
 
 Quickstart
 ----------
@@ -35,8 +38,13 @@ True
 
 from repro._version import __version__
 from repro.api import (
+    ArtifactCache,
+    CampaignResult,
+    CampaignSpec,
+    ScenarioSpec,
     build_packet_recycling,
     compare_schemes,
+    run_campaign,
     stretch_ccdf,
 )
 from repro import (
@@ -49,14 +57,20 @@ from repro import (
     graph,
     metrics,
     routing,
+    runner,
     simulator,
     topologies,
 )
 
 __all__ = [
     "__version__",
+    "ArtifactCache",
+    "CampaignResult",
+    "CampaignSpec",
+    "ScenarioSpec",
     "build_packet_recycling",
     "compare_schemes",
+    "run_campaign",
     "stretch_ccdf",
     "baselines",
     "core",
@@ -67,6 +81,7 @@ __all__ = [
     "graph",
     "metrics",
     "routing",
+    "runner",
     "simulator",
     "topologies",
 ]

@@ -1,11 +1,18 @@
 """Convenience entry points for the most common library uses.
 
-Most users want one of three things: "give me a PR instance for my topology",
-"compare PR against the baselines under these failures", or "give me the
-stretch CCDF the paper plots".  These helpers wrap the lower-level packages
-so that each of those is a single call; everything they do can also be done
-explicitly through :mod:`repro.core`, :mod:`repro.baselines` and
-:mod:`repro.experiments`.
+Most users want one of four things: "give me a PR instance for my topology",
+"compare PR against the baselines under these failures", "give me the
+stretch CCDF the paper plots", or "sweep the whole evaluation grid".  These
+helpers wrap the lower-level packages so that each of those is a single
+call; everything they do can also be done explicitly through
+:mod:`repro.core`, :mod:`repro.baselines`, :mod:`repro.experiments` and
+:mod:`repro.runner`.
+
+For sweeps, :class:`~repro.runner.spec.CampaignSpec` and
+:func:`~repro.runner.executor.run_campaign` are re-exported here: describe
+the grid (topologies x schemes x discriminators x failure scenarios)
+declaratively and run it in parallel with a content-addressed offline-stage
+artifact cache and resume-from-partial.
 """
 
 from __future__ import annotations
@@ -19,6 +26,13 @@ from repro.forwarding.engine import ForwardingOutcome
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
 from repro.routing.discriminator import DiscriminatorKind
+from repro.runner import (  # noqa: F401  (re-exported convenience API)
+    ArtifactCache,
+    CampaignResult,
+    CampaignSpec,
+    ScenarioSpec,
+    run_campaign,
+)
 
 
 def build_packet_recycling(

@@ -10,6 +10,20 @@ the reproduction can be driven without writing Python:
 * ``figure2``   — regenerate one panel of Figure 2.
 * ``overhead``  — print the Section 6 overhead comparison.
 * ``coverage``  — measure repair coverage under sampled failures.
+* ``sweep``     — run a parallel campaign over the full evaluation grid
+  (topologies x schemes x discriminators x failure scenarios) through the
+  :mod:`repro.runner` subsystem, with a content-addressed offline-stage
+  artifact cache (``--cache-dir``), process parallelism (``--workers``), a
+  streaming JSONL result store (``--results``) and resume-from-partial
+  (``--resume``).  Example::
+
+      python -m repro sweep --topologies abilene geant \\
+          --schemes reconvergence fcp pr --failures 4 --samples 20 \\
+          --workers 4 --cache-dir .repro-cache --results campaign.jsonl
+
+  A campaign can also be saved to / loaded from a JSON spec file
+  (``--save-spec`` / ``--spec``); a second invocation with the same spec
+  hits the artifact cache, and ``--resume`` skips completed cells.
 """
 
 from __future__ import annotations
@@ -32,15 +46,15 @@ from repro.graph.connectivity import is_two_edge_connected
 from repro.graph.multigraph import Graph
 from repro.graph.shortest_paths import diameter
 from repro.metrics.overhead import render_overhead_table
-from repro.topologies.parser import load_graph
-from repro.topologies.registry import available_topologies, by_name
-
-
-def _load_topology(spec: str) -> Graph:
-    """A registry name (``abilene``) or a path to an edge-list file."""
-    if spec.lower() in available_topologies():
-        return by_name(spec)
-    return load_graph(spec)
+from repro.runner import (
+    ArtifactCache,
+    CampaignSpec,
+    ScenarioSpec,
+    available_schemes,
+    load_topology as _load_topology,
+    run_campaign,
+)
+from repro.runner import aggregate as campaign_aggregate
 
 
 def _parse_failed_links(graph: Graph, specs: Sequence[str]) -> List[int]:
@@ -117,7 +131,8 @@ def _cmd_deliver(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    result = figure2_panel(args.panel, samples=args.samples, seed=args.seed)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    result = figure2_panel(args.panel, samples=args.samples, seed=args.seed, cache=cache)
     headers = ["stretch x"] + sorted(result.ccdf)
     print(f"topology={result.topology} failures/scenario={result.failures_per_scenario} "
           f"scenarios={result.scenarios} pairs={result.measured_pairs}")
@@ -138,7 +153,10 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     graph = _load_topology(args.topology)
-    scheme = PacketRecycling(graph, embedding_seed=0)
+    embedding = None
+    if args.cache_dir:
+        embedding = ArtifactCache(args.cache_dir).get_or_build(graph, seed=0)
+    scheme = PacketRecycling(graph, embedding=embedding, embedding_seed=0)
     if args.failures <= 1:
         scenarios = [s.failed_links for s in single_link_failures(graph)]
     else:
@@ -154,6 +172,95 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     report = coverage_report(scheme, scenarios)
     print(report.summary())
     return 0 if report.full_coverage else 1
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the campaign spec a ``sweep`` invocation describes."""
+    if args.spec:
+        return CampaignSpec.load(args.spec)
+    scenarios = []
+    if not args.skip_single:
+        scenarios.append(ScenarioSpec(kind="single-link"))
+    for failures in args.failures or []:
+        scenarios.append(
+            ScenarioSpec(kind="multi-link", failures=failures, samples=args.samples)
+        )
+    if args.node:
+        scenarios.append(ScenarioSpec(kind="node"))
+    if not scenarios:
+        raise SystemExit("no scenarios selected; drop --skip-single or add --failures/--node")
+    return CampaignSpec(
+        topologies=tuple(args.topologies),
+        schemes=tuple(args.schemes),
+        discriminators=tuple(args.discriminators),
+        scenarios=tuple(scenarios),
+        seed=args.seed,
+        embedding_method=args.embedding_method,
+        embedding_seed=args.embedding_seed,
+        coverage=args.coverage,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    if args.resume and not args.results:
+        raise SystemExit("--resume needs --results to know which cells are done")
+    for name in spec.topologies:
+        try:
+            _load_topology(name)
+        except Exception as exc:
+            raise SystemExit(f"cannot load topology {name!r}: {exc}")
+    if args.save_spec:
+        path = spec.save(args.save_spec)
+        print(f"campaign spec written to {path}")
+
+    def progress(cell, record, done, total):
+        if not args.quiet:
+            elapsed = record["meta"]["elapsed_s"]
+            print(f"[{done}/{total}] {cell.label}  ({elapsed:.2f}s)")
+
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        resume=args.resume,
+        progress=progress,
+    )
+
+    print()
+    print(f"campaign {spec.spec_hash()}: {result.executed} cells executed, "
+          f"{result.skipped} reused, {result.elapsed_s:.2f}s wall, "
+          f"offline stage {result.offline_seconds():.2f}s")
+    stats = result.cache_stats()
+    if args.cache_dir:
+        print(f"artifact cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({args.cache_dir})")
+    if result.results_path is not None:
+        print(f"results: {result.results_path}")
+
+    for topology in spec.topologies:
+        print()
+        print(f"=== {topology} ===")
+        curves = result.merged_ccdf(topology)
+        if curves:
+            headers = ["stretch x"] + sorted(curves)
+            print(render_table(headers, ccdf_rows(curves)))
+            if args.plot:
+                print()
+                print(render_ccdf_plot(curves, title=f"P(Stretch > x | path) — {topology}"))
+        print()
+        print(render_table(
+            ["scheme", "delivery", "mean stretch", "max", "coverage"],
+            campaign_aggregate.summary_rows(result.records, topology),
+        ))
+    overheads = result.overhead_rows()
+    for topology in spec.topologies:
+        rows = overheads.get(topology)
+        if rows:
+            print()
+            print(render_overhead_table(topology, rows))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--samples", type=int, default=50)
     figure2.add_argument("--seed", type=int, default=1)
     figure2.add_argument("--plot", action="store_true", help="also print the ASCII plot")
+    figure2.add_argument("--cache-dir", help="offline-stage artifact cache directory")
     figure2.set_defaults(handler=_cmd_figure2)
 
     overhead = sub.add_parser("overhead", help="print the Section 6 overhead comparison")
@@ -207,7 +315,49 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--failures", type=int, default=1)
     coverage.add_argument("--samples", type=int, default=50)
     coverage.add_argument("--seed", type=int, default=1)
+    coverage.add_argument("--cache-dir", help="offline-stage artifact cache directory")
     coverage.set_defaults(handler=_cmd_coverage)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parallel experiment campaign over the evaluation grid",
+    )
+    sweep.add_argument("--topologies", nargs="+", default=["abilene", "geant"],
+                       help="registry names or edge-list file paths")
+    sweep.add_argument("--schemes", nargs="+", default=["reconvergence", "fcp", "pr"],
+                       choices=available_schemes(), metavar="SCHEME",
+                       help=f"schemes to sweep (choices: {', '.join(available_schemes())})")
+    sweep.add_argument("--discriminators", nargs="+", default=["hop-count"],
+                       choices=["hop-count", "weighted-cost"])
+    sweep.add_argument("--skip-single", action="store_true",
+                       help="do not include the single-link-failure scenario set")
+    sweep.add_argument("--failures", type=int, action="append",
+                       help="add a multi-link scenario set with this many "
+                            "simultaneous failures (repeatable)")
+    sweep.add_argument("--node", action="store_true",
+                       help="add the single-node-failure scenario set")
+    sweep.add_argument("--samples", type=int, default=10,
+                       help="sampled combinations per multi-link scenario set")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--coverage", choices=["affected", "full"], default="affected",
+                       help="delivery accounting: affected pairs only (Figure 2) "
+                            "or every still-connected pair (repair coverage)")
+    sweep.add_argument("--embedding-method", default="auto",
+                       choices=["auto", "planar", "greedy", "local-search", "adjacency"])
+    sweep.add_argument("--embedding-seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (0 = one per CPU)")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="offline-stage artifact cache directory")
+    sweep.add_argument("--results", help="JSONL file to stream cell records into")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip cells already recorded in --results")
+    sweep.add_argument("--spec", help="load the campaign spec from this JSON file "
+                                      "(overrides the grid flags)")
+    sweep.add_argument("--save-spec", help="write the campaign spec to this JSON file")
+    sweep.add_argument("--plot", action="store_true", help="also print ASCII CCDF plots")
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     return parser
 

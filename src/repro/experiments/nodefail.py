@@ -71,15 +71,23 @@ def _affected_pairs_for_node(
 
 def node_failure_experiment(
     graph: Graph,
-    schemes: Sequence[ForwardingScheme],
+    schemes: Optional[Sequence[ForwardingScheme]] = None,
     exclude: Optional[Sequence[str]] = None,
+    cache=None,
 ) -> NodeFailureResult:
     """Run every scheme over every single-node failure of ``graph``.
 
     ``exclude`` removes nodes from the failure set (e.g. nodes whose loss
     would disconnect the topology, if the caller wants to stay within the
-    paper's guarantee regime).
+    paper's guarantee regime).  ``schemes`` defaults to the Figure 2 trio;
+    ``cache`` is forwarded to
+    :func:`repro.experiments.stretch.default_schemes` so PR's offline stage
+    is served from the artifact cache.
     """
+    if schemes is None:
+        from repro.experiments.stretch import default_schemes
+
+        schemes = default_schemes(graph, cache=cache)
     if not schemes:
         raise ExperimentError("at least one scheme is required")
     tables = RoutingTables(graph)

@@ -39,6 +39,16 @@ FIGURE2_PANELS: Dict[str, Tuple[str, int]] = {
 }
 
 
+def resolve_figure2_panel(panel: str) -> Tuple[str, int]:
+    """Normalise a panel label ("2a", "fig2a", ...) to (topology, failures)."""
+    key = panel.lower().lstrip("fig").lstrip("ure").strip() or panel
+    if key not in FIGURE2_PANELS:
+        raise ExperimentError(
+            f"unknown Figure 2 panel {panel!r}; expected one of {sorted(FIGURE2_PANELS)}"
+        )
+    return FIGURE2_PANELS[key]
+
+
 @dataclass
 class StretchExperimentResult:
     """Everything a Figure 2 panel reports."""
@@ -61,12 +71,28 @@ class StretchExperimentResult:
         return self.summary.get(scheme, {}).get("mean", 0.0)
 
 
-def default_schemes(graph: Graph, embedding_seed: Optional[int] = 7) -> List[ForwardingScheme]:
-    """The three schemes compared in Figure 2, in the paper's legend order."""
+def default_schemes(
+    graph: Graph,
+    embedding_seed: Optional[int] = 7,
+    cache=None,
+    embedding_method: str = "auto",
+) -> List[ForwardingScheme]:
+    """The three schemes compared in Figure 2, in the paper's legend order.
+
+    ``cache`` is an optional :class:`repro.runner.cache.ArtifactCache` (any
+    object with ``get_or_build``); when given, PR's offline-stage embedding
+    is served from the content-addressed artifact cache instead of being
+    recomputed, so repeated experiments on one topology embed it only once.
+    """
+    embedding = None
+    if cache is not None:
+        embedding = cache.get_or_build(
+            graph, method=embedding_method, seed=embedding_seed
+        )
     return [
         Reconvergence(graph),
         FailureCarryingPackets(graph),
-        PacketRecycling(graph, embedding_seed=embedding_seed),
+        PacketRecycling(graph, embedding=embedding, embedding_seed=embedding_seed),
     ]
 
 
@@ -133,19 +159,17 @@ def figure2_panel(
     seed: int = 1,
     schemes: Optional[Sequence[ForwardingScheme]] = None,
     graph: Optional[Graph] = None,
+    cache=None,
 ) -> StretchExperimentResult:
     """Regenerate one panel of Figure 2.
 
     ``panel`` is one of ``"2a"``–``"2f"``.  Single-failure panels enumerate
     every link failure; multi-failure panels draw ``samples`` random
     non-disconnecting combinations with the panel's failure count.
+    ``cache`` (an artifact cache, see :func:`default_schemes`) reuses the
+    topology's offline-stage embedding across panels and invocations.
     """
-    key = panel.lower().lstrip("fig").lstrip("ure").strip() or panel
-    if key not in FIGURE2_PANELS:
-        raise ExperimentError(
-            f"unknown Figure 2 panel {panel!r}; expected one of {sorted(FIGURE2_PANELS)}"
-        )
-    topology_name, failures = FIGURE2_PANELS[key]
+    topology_name, failures = resolve_figure2_panel(panel)
     if graph is None:
         graph = by_name(topology_name)
     if failures == 1:
@@ -160,5 +184,5 @@ def figure2_panel(
                 f"on {topology_name}"
             )
     if schemes is None:
-        schemes = default_schemes(graph)
+        schemes = default_schemes(graph, cache=cache)
     return run_stretch_experiment(graph, scenarios, schemes)

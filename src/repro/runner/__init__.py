@@ -1,0 +1,80 @@
+"""Campaign runner: parallel experiment sweeps over the evaluation grid.
+
+The paper's evaluation is a grid of (topology x scheme x failure scenario)
+runs.  This subsystem turns that grid into a first-class object:
+
+* :mod:`repro.runner.spec` — declarative :class:`CampaignSpec` sweeps with
+  deterministic per-cell seeds;
+* :mod:`repro.runner.cache` — a content-addressed on-disk cache of
+  offline-stage artifacts (cellular embeddings), shared across processes;
+* :mod:`repro.runner.executor` — a :mod:`concurrent.futures`-based parallel
+  executor with a streaming JSONL result store and resume-from-partial;
+* :mod:`repro.runner.aggregate` — merges cell records back into the
+  codebase's existing metrics shapes (stretch CCDFs, coverage reports,
+  overhead tables).
+
+Quickstart::
+
+    from repro.runner import CampaignSpec, ScenarioSpec, run_campaign
+
+    spec = CampaignSpec(
+        topologies=("abilene", "geant"),
+        schemes=("reconvergence", "fcp", "pr"),
+        scenarios=(ScenarioSpec("single-link"),
+                   ScenarioSpec("multi-link", failures=4, samples=20)),
+    )
+    result = run_campaign(spec, workers=4, cache_dir=".repro-cache",
+                          results_path="campaign.jsonl", resume=True)
+    print(result.merged_ccdf("abilene"))
+"""
+
+from repro.runner.spec import (
+    CampaignCell,
+    CampaignSpec,
+    ScenarioSpec,
+    available_schemes,
+    figure2_campaign_spec,
+    node_failure_campaign_spec,
+)
+from repro.runner.cache import ArtifactCache, cached_embedding, topology_fingerprint
+from repro.runner import aggregate
+from repro.runner.aggregate import (
+    coverage_reports,
+    merged_ccdf,
+    overhead_rows,
+    stretch_result_from_records,
+    summary_rows,
+)
+from repro.runner.executor import (
+    CampaignResult,
+    ResultStore,
+    build_scheme,
+    generate_scenarios,
+    load_topology,
+    run_campaign,
+    run_cell,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "ResultStore",
+    "ScenarioSpec",
+    "available_schemes",
+    "build_scheme",
+    "cached_embedding",
+    "coverage_reports",
+    "figure2_campaign_spec",
+    "generate_scenarios",
+    "load_topology",
+    "merged_ccdf",
+    "node_failure_campaign_spec",
+    "overhead_rows",
+    "run_campaign",
+    "run_cell",
+    "stretch_result_from_records",
+    "summary_rows",
+    "topology_fingerprint",
+]

@@ -1,0 +1,216 @@
+"""Content-addressed on-disk cache for offline-stage artifacts.
+
+The paper computes the cellular embedding "offline, on a server designated
+for that purpose" and ships the result to the routers.  In the reproduction
+that offline stage used to be re-run by every experiment that needed a
+Packet Re-cycling instance; this cache makes it run once per (topology,
+embedding method, seed) and be reloaded everywhere else — including from
+worker processes of a parallel campaign, which share the cache through the
+filesystem.
+
+Keys are content hashes of the topology *structure* (nodes, edges with their
+stable ids and weights — the name is deliberately excluded) combined with
+the embedding parameters.  Any change to the topology therefore invalidates
+the entry automatically, and two differently-named copies of the same graph
+share one artifact.  Writes go through a temporary file plus an atomic
+rename so that concurrent workers computing the same artifact can never
+leave a torn entry behind; unreadable or corrupt entries are treated as
+misses and rebuilt in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.embedding.builder import CellularEmbedding, embed
+from repro.embedding.serialization import embedding_from_dict, embedding_to_dict
+from repro.graph.multigraph import Graph
+
+#: Default cache location, overridable through the environment.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+_CACHE_FORMAT_VERSION = 1
+
+
+def topology_fingerprint(graph: Graph) -> str:
+    """Content hash of a topology's structure (ids, endpoints, weights).
+
+    The graph *name* is excluded on purpose: a renamed copy of the same
+    network has the same embeddings.  Edge ids are included because every
+    offline artifact (rotation systems, cycle tables, failure sets) refers
+    to links by id.
+    """
+    payload = {
+        "nodes": sorted(graph.nodes()),
+        "edges": sorted(
+            (edge.edge_id, edge.u, edge.v, edge.weight) for edge in graph.edges()
+        ),
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Content-addressed store of serialized offline-stage artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts.  Created lazily on the first store.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # keys and paths
+    # ------------------------------------------------------------------
+    def embedding_key(
+        self,
+        graph: Graph,
+        method: str = "auto",
+        seed: Optional[int] = 0,
+        iterations: int = 200,
+    ) -> str:
+        """The content-addressed key of one embedding artifact."""
+        material = json.dumps(
+            {
+                "artifact": "embedding",
+                "topology": topology_fingerprint(graph),
+                "method": method,
+                "seed": seed,
+                "iterations": iterations,
+                "format": _CACHE_FORMAT_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of an artifact (two-level fan-out like git)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
+    def load_embedding(
+        self,
+        graph: Graph,
+        method: str = "auto",
+        seed: Optional[int] = 0,
+        iterations: int = 200,
+    ) -> Optional[CellularEmbedding]:
+        """Return the cached embedding, or ``None`` on a miss.
+
+        A corrupt or partially written entry counts as a miss; the caller is
+        expected to rebuild and overwrite it.
+        """
+        key = self.embedding_key(graph, method, seed, iterations)
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("key") != key:
+                return None
+            return embedding_from_dict(payload["embedding"])
+        except Exception:
+            return None
+
+    def store_embedding(
+        self,
+        graph: Graph,
+        embedding: CellularEmbedding,
+        method: str = "auto",
+        seed: Optional[int] = 0,
+        iterations: int = 200,
+    ) -> Path:
+        """Persist one embedding artifact atomically and return its path."""
+        key = self.embedding_key(graph, method, seed, iterations)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, Any] = {
+            "key": key,
+            "topology_fingerprint": topology_fingerprint(graph),
+            "method": method,
+            "seed": seed,
+            "iterations": iterations,
+            "embedding": embedding_to_dict(embedding),
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(tmp_name, path)
+        except Exception:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self.stores += 1
+        return path
+
+    def get_or_build(
+        self,
+        graph: Graph,
+        method: str = "auto",
+        seed: Optional[int] = 0,
+        iterations: int = 200,
+    ) -> CellularEmbedding:
+        """The cached embedding, computing and persisting it on a miss."""
+        cached = self.load_embedding(graph, method, seed, iterations)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        embedding = embed(graph, method=method, iterations=iterations, seed=seed)
+        self.store_embedding(graph, embedding, method, seed, iterations)
+        return embedding
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Path]:
+        """Paths of every artifact currently in the cache."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"ArtifactCache(root={str(self.root)!r}, entries={len(self)})"
+
+
+def cached_embedding(
+    graph: Graph,
+    method: str = "auto",
+    seed: Optional[int] = 0,
+    iterations: int = 200,
+    cache: Optional[ArtifactCache] = None,
+) -> CellularEmbedding:
+    """Embedding through an optional cache (``None`` computes directly)."""
+    if cache is None:
+        return embed(graph, method=method, iterations=iterations, seed=seed)
+    return cache.get_or_build(graph, method=method, seed=seed, iterations=iterations)

@@ -1,0 +1,472 @@
+"""Parallel campaign execution with streaming results and resume.
+
+The executor turns a :class:`~repro.runner.spec.CampaignSpec` into records:
+one JSON-serialisable dictionary per cell, appended to a JSONL result store
+as soon as the cell finishes.  Cells are independent by construction, so
+they fan out across worker processes with :mod:`concurrent.futures`; the
+artifact cache is shared through the filesystem, which means the expensive
+offline stage of a topology runs in exactly one worker and every other cell
+of that topology loads the artifact.
+
+Records have three parts:
+
+* identity — ``cell_id``, the grid coordinates and the derived seed;
+* ``payload`` — the measured results.  The payload is **deterministic**: the
+  same spec produces byte-identical payloads whether the campaign runs
+  serially or in parallel, cold or cached (this is what the resume logic and
+  the determinism tests rely on);
+* ``meta`` — timing, cache statistics and the worker pid.  Never compared.
+
+Records are flushed to the store in cell order (a completed record waits
+until every earlier cell has completed), so a JSONL file produced by a
+parallel run is line-for-line comparable with a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.baselines.fcp import FailureCarryingPackets
+from repro.baselines.lfa import LoopFreeAlternates
+from repro.baselines.noprotection import NoProtection
+from repro.baselines.reconvergence import Reconvergence
+from repro.core.coverage import CoverageReport, reachable_pairs
+from repro.core.scheme import PacketRecycling, SimplePacketRecycling
+from repro.errors import ExperimentError
+from repro.failures.sampling import sample_multi_link_failures
+from repro.failures.scenarios import (
+    FailureScenario,
+    all_affecting_pairs,
+    node_failure_scenarios,
+    single_link_failures,
+)
+from repro.forwarding.scheme import ForwardingScheme
+from repro.graph.connectivity import same_component
+from repro.graph.multigraph import Graph
+from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
+from repro.metrics.overhead import overhead_comparison
+from repro.metrics.stretch import StretchSample
+from repro.routing.discriminator import DiscriminatorKind
+from repro.routing.tables import RoutingTables
+from repro.runner import aggregate
+from repro.runner.cache import ArtifactCache, cached_embedding
+from repro.runner.spec import EMBEDDING_SCHEMES, SCHEME_NAMES, CampaignCell, CampaignSpec
+from repro.topologies.parser import load_graph
+from repro.topologies.registry import available_topologies, by_name
+
+
+def load_topology(spec: str) -> Graph:
+    """A registry name (``abilene``) or a path to an edge-list file."""
+    if spec.lower() in available_topologies():
+        return by_name(spec)
+    return load_graph(spec)
+
+
+def build_scheme(
+    key: str,
+    graph: Graph,
+    discriminator: str = DiscriminatorKind.HOP_COUNT.value,
+    embedding: Optional[object] = None,
+) -> ForwardingScheme:
+    """Instantiate the scheme behind a registry key.
+
+    ``embedding`` is only consulted by the Packet Re-cycling variants; the
+    baselines have no embedding in their offline stage.
+    """
+    if key not in SCHEME_NAMES:
+        raise ExperimentError(
+            f"unknown scheme key {key!r}; available: {sorted(SCHEME_NAMES)}"
+        )
+    kind = DiscriminatorKind(discriminator)
+    if key == "pr":
+        return PacketRecycling(graph, embedding=embedding, discriminator_kind=kind)
+    if key == "pr-1bit":
+        return SimplePacketRecycling(graph, embedding=embedding, discriminator_kind=kind)
+    if key == "fcp":
+        return FailureCarryingPackets(graph)
+    if key == "reconvergence":
+        return Reconvergence(graph)
+    if key == "lfa":
+        return LoopFreeAlternates(graph)
+    return NoProtection(graph)
+
+
+def generate_scenarios(graph: Graph, cell: CampaignCell) -> List[FailureScenario]:
+    """The failure scenarios of one cell, deterministic in the cell's seed."""
+    scenario = cell.scenario
+    if scenario.kind == "single-link":
+        return single_link_failures(
+            graph, only_non_disconnecting=scenario.non_disconnecting
+        )
+    if scenario.kind == "node":
+        return node_failure_scenarios(graph)
+    generated = sample_multi_link_failures(
+        graph,
+        failures=scenario.failures,
+        samples=scenario.samples,
+        seed=cell.seed,
+        require_connected=scenario.non_disconnecting,
+    )
+    if not generated:
+        raise ExperimentError(
+            f"could not sample any {scenario.failures}-failure scenario on "
+            f"{graph.name!r} that keeps the network connected"
+        )
+    return generated
+
+
+# ----------------------------------------------------------------------
+# cell execution (top-level so it pickles into worker processes)
+# ----------------------------------------------------------------------
+def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Run one campaign cell and return its result record.
+
+    The forwarding work is one delivery pass per scenario over the measured
+    pair set; coverage accounting and stretch samples are both derived from
+    that single pass (stretch only over the pairs whose failure-free path
+    the scenario broke — the Figure 2 conditioning).
+    """
+    started = time.perf_counter()
+    graph = load_topology(cell.topology)
+    scenarios = generate_scenarios(graph, cell)
+    tables = RoutingTables(graph)
+
+    cache: Optional[ArtifactCache] = None
+    embedding = None
+    offline_started = time.perf_counter()
+    if cell.scheme in EMBEDDING_SCHEMES:
+        cache = ArtifactCache(cache_dir) if cache_dir else None
+        embedding = cached_embedding(
+            graph,
+            method=cell.embedding_method,
+            seed=cell.embedding_seed,
+            iterations=cell.embedding_iterations,
+            cache=cache,
+        )
+    scheme = build_scheme(cell.scheme, graph, cell.discriminator, embedding)
+    offline_seconds = time.perf_counter() - offline_started
+
+    report = CoverageReport(scheme=scheme.name)
+    samples: List[StretchSample] = []
+    nodes = graph.nodes()
+    all_pairs_count = len(nodes) * (len(nodes) - 1)
+    measured_pairs = 0
+    for scenario in scenarios:
+        key = tuple(sorted(scenario.failed_links))
+        affected = [
+            pair
+            for pair in all_affecting_pairs(graph, scenario, tables)
+            if same_component(graph, pair[0], pair[1], key)
+        ]
+        measured_pairs += len(affected)
+        if cell.coverage == "full":
+            measured = reachable_pairs(graph, key)
+            report.unreachable_pairs_skipped += all_pairs_count - len(measured)
+        else:
+            measured = affected
+        if not measured:
+            continue
+        affected_set = set(affected)
+        outcomes = scheme.deliver_many(measured, failed_links=key)
+        for (source, destination), outcome in outcomes.items():
+            report.record(outcome.status, key, outcome.drop_reason)
+            if (source, destination) not in affected_set:
+                continue
+            baseline_cost = tables.cost(source, destination)
+            stretch = (
+                outcome.cost / baseline_cost
+                if outcome.delivered and baseline_cost > 0
+                else None
+            )
+            samples.append(
+                StretchSample(
+                    scheme=scheme.name,
+                    source=source,
+                    destination=destination,
+                    failed_links=key,
+                    stretch=stretch,
+                    delivered=outcome.delivered,
+                    hops=outcome.hops,
+                    cost=outcome.cost,
+                    baseline_cost=baseline_cost,
+                )
+            )
+
+    [overhead_row] = overhead_comparison(graph, [scheme])
+    stretch_values = [s.stretch for s in samples if s.stretch is not None]
+    delivered_samples = sum(1 for s in samples if s.delivered)
+    payload: Dict[str, Any] = {
+        "scenarios": len(scenarios),
+        "failures_per_scenario": len(scenarios[0].failed_links) if scenarios else 0,
+        "measured_pairs": measured_pairs,
+        "n_samples": len(samples),
+        "delivered_samples": delivered_samples,
+        "delivery_ratio": delivered_samples / len(samples) if samples else 1.0,
+        "n_stretch": len(stretch_values),
+        # JSON-normalised (lists, not tuples) so in-memory records compare
+        # equal to records reloaded from the JSONL store.
+        "ccdf": [
+            [x, p] for x, p in ccdf_curve(stretch_values, default_stretch_thresholds())
+        ],
+        "stretch_summary": distribution_summary(stretch_values),
+        "coverage": {
+            "attempts": report.attempts,
+            "delivered": report.delivered,
+            "dropped": report.dropped,
+            "looped": report.looped,
+            "unreachable_pairs_skipped": report.unreachable_pairs_skipped,
+            "drop_reasons": dict(sorted(report.drop_reasons.items())),
+        },
+        "header_bits": overhead_row.header_bits,
+        "header_bits_note": overhead_row.header_bits_note,
+        "memory_entries": overhead_row.memory_entries,
+        "online_computation": overhead_row.online_computation,
+    }
+    if cell.record_samples:
+        payload["samples"] = [
+            [
+                s.source,
+                s.destination,
+                list(s.failed_links),
+                s.stretch,
+                s.delivered,
+                s.hops,
+                s.cost,
+                s.baseline_cost,
+            ]
+            for s in samples
+        ]
+    return {
+        "cell_id": cell.cell_id,
+        "index": cell.index,
+        "topology": cell.topology,
+        "scheme": cell.scheme,
+        "scheme_name": SCHEME_NAMES[cell.scheme],
+        "discriminator": cell.discriminator,
+        "scenario": cell.scenario.to_dict(),
+        "seed": cell.seed,
+        "payload": payload,
+        "meta": {
+            "elapsed_s": time.perf_counter() - started,
+            "offline_s": offline_seconds,
+            "cache_hits": cache.hits if cache else 0,
+            "cache_misses": cache.misses if cache else 0,
+            "pid": os.getpid(),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# JSONL result store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Append-only JSONL store of campaign cell records.
+
+    One record per line, flushed as soon as the cell completes, which makes
+    a killed campaign resumable: on the next run every ``cell_id`` already
+    in the file is skipped and its record reused.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(record, sort_keys=True))
+            stream.write("\n")
+            stream.flush()
+
+    def truncate(self) -> None:
+        """Start the file over (a fresh, non-resumed campaign run)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    def load(self) -> List[Dict[str, Any]]:
+        """Every complete record in the file (a torn final line is dropped)."""
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return records
+
+    def completed_cell_ids(self) -> Set[str]:
+        return {record["cell_id"] for record in self.load() if "cell_id" in record}
+
+
+# ----------------------------------------------------------------------
+# campaign driver
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """Everything a finished (or resumed) campaign produced."""
+
+    spec: CampaignSpec
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    elapsed_s: float = 0.0
+    results_path: Optional[Path] = None
+    #: cell_ids actually run in this invocation (resumed cells excluded).
+    executed_cell_ids: Set[str] = field(default_factory=set)
+
+    # Aggregation views over the records (see :mod:`repro.runner.aggregate`).
+    def stretch_result(self, topology: Optional[str] = None):
+        return aggregate.stretch_result_from_records(self.records, topology)
+
+    def merged_ccdf(self, topology: Optional[str] = None):
+        return aggregate.merged_ccdf(self.records, topology)
+
+    def coverage_reports(self):
+        return aggregate.coverage_reports(self.records)
+
+    def overhead_rows(self):
+        return aggregate.overhead_rows(self.records)
+
+    def _executed_records(self) -> List[Dict[str, Any]]:
+        """Records produced by this invocation (resumed records excluded)."""
+        return [r for r in self.records if r.get("cell_id") in self.executed_cell_ids]
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache hit/miss totals summed over the cells this invocation ran."""
+        executed = self._executed_records()
+        hits = sum(r.get("meta", {}).get("cache_hits", 0) for r in executed)
+        misses = sum(r.get("meta", {}).get("cache_misses", 0) for r in executed)
+        return {"hits": hits, "misses": misses}
+
+    def offline_seconds(self) -> float:
+        """Offline-stage time this invocation spent (what the cache removes)."""
+        return sum(
+            r.get("meta", {}).get("offline_s", 0.0) for r in self._executed_records()
+        )
+
+
+ProgressCallback = Callable[[CampaignCell, Dict[str, Any], int, int], None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    results_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Run every cell of a campaign, optionally in parallel and resumably.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``1`` (or fewer pending cells than
+        workers would help) runs in-process.  ``0``/``None`` means one
+        process per CPU.
+    cache_dir:
+        Artifact-cache directory shared by all workers; ``None`` disables
+        caching (every cell recomputes its offline stage).
+    results_path:
+        JSONL file records stream into.  Required for ``resume``.
+    resume:
+        Skip cells whose ``cell_id`` already has a record in
+        ``results_path`` and reuse those records in the returned result.
+    progress:
+        Called as ``progress(cell, record, done, total)`` after each cell.
+    """
+    started = time.perf_counter()
+    if not workers:
+        workers = os.cpu_count() or 1
+    cache_str = str(cache_dir) if cache_dir is not None else None
+    cells = spec.cells()
+    cells_by_id = {cell.cell_id: cell for cell in cells}
+
+    store = ResultStore(results_path) if results_path is not None else None
+    previous: Dict[str, Dict[str, Any]] = {}
+    if resume:
+        if store is None:
+            raise ExperimentError("resume requires a results_path to resume from")
+        for record in store.load():
+            if record.get("cell_id") in cells_by_id:
+                previous[record["cell_id"]] = record
+    elif store is not None and store.exists():
+        # Without resume the file represents *this* run; appending to the
+        # previous run's records would double-count every cell downstream.
+        store.truncate()
+
+    pending = [cell for cell in cells if cell.cell_id not in previous]
+    total = len(pending)
+    done = 0
+
+    def finish(cell: CampaignCell, record: Dict[str, Any]) -> None:
+        nonlocal done
+        done += 1
+        if store is not None:
+            store.append(record)
+        if progress is not None:
+            progress(cell, record, done, total)
+
+    # Bookkeeping is keyed by cell.index (unique by construction) rather
+    # than cell_id, which content-hashes the inputs and could in principle
+    # collide for equivalent cells.
+    new_records: Dict[int, Dict[str, Any]] = {}
+    if workers <= 1 or len(pending) <= 1:
+        for cell in pending:
+            record = run_cell(cell, cache_str)
+            new_records[cell.index] = record
+            finish(cell, record)
+    else:
+        # Flush records to the store in cell order even though they complete
+        # out of order, so parallel and serial runs produce identical files.
+        buffered: Dict[int, Tuple[CampaignCell, Dict[str, Any]]] = {}
+        next_position = 0
+        positions = {cell.index: position for position, cell in enumerate(pending)}
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(run_cell, cell, cache_str): cell for cell in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    cell = futures[future]
+                    record = future.result()
+                    new_records[cell.index] = record
+                    buffered[positions[cell.index]] = (cell, record)
+                    while next_position in buffered:
+                        ready_cell, ready_record = buffered.pop(next_position)
+                        finish(ready_cell, ready_record)
+                        next_position += 1
+
+    ordered: List[Dict[str, Any]] = []
+    executed_ids = set()
+    for cell in cells:
+        record = new_records.get(cell.index)
+        if record is not None:
+            executed_ids.add(cell.cell_id)
+        else:
+            record = previous.get(cell.cell_id)
+        if record is not None:
+            ordered.append(record)
+    return CampaignResult(
+        spec=spec,
+        records=ordered,
+        executed=len(new_records),
+        skipped=len(previous),
+        elapsed_s=time.perf_counter() - started,
+        results_path=store.path if store is not None else None,
+        executed_cell_ids=executed_ids,
+    )

@@ -1,0 +1,339 @@
+"""Declarative campaign specifications for experiment sweeps.
+
+A campaign is the cross product of topologies x schemes x discriminators x
+failure-scenario generators — exactly the grid behind the paper's evaluation
+(Figure 2 is one topology row and one scenario column of it).  A
+:class:`CampaignSpec` describes that grid declaratively; :meth:`CampaignSpec.cells`
+expands it into independent :class:`CampaignCell` work units that the executor
+can fan out across processes.
+
+Two determinism rules make campaign results reproducible and comparable:
+
+* The scenario-generation seed of a cell is derived from the campaign seed
+  and the (topology, scenario) coordinates only — **not** from the scheme or
+  discriminator — so every scheme is measured against the identical set of
+  failure scenarios, as in Figure 2.
+* A cell's identity (:attr:`CampaignCell.cell_id`) is a content hash of all
+  the inputs that can change its result, which is what lets the executor
+  resume a partially completed campaign and skip cells that are already done.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError
+from repro.routing.discriminator import DiscriminatorKind
+
+#: Scheme registry keys accepted by campaign specs, with their display names
+#: (the ``name`` attribute of the scheme class the executor instantiates).
+SCHEME_NAMES: Dict[str, str] = {
+    "reconvergence": "Re-convergence",
+    "fcp": "Failure-Carrying Packets",
+    "pr": "Packet Re-cycling",
+    "pr-1bit": "Packet Re-cycling (1-bit)",
+    "lfa": "Loop-Free Alternates",
+    "noprotection": "No protection",
+}
+
+#: Scheme keys whose offline stage includes a cellular embedding (and can
+#: therefore be served from the artifact cache).
+EMBEDDING_SCHEMES: Tuple[str, ...] = ("pr", "pr-1bit")
+
+_SCENARIO_KINDS = ("single-link", "multi-link", "node")
+_COVERAGE_MODES = ("affected", "full")
+
+
+def available_schemes() -> List[str]:
+    """Scheme registry keys accepted by :class:`CampaignSpec`."""
+    return list(SCHEME_NAMES)
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """A deterministic 63-bit seed from a base seed and a coordinate tuple."""
+    text = "|".join(str(part) for part in (base,) + parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One failure-scenario generator of a campaign.
+
+    ``kind`` selects the generator: ``"single-link"`` enumerates every link
+    failure, ``"multi-link"`` samples ``samples`` non-disconnecting
+    combinations of ``failures`` simultaneous link failures, and ``"node"``
+    enumerates every single-node failure (all the node's links fail at once).
+    """
+
+    kind: str = "single-link"
+    failures: int = 1
+    samples: int = 50
+    non_disconnecting: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCENARIO_KINDS:
+            raise ExperimentError(
+                f"unknown scenario kind {self.kind!r}; expected one of {_SCENARIO_KINDS}"
+            )
+        if self.kind == "multi-link" and self.failures < 2:
+            raise ExperimentError("multi-link scenarios need failures >= 2")
+        if self.samples < 1:
+            raise ExperimentError("at least one scenario sample is required")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label used in result tables."""
+        if self.kind == "multi-link":
+            return f"{self.failures}-link"
+        return self.kind
+
+    def key(self) -> Tuple[object, ...]:
+        """The coordinates that identify this generator inside a campaign."""
+        return (self.kind, self.failures, self.samples, self.non_disconnecting)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "failures": self.failures,
+            "samples": self.samples,
+            "non_disconnecting": self.non_disconnecting,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        return cls(
+            kind=payload.get("kind", "single-link"),
+            failures=int(payload.get("failures", 1)),
+            samples=int(payload.get("samples", 50)),
+            non_disconnecting=bool(payload.get("non_disconnecting", True)),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent work unit of a campaign: a full point of the grid."""
+
+    index: int
+    topology: str
+    scheme: str
+    discriminator: str
+    scenario: ScenarioSpec
+    seed: int
+    embedding_method: str = "auto"
+    embedding_iterations: int = 200
+    embedding_seed: int = 0
+    coverage: str = "affected"
+    record_samples: bool = True
+
+    @property
+    def cell_id(self) -> str:
+        """Content hash of every input that can change this cell's result."""
+        payload = (
+            self.topology,
+            self.scheme,
+            self.discriminator,
+            self.scenario.key(),
+            self.seed,
+            self.embedding_method,
+            self.embedding_iterations,
+            self.embedding_seed,
+            self.coverage,
+            self.record_samples,
+        )
+        digest = hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    @property
+    def label(self) -> str:
+        return f"{self.topology}/{self.scheme}/{self.scenario.label}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep grid over the evaluation dimensions.
+
+    ``topologies`` entries are registry names (``"abilene"``) or paths to
+    edge-list files; ``schemes`` are keys of :data:`SCHEME_NAMES`;
+    ``discriminators`` are :class:`~repro.routing.discriminator.DiscriminatorKind`
+    values.  ``coverage`` selects which pairs are delivery-accounted:
+    ``"affected"`` measures only pairs whose failure-free path broke (the
+    Figure 2 conditioning), ``"full"`` measures every still-connected ordered
+    pair (the repair-coverage conditioning of Section 4).
+    """
+
+    topologies: Tuple[str, ...]
+    schemes: Tuple[str, ...] = ("reconvergence", "fcp", "pr")
+    discriminators: Tuple[str, ...] = ("hop-count",)
+    scenarios: Tuple[ScenarioSpec, ...] = (ScenarioSpec(),)
+    seed: int = 1
+    embedding_method: str = "auto"
+    embedding_iterations: int = 200
+    embedding_seed: int = 0
+    coverage: str = "affected"
+    record_samples: bool = True
+
+    def __post_init__(self) -> None:
+        def unique(values):
+            # A grid axis is a set with an order; duplicate entries would
+            # produce duplicate cells (same cell_id, double-counted results).
+            return tuple(dict.fromkeys(values))
+
+        object.__setattr__(self, "topologies", unique(self.topologies))
+        object.__setattr__(self, "schemes", unique(self.schemes))
+        object.__setattr__(self, "discriminators", unique(self.discriminators))
+        object.__setattr__(self, "scenarios", unique(self.scenarios))
+        if not self.topologies:
+            raise ExperimentError("a campaign needs at least one topology")
+        if not self.schemes:
+            raise ExperimentError("a campaign needs at least one scheme")
+        if not self.scenarios:
+            raise ExperimentError("a campaign needs at least one scenario spec")
+        unknown = [key for key in self.schemes if key not in SCHEME_NAMES]
+        if unknown:
+            raise ExperimentError(
+                f"unknown scheme keys {unknown!r}; available: {available_schemes()}"
+            )
+        valid_kinds = {kind.value for kind in DiscriminatorKind}
+        bad = [kind for kind in self.discriminators if kind not in valid_kinds]
+        if bad:
+            raise ExperimentError(
+                f"unknown discriminator kinds {bad!r}; available: {sorted(valid_kinds)}"
+            )
+        if self.coverage not in _COVERAGE_MODES:
+            raise ExperimentError(
+                f"unknown coverage mode {self.coverage!r}; expected one of {_COVERAGE_MODES}"
+            )
+
+    # ------------------------------------------------------------------
+    # grid expansion
+    # ------------------------------------------------------------------
+    def cells(self) -> List[CampaignCell]:
+        """Expand the grid into cells, in deterministic presentation order.
+
+        The scenario-generation seed depends only on (campaign seed,
+        topology, scenario spec), so every scheme and discriminator is
+        evaluated on the identical scenario set.
+        """
+        cells: List[CampaignCell] = []
+        index = 0
+        for topology in self.topologies:
+            for scenario in self.scenarios:
+                cell_seed = derive_seed(self.seed, topology, *scenario.key())
+                for discriminator in self.discriminators:
+                    for scheme in self.schemes:
+                        cells.append(
+                            CampaignCell(
+                                index=index,
+                                topology=topology,
+                                scheme=scheme,
+                                discriminator=discriminator,
+                                scenario=scenario,
+                                seed=cell_seed,
+                                embedding_method=self.embedding_method,
+                                embedding_iterations=self.embedding_iterations,
+                                embedding_seed=self.embedding_seed,
+                                coverage=self.coverage,
+                                record_samples=self.record_samples,
+                            )
+                        )
+                        index += 1
+        return cells
+
+    def cell_count(self) -> int:
+        return (
+            len(self.topologies)
+            * len(self.scenarios)
+            * len(self.discriminators)
+            * len(self.schemes)
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topologies": list(self.topologies),
+            "schemes": list(self.schemes),
+            "discriminators": list(self.discriminators),
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+            "seed": self.seed,
+            "embedding_method": self.embedding_method,
+            "embedding_iterations": self.embedding_iterations,
+            "embedding_seed": self.embedding_seed,
+            "coverage": self.coverage,
+            "record_samples": self.record_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        return cls(
+            topologies=tuple(payload["topologies"]),
+            schemes=tuple(payload.get("schemes", ("reconvergence", "fcp", "pr"))),
+            discriminators=tuple(payload.get("discriminators", ("hop-count",))),
+            scenarios=tuple(
+                ScenarioSpec.from_dict(item) for item in payload.get("scenarios", [{}])
+            ),
+            seed=int(payload.get("seed", 1)),
+            embedding_method=payload.get("embedding_method", "auto"),
+            embedding_iterations=int(payload.get("embedding_iterations", 200)),
+            embedding_seed=int(payload.get("embedding_seed", 0)),
+            coverage=payload.get("coverage", "affected"),
+            record_samples=bool(payload.get("record_samples", True)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text())
+
+    def spec_hash(self) -> str:
+        """Content hash of the whole spec (stable across round trips)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# canned specs for the paper's headline experiments
+# ----------------------------------------------------------------------
+def figure2_campaign_spec(panel: str, samples: int = 60, seed: int = 1) -> CampaignSpec:
+    """The campaign equivalent of one Figure 2 panel.
+
+    Single-failure panels enumerate every link failure; multi-failure panels
+    sample ``samples`` non-disconnecting combinations with the panel's
+    failure count, exactly as :func:`repro.experiments.stretch.figure2_panel`.
+    """
+    from repro.experiments.stretch import resolve_figure2_panel
+
+    topology, failures = resolve_figure2_panel(panel)
+    if failures == 1:
+        scenario = ScenarioSpec(kind="single-link")
+    else:
+        scenario = ScenarioSpec(kind="multi-link", failures=failures, samples=samples)
+    return CampaignSpec(topologies=(topology,), scenarios=(scenario,), seed=seed)
+
+
+def node_failure_campaign_spec(
+    topologies: Sequence[str], seed: int = 1
+) -> CampaignSpec:
+    """A campaign over every single-node failure of the given topologies."""
+    return CampaignSpec(
+        topologies=tuple(topologies),
+        scenarios=(ScenarioSpec(kind="node"),),
+        seed=seed,
+    )

@@ -1,0 +1,174 @@
+"""Aggregation: merging cell records back into the existing metrics shapes."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.stretch import default_schemes, run_stretch_experiment
+from repro.failures.scenarios import single_link_failures
+from repro.runner.aggregate import (
+    coverage_reports,
+    merged_ccdf,
+    overhead_rows,
+    stretch_result_from_records,
+    summary_rows,
+)
+from repro.runner.executor import run_campaign
+from repro.runner.spec import CampaignSpec, ScenarioSpec
+from repro.topologies.example import example_fig1
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    spec = CampaignSpec(
+        topologies=("fig1-example",),
+        schemes=("reconvergence", "fcp", "pr"),
+        scenarios=(ScenarioSpec("single-link"),),
+        embedding_seed=0,
+    )
+    return run_campaign(spec, workers=1)
+
+
+class TestStretchResultEquivalence:
+    """The runner path must reproduce the in-process experiment exactly."""
+
+    def test_matches_run_stretch_experiment(self, campaign):
+        graph = example_fig1()
+        direct = run_stretch_experiment(
+            graph,
+            single_link_failures(graph, only_non_disconnecting=True),
+            default_schemes(graph, embedding_seed=0),
+        )
+        rebuilt = stretch_result_from_records(campaign.records)
+        assert rebuilt.scenarios == direct.scenarios
+        assert rebuilt.measured_pairs == direct.measured_pairs
+        assert rebuilt.ccdf == direct.ccdf
+        assert rebuilt.summary == direct.summary
+        assert rebuilt.delivery_ratio == direct.delivery_ratio
+        for name in direct.samples:
+            assert len(rebuilt.samples[name]) == len(direct.samples[name])
+
+    def test_scheme_presentation_order_preserved(self, campaign):
+        rebuilt = stretch_result_from_records(campaign.records)
+        assert rebuilt.scheme_names() == [
+            "Re-convergence",
+            "Failure-Carrying Packets",
+            "Packet Re-cycling",
+        ]
+
+    def test_topology_required_when_ambiguous(self, campaign):
+        records = campaign.records + [
+            dict(record, topology="other") for record in campaign.records
+        ]
+        with pytest.raises(ExperimentError):
+            stretch_result_from_records(records)
+
+    def test_no_records_rejected(self):
+        with pytest.raises(ExperimentError):
+            stretch_result_from_records([], topology="abilene")
+
+    def test_requires_recorded_samples(self):
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence",),
+            record_samples=False,
+        )
+        result = run_campaign(spec, workers=1)
+        with pytest.raises(ExperimentError):
+            stretch_result_from_records(result.records)
+
+
+class TestMergedCcdf:
+    def test_single_cell_curve_passthrough(self, campaign):
+        curves = merged_ccdf(campaign.records)
+        rebuilt = stretch_result_from_records(campaign.records)
+        for name, curve in curves.items():
+            assert curve == rebuilt.ccdf[name]
+
+    def test_count_weighted_pooling(self):
+        def fake(scheme_name, n, probability):
+            return {
+                "topology": "t",
+                "scheme": "pr",
+                "scheme_name": scheme_name,
+                "scenario": {"kind": "single-link"},
+                "payload": {"n_stretch": n, "ccdf": [[2.0, probability]]},
+            }
+
+        # 10 values with P=1.0 pooled with 30 values with P=0.0 -> P=0.25.
+        curves = merged_ccdf([fake("PR", 10, 1.0), fake("PR", 30, 0.0)])
+        assert curves["PR"] == [(2.0, 0.25)]
+
+    def test_zero_delivery_scheme_keeps_an_all_zero_curve(self):
+        """A scheme that delivered nothing must appear in the figure, not
+        silently vanish from the curve set."""
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("noprotection", "pr"),
+            embedding_seed=0,
+        )
+        curves = merged_ccdf(run_campaign(spec, workers=1).records)
+        assert set(curves) == {"No protection", "Packet Re-cycling"}
+        assert all(probability == 0.0 for _x, probability in curves["No protection"])
+
+    def test_multi_discriminator_cells_are_not_pooled(self):
+        """Sweeping the discriminator axis must stay visible in the output."""
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence", "pr"),
+            discriminators=("hop-count", "weighted-cost"),
+            embedding_seed=0,
+        )
+        result = run_campaign(spec, workers=1)
+        curves = merged_ccdf(result.records)
+        assert set(curves) == {
+            "Re-convergence [hop-count]",
+            "Re-convergence [weighted-cost]",
+            "Packet Re-cycling [hop-count]",
+            "Packet Re-cycling [weighted-cost]",
+        }
+        reports = coverage_reports(result.records)
+        hop = reports[("fig1-example", "Re-convergence [hop-count]")]
+        weighted = reports[("fig1-example", "Re-convergence [weighted-cost]")]
+        # Baselines ignore the discriminator: per-label reports stay equal
+        # (and are not silently summed into one double-counted report).
+        assert hop.attempts == weighted.attempts
+
+    def test_empty_cells_do_not_dilute(self):
+        def fake(n, probability):
+            return {
+                "topology": "t",
+                "scheme": "pr",
+                "scheme_name": "PR",
+                "scenario": {"kind": "single-link"},
+                "payload": {"n_stretch": n, "ccdf": [[2.0, probability]] if n else []},
+            }
+
+        curves = merged_ccdf([fake(5, 0.8), fake(0, 0.0)])
+        assert curves["PR"] == [(2.0, 0.8)]
+
+
+class TestCoverageAndOverhead:
+    def test_coverage_reports_sum_attempts(self, campaign):
+        reports = coverage_reports(campaign.records)
+        report = reports[("fig1-example", "Packet Re-cycling")]
+        assert report.full_coverage
+        assert report.attempts > 0
+
+    def test_overhead_rows_one_per_scheme(self, campaign):
+        tables = overhead_rows(campaign.records)
+        rows = tables["fig1-example"]
+        assert [row.scheme for row in rows] == [
+            "Re-convergence",
+            "Failure-Carrying Packets",
+            "Packet Re-cycling",
+        ]
+        pr = rows[-1]
+        assert pr.header_bits >= 2  # 1 PR bit + at least 1 DD bit
+        assert pr.online_computation == 0
+
+    def test_summary_rows_shape(self, campaign):
+        rows = summary_rows(campaign.records, "fig1-example")
+        assert len(rows) == 3
+        for row in rows:
+            assert len(row) == 5
+            assert row[1] == "1.000"  # every scheme delivers on fig1-example

@@ -1,0 +1,114 @@
+"""Artifact cache: content addressing, hit/miss accounting, invalidation."""
+
+import json
+
+from repro.embedding.builder import embed
+from repro.graph.multigraph import Graph
+from repro.runner.cache import ArtifactCache, cached_embedding, topology_fingerprint
+from repro.topologies.abilene import abilene
+
+
+def square() -> Graph:
+    return Graph.from_edge_list(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], name="square"
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert topology_fingerprint(square()) == topology_fingerprint(square())
+
+    def test_name_does_not_matter(self):
+        renamed = square()
+        renamed.name = "not-a-square"
+        assert topology_fingerprint(renamed) == topology_fingerprint(square())
+
+    def test_structure_matters(self):
+        grown = square()
+        grown.add_edge("a", "c")
+        assert topology_fingerprint(grown) != topology_fingerprint(square())
+
+    def test_weights_matter(self):
+        reweighted = Graph.from_edge_list(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], name="square"
+        )
+        reweighted.edge(0).weight = 7.0
+        assert topology_fingerprint(reweighted) != topology_fingerprint(square())
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        graph = abilene()
+        first = cache.get_or_build(graph, seed=0)
+        assert cache.stats() == {"hits": 0, "misses": 1, "stores": 1}
+        second = cache.get_or_build(graph, seed=0)
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+        # The cached artifact reproduces the rotation system exactly.
+        for node in graph.nodes():
+            assert [
+                (d.edge_id, d.head) for d in first.rotation.rotation_at(node)
+            ] == [(d.edge_id, d.head) for d in second.rotation.rotation_at(node)]
+
+    def test_hit_from_a_fresh_cache_instance(self, tmp_path):
+        graph = abilene()
+        ArtifactCache(tmp_path).get_or_build(graph, seed=0)
+        cache = ArtifactCache(tmp_path)  # simulates another worker process
+        cache.get_or_build(graph, seed=0)
+        assert cache.stats() == {"hits": 1, "misses": 0, "stores": 0}
+
+    def test_parameters_are_part_of_the_key(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        graph = abilene()
+        cache.get_or_build(graph, method="auto", seed=0)
+        cache.get_or_build(graph, method="greedy", seed=0)
+        cache.get_or_build(graph, method="auto", seed=1)
+        assert cache.misses == 3
+        assert len(cache) == 3
+
+
+class TestInvalidation:
+    def test_topology_change_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        graph = square()
+        cache.get_or_build(graph, seed=0)
+        changed = square()
+        changed.add_edge("a", "c")
+        cache.get_or_build(changed, seed=0)
+        assert cache.stats()["misses"] == 2, "changed topology must not hit"
+
+    def test_corrupt_entry_treated_as_miss_and_rebuilt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        graph = square()
+        cache.get_or_build(graph, seed=0)
+        [entry] = cache.entries()
+        entry.write_text("{ not json")
+        rebuilt = cache.get_or_build(graph, seed=0)
+        assert cache.stats()["misses"] == 2
+        assert rebuilt.number_of_faces == embed(graph, seed=0).number_of_faces
+        # The rebuilt entry is valid JSON again.
+        json.loads(entry.read_text())
+
+    def test_key_mismatch_treated_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        graph = square()
+        cache.get_or_build(graph, seed=0)
+        [entry] = cache.entries()
+        payload = json.loads(entry.read_text())
+        payload["key"] = "0" * 64
+        entry.write_text(json.dumps(payload))
+        assert cache.load_embedding(graph, seed=0) is None
+
+
+class TestMaintenance:
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.get_or_build(square(), seed=0)
+        cache.get_or_build(abilene(), seed=0)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_cached_embedding_without_cache_computes(self):
+        embedding = cached_embedding(square(), cache=None, seed=0)
+        assert embedding.number_of_faces == embed(square(), seed=0).number_of_faces

@@ -1,0 +1,212 @@
+"""Executor: determinism, parallel/serial parity, JSONL store, resume."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner.executor import (
+    ResultStore,
+    build_scheme,
+    generate_scenarios,
+    run_campaign,
+    run_cell,
+)
+from repro.runner.spec import CampaignSpec, ScenarioSpec
+from repro.topologies.example import example_fig1
+
+
+def tiny_spec(**overrides):
+    """The smallest useful campaign: 2 topologies x 2 schemes x 2 scenarios."""
+    defaults = dict(
+        topologies=("fig1-example", "abilene"),
+        schemes=("reconvergence", "pr"),
+        scenarios=(
+            ScenarioSpec("single-link"),
+            ScenarioSpec("multi-link", failures=2, samples=3),
+        ),
+        embedding_seed=0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def deterministic_part(records):
+    """Records without the timing/pid metadata (the comparable part)."""
+    return [{k: v for k, v in r.items() if k != "meta"} for r in records]
+
+
+class TestCellExecution:
+    def test_run_cell_record_shape(self):
+        [cell] = CampaignSpec(
+            topologies=("fig1-example",), schemes=("pr",), embedding_seed=0
+        ).cells()
+        record = run_cell(cell)
+        assert record["cell_id"] == cell.cell_id
+        assert record["scheme_name"] == "Packet Re-cycling"
+        payload = record["payload"]
+        from repro.failures.scenarios import single_link_failures
+
+        expected = len(single_link_failures(example_fig1(), only_non_disconnecting=True))
+        assert payload["scenarios"] == expected
+        assert payload["delivery_ratio"] == 1.0
+        assert payload["coverage"]["attempts"] == payload["n_samples"]
+        assert len(payload["samples"]) == payload["n_samples"]
+        assert json.dumps(record)  # records must be JSON-serialisable
+
+    def test_run_cell_is_deterministic(self):
+        [cell] = CampaignSpec(
+            topologies=("abilene",),
+            schemes=("pr",),
+            scenarios=(ScenarioSpec("multi-link", failures=3, samples=5),),
+            embedding_seed=0,
+        ).cells()
+        first, second = run_cell(cell), run_cell(cell)
+        assert deterministic_part([first]) == deterministic_part([second])
+
+    def test_full_coverage_mode_counts_all_reachable_pairs(self):
+        [affected_cell] = CampaignSpec(
+            topologies=("fig1-example",), schemes=("reconvergence",)
+        ).cells()
+        [full_cell] = CampaignSpec(
+            topologies=("fig1-example",), schemes=("reconvergence",), coverage="full"
+        ).cells()
+        affected = run_cell(affected_cell)["payload"]
+        full = run_cell(full_cell)["payload"]
+        assert full["coverage"]["attempts"] > affected["coverage"]["attempts"]
+        # The stretch conditioning (affected pairs) is identical in both modes.
+        assert full["samples"] == affected["samples"]
+
+    def test_build_scheme_rejects_unknown_key(self):
+        with pytest.raises(ExperimentError):
+            build_scheme("quantum-routing", example_fig1())
+
+    def test_generate_scenarios_node_kind(self):
+        graph = example_fig1()
+        [cell] = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence",),
+            scenarios=(ScenarioSpec(kind="node"),),
+        ).cells()
+        scenarios = generate_scenarios(graph, cell)
+        assert len(scenarios) == graph.number_of_nodes()
+
+
+class TestDeterminism:
+    def test_serial_runs_identical(self, tmp_path):
+        spec = tiny_spec()
+        first = run_campaign(spec, workers=1, cache_dir=tmp_path / "cache")
+        second = run_campaign(spec, workers=1, cache_dir=tmp_path / "cache")
+        assert deterministic_part(first.records) == deterministic_part(second.records)
+
+    def test_parallel_equals_serial_including_jsonl_order(self, tmp_path):
+        spec = tiny_spec()
+        serial = run_campaign(
+            spec,
+            workers=1,
+            cache_dir=tmp_path / "cache-serial",
+            results_path=tmp_path / "serial.jsonl",
+        )
+        parallel = run_campaign(
+            spec,
+            workers=2,
+            cache_dir=tmp_path / "cache-parallel",
+            results_path=tmp_path / "parallel.jsonl",
+        )
+        assert deterministic_part(serial.records) == deterministic_part(parallel.records)
+        # The JSONL files are line-for-line comparable (records are flushed
+        # in cell order even when they complete out of order).
+        serial_lines = ResultStore(tmp_path / "serial.jsonl").load()
+        parallel_lines = ResultStore(tmp_path / "parallel.jsonl").load()
+        assert deterministic_part(serial_lines) == deterministic_part(parallel_lines)
+
+    def test_cold_equals_cached(self, tmp_path):
+        spec = tiny_spec()
+        cold = run_campaign(spec, workers=1, cache_dir=tmp_path / "cache")
+        warm = run_campaign(spec, workers=1, cache_dir=tmp_path / "cache")
+        assert cold.cache_stats()["misses"] > 0
+        assert warm.cache_stats()["misses"] == 0
+        assert warm.cache_stats()["hits"] > 0
+        assert deterministic_part(cold.records) == deterministic_part(warm.records)
+
+
+class TestResultStore:
+    def test_streams_one_json_line_per_cell(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        result = run_campaign(spec, workers=1, results_path=path)
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == result.executed == spec.cell_count()
+        for line in lines:
+            json.loads(line)
+
+    def test_rerun_without_resume_truncates_the_store(self, tmp_path):
+        """Without resume the JSONL represents this run only; appending to
+        the previous run's lines would double-count every cell."""
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        run_campaign(spec, workers=1, results_path=path)
+        run_campaign(spec, workers=1, results_path=path)
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == spec.cell_count()
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.append({"cell_id": "aaaa", "payload": {}})
+        with path.open("a") as stream:
+            stream.write('{"cell_id": "bbbb", "payl')  # killed mid-write
+        assert store.completed_cell_ids() == {"aaaa"}
+
+
+class TestResume:
+    def test_completed_campaign_resumes_to_no_work(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        first = run_campaign(spec, workers=1, results_path=path)
+        assert first.executed == spec.cell_count()
+        resumed = run_campaign(spec, workers=1, results_path=path, resume=True)
+        assert resumed.executed == 0
+        assert resumed.skipped == spec.cell_count()
+        assert deterministic_part(resumed.records) == deterministic_part(first.records)
+
+    def test_partial_campaign_resumes_remaining_cells(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        full = run_campaign(spec, workers=1, results_path=path)
+        # Keep only the first three records, as if the run had been killed.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = run_campaign(spec, workers=1, results_path=path, resume=True)
+        assert resumed.skipped == 3
+        assert resumed.executed == spec.cell_count() - 3
+        assert deterministic_part(resumed.records) == deterministic_part(full.records)
+
+    def test_spec_change_invalidates_previous_records(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_campaign(tiny_spec(), workers=1, results_path=path)
+        changed = tiny_spec(seed=99)
+        resumed = run_campaign(changed, workers=1, results_path=path, resume=True)
+        assert resumed.skipped == 0
+        assert resumed.executed == changed.cell_count()
+
+    def test_resume_requires_results_path(self):
+        with pytest.raises(ExperimentError):
+            run_campaign(tiny_spec(), resume=True)
+
+    def test_resumed_run_reports_no_cache_or_offline_work(self, tmp_path):
+        """cache_stats/offline_seconds cover this invocation's cells only,
+        not the work recorded by the run being resumed."""
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        first = run_campaign(
+            spec, workers=1, cache_dir=tmp_path / "cache", results_path=path
+        )
+        assert first.cache_stats()["misses"] > 0
+        assert first.offline_seconds() > 0
+        resumed = run_campaign(
+            spec, workers=1, cache_dir=tmp_path / "cache", results_path=path, resume=True
+        )
+        assert resumed.executed == 0
+        assert resumed.cache_stats() == {"hits": 0, "misses": 0}
+        assert resumed.offline_seconds() == 0.0

@@ -1,0 +1,152 @@
+"""Campaign specification: grid expansion, seeds, hashing, persistence."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner.spec import (
+    CampaignSpec,
+    ScenarioSpec,
+    available_schemes,
+    figure2_campaign_spec,
+    node_failure_campaign_spec,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        topologies=("fig1-example", "abilene"),
+        schemes=("reconvergence", "pr"),
+        scenarios=(
+            ScenarioSpec("single-link"),
+            ScenarioSpec("multi-link", failures=2, samples=5),
+        ),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestValidation:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ExperimentError):
+            CampaignSpec(topologies=("abilene",), schemes=("not-a-scheme",))
+
+    def test_unknown_discriminator_rejected(self):
+        with pytest.raises(ExperimentError):
+            CampaignSpec(topologies=("abilene",), discriminators=("parity",))
+
+    def test_unknown_scenario_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(kind="meteor-strike")
+
+    def test_multi_link_needs_two_failures(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(kind="multi-link", failures=1)
+
+    def test_empty_grid_axes_rejected(self):
+        with pytest.raises(ExperimentError):
+            CampaignSpec(topologies=())
+        with pytest.raises(ExperimentError):
+            CampaignSpec(topologies=("abilene",), schemes=())
+
+    def test_bad_coverage_mode_rejected(self):
+        with pytest.raises(ExperimentError):
+            CampaignSpec(topologies=("abilene",), coverage="everything")
+
+
+class TestGridExpansion:
+    def test_cell_count_is_full_product(self):
+        spec = small_spec()
+        cells = spec.cells()
+        assert len(cells) == spec.cell_count() == 2 * 2 * 1 * 2
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+
+    def test_cell_ids_unique(self):
+        cells = small_spec().cells()
+        assert len({cell.cell_id for cell in cells}) == len(cells)
+
+    def test_scenario_seed_shared_across_schemes(self):
+        """Every scheme must face the identical failure scenarios."""
+        cells = small_spec().cells()
+        by_coord = {}
+        for cell in cells:
+            by_coord.setdefault((cell.topology, cell.scenario.key()), set()).add(cell.seed)
+        for seeds in by_coord.values():
+            assert len(seeds) == 1
+
+    def test_scenario_seeds_differ_across_topologies(self):
+        cells = small_spec().cells()
+        seeds = {cell.seed for cell in cells}
+        assert len(seeds) == 4  # 2 topologies x 2 scenario specs
+
+    def test_adding_a_scheme_does_not_move_existing_cells(self):
+        """Growing the scheme axis must not invalidate prior cell results."""
+        base = {cell.cell_id for cell in small_spec().cells()}
+        grown = {
+            cell.cell_id
+            for cell in small_spec(schemes=("reconvergence", "pr", "fcp")).cells()
+        }
+        assert base <= grown
+
+    def test_cells_are_deterministic(self):
+        assert small_spec().cells() == small_spec().cells()
+
+    def test_duplicate_axis_entries_collapse(self):
+        """Duplicate grid entries would double-count results and collide
+        cell ids, so the axes behave as ordered sets."""
+        spec = small_spec(
+            topologies=("abilene", "abilene", "fig1-example"),
+            schemes=("pr", "pr"),
+        )
+        assert spec.topologies == ("abilene", "fig1-example")
+        assert spec.schemes == ("pr",)
+        cells = spec.cells()
+        assert len({cell.cell_id for cell in cells}) == len(cells)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        spec = small_spec(seed=42, coverage="full", embedding_method="greedy")
+        path = spec.save(tmp_path / "spec.json")
+        loaded = CampaignSpec.load(path)
+        assert loaded == spec
+        assert loaded.spec_hash() == spec.spec_hash()
+
+    def test_spec_hash_sensitive_to_grid(self):
+        assert small_spec().spec_hash() != small_spec(seed=2).spec_hash()
+        assert (
+            small_spec().spec_hash()
+            != small_spec(schemes=("reconvergence",)).spec_hash()
+        )
+
+    def test_from_dict_defaults(self):
+        spec = CampaignSpec.from_dict({"topologies": ["abilene"]})
+        assert spec.schemes == ("reconvergence", "fcp", "pr")
+        assert spec.scenarios == (ScenarioSpec(),)
+
+
+class TestCannedSpecs:
+    def test_figure2_single_panel(self):
+        spec = figure2_campaign_spec("2a")
+        assert spec.topologies == ("abilene",)
+        assert spec.scenarios[0].kind == "single-link"
+
+    def test_figure2_multi_panel(self):
+        spec = figure2_campaign_spec("2f", samples=20)
+        assert spec.topologies == ("geant",)
+        scenario = spec.scenarios[0]
+        assert scenario.kind == "multi-link"
+        assert scenario.failures == 16
+        assert scenario.samples == 20
+
+    def test_figure2_unknown_panel(self):
+        with pytest.raises(ExperimentError):
+            figure2_campaign_spec("9z")
+
+    def test_node_failure_spec(self):
+        spec = node_failure_campaign_spec(["abilene", "geant"])
+        assert spec.scenarios == (ScenarioSpec(kind="node"),)
+
+    def test_available_schemes_cover_paper_trio(self):
+        names = available_schemes()
+        for key in ("reconvergence", "fcp", "pr"):
+            assert key in names
