@@ -17,6 +17,8 @@ The package is organised around a small set of subsystems:
 * :mod:`repro.topologies` — Abilene, Géant, Teleglobe and synthetic
   topology generators.
 * :mod:`repro.failures` — failure scenario enumeration and sampling.
+* :mod:`repro.scenarios` — pluggable failure-scenario models (SRLG,
+  regional, weighted, maintenance, churn) behind a name-keyed registry.
 * :mod:`repro.metrics` — stretch, CCDFs and overhead accounting.
 * :mod:`repro.simulator` — a discrete-event packet-level simulator.
 * :mod:`repro.experiments` — runners that regenerate every figure and
@@ -41,10 +43,18 @@ from repro.api import (
     ArtifactCache,
     CampaignResult,
     CampaignSpec,
+    FailureScenario,
+    ScenarioModel,
     ScenarioSpec,
+    available_scenario_models,
     build_packet_recycling,
     compare_schemes,
+    get_scenario_model,
+    node_failure_scenarios,
+    register_scenario_model,
     run_campaign,
+    sample_multi_link_failures,
+    single_link_failures,
     stretch_ccdf,
 )
 from repro import (
@@ -58,6 +68,7 @@ from repro import (
     metrics,
     routing,
     runner,
+    scenarios,
     simulator,
     topologies,
 )
@@ -67,10 +78,18 @@ __all__ = [
     "ArtifactCache",
     "CampaignResult",
     "CampaignSpec",
+    "FailureScenario",
+    "ScenarioModel",
     "ScenarioSpec",
+    "available_scenario_models",
     "build_packet_recycling",
     "compare_schemes",
+    "get_scenario_model",
+    "node_failure_scenarios",
+    "register_scenario_model",
     "run_campaign",
+    "sample_multi_link_failures",
+    "single_link_failures",
     "stretch_ccdf",
     "baselines",
     "core",
@@ -82,6 +101,7 @@ __all__ = [
     "metrics",
     "routing",
     "runner",
+    "scenarios",
     "simulator",
     "topologies",
 ]

@@ -13,6 +13,14 @@ For sweeps, :class:`~repro.runner.spec.CampaignSpec` and
 the grid (topologies x schemes x discriminators x failure scenarios)
 declaratively and run it in parallel with a content-addressed offline-stage
 artifact cache and resume-from-partial.
+
+The failure-scenario toolbox rides along: the enumerators and sampler behind
+the built-in scenario kinds (:func:`single_link_failures`,
+:func:`sample_multi_link_failures`, :func:`node_failure_scenarios`) and the
+pluggable scenario-model registry of :mod:`repro.scenarios`
+(:func:`available_scenario_models`, :func:`get_scenario_model`,
+:func:`register_scenario_model`), so custom scenario sets can be built and
+swept without reaching into subpackages.
 """
 
 from __future__ import annotations
@@ -21,7 +29,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.scheme import PacketRecycling
 from repro.experiments.stretch import default_schemes, run_stretch_experiment
-from repro.failures.scenarios import FailureScenario
+from repro.failures.sampling import (  # noqa: F401  (re-exported convenience API)
+    sample_multi_link_failures,
+)
+from repro.failures.scenarios import (  # noqa: F401  (re-exported convenience API)
+    FailureScenario,
+    node_failure_scenarios,
+    single_link_failures,
+)
 from repro.forwarding.engine import ForwardingOutcome
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
@@ -32,6 +47,12 @@ from repro.runner import (  # noqa: F401  (re-exported convenience API)
     CampaignSpec,
     ScenarioSpec,
     run_campaign,
+)
+from repro.scenarios import (  # noqa: F401  (re-exported convenience API)
+    ScenarioModel,
+    available_scenario_models,
+    get_scenario_model,
+    register_scenario_model,
 )
 
 

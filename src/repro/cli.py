@@ -10,6 +10,14 @@ the reproduction can be driven without writing Python:
 * ``figure2``   — regenerate one panel of Figure 2.
 * ``overhead``  — print the Section 6 overhead comparison.
 * ``coverage``  — measure repair coverage under sampled failures.
+* ``scenarios`` — inspect the pluggable failure-scenario model library:
+  ``scenarios list`` tabulates the registered models and their parameters,
+  ``scenarios preview`` generates a model's scenarios for a topology and
+  prints each failure set.  Example::
+
+      python -m repro scenarios preview churn --topology geant \\
+          --samples 5 --param process=weibull --param shape=0.8
+
 * ``sweep``     — run a parallel campaign over the full evaluation grid
   (topologies x schemes x discriminators x failure scenarios) through the
   :mod:`repro.runner` subsystem, with a content-addressed offline-stage
@@ -29,8 +37,9 @@ the reproduction can be driven without writing Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.api import build_packet_recycling, compare_schemes
 from repro.core.coverage import coverage_report
@@ -55,6 +64,8 @@ from repro.runner import (
     run_campaign,
 )
 from repro.runner import aggregate as campaign_aggregate
+from repro.errors import ReproError
+from repro.scenarios import available_scenario_models, get_scenario_model, registered_models
 
 
 def _parse_failed_links(graph: Graph, specs: Sequence[str]) -> List[int]:
@@ -174,6 +185,86 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     return 0 if report.full_coverage else 1
 
 
+def _parse_param_value(text: str) -> object:
+    """Parameter values on the command line: JSON scalar, else a plain string."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """``k=v`` strings into a parameter dict (values parsed as JSON scalars)."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"cannot parse parameter {pair!r}; use name=value")
+        name, value = pair.split("=", 1)
+        params[name.strip()] = _parse_param_value(value.strip())
+    return params
+
+
+def _parse_model_arg(text: str, samples: int) -> ScenarioSpec:
+    """A sweep ``--model`` argument: ``name`` or ``name:k=v,k2=v2``."""
+    name, _, param_text = text.partition(":")
+    params = _parse_params(param_text.split(",")) if param_text else {}
+    try:
+        # Parameters go through the params field (not keyword splatting) so
+        # a user parameter named like a spec field still gets the model's
+        # clean unknown-parameter error instead of a TypeError.
+        return ScenarioSpec(
+            kind="model",
+            model=name.strip(),
+            samples=samples,
+            params=tuple(sorted(params.items())),
+        )
+    except ReproError as exc:
+        raise SystemExit(f"bad --model {text!r}: {exc}")
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = []
+        for model in registered_models():
+            params = ", ".join(
+                f"{param.name}={param.default!r}" for param in model.params
+            )
+            rows.append([model.name, params or "-", model.summary])
+        print(render_table(["model", "parameters (defaults)", "summary"], rows))
+        return 0
+
+    # preview: generate and print one model's scenarios for a topology.
+    graph = _load_topology(args.topology)
+    try:
+        model = get_scenario_model(args.model)
+        spec = ScenarioSpec(
+            kind="model",
+            model=args.model,
+            samples=args.samples,
+            non_disconnecting=not args.allow_disconnecting,
+            params=tuple(sorted(_parse_params(args.param).items())),
+        )
+        scenarios = model.generate(
+            graph,
+            seed=args.seed,
+            samples=spec.samples,
+            non_disconnecting=spec.non_disconnecting,
+            params=dict(spec.params),
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"model={model.name} topology={graph.name} seed={args.seed} "
+        f"params={dict(spec.params)}"
+    )
+    if not scenarios:
+        print("no scenarios generated (all candidates rejected)")
+        return 1
+    for index, scenario in enumerate(scenarios):
+        print(f"[{index}] ({len(scenario)} links) {scenario.describe(graph)}")
+    return 0
+
+
 def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """Build the campaign spec a ``sweep`` invocation describes."""
     if args.spec:
@@ -187,8 +278,12 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         )
     if args.node:
         scenarios.append(ScenarioSpec(kind="node"))
+    for model_arg in args.model or []:
+        scenarios.append(_parse_model_arg(model_arg, args.samples))
     if not scenarios:
-        raise SystemExit("no scenarios selected; drop --skip-single or add --failures/--node")
+        raise SystemExit(
+            "no scenarios selected; drop --skip-single or add --failures/--node/--model"
+        )
     return CampaignSpec(
         topologies=tuple(args.topologies),
         schemes=tuple(args.schemes),
@@ -254,6 +349,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ["scheme", "delivery", "mean stretch", "max", "coverage"],
             campaign_aggregate.summary_rows(result.records, topology),
         ))
+        if len(campaign_aggregate.families_in(result.records)) > 1:
+            print()
+            print(render_table(
+                ["family", "scheme", "scenarios", "delivery", "mean stretch",
+                 "max", "coverage"],
+                campaign_aggregate.family_summary_rows(result.records, topology),
+            ))
     overheads = result.overhead_rows()
     for topology in spec.topologies:
         rows = overheads.get(topology)
@@ -318,6 +420,33 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--cache-dir", help="offline-stage artifact cache directory")
     coverage.set_defaults(handler=_cmd_coverage)
 
+    scenarios_cmd = sub.add_parser(
+        "scenarios",
+        help="inspect the pluggable failure-scenario model library",
+    )
+    scenarios_sub = scenarios_cmd.add_subparsers(dest="action", required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="tabulate the registered scenario models"
+    )
+    scenarios_list.set_defaults(handler=_cmd_scenarios)
+    scenarios_preview = scenarios_sub.add_parser(
+        "preview", help="generate and print one model's scenarios"
+    )
+    scenarios_preview.add_argument("model",
+                                   help=f"registered model "
+                                        f"({', '.join(available_scenario_models())})")
+    scenarios_preview.add_argument("--topology", default="abilene",
+                                   help="registry name or edge-list file path")
+    scenarios_preview.add_argument("--samples", type=int, default=5)
+    scenarios_preview.add_argument("--seed", type=int, default=1)
+    scenarios_preview.add_argument("--param", action="append", default=[],
+                                   metavar="NAME=VALUE",
+                                   help="model parameter override (repeatable)")
+    scenarios_preview.add_argument("--allow-disconnecting", action="store_true",
+                                   help="keep scenarios that disconnect the "
+                                        "surviving network")
+    scenarios_preview.set_defaults(handler=_cmd_scenarios)
+
     sweep = sub.add_parser(
         "sweep",
         help="run a parallel experiment campaign over the evaluation grid",
@@ -336,8 +465,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "simultaneous failures (repeatable)")
     sweep.add_argument("--node", action="store_true",
                        help="add the single-node-failure scenario set")
+    sweep.add_argument("--model", action="append", metavar="NAME[:K=V,...]",
+                       help="add a scenario-model set, e.g. srlg or "
+                            "churn:process=weibull,mean_down=20 (repeatable; "
+                            f"models: {', '.join(available_scenario_models())})")
     sweep.add_argument("--samples", type=int, default=10,
-                       help="sampled combinations per multi-link scenario set")
+                       help="scenarios per multi-link or --model scenario set")
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--coverage", choices=["affected", "full"], default="affected",
                        help="delivery accounting: affected pairs only (Figure 2) "

@@ -20,7 +20,7 @@ from repro.experiments.overhead import overhead_experiment
 from repro.experiments.convergence import ConvergenceLossResult, convergence_loss_experiment
 from repro.experiments.ablation import dd_kind_ablation, embedding_quality_ablation
 from repro.experiments.nodefail import NodeFailureResult, node_failure_experiment
-from repro.experiments.flapping import FlappingRow, flapping_experiment
+from repro.experiments.flapping import FLAP_PROCESSES, FlappingRow, flapping_experiment
 from repro.experiments.asciiplot import render_ccdf_plot, render_table
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "embedding_quality_ablation",
     "NodeFailureResult",
     "node_failure_experiment",
+    "FLAP_PROCESSES",
     "FlappingRow",
     "flapping_experiment",
     "render_ccdf_plot",

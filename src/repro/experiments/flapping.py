@@ -18,14 +18,24 @@ increasing length and reports, for each setting:
 
 Larger hold-downs trade capacity for stability, which is exactly the knob the
 paper hands to the operator.
+
+The sample path defaults to the exponential process of
+:class:`~repro.failures.flapping.LinkFlappingProcess`, but any churn process
+from the scenario-model library can be substituted (``process=
+"gilbert-elliott"`` for bursty Markov-chain churn, ``"weibull"`` for
+heavy-tailed repair times), so the hold-down trade-off can be read off under
+the same traces the ``churn`` scenario model feeds into campaigns.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import ExperimentError
 from repro.failures.flapping import FlapEvent, LinkFlappingProcess, hold_down_filter
+from repro.scenarios.churn import CHURN_PROCESSES, churn_events
 
 
 @dataclass(frozen=True)
@@ -81,18 +91,46 @@ def _overlap_where(
     return total
 
 
+#: Sample-path generators accepted by :func:`flapping_experiment`: the
+#: exponential baseline plus every churn process the scenario library ships.
+FLAP_PROCESSES = ("exponential",) + CHURN_PROCESSES
+
+
 def flapping_experiment(
     mean_up_time: float = 2.0,
     mean_down_time: float = 0.5,
     horizon: float = 300.0,
     hold_downs: Optional[Sequence[float]] = None,
     seed: int = 42,
+    process: str = "exponential",
+    shape: float = 1.5,
+    step: float = 0.1,
 ) -> List[FlappingRow]:
-    """Evaluate hold-down settings against one flapping sample path."""
+    """Evaluate hold-down settings against one flapping sample path.
+
+    ``process`` selects the churn model behind the sample path; ``shape``
+    only applies to ``"weibull"`` and ``step`` only to ``"gilbert-elliott"``.
+    """
     if hold_downs is None:
         hold_downs = [0.0, 1.0, 2.0, 5.0, 10.0]
-    process = LinkFlappingProcess(mean_up_time, mean_down_time, seed=seed)
-    raw_events = process.events_until(horizon)
+    if process == "exponential":
+        raw_events = LinkFlappingProcess(
+            mean_up_time, mean_down_time, seed=seed
+        ).events_until(horizon)
+    elif process in FLAP_PROCESSES:
+        raw_events = churn_events(
+            process,
+            rng=random.Random(seed),
+            horizon=horizon,
+            mean_up=mean_up_time,
+            mean_down=mean_down_time,
+            shape=shape,
+            step=step,
+        )
+    else:
+        raise ExperimentError(
+            f"unknown flapping process {process!r}; expected one of {FLAP_PROCESSES}"
+        )
     actual = _state_timeline(raw_events, horizon)
 
     rows: List[FlappingRow] = []

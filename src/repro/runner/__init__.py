@@ -35,13 +35,17 @@ from repro.runner.spec import (
     available_schemes,
     figure2_campaign_spec,
     node_failure_campaign_spec,
+    scenario_model_campaign_spec,
 )
 from repro.runner.cache import ArtifactCache, cached_embedding, topology_fingerprint
 from repro.runner import aggregate
 from repro.runner.aggregate import (
     coverage_reports,
+    families_in,
+    family_summary_rows,
     merged_ccdf,
     overhead_rows,
+    scenario_family,
     stretch_result_from_records,
     summary_rows,
 )
@@ -66,6 +70,8 @@ __all__ = [
     "build_scheme",
     "cached_embedding",
     "coverage_reports",
+    "families_in",
+    "family_summary_rows",
     "figure2_campaign_spec",
     "generate_scenarios",
     "load_topology",
@@ -74,6 +80,8 @@ __all__ = [
     "overhead_rows",
     "run_campaign",
     "run_cell",
+    "scenario_family",
+    "scenario_model_campaign_spec",
     "stretch_result_from_records",
     "summary_rows",
     "topology_fingerprint",

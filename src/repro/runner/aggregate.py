@@ -43,6 +43,38 @@ def records_for(
     return selected
 
 
+def scenario_family(record: Record) -> str:
+    """The scenario family a record belongs to.
+
+    Built-in generators aggregate under their kind (``single-link``,
+    ``multi-link``, ``node``); model cells aggregate under the model name, so
+    every registered model contributes its own row to per-family output.
+
+    New records carry the family directly (``ScenarioSpec.family`` stamped by
+    the executor); records from older stores fall back to deriving it from
+    the scenario payload.
+    """
+    family = record.get("scenario_family")
+    if family:
+        return family
+    scenario = record["scenario"]
+    if scenario.get("model"):
+        return scenario["model"]
+    if scenario["kind"] == "multi-link":
+        return f'{scenario.get("failures", 1)}-link'
+    return scenario["kind"]
+
+
+def families_in(records: Sequence[Record]) -> List[str]:
+    """Scenario families present in the records, in first-seen order."""
+    seen: List[str] = []
+    for record in records:
+        family = scenario_family(record)
+        if family not in seen:
+            seen.append(family)
+    return seen
+
+
 def topologies_in(records: Sequence[Record]) -> List[str]:
     """Topologies present in the records, in first-seen order."""
     seen: List[str] = []
@@ -230,19 +262,16 @@ def overhead_rows(records: Sequence[Record]) -> Dict[str, List[OverheadRow]]:
     return tables
 
 
-def summary_rows(
-    records: Sequence[Record], topology: Optional[str] = None
-) -> List[List[object]]:
-    """Per-scheme summary table rows (delivery, pooled mean/max stretch)."""
-    selected = records_for(records, topology)
-    order: List[str] = []
-    totals: Dict[str, Dict[str, float]] = {}
-    for record in selected:
-        name = scheme_label(record, selected)
+def _pooled_totals(
+    selected: Sequence[Record], keys: Sequence[Tuple[object, ...]]
+) -> Dict[Tuple[object, ...], Dict[str, float]]:
+    """Accumulate poolable payload figures per grouping key (one per record)."""
+    totals: Dict[Tuple[object, ...], Dict[str, float]] = {}
+    for record, key in zip(selected, keys):
         payload = record["payload"]
-        if name not in totals:
-            order.append(name)
-            totals[name] = {
+        if key not in totals:
+            totals[key] = {
+                "scenarios": 0.0,
                 "samples": 0.0,
                 "delivered": 0.0,
                 "stretch_sum": 0.0,
@@ -251,7 +280,8 @@ def summary_rows(
                 "attempts": 0.0,
                 "covered": 0.0,
             }
-        entry = totals[name]
+        entry = totals[key]
+        entry["scenarios"] += payload["scenarios"]
         entry["samples"] += payload["n_samples"]
         entry["delivered"] += payload["delivered_samples"]
         entry["stretch_sum"] += payload["stretch_summary"]["mean"] * payload["n_stretch"]
@@ -259,19 +289,56 @@ def summary_rows(
         entry["max"] = max(entry["max"], payload["stretch_summary"]["max"])
         entry["attempts"] += payload["coverage"]["attempts"]
         entry["covered"] += payload["coverage"]["delivered"]
+    return totals
+
+
+def _totals_columns(entry: Dict[str, float]) -> List[object]:
+    """The rendered (delivery, mean, max, coverage) columns of one group."""
+    delivery = entry["delivered"] / entry["samples"] if entry["samples"] else 1.0
+    mean = entry["stretch_sum"] / entry["n_stretch"] if entry["n_stretch"] else 0.0
+    coverage = entry["covered"] / entry["attempts"] if entry["attempts"] else 1.0
+    return [
+        f"{delivery:.3f}",
+        f"{mean:.2f}",
+        f"{entry['max']:.2f}",
+        f"{100.0 * coverage:.2f}%",
+    ]
+
+
+def summary_rows(
+    records: Sequence[Record], topology: Optional[str] = None
+) -> List[List[object]]:
+    """Per-scheme summary table rows (delivery, pooled mean/max stretch)."""
+    selected = records_for(records, topology)
+    keys = [(scheme_label(record, selected),) for record in selected]
+    totals = _pooled_totals(selected, keys)
+    return [
+        [name] + _totals_columns(totals[(name,)])
+        for (name,) in dict.fromkeys(keys)
+    ]
+
+
+def family_summary_rows(
+    records: Sequence[Record], topology: Optional[str] = None
+) -> List[List[object]]:
+    """Per-(scenario family, scheme) summary rows.
+
+    A campaign sweeping several scenario generators — built-in kinds and
+    registered models alike — gets one row per (family, scheme) pair, so the
+    schemes can be compared *within* each failure regime instead of pooled
+    across regimes with very different severities.
+    """
+    selected = records_for(records, topology)
+    keys = [
+        (scenario_family(record), scheme_label(record, selected))
+        for record in selected
+    ]
+    totals = _pooled_totals(selected, keys)
     rows: List[List[object]] = []
-    for name in order:
-        entry = totals[name]
-        delivery = entry["delivered"] / entry["samples"] if entry["samples"] else 1.0
-        mean = entry["stretch_sum"] / entry["n_stretch"] if entry["n_stretch"] else 0.0
-        coverage = entry["covered"] / entry["attempts"] if entry["attempts"] else 1.0
+    for family, name in dict.fromkeys(keys):
+        entry = totals[(family, name)]
         rows.append(
-            [
-                name,
-                f"{delivery:.3f}",
-                f"{mean:.2f}",
-                f"{entry['max']:.2f}",
-                f"{100.0 * coverage:.2f}%",
-            ]
+            [family, name, f"{int(entry['scenarios'])}"]
+            + _totals_columns(entry)
         )
     return rows

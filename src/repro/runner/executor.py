@@ -57,6 +57,7 @@ from repro.routing.tables import RoutingTables
 from repro.runner import aggregate
 from repro.runner.cache import ArtifactCache, cached_embedding
 from repro.runner.spec import EMBEDDING_SCHEMES, SCHEME_NAMES, CampaignCell, CampaignSpec
+from repro.scenarios import get_scenario_model
 from repro.topologies.parser import load_graph
 from repro.topologies.registry import available_topologies, by_name
 
@@ -106,6 +107,21 @@ def generate_scenarios(graph: Graph, cell: CampaignCell) -> List[FailureScenario
         )
     if scenario.kind == "node":
         return node_failure_scenarios(graph)
+    if scenario.kind == "model":
+        model = get_scenario_model(scenario.model)
+        generated = model.generate(
+            graph,
+            seed=cell.seed,
+            samples=scenario.samples,
+            non_disconnecting=scenario.non_disconnecting,
+            params=dict(scenario.params),
+        )
+        if not generated:
+            raise ExperimentError(
+                f"scenario model {scenario.model!r} produced no scenarios on "
+                f"{graph.name!r} (params {dict(scenario.params)!r})"
+            )
+        return generated
     generated = sample_multi_link_failures(
         graph,
         failures=scenario.failures,
@@ -250,6 +266,7 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
         "scheme_name": SCHEME_NAMES[cell.scheme],
         "discriminator": cell.discriminator,
         "scenario": cell.scenario.to_dict(),
+        "scenario_family": cell.scenario.family,
         "seed": cell.seed,
         "payload": payload,
         "meta": {
@@ -338,6 +355,9 @@ class CampaignResult:
 
     def overhead_rows(self):
         return aggregate.overhead_rows(self.records)
+
+    def family_summary(self, topology: Optional[str] = None):
+        return aggregate.family_summary_rows(self.records, topology)
 
     def _executed_records(self) -> List[Dict[str, Any]]:
         """Records produced by this invocation (resumed records excluded)."""

@@ -24,10 +24,11 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
 from repro.routing.discriminator import DiscriminatorKind
+from repro.scenarios import get_scenario_model
 
 #: Scheme registry keys accepted by campaign specs, with their display names
 #: (the ``name`` attribute of the scheme class the executor instantiates).
@@ -44,7 +45,7 @@ SCHEME_NAMES: Dict[str, str] = {
 #: therefore be served from the artifact cache).
 EMBEDDING_SCHEMES: Tuple[str, ...] = ("pr", "pr-1bit")
 
-_SCENARIO_KINDS = ("single-link", "multi-link", "node")
+_SCENARIO_KINDS = ("single-link", "multi-link", "node", "model")
 _COVERAGE_MODES = ("affected", "full")
 
 
@@ -66,14 +67,24 @@ class ScenarioSpec:
 
     ``kind`` selects the generator: ``"single-link"`` enumerates every link
     failure, ``"multi-link"`` samples ``samples`` non-disconnecting
-    combinations of ``failures`` simultaneous link failures, and ``"node"``
-    enumerates every single-node failure (all the node's links fail at once).
+    combinations of ``failures`` simultaneous link failures, ``"node"``
+    enumerates every single-node failure (all the node's links fail at once),
+    and ``"model"`` delegates to a registered
+    :class:`~repro.scenarios.base.ScenarioModel` named by ``model`` with the
+    parameter overrides in ``params`` (see ``python -m repro scenarios list``
+    and :meth:`ScenarioSpec.for_model`).
     """
 
     kind: str = "single-link"
     failures: int = 1
     samples: int = 50
     non_disconnecting: bool = True
+    model: str = ""
+    #: Canonicalised model parameters: the *fully resolved* parameter set
+    #: (every declared parameter present), as a name-sorted tuple of pairs so
+    #: the spec stays hashable and two spellings of the same parameters
+    #: (defaults implicit or explicit, dict or tuple) compare equal.
+    params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in _SCENARIO_KINDS:
@@ -84,33 +95,123 @@ class ScenarioSpec:
             raise ExperimentError("multi-link scenarios need failures >= 2")
         if self.samples < 1:
             raise ExperimentError("at least one scenario sample is required")
+        if self.kind == "model":
+            if not self.model:
+                raise ExperimentError(
+                    'kind="model" scenario specs need a model name'
+                )
+            if self.failures != 1:
+                # failures would silently feed key()/cell ids without the
+                # model ever reading it, splitting identical regimes into
+                # distinct grid cells.
+                raise ExperimentError(
+                    'kind="model" scenario specs configure failure counts '
+                    "through model params, not failures="
+                )
+            # ``params`` may arrive as a mapping or as a tuple of pairs;
+            # both canonicalise through dict().
+            resolved = get_scenario_model(self.model).resolve_params(dict(self.params))
+            object.__setattr__(
+                self, "params", tuple(sorted(resolved.items()))
+            )
+        elif self.model or self.params:
+            raise ExperimentError(
+                f"scenario kind {self.kind!r} does not take a model or params "
+                f'(got model={self.model!r}); use kind="model"'
+            )
+
+    @classmethod
+    def for_model(
+        cls,
+        model: str,
+        samples: int = 50,
+        non_disconnecting: bool = True,
+        **params: Any,
+    ) -> "ScenarioSpec":
+        """Convenience constructor: ``ScenarioSpec.for_model("srlg", group_size=4)``."""
+        return cls(
+            kind="model",
+            samples=samples,
+            non_disconnecting=non_disconnecting,
+            model=model,
+            params=tuple(sorted(params.items())),
+        )
 
     @property
     def label(self) -> str:
         """Short human-readable label used in result tables."""
         if self.kind == "multi-link":
             return f"{self.failures}-link"
+        if self.kind == "model":
+            return self.model
         return self.kind
 
+    @property
+    def family(self) -> str:
+        """The scenario family records aggregate under.
+
+        Model specs aggregate under the model name; built-in kinds under
+        their label, which keeps different multi-link severities ("2-link"
+        vs "4-link") in separate rows — pooling across severities is exactly
+        what per-family aggregation exists to avoid.
+        """
+        return self.model if self.kind == "model" else self.label
+
     def key(self) -> Tuple[object, ...]:
-        """The coordinates that identify this generator inside a campaign."""
-        return (self.kind, self.failures, self.samples, self.non_disconnecting)
+        """The coordinates that identify this generator inside a campaign.
+
+        Legacy kinds keep their original 4-tuple so existing cell ids (and
+        the JSONL records addressed by them) remain valid; model specs extend
+        it with the model name and canonical parameters.
+        """
+        base: Tuple[object, ...] = (
+            self.kind,
+            self.failures,
+            self.samples,
+            self.non_disconnecting,
+        )
+        if self.kind == "model":
+            return base + (self.model, self.params)
+        return base
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "kind": self.kind,
             "failures": self.failures,
             "samples": self.samples,
             "non_disconnecting": self.non_disconnecting,
         }
+        if self.kind == "model":
+            payload["model"] = self.model
+            payload["params"] = dict(self.params)
+        return payload
+
+    #: Keys :meth:`from_dict` accepts; anything else means the payload was
+    #: produced by an incompatible version and must fail loudly.
+    _DICT_KEYS = frozenset(
+        ("kind", "failures", "samples", "non_disconnecting", "model", "params")
+    )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        unknown = sorted(set(payload) - cls._DICT_KEYS)
+        if unknown:
+            raise ExperimentError(
+                f"unknown scenario spec keys {unknown!r}; "
+                f"expected a subset of {sorted(cls._DICT_KEYS)}"
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ExperimentError(
+                f"scenario spec 'params' must be a mapping, got {params!r}"
+            )
         return cls(
             kind=payload.get("kind", "single-link"),
             failures=int(payload.get("failures", 1)),
             samples=int(payload.get("samples", 50)),
             non_disconnecting=bool(payload.get("non_disconnecting", True)),
+            model=str(payload.get("model", "")),
+            params=tuple(sorted(params.items())),
         )
 
 
@@ -335,5 +436,21 @@ def node_failure_campaign_spec(
     return CampaignSpec(
         topologies=tuple(topologies),
         scenarios=(ScenarioSpec(kind="node"),),
+        seed=seed,
+    )
+
+
+def scenario_model_campaign_spec(
+    topologies: Sequence[str],
+    models: Sequence[str],
+    samples: int = 20,
+    seed: int = 1,
+) -> CampaignSpec:
+    """A campaign sweeping registered scenario models (default parameters)."""
+    return CampaignSpec(
+        topologies=tuple(topologies),
+        scenarios=tuple(
+            ScenarioSpec.for_model(model, samples=samples) for model in models
+        ),
         seed=seed,
     )

@@ -1,0 +1,59 @@
+"""Name-keyed registry of scenario models.
+
+Campaign specs refer to scenario models by string (``kind="model"``,
+``model="srlg"``), so the models need a process-wide lookup table.  The
+built-in models register themselves when :mod:`repro.scenarios` is imported;
+external code can add its own with :func:`register_scenario_model` before
+building a spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ExperimentError
+from repro.scenarios.base import ScenarioModel
+
+_REGISTRY: Dict[str, ScenarioModel] = {}
+
+
+def register_scenario_model(model: ScenarioModel) -> ScenarioModel:
+    """Register ``model`` under its name; duplicate names are rejected.
+
+    The registry is per-process.  For parallel sweeps the executor's worker
+    processes must be able to resolve the name too: register the model at
+    import time of a module the workers import.  Under the ``fork`` start
+    method (Linux) workers inherit the parent's registry automatically;
+    under ``spawn`` (macOS/Windows default) a model registered only from a
+    script body is invisible to workers — put the registration in an
+    imported module or run with ``workers=1``.
+    """
+    if not model.name:
+        raise ExperimentError("a scenario model needs a non-empty name")
+    if model.name in _REGISTRY:
+        raise ExperimentError(
+            f"a scenario model named {model.name!r} is already registered"
+        )
+    _REGISTRY[model.name] = model
+    return model
+
+
+def get_scenario_model(name: str) -> ScenarioModel:
+    """Look a model up by name, listing the alternatives on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario model {name!r}; "
+            f"registered: {available_scenario_models()}"
+        ) from None
+
+
+def available_scenario_models() -> List[str]:
+    """Registered model names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def registered_models() -> List[ScenarioModel]:
+    """The registered model objects, in name order."""
+    return [_REGISTRY[name] for name in available_scenario_models()]

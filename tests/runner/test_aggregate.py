@@ -7,8 +7,11 @@ from repro.experiments.stretch import default_schemes, run_stretch_experiment
 from repro.failures.scenarios import single_link_failures
 from repro.runner.aggregate import (
     coverage_reports,
+    families_in,
+    family_summary_rows,
     merged_ccdf,
     overhead_rows,
+    scenario_family,
     stretch_result_from_records,
     summary_rows,
 )
@@ -172,3 +175,72 @@ class TestCoverageAndOverhead:
         for row in rows:
             assert len(row) == 5
             assert row[1] == "1.000"  # every scheme delivers on fig1-example
+
+
+class TestFamilyAggregation:
+    @pytest.fixture(scope="class")
+    def mixed_campaign(self):
+        """Built-in kinds and scenario models side by side in one campaign."""
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence", "fcp"),
+            scenarios=(
+                ScenarioSpec("single-link"),
+                ScenarioSpec.for_model("srlg", samples=4),
+                ScenarioSpec.for_model("regional", samples=4),
+            ),
+        )
+        return run_campaign(spec, workers=1)
+
+    def test_scenario_family_of_records(self, mixed_campaign):
+        families = {scenario_family(r) for r in mixed_campaign.records}
+        assert families == {"single-link", "srlg", "regional"}
+
+    def test_legacy_records_derive_per_severity_families(self):
+        """Records from pre-model stores (no scenario_family key) fall back
+        to deriving the family, keeping multi-link severities separate."""
+        legacy = {"scenario": {"kind": "multi-link", "failures": 4}}
+        assert scenario_family(legacy) == "4-link"
+        assert scenario_family({"scenario": {"kind": "node"}}) == "node"
+        assert (
+            scenario_family({"scenario": {"kind": "model", "model": "srlg"}})
+            == "srlg"
+        )
+
+    def test_families_in_first_seen_order(self, mixed_campaign):
+        assert families_in(mixed_campaign.records) == [
+            "single-link", "srlg", "regional",
+        ]
+
+    def test_one_row_per_family_scheme_pair(self, mixed_campaign):
+        rows = family_summary_rows(mixed_campaign.records)
+        assert [(row[0], row[1]) for row in rows] == [
+            ("single-link", "Re-convergence"),
+            ("single-link", "Failure-Carrying Packets"),
+            ("srlg", "Re-convergence"),
+            ("srlg", "Failure-Carrying Packets"),
+            ("regional", "Re-convergence"),
+            ("regional", "Failure-Carrying Packets"),
+        ]
+        for row in rows:
+            assert len(row) == 7
+            assert int(row[2]) > 0  # scenario count
+
+    def test_family_rows_pool_to_the_summary_totals(self, mixed_campaign):
+        """Family rows are a partition: their scenario counts sum to the
+        per-scheme total over all cells."""
+        per_scheme_cells = [
+            r["payload"]["scenarios"]
+            for r in mixed_campaign.records
+            if r["scheme"] == "reconvergence"
+        ]
+        family_rows = [
+            row for row in family_summary_rows(mixed_campaign.records)
+            if row[1] == "Re-convergence"
+        ]
+        assert sum(int(row[2]) for row in family_rows) == sum(per_scheme_cells)
+
+    def test_campaign_result_exposes_family_summary(self, mixed_campaign):
+        assert mixed_campaign.family_summary() == family_summary_rows(
+            mixed_campaign.records
+        )

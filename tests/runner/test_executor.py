@@ -92,6 +92,81 @@ class TestCellExecution:
         assert len(scenarios) == graph.number_of_nodes()
 
 
+def model_spec(**overrides):
+    """A campaign sweeping three scenario models on two topologies."""
+    defaults = dict(
+        topologies=("fig1-example", "abilene"),
+        schemes=("reconvergence", "fcp"),
+        scenarios=(
+            ScenarioSpec.for_model("srlg", samples=4),
+            ScenarioSpec.for_model("regional", samples=4),
+            ScenarioSpec.for_model("maintenance", samples=4),
+        ),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestModelScenarioCells:
+    def test_generate_scenarios_model_kind(self):
+        graph = example_fig1()
+        [cell] = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence",),
+            scenarios=(ScenarioSpec.for_model("srlg", samples=10),),
+        ).cells()
+        scenarios = generate_scenarios(graph, cell)
+        assert scenarios
+        assert all(s.kind == "srlg" for s in scenarios)
+
+    def test_model_record_carries_model_and_params(self):
+        [cell] = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence",),
+            scenarios=(ScenarioSpec.for_model("srlg", group_size=2),),
+        ).cells()
+        record = run_cell(cell)
+        assert record["scenario"]["model"] == "srlg"
+        assert record["scenario"]["params"] == {"group_size": 2}
+        assert json.dumps(record)
+
+    def test_model_sweep_parallel_equals_serial(self, tmp_path):
+        spec = model_spec()
+        serial = run_campaign(
+            spec, workers=1, results_path=tmp_path / "serial.jsonl"
+        )
+        parallel = run_campaign(
+            spec, workers=2, results_path=tmp_path / "parallel.jsonl"
+        )
+        assert deterministic_part(serial.records) == deterministic_part(parallel.records)
+        serial_lines = ResultStore(tmp_path / "serial.jsonl").load()
+        parallel_lines = ResultStore(tmp_path / "parallel.jsonl").load()
+        assert deterministic_part(serial_lines) == deterministic_part(parallel_lines)
+
+    def test_model_sweep_resumes_from_partial_store(self, tmp_path):
+        spec = model_spec()
+        path = tmp_path / "results.jsonl"
+        full = run_campaign(spec, workers=1, results_path=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:5]) + "\n")
+        resumed = run_campaign(spec, workers=2, results_path=path, resume=True)
+        assert resumed.skipped == 5
+        assert resumed.executed == spec.cell_count() - 5
+        assert deterministic_part(resumed.records) == deterministic_part(full.records)
+
+    def test_params_change_the_cell_id(self):
+        def only_cell(scenario):
+            return CampaignSpec(
+                topologies=("fig1-example",), schemes=("reconvergence",),
+                scenarios=(scenario,),
+            ).cells()[0]
+
+        default = only_cell(ScenarioSpec.for_model("srlg"))
+        tweaked = only_cell(ScenarioSpec.for_model("srlg", group_size=2))
+        assert default.cell_id != tweaked.cell_id
+        assert default.seed != tweaked.seed  # params feed the scenario seed
+
+
 class TestDeterminism:
     def test_serial_runs_identical(self, tmp_path):
         spec = tiny_spec()

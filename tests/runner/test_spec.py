@@ -9,7 +9,9 @@ from repro.runner.spec import (
     available_schemes,
     figure2_campaign_spec,
     node_failure_campaign_spec,
+    scenario_model_campaign_spec,
 )
+from repro.scenarios import available_scenario_models
 
 
 def small_spec(**overrides):
@@ -101,6 +103,102 @@ class TestGridExpansion:
         assert spec.schemes == ("pr",)
         cells = spec.cells()
         assert len({cell.cell_id for cell in cells}) == len(cells)
+
+
+class TestModelScenarioSpecs:
+    def test_for_model_canonicalises_params(self):
+        explicit = ScenarioSpec.for_model("srlg", group_size=3)
+        implicit = ScenarioSpec.for_model("srlg")
+        assert explicit == implicit
+        assert dict(implicit.params) == {"group_size": 3}
+
+    def test_param_spelling_order_irrelevant(self):
+        first = ScenarioSpec.for_model("churn", process="weibull", shape=2.0)
+        second = ScenarioSpec(
+            kind="model", model="churn",
+            params=(("shape", 2.0), ("process", "weibull")),
+        )
+        assert first == second
+        assert first.key() == second.key()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown scenario model"):
+            ScenarioSpec.for_model("meteor-strike")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown parameters"):
+            ScenarioSpec.for_model("srlg", blast_radius=2)
+
+    def test_model_name_required(self):
+        with pytest.raises(ExperimentError, match="model name"):
+            ScenarioSpec(kind="model")
+
+    def test_model_fields_rejected_on_legacy_kinds(self):
+        with pytest.raises(ExperimentError, match='use kind="model"'):
+            ScenarioSpec(kind="single-link", model="srlg")
+
+    def test_label_and_family(self):
+        spec = ScenarioSpec.for_model("regional", radius=2)
+        assert spec.label == "regional"
+        assert spec.family == "regional"
+
+    def test_multi_link_families_stay_per_severity(self):
+        """2-link and 4-link regimes must not pool into one family row."""
+        assert ScenarioSpec("multi-link", failures=4).family == "4-link"
+        assert ScenarioSpec("multi-link", failures=2).family == "2-link"
+        assert ScenarioSpec("single-link").family == "single-link"
+        assert ScenarioSpec(kind="node").family == "node"
+
+    def test_failures_rejected_on_model_kind(self):
+        """failures= would feed cell ids without the model reading it,
+        splitting identical regimes into distinct cells."""
+        with pytest.raises(ExperimentError, match="model params"):
+            ScenarioSpec(kind="model", model="srlg", failures=3)
+
+    def test_legacy_keys_unchanged_by_model_fields(self):
+        """Adding the model axis must not move existing cell ids."""
+        assert ScenarioSpec("multi-link", failures=4, samples=9).key() == (
+            "multi-link", 4, 9, True,
+        )
+
+    def test_round_trip_every_registered_model(self):
+        for name in available_scenario_models():
+            spec = ScenarioSpec.for_model(name, samples=7)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_legacy_to_dict_has_no_model_keys(self):
+        payload = ScenarioSpec("single-link").to_dict()
+        assert "model" not in payload and "params" not in payload
+
+    def test_from_dict_rejects_unknown_keys(self):
+        """Stale campaign JSON must fail loudly, not be silently reinterpreted."""
+        with pytest.raises(ExperimentError, match="unknown scenario spec keys"):
+            ScenarioSpec.from_dict({"kind": "single-link", "flavour": "spicy"})
+
+    def test_from_dict_rejects_non_mapping_params(self):
+        with pytest.raises(ExperimentError, match="must be a mapping"):
+            ScenarioSpec.from_dict(
+                {"kind": "model", "model": "srlg", "params": ["group_size", 3]}
+            )
+
+    def test_model_specs_dedupe_in_campaign_axes(self):
+        spec = CampaignSpec(
+            topologies=("abilene",),
+            scenarios=(
+                ScenarioSpec.for_model("srlg"),
+                ScenarioSpec.for_model("srlg", group_size=3),
+                ScenarioSpec.for_model("srlg", group_size=4),
+            ),
+        )
+        assert len(spec.scenarios) == 2
+
+    def test_scenario_model_campaign_spec(self):
+        spec = scenario_model_campaign_spec(
+            ["abilene", "geant"], ["srlg", "regional", "churn"], samples=6
+        )
+        assert [s.model for s in spec.scenarios] == ["srlg", "regional", "churn"]
+        assert all(s.samples == 6 for s in spec.scenarios)
+        assert spec.cell_count() == 2 * 3 * 1 * 3
 
 
 class TestPersistence:

@@ -1,0 +1,150 @@
+"""Churn processes and the churn snapshot model."""
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.scenarios import (
+    churn_events,
+    churn_traces,
+    down_links_at,
+    get_scenario_model,
+    gilbert_elliott_events,
+    weibull_events,
+)
+
+
+def events_alternate(events, initially_up=True):
+    state = initially_up
+    for event in events:
+        if event.up == state:
+            return False
+        state = event.up
+    return True
+
+
+class TestProcesses:
+    @pytest.mark.parametrize("process", ["gilbert-elliott", "weibull"])
+    def test_events_sorted_alternating_and_inside_horizon(self, process):
+        events = churn_events(
+            process, rng=random.Random(5), horizon=500.0, mean_up=10.0, mean_down=2.0
+        )
+        assert events  # 500s at ~12s per cycle flaps many times
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0.0 < time < 500.0 for time in times)
+        assert events_alternate(events)
+
+    @pytest.mark.parametrize("process", ["gilbert-elliott", "weibull"])
+    def test_deterministic_for_equal_rng_state(self, process):
+        first = churn_events(
+            process, rng=random.Random(9), horizon=200.0, mean_up=10.0, mean_down=2.0
+        )
+        second = churn_events(
+            process, rng=random.Random(9), horizon=200.0, mean_up=10.0, mean_down=2.0
+        )
+        assert first == second
+
+    def test_downtime_fraction_tracks_mean_ratio(self):
+        # mean_down / (mean_up + mean_down) = 1/6; a long horizon should land
+        # in the right neighbourhood for both processes.
+        for process in ("gilbert-elliott", "weibull"):
+            events = churn_events(
+                process,
+                rng=random.Random(1),
+                horizon=50_000.0,
+                mean_up=10.0,
+                mean_down=2.0,
+                step=0.1,
+            )
+            down = 0.0
+            up_state, last = True, 0.0
+            for event in events:
+                if not up_state:
+                    down += event.time - last
+                up_state, last = event.up, event.time
+            if not up_state:
+                down += 50_000.0 - last
+            assert 0.1 < down / 50_000.0 < 0.25, process
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ExperimentError):
+            churn_events(
+                "markov", rng=random.Random(0), horizon=1.0, mean_up=1.0, mean_down=1.0
+            )
+
+    def test_bad_parameters_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ExperimentError):
+            gilbert_elliott_events(rng, horizon=0.0, mean_up=1.0, mean_down=1.0)
+        with pytest.raises(ExperimentError):
+            gilbert_elliott_events(rng, horizon=1.0, mean_up=-1.0, mean_down=1.0)
+        with pytest.raises(ExperimentError):
+            weibull_events(rng, horizon=1.0, mean_up=1.0, mean_down=1.0, shape=0.0)
+
+    def test_non_finite_parameters_rejected(self):
+        """A nan/inf horizon would make the event loops never terminate."""
+        rng = random.Random(0)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ExperimentError):
+                gilbert_elliott_events(rng, horizon=bad, mean_up=1.0, mean_down=1.0)
+            with pytest.raises(ExperimentError):
+                weibull_events(rng, horizon=100.0, mean_up=bad, mean_down=1.0)
+
+
+class TestTraces:
+    def test_one_trace_per_link_and_seed_stability(self, abilene_graph):
+        kwargs = dict(
+            seed=3, process="weibull", horizon=100.0, mean_up=20.0, mean_down=4.0
+        )
+        traces = churn_traces(abilene_graph, **kwargs)
+        assert sorted(traces) == abilene_graph.edge_ids()
+        assert traces == churn_traces(abilene_graph, **kwargs)
+
+    def test_down_links_at_start_is_empty(self, abilene_graph):
+        traces = churn_traces(
+            abilene_graph, seed=3, process="weibull", horizon=100.0,
+            mean_up=20.0, mean_down=4.0,
+        )
+        assert down_links_at(traces, 0.0) == ()
+
+    def test_down_links_follow_the_trace(self):
+        from repro.failures.flapping import FlapEvent
+
+        traces = {7: [FlapEvent(1.0, up=False), FlapEvent(3.0, up=True)]}
+        assert down_links_at(traces, 0.5) == ()
+        assert down_links_at(traces, 2.0) == (7,)
+        assert down_links_at(traces, 3.5) == ()
+
+
+class TestChurnModel:
+    def test_snapshots_are_unique_failure_sets(self, geant_graph):
+        model = get_scenario_model("churn")
+        scenarios = model.generate(
+            geant_graph,
+            seed=11,
+            samples=20,
+            non_disconnecting=True,
+            params=model.resolve_params({}),
+        )
+        sets = [s.failed_links for s in scenarios]
+        assert len(set(sets)) == len(sets)
+        assert all(sets)
+
+    def test_process_param_changes_the_scenarios(self, geant_graph):
+        model = get_scenario_model("churn")
+
+        def run(process):
+            return [
+                s.failed_links
+                for s in model.generate(
+                    geant_graph,
+                    seed=11,
+                    samples=15,
+                    non_disconnecting=True,
+                    params=model.resolve_params({"process": process}),
+                )
+            ]
+
+        assert run("gilbert-elliott") != run("weibull")

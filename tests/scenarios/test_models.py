@@ -1,0 +1,267 @@
+"""The built-in scenario models: determinism, validity, parameter handling."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.failures.scenarios import validate_scenario
+from repro.graph.connectivity import is_connected
+from repro.scenarios import (
+    available_scenario_models,
+    edge_betweenness,
+    get_scenario_model,
+    hop_ball,
+    registered_models,
+)
+
+
+def generate(name, graph, seed=1, samples=10, non_disconnecting=True, **params):
+    model = get_scenario_model(name)
+    resolved = model.resolve_params(params)
+    return model.generate(
+        graph,
+        seed=seed,
+        samples=samples,
+        non_disconnecting=non_disconnecting,
+        params=resolved,
+    )
+
+
+def failure_sets(scenarios):
+    return [scenario.failed_links for scenario in scenarios]
+
+
+class TestEveryModel:
+    """Contract tests that every registered model must satisfy."""
+
+    @pytest.fixture(params=available_scenario_models())
+    def model_name(self, request):
+        return request.param
+
+    def test_deterministic_in_the_seed(self, model_name, abilene_graph):
+        first = generate(model_name, abilene_graph, seed=7)
+        second = generate(model_name, abilene_graph, seed=7)
+        assert failure_sets(first) == failure_sets(second)
+        assert [s.description for s in first] == [s.description for s in second]
+
+    def test_produces_scenarios_with_defaults(self, model_name, abilene_graph):
+        scenarios = generate(model_name, abilene_graph, samples=5)
+        assert scenarios
+        assert len(scenarios) <= 5
+
+    def test_failed_links_exist_in_the_topology(self, model_name, geant_graph):
+        for scenario in generate(model_name, geant_graph, samples=8):
+            validate_scenario(geant_graph, scenario)
+            assert len(scenario) >= 1
+
+    def test_unknown_param_rejected(self, model_name):
+        model = get_scenario_model(model_name)
+        with pytest.raises(ExperimentError, match="unknown parameters"):
+            model.resolve_params({"not-a-param": 1})
+
+    def test_resolved_params_cover_declared_defaults(self, model_name):
+        model = get_scenario_model(model_name)
+        assert model.resolve_params({}) == model.default_params()
+        assert model.summary
+
+    def test_kind_matches_family(self, model_name, abilene_graph):
+        for scenario in generate(model_name, abilene_graph, samples=3):
+            assert scenario.kind == model_name
+
+
+class TestParamCoercion:
+    def test_string_numbers_coerce(self):
+        model = get_scenario_model("srlg")
+        assert model.resolve_params({"group_size": "4"})["group_size"] == 4
+
+    def test_int_to_float_coerces(self):
+        model = get_scenario_model("churn")
+        assert model.resolve_params({"horizon": 100})["horizon"] == 100.0
+
+    def test_fractional_to_int_rejected(self):
+        model = get_scenario_model("srlg")
+        with pytest.raises(ExperimentError, match="expects a int"):
+            model.resolve_params({"group_size": 2.5})
+
+    def test_infinite_value_on_int_param_rejected(self):
+        """int(float('inf')) raises OverflowError, which must surface as the
+        same clean error every other bad value gets."""
+        model = get_scenario_model("srlg")
+        with pytest.raises(ExperimentError, match="expects a int"):
+            model.resolve_params({"group_size": float("inf")})
+
+    def test_non_finite_floats_rejected(self):
+        """nan/inf satisfy no ordering constraint and would spin the churn
+        time loops forever."""
+        model = get_scenario_model("churn")
+        for bad in (float("nan"), float("inf"), "nan", "inf", "-inf"):
+            with pytest.raises(ExperimentError, match="expects a float"):
+                model.resolve_params({"horizon": bad})
+
+    def test_bad_value_constraint_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_scenario_model("srlg").resolve_params({"group_size": 0})
+        with pytest.raises(ExperimentError):
+            get_scenario_model("weighted").resolve_params({"by": "astrology"})
+        with pytest.raises(ExperimentError):
+            get_scenario_model("churn").resolve_params({"process": "markov"})
+        with pytest.raises(ExperimentError):
+            get_scenario_model("regional").resolve_params({"radius": 0})
+        with pytest.raises(ExperimentError):
+            get_scenario_model("maintenance").resolve_params({"stride": 0})
+
+    def test_every_declared_param_documented(self):
+        for model in registered_models():
+            for param in model.params:
+                assert param.doc
+
+
+class TestSrlg:
+    def test_groups_partition_the_links(self, abilene_graph):
+        scenarios = generate(
+            "srlg", abilene_graph, samples=100, non_disconnecting=False
+        )
+        covered = [e for s in scenarios for e in s.failed_links]
+        assert sorted(covered) == abilene_graph.edge_ids()
+
+    def test_group_size_respected(self, geant_graph):
+        for scenario in generate("srlg", geant_graph, samples=5, group_size=4):
+            assert len(scenario) <= 4
+
+    def test_non_disconnecting_filter(self, abilene_graph):
+        for scenario in generate("srlg", abilene_graph, samples=100):
+            assert is_connected(abilene_graph, scenario.failed_links)
+
+
+class TestRegional:
+    def test_radius_one_is_a_node_failure(self, abilene_graph):
+        scenarios = generate(
+            "regional", abilene_graph, samples=100, non_disconnecting=False
+        )
+        incident_sets = {
+            tuple(sorted(abilene_graph.incident_edge_ids(node)))
+            for node in abilene_graph.nodes()
+        }
+        for scenario in scenarios:
+            assert scenario.failed_links in incident_sets
+
+    def test_radius_two_contains_radius_one(self, abilene_graph):
+        narrow = generate("regional", abilene_graph, seed=3, samples=1)
+        wide = generate("regional", abilene_graph, seed=3, samples=1, radius=2)
+        assert set(narrow[0].failed_links) <= set(wide[0].failed_links)
+
+    def test_epicenters_not_repeated(self, geant_graph):
+        scenarios = generate("regional", geant_graph, samples=1000)
+        descriptions = [s.description for s in scenarios]
+        assert len(set(descriptions)) == len(descriptions)
+        assert len(scenarios) <= geant_graph.number_of_nodes()
+
+    def test_hop_ball(self, abilene_graph):
+        assert hop_ball(abilene_graph, "Seattle", 0) == {"Seattle"}
+        ball = hop_ball(abilene_graph, "Seattle", 1)
+        assert ball == {"Seattle", "Sunnyvale", "Denver"}
+
+    def test_no_duplicate_failure_sets(self, abilene_graph):
+        """Overlapping balls from distinct epicenters must not be measured
+        twice (radius 4 on Abilene collapses many epicenters to one set)."""
+        scenarios = generate(
+            "regional", abilene_graph, samples=100, radius=4,
+            non_disconnecting=False,
+        )
+        sets = [s.failed_links for s in scenarios]
+        assert len(set(sets)) == len(sets)
+
+    def test_total_outage_rejected_when_non_disconnecting(self, abilene_graph):
+        """A region swallowing the whole network is the strongest possible
+        disconnection, not a vacuously acceptable one."""
+        every_link = tuple(abilene_graph.edge_ids())
+        for scenario in generate(
+            "regional", abilene_graph, samples=100, radius=4
+        ):
+            assert scenario.failed_links != every_link
+
+
+class TestWeighted:
+    def test_betweenness_counts_paths(self, square_graph):
+        counts = edge_betweenness(square_graph)
+        # On the 4-cycle the 8 adjacent ordered pairs use 1 edge and the 4
+        # opposite pairs use 2, so the edge counts total 16.  Deterministic
+        # tie-breaking concentrates the opposite-pair paths on the
+        # lexicographically favoured edges, but every edge carries at least
+        # its own two adjacent pairs.
+        assert sum(counts.values()) == 8 * 1 + 4 * 2
+        assert all(count >= 2 for count in counts.values())
+
+    def test_failures_param_sets_scenario_size(self, geant_graph):
+        for scenario in generate("weighted", geant_graph, samples=6, failures=3):
+            assert len(scenario) == 3
+
+    def test_too_many_failures_rejected(self, abilene_graph):
+        with pytest.raises(ExperimentError, match="cannot fail"):
+            generate("weighted", abilene_graph, failures=100)
+
+    def test_zero_weight_pool_exhaustion_rejected(self):
+        """A heavy edge bypassed by every shortest path has betweenness 0;
+        asking for more failures than there are drawable links must error,
+        not silently emit a milder scenario."""
+        from repro.graph.multigraph import Graph
+
+        triangle = Graph.from_edge_list(
+            [("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 9.0)], name="triangle"
+        )
+        with pytest.raises(ExperimentError, match="positive betweenness"):
+            generate(
+                "weighted", triangle, failures=3, non_disconnecting=False
+            )
+
+    def test_high_weight_links_sampled_more_often(self, abilene_graph):
+        counts = edge_betweenness(abilene_graph)
+        hottest = max(counts, key=lambda e: (counts[e], e))
+        coldest = min(counts, key=lambda e: (counts[e], e))
+        hot = cold = 0
+        # 2-link scenarios so the sampler has 91 combinations to draw from
+        # (single failures would exhaust all 14 links and equalise counts).
+        for scenario in generate(
+            "weighted", abilene_graph, samples=30, failures=2,
+            non_disconnecting=False,
+        ):
+            hot += hottest in scenario.failed_links
+            cold += coldest in scenario.failed_links
+        assert hot > cold
+
+
+class TestMaintenance:
+    def test_stride_one_windows_overlap(self, abilene_graph):
+        scenarios = generate(
+            "maintenance", abilene_graph, samples=100, non_disconnecting=False,
+            window=3, stride=1,
+        )
+        assert len(scenarios) == abilene_graph.number_of_edges()
+        for before, after in zip(scenarios, scenarios[1:]):
+            shared = set(before.failed_links) & set(after.failed_links)
+            assert len(shared) == 2
+
+    def test_oversized_window_rejected(self, abilene_graph):
+        """Clamping would record cells whose params claim a regime the
+        generator never measured — fail loudly like the weighted model."""
+        with pytest.raises(ExperimentError, match="exceeds the"):
+            generate(
+                "maintenance", abilene_graph, window=20, non_disconnecting=False
+            )
+
+    def test_windows_never_shrink(self, abilene_graph):
+        """The schedule is cyclic, so even the trailing windows fail exactly
+        `window` links — never a silently milder remainder."""
+        scenarios = generate(
+            "maintenance", abilene_graph, samples=100, non_disconnecting=False,
+            window=5, stride=1,
+        )
+        assert scenarios
+        assert all(len(s) == 5 for s in scenarios)
+
+    def test_stride_equal_window_partitions(self, abilene_graph):
+        scenarios = generate(
+            "maintenance", abilene_graph, samples=100, non_disconnecting=False,
+            window=2, stride=2,
+        )
+        covered = [e for s in scenarios for e in s.failed_links]
+        assert sorted(covered) == abilene_graph.edge_ids()

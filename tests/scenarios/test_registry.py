@@ -1,0 +1,69 @@
+"""Registry: lookup, registration, duplicate and unknown-name handling."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.scenarios import (
+    ScenarioModel,
+    available_scenario_models,
+    get_scenario_model,
+    register_scenario_model,
+    registered_models,
+)
+from repro.scenarios.registry import _REGISTRY
+
+BUILTINS = ("churn", "maintenance", "regional", "srlg", "weighted")
+
+
+class _Throwaway(ScenarioModel):
+    name = "throwaway-test-model"
+    summary = "only exists inside one test"
+
+    def generate(self, graph, *, seed, samples, non_disconnecting, params):
+        return []
+
+
+@pytest.fixture
+def throwaway():
+    model = register_scenario_model(_Throwaway())
+    try:
+        yield model
+    finally:
+        _REGISTRY.pop(model.name, None)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_scenario_models()
+        for name in BUILTINS:
+            assert name in names
+
+    def test_names_sorted_and_objects_aligned(self):
+        names = available_scenario_models()
+        assert names == sorted(names)
+        assert [model.name for model in registered_models()] == names
+
+    def test_lookup_returns_the_registered_object(self, throwaway):
+        assert get_scenario_model(throwaway.name) is throwaway
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ExperimentError, match="registered:"):
+            get_scenario_model("meteor-strike")
+
+    def test_duplicate_name_rejected(self, throwaway):
+        with pytest.raises(ExperimentError, match="already registered"):
+            register_scenario_model(_Throwaway())
+
+    def test_empty_name_rejected(self):
+        class Nameless(_Throwaway):
+            name = ""
+
+        with pytest.raises(ExperimentError):
+            register_scenario_model(Nameless())
+
+    def test_custom_model_usable_in_a_spec(self, throwaway):
+        from repro.runner.spec import ScenarioSpec
+
+        spec = ScenarioSpec.for_model(throwaway.name)
+        assert spec.model == throwaway.name
+        assert spec.params == ()

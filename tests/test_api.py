@@ -15,6 +15,33 @@ class TestPackageSurface:
         assert repro.topologies.abilene().number_of_nodes() == 11
         assert callable(repro.build_packet_recycling)
 
+    def test_failure_helpers_exported(self, abilene_graph):
+        """The scenario toolbox rides along with CampaignSpec/run_campaign."""
+        from repro.api import (
+            node_failure_scenarios,
+            sample_multi_link_failures,
+            single_link_failures,
+        )
+
+        assert len(single_link_failures(abilene_graph)) == 14
+        assert len(node_failure_scenarios(abilene_graph)) == 11
+        assert sample_multi_link_failures(abilene_graph, 2, 3, seed=1)
+        for name in (
+            "single_link_failures",
+            "sample_multi_link_failures",
+            "node_failure_scenarios",
+            "FailureScenario",
+            "CampaignSpec",
+            "run_campaign",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_scenario_model_registry_exported(self):
+        from repro.api import available_scenario_models, get_scenario_model
+
+        assert "srlg" in available_scenario_models()
+        assert get_scenario_model("srlg").name == "srlg"
+
 
 class TestBuildPacketRecycling:
     def test_quickstart_flow(self, abilene_graph):

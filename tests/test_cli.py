@@ -87,6 +87,90 @@ class TestExperimentCommands:
         assert "delivered" in capsys.readouterr().out
 
 
+class TestScenariosCommand:
+    def test_list_tabulates_registered_models(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("srlg", "regional", "weighted", "maintenance", "churn"):
+            assert name in output
+        assert "group_size=3" in output  # declared defaults are shown
+
+    def test_preview_prints_failure_sets(self, capsys):
+        assert main([
+            "scenarios", "preview", "srlg", "--topology", "abilene",
+            "--samples", "3", "--seed", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "model=srlg topology=abilene" in output
+        assert "risk group" in output and "--" in output
+
+    def test_preview_param_overrides(self, capsys):
+        assert main([
+            "scenarios", "preview", "weighted", "--topology", "abilene",
+            "--samples", "2", "--param", "failures=2", "--param", "by=length",
+        ]) == 0
+        assert "'by': 'length'" in capsys.readouterr().out
+
+    def test_preview_is_deterministic(self, capsys):
+        argv = ["scenarios", "preview", "churn", "--samples", "3", "--seed", "9"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_preview_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "preview", "meteor-strike"])
+
+    def test_preview_unknown_param_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "preview", "srlg", "--param", "blast=2"])
+
+    def test_preview_spec_field_name_as_param_rejected_cleanly(self):
+        """A parameter spelled like a ScenarioSpec field must get the model's
+        unknown-parameter error, not a TypeError from keyword splatting."""
+        with pytest.raises(SystemExit, match="unknown parameters"):
+            main(["scenarios", "preview", "srlg", "--param", "samples=3"])
+
+    def test_preview_non_finite_param_rejected(self):
+        with pytest.raises(SystemExit, match="expects a float"):
+            main(["scenarios", "preview", "churn", "--param", "horizon=nan"])
+
+    def test_preview_bad_param_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "preview", "srlg", "--param", "group_size"])
+
+
+class TestSweepModels:
+    def test_sweep_with_models_prints_family_table(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--topologies", "fig1-example",
+            "--schemes", "reconvergence",
+            "--model", "srlg", "--model", "maintenance:window=1",
+            "--samples", "3", "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "family" in output
+        assert "srlg" in output and "maintenance" in output
+
+    def test_sweep_bad_model_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--topologies", "fig1-example",
+                "--model", "meteor-strike", "--quiet",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+
+    def test_sweep_bad_model_param_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--topologies", "fig1-example",
+                "--model", "srlg:blast=2", "--quiet",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
@@ -95,3 +179,7 @@ class TestParser:
     def test_unknown_panel_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure2", "9z"])
+
+    def test_scenarios_needs_an_action(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios"])
