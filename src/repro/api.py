@@ -40,6 +40,10 @@ from repro.failures.scenarios import (  # noqa: F401  (re-exported convenience A
 from repro.forwarding.engine import ForwardingOutcome
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
+from repro.graph.spcache import (  # noqa: F401  (re-exported convenience API)
+    ShortestPathEngine,
+    engine_for,
+)
 from repro.routing.discriminator import DiscriminatorKind
 from repro.runner import (  # noqa: F401  (re-exported convenience API)
     ArtifactCache,

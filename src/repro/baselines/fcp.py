@@ -13,9 +13,10 @@ Section 6 holds against FCP.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
 from repro.forwarding.headers import link_identifier_bits
 from repro.forwarding.network_state import NetworkState
 from repro.forwarding.packets import Packet
@@ -23,8 +24,16 @@ from repro.forwarding.router import ForwardingDecision, RouterLogic
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.darts import Dart
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import dijkstra
-from repro.routing.tables import RoutingTables
+from repro.graph.spcache import _LruDict, engine_for
+from repro.routing.tables import RoutingTables, cached_routing_tables
+
+#: Bound of the per-scheme SPF table memo: one entry per distinct
+#: (router, carried failure set) the sweep's packets ever present.
+_SPF_TABLE_CACHE = 16384
+
+#: Sentinel distinguishing "destination not resolved yet" from the cached
+#: ``None`` of an unreachable destination in the lazy first-hop tables.
+_UNRESOLVED = object()
 
 
 class FcpLogic(RouterLogic):
@@ -32,36 +41,69 @@ class FcpLogic(RouterLogic):
 
     name = "Failure-Carrying Packets"
 
-    def __init__(self, graph: Graph, routing: RoutingTables, state: NetworkState) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        routing: RoutingTables,
+        state: NetworkState,
+        spf_cache: Optional[
+            # (node, carried failure set) -> (parent tree, lazily filled
+            # destination -> first-hop dart table); see _next_hop_given_failures.
+            "_LruDict"
+        ] = None,
+    ) -> None:
         self.graph = graph
         self.routing = routing
         self.state = state
+        self._engine = engine_for(graph)
         # Cache of SPF results keyed by (node, carried failure set) so that the
         # per-packet computational cost can be modelled without redoing work for
         # identical headers; the counter still reports one SPF per recomputation
-        # a real router would perform.
-        self._spf_cache: Dict[Tuple[str, FrozenSet[int]], Dict[str, Optional[Dart]]] = {}
+        # a real router would perform.  The scheme passes one shared cache to
+        # every logic it builds: the key already pins the failure set, so a
+        # table computed under one scenario is equally valid under any other,
+        # and repeated (hop, carried-set) combinations across scenarios become
+        # dictionary hits instead of full Dijkstra runs.
+        if spf_cache is None:
+            spf_cache = _LruDict(_SPF_TABLE_CACHE)
+        self._spf_cache = spf_cache
 
     def _next_hop_given_failures(
         self, node: str, destination: str, failures: FrozenSet[int]
     ) -> Optional[Dart]:
         """Egress dart of the shortest path on the map minus carried failures."""
         cache_key = (node, failures)
-        table = self._spf_cache.get(cache_key)
+        table = self._spf_cache.get_or_none(cache_key)
         if table is None:
-            dist, parent = dijkstra(self.graph, node, excluded_edges=failures)
-            table = {}
-            for target in self.graph.nodes():
-                if target == node or target not in dist:
-                    table[target] = None
-                    continue
-                walk = target
-                while parent[walk][0] != node:
-                    walk = parent[walk][0]
-                _towards, edge_id = parent[walk]
-                table[target] = self.graph.dart(edge_id, node)
-            self._spf_cache[cache_key] = table
-        return table.get(destination)
+            # One SPF per distinct (router, carried set); destinations are
+            # resolved lazily below, so a carried set that only ever routes
+            # towards one destination never pays for the full table.
+            table = (self._engine.sssp(node, failures)[1], {})
+            self._spf_cache.put(cache_key, table)
+        parent, first_hops = table
+        try:
+            return first_hops[destination]
+        except KeyError:
+            pass
+        if destination == node or destination not in parent:
+            egress: Optional[Dart] = None
+        else:
+            # Walk the parent chain up to the root's direct child; memoize
+            # the first hop of every node on the chain on the way back.
+            chain = []
+            walk = destination
+            while walk not in first_hops:
+                towards, edge_id = parent[walk]
+                if towards == node:
+                    first_hops[walk] = self.graph.dart(edge_id, node)
+                    break
+                chain.append(walk)
+                walk = towards
+            egress = first_hops[walk]
+            for link in chain:
+                first_hops[link] = egress
+        first_hops[destination] = egress
+        return egress
 
     def decide(
         self,
@@ -109,10 +151,169 @@ class FailureCarryingPackets(ForwardingScheme):
 
     def __init__(self, graph: Graph) -> None:
         super().__init__(graph)
-        self.routing = RoutingTables(graph)
+        self.routing = cached_routing_tables(graph)
+        engine = engine_for(graph)
+        # Shared across every FCP instance of this topology content in this
+        # process: SPF tables are keyed by the carried failure set, so they
+        # stay valid across scenarios, cells and campaign re-runs.
+        self._spf_cache = engine.consumer_cache.get_or_none(("fcp-spf",))
+        if self._spf_cache is None:
+            self._spf_cache = _LruDict(_SPF_TABLE_CACHE)
+            engine.consumer_cache.put(("fcp-spf",), self._spf_cache)
+        # Cross-scenario outcome memo: pair -> [(touched_mask, pattern,
+        # outcome)].  An FCP walk consults the failure set only through
+        # "is edge e failed?" tests (the carried set, and therefore every SPF
+        # recomputation, is derived from those tests), so an outcome is valid
+        # for any scenario agreeing with ``pattern`` on the touched edges.
+        # FCP's offline state is a pure function of the topology, so the memo
+        # is shared engine-wide as well.
+        self._outcome_memo = engine.consumer_cache.get_or_none(("fcp-outcomes",))
+        if self._outcome_memo is None:
+            self._outcome_memo = {}
+            engine.consumer_cache.put(("fcp-outcomes",), self._outcome_memo)
 
     def build_logic(self, state: NetworkState) -> RouterLogic:
-        return FcpLogic(self.graph, self.routing, state)
+        return FcpLogic(self.graph, self.routing, state, spf_cache=self._spf_cache)
+
+    def deliver_many(
+        self,
+        pairs: Iterable[tuple],
+        failed_links: Iterable[int] = (),
+    ) -> Dict[tuple, ForwardingOutcome]:
+        """Sweep fast path: run the FCP forwarding loop without the engine.
+
+        Replicates :meth:`FcpLogic.decide` plus the hop-by-hop engine
+        bookkeeping in one flat loop — identical paths, costs, counters and
+        drop reasons (asserted by the fast-path equivalence tests), with the
+        per-hop SPF recomputation served from the scheme-level memo.
+        :meth:`ForwardingScheme.deliver` still runs the real engine.
+        """
+        state = NetworkState(self.graph, failed_links)  # validates the ids
+        logic = FcpLogic(self.graph, self.routing, state, spf_cache=self._spf_cache)
+        next_hop_given_failures = logic._next_hop_given_failures
+        spf_get = self._spf_cache.get_or_none
+        failed_mask = 0
+        for edge_id in state.failed_edges:
+            failed_mask |= 1 << edge_id
+        routing_entries = self.routing._entries
+        weight_of = {edge.edge_id: edge.weight for edge in self.graph.edges()}
+        ttl_budget = self.default_ttl()
+        attempts_bound = self.graph.number_of_edges() + 1
+        memo = self._outcome_memo
+        outcomes: Dict[tuple, ForwardingOutcome] = {}
+        for pair in pairs:
+            source, destination = pair
+            entries_for_pair = memo.get(pair)
+            if entries_for_pair is not None:
+                hit = None
+                for touched_mask, pattern, cached in entries_for_pair:
+                    if failed_mask & touched_mask == pattern:
+                        hit = cached
+                        break
+                if hit is not None:
+                    outcomes[pair] = hit
+                    continue
+            node = source
+            path = [node]
+            cost = 0.0
+            ttl = ttl_budget
+            carried: FrozenSet[int] = frozenset()
+            counters: Dict[str, float] = {}
+            outcome = None
+            touched = 0
+            while outcome is None:
+                if node == destination:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.DELIVERED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        counters=counters,
+                    )
+                    break
+                if ttl <= 0:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.TTL_EXCEEDED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        drop_reason="ttl expired",
+                        counters=counters,
+                    )
+                    break
+                # --- FcpLogic.decide, inlined ---
+                spf_runs = 0
+                failures_added = 0
+                egress = None
+                forwarded = False
+                for _attempt in range(attempts_bound):
+                    if carried:
+                        # Inlined hot path of _next_hop_given_failures: both
+                        # the SPF table and the destination's first hop are
+                        # usually already memoized.
+                        table = spf_get((node, carried))
+                        if table is not None:
+                            egress = table[1].get(destination, _UNRESOLVED)
+                            if egress is _UNRESOLVED:
+                                egress = next_hop_given_failures(
+                                    node, destination, carried
+                                )
+                        else:
+                            egress = next_hop_given_failures(node, destination, carried)
+                        spf_runs += 1
+                    else:
+                        node_entries = routing_entries.get(node)
+                        entry = (
+                            node_entries.get(destination) if node_entries else None
+                        )
+                        egress = entry.egress if entry is not None else None
+                    if egress is None:
+                        break
+                    edge_bit = 1 << egress.edge_id
+                    touched |= edge_bit
+                    if not failed_mask & edge_bit:
+                        forwarded = True
+                        break
+                    # The carried set only grows on recorded failures, so the
+                    # frozenset is rebuilt here rather than per SPF lookup.
+                    carried = carried | {egress.edge_id}
+                    failures_added += 1
+                else:  # pragma: no cover - defensive, mirrors FcpLogic.decide
+                    raise ProtocolError(
+                        "FCP failed to converge on a next hop; graph state inconsistent"
+                    )
+                counters["spf_computations"] = (
+                    counters.get("spf_computations", 0.0) + spf_runs
+                )
+                counters["failures_recorded"] = (
+                    counters.get("failures_recorded", 0.0) + failures_added
+                )
+                if not forwarded:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.DROPPED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        drop_reason="destination unreachable given carried failures",
+                        counters=counters,
+                    )
+                    break
+                cost += weight_of[egress.edge_id]
+                ttl -= 1
+                node = egress.head
+                path.append(node)
+            outcomes[pair] = outcome
+            if entries_for_pair is None:
+                memo[pair] = [(touched, failed_mask & touched, outcome)]
+            elif len(entries_for_pair) < 64:
+                entries_for_pair.append((touched, failed_mask & touched, outcome))
+        return outcomes
 
     def header_overhead_bits(self, carried_failures: int = 1) -> int:
         """Header bits for a packet carrying ``carried_failures`` link identifiers."""

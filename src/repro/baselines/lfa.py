@@ -21,8 +21,8 @@ from repro.forwarding.router import ForwardingDecision, RouterLogic
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.darts import Dart
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import all_pairs_shortest_costs
-from repro.routing.tables import RoutingTables
+from repro.graph.spcache import engine_for
+from repro.routing.tables import RoutingTables, cached_routing_tables
 
 
 class LfaLogic(RouterLogic):
@@ -68,8 +68,10 @@ class LoopFreeAlternates(ForwardingScheme):
 
     def __init__(self, graph: Graph) -> None:
         super().__init__(graph)
-        self.routing = RoutingTables(graph)
-        self._costs = all_pairs_shortest_costs(graph)
+        self.routing = cached_routing_tables(graph)
+        # Memoized on the per-process engine: the failure-free APSP is shared
+        # with every other consumer of this topology (read-only).
+        self._costs = engine_for(graph).all_pairs_shortest_costs()
         self.alternates = self._compute_alternates()
 
     def _compute_alternates(self) -> Dict[Tuple[str, str], List[Dart]]:

@@ -9,16 +9,18 @@ the paper uses it as motivation rather than as a stretch data point.)
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Iterable, Optional
 
 from repro.errors import ProtocolError
+from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
 from repro.forwarding.network_state import NetworkState
 from repro.forwarding.packets import Packet
 from repro.forwarding.router import ForwardingDecision, RouterLogic
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.darts import Dart
 from repro.graph.multigraph import Graph
-from repro.routing.tables import RoutingTables
+from repro.graph.spcache import engine_for
+from repro.routing.tables import RoutingTables, cached_routing_tables
 
 
 class ReconvergedLogic(RouterLogic):
@@ -54,8 +56,127 @@ class Reconvergence(ForwardingScheme):
     name = "Re-convergence"
 
     def build_logic(self, state: NetworkState) -> RouterLogic:
-        converged = RoutingTables(self.graph, excluded_edges=state.failed_edges)
+        # Converged tables are pure functions of (topology, failure set), so
+        # they are served from the per-process cache: a scenario evaluated by
+        # several experiments (or revisited pairs) recomputes nothing.
+        converged = cached_routing_tables(self.graph, excluded_edges=state.failed_edges)
         return ReconvergedLogic(converged, state)
+
+    def deliver_many(
+        self,
+        pairs: Iterable[tuple],
+        failed_links: Iterable[int] = (),
+    ) -> Dict[tuple, ForwardingOutcome]:
+        """Sweep fast path: walk the converged tables directly.
+
+        Re-converged forwarding is a pure next-hop walk of the converged
+        routing tables, so the generic hop-by-hop engine adds only constant
+        overhead per hop.  This override produces outcomes field-for-field
+        identical to the engine (same paths, same hop-order cost summation,
+        same counters and drop reasons — asserted by the fast-path
+        equivalence tests); :meth:`ForwardingScheme.deliver` still runs the
+        real engine and remains the reference implementation.
+        """
+        state = NetworkState(self.graph, failed_links)  # validates the ids
+        engine = engine_for(self.graph)
+        excluded = state.failed_edges
+        compiled = engine.compiled
+        names = compiled.names
+        index_of = compiled.index
+        # One memoized SSSP tree per destination actually queried: the
+        # converged next hop of ``node`` towards ``destination`` is exactly
+        # the parent pointer of the Dijkstra run rooted at the destination
+        # (the same trees RoutingTables builds eagerly for all destinations).
+        # The walk runs in node-index space; names only materialise into the
+        # outcome's path list.
+        trees: Dict[str, Dict] = {}
+        weight_of = {edge.edge_id: edge.weight for edge in self.graph.edges()}
+        ttl_budget = self.default_ttl()
+        delivered = DeliveryStatus.DELIVERED
+        outcomes: Dict[tuple, ForwardingOutcome] = {}
+        for source, destination in pairs:
+            node = index_of.get(source)
+            target = index_of.get(destination)
+            if node is None or target is None:
+                # Unknown endpoints never match a routing entry: the engine
+                # delivers a source==destination packet on the spot and
+                # drops anything else at the source.
+                if source == destination:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=delivered,
+                        path=[source],
+                        cost=0.0,
+                        hops=0,
+                    )
+                else:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.DROPPED,
+                        path=[source],
+                        cost=0.0,
+                        hops=0,
+                        drop_reason="destination unreachable after re-convergence",
+                    )
+                outcomes[(source, destination)] = outcome
+                continue
+            parent = trees.get(destination)
+            if parent is None:
+                parent = engine.sssp_indexed(destination, excluded)[1]
+                trees[destination] = parent
+            path = [source]
+            cost = 0.0
+            ttl = ttl_budget
+            outcome = None
+            while True:
+                if node == target:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=delivered,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        # Every hop's decision carries spf_computations=0 and
+                        # the engine accumulates explicit zeros, so the key
+                        # appears exactly when at least one hop was decided.
+                        counters={"spf_computations": 0.0} if len(path) > 1 else {},
+                    )
+                    break
+                if ttl <= 0:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.TTL_EXCEEDED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        drop_reason="ttl expired",
+                        counters={"spf_computations": 0.0} if len(path) > 1 else {},
+                    )
+                    break
+                hop = parent.get(node)
+                if hop is None:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.DROPPED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        drop_reason="destination unreachable after re-convergence",
+                        counters={"spf_computations": 0.0} if len(path) > 1 else {},
+                    )
+                    break
+                towards, edge_id = hop
+                cost += weight_of[edge_id]
+                ttl -= 1
+                node = towards
+                path.append(names[node])
+            outcomes[(source, destination)] = outcome
+        return outcomes
 
     def header_overhead_bits(self) -> int:
         """Re-convergence needs no extra header bits."""

@@ -265,6 +265,33 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import check_regression, load_bench, run_bench, write_bench
+
+    document = run_bench(quick=args.quick, workers=args.workers)
+    rows = [
+        [name, f"{value:.3f}s"] for name, value in sorted(document["timings"].items())
+    ]
+    print(render_table(["benchmark", "wall"], rows))
+    meta = document["meta"]
+    print(f"cells={meta['cells']} offline(cold)={meta['offline_cold_s']:.3f}s "
+          f"quick={meta['quick']} workers={meta['workers']}")
+    path = write_bench(document, args.output)
+    print(f"timings written to {path}")
+
+    if args.check:
+        baseline = load_bench(args.check)
+        violations = check_regression(document, baseline, tolerance=args.tolerance)
+        if violations:
+            print()
+            print(f"PERFORMANCE REGRESSION vs {args.check} (tolerance {args.tolerance:.0%}):")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        print(f"regression check vs {args.check} passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """Build the campaign spec a ``sweep`` invocation describes."""
     if args.spec:
@@ -446,6 +473,22 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="keep scenarios that disconnect the "
                                         "surviving network")
     scenarios_preview.set_defaults(handler=_cmd_scenarios)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the sweep hot path and write BENCH_*.json timings",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads (the CI regression step uses this)")
+    bench.add_argument("--workers", type=int, default=2,
+                       help="worker processes for the parallel sweep phase")
+    bench.add_argument("--output", default="BENCH_sweep.json",
+                       help="JSON file the timings are written to")
+    bench.add_argument("--check", metavar="BASELINE",
+                       help="compare against a baseline JSON and fail on regression")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed fractional slowdown vs the baseline (default 0.25)")
+    bench.set_defaults(handler=_cmd_bench)
 
     sweep = sub.add_parser(
         "sweep",

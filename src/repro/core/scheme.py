@@ -7,17 +7,20 @@ logic, and expose the overhead accounting used by the evaluation section.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Iterable, Optional
 
 from repro.core.protocol import PacketRecyclingLogic, SimplePacketRecyclingLogic
 from repro.core.tables import CycleFollowingTables
 from repro.embedding.builder import CellularEmbedding, embed
+from repro.errors import NoPathExists, ProtocolError
+from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
 from repro.forwarding.network_state import NetworkState
 from repro.forwarding.router import RouterLogic
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
+from repro.graph.spcache import engine_for
 from repro.routing.discriminator import DiscriminatorKind, discriminator_bits_required
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import cached_routing_tables
 
 
 class PacketRecycling(ForwardingScheme):
@@ -53,11 +56,258 @@ class PacketRecycling(ForwardingScheme):
             graph, method=embedding_method, seed=embedding_seed
         )
         self.discriminator_kind = discriminator_kind
-        self.routing = RoutingTables(graph, discriminator_kind)
+        self.routing = cached_routing_tables(graph, discriminator_kind)
         self.cycle_tables = CycleFollowingTables(self.embedding)
+        # Flattened lookup tables for the deliver_many fast path, built
+        # lazily because ``deliver`` (the engine reference path) never needs
+        # them.
+        self._flat_cycle_next: Optional[Dict] = None
+        self._flat_avoid_next: Optional[Dict] = None
+        self._flat_degree_of: Optional[Dict] = None
+        self._flat_weight_of: Optional[Dict] = None
+        # Cross-scenario outcome memo: pair -> [(touched_mask, pattern,
+        # outcome)].  A walk's decisions depend on the failure set only
+        # through "is edge e failed?" tests; ``touched_mask`` records exactly
+        # which edges were tested, so the outcome is valid for *any* scenario
+        # that agrees with ``pattern`` on those edges.  Shared engine-wide
+        # between instances with identical offline state (embedding rotation,
+        # discriminator, protocol variant), so repeated campaign cells and
+        # re-runs on one topology reuse each other's walks.
+        self._outcome_memo: Optional[Dict] = None
+
+    #: Set by the 1-bit subclass: selects the Section 4.2 termination rule
+    #: in the deliver_many fast path.
+    _walk_simple = False
 
     def build_logic(self, state: NetworkState) -> RouterLogic:
         return PacketRecyclingLogic(self.routing, self.cycle_tables, state)
+
+    def _flat_tables(self) -> tuple:
+        """Per-dart cycle-following and failure-avoidance successor maps.
+
+        Ingress darts are globally unique, so both three-column tables of
+        every router flatten into two dicts keyed by dart.
+        """
+        if self._flat_cycle_next is None:
+            # Values carry the successor dart together with its step info
+            # (edge bitmask, weight, head), so one dict lookup answers both
+            # "where next" and "what does that hop cost".
+            def step(dart) -> tuple:
+                return (dart, 1 << dart.edge_id, self.graph.weight(dart.edge_id), dart.head)
+
+            cycle_next: Dict = {}
+            for node in self.graph.nodes():
+                table = self.cycle_tables.table_at(node)
+                for ingress, row in table._rows.items():
+                    cycle_next[ingress] = step(row.cycle_following)
+            avoid_next: Dict = {
+                dart: step(self.cycle_tables.embedding.complementary_next(dart))
+                for dart in self.graph.darts()
+            }
+            self._flat_cycle_next = cycle_next
+            self._flat_avoid_next = avoid_next
+            self._flat_degree_of = {
+                node: self.graph.degree(node) for node in self.graph.nodes()
+            }
+            self._flat_weight_of = {
+                edge.edge_id: edge.weight for edge in self.graph.edges()
+            }
+        return (
+            self._flat_cycle_next,
+            self._flat_avoid_next,
+            self._flat_degree_of,
+            self._flat_weight_of,
+        )
+
+    def deliver_many(
+        self,
+        pairs: Iterable[tuple],
+        failed_links: Iterable[int] = (),
+    ) -> Dict[tuple, ForwardingOutcome]:
+        """Sweep fast path: run the PR forwarding loop without the engine.
+
+        Replicates :class:`~repro.core.protocol.PacketRecyclingLogic` (or the
+        1-bit variant) plus the hop-by-hop engine bookkeeping in one flat
+        loop over dict lookups — identical paths, costs, counters, drop
+        reasons and header evolution (asserted by the fast-path equivalence
+        tests).  :meth:`ForwardingScheme.deliver` still runs the real engine
+        and remains the reference implementation.
+        """
+        state = NetworkState(self.graph, failed_links)  # validates the ids
+        failed_mask = 0
+        for edge_id in state.failed_edges:
+            failed_mask |= 1 << edge_id
+        routing_entries = self.routing._entries
+        cycle_next, avoid_next, degree_of, weight_of = self._flat_tables()
+        ttl_budget = self.default_ttl()
+        simple = self._walk_simple
+        memo = self._outcome_memo
+        if memo is None:
+            engine = engine_for(self.graph)
+            rotation = self.embedding.rotation
+            token = (
+                "pr-outcomes",
+                self._walk_simple,
+                self.discriminator_kind,
+                tuple(
+                    (node, tuple(darts))
+                    for node, darts in sorted(rotation.as_mapping().items())
+                ),
+            )
+            memo = engine.consumer_cache.get_or_none(token)
+            if memo is None:
+                memo = {}
+                engine.consumer_cache.put(token, memo)
+            self._outcome_memo = memo
+        outcomes: Dict[tuple, ForwardingOutcome] = {}
+        for pair in pairs:
+            source, destination = pair
+            entries_for_pair = memo.get(pair)
+            if entries_for_pair is not None:
+                hit = None
+                for touched_mask, pattern, cached in entries_for_pair:
+                    if failed_mask & touched_mask == pattern:
+                        hit = cached
+                        break
+                if hit is not None:
+                    outcomes[pair] = hit
+                    continue
+            node = source
+            ingress = None
+            pr_bit = False
+            dd_value: Optional[float] = None
+            path = [node]
+            cost = 0.0
+            ttl = ttl_budget
+            n_detected = 0
+            n_recycled = 0
+            n_cycle_hops = 0
+            status = None
+            drop_reason = None
+            egress = None
+            touched = 0
+            while True:
+                if node == destination:
+                    status = DeliveryStatus.DELIVERED
+                    break
+                if ttl <= 0:
+                    status = DeliveryStatus.TTL_EXCEEDED
+                    drop_reason = "ttl expired"
+                    break
+                # --- the router's decision (protocol.py, inlined) ---
+                while True:
+                    if not pr_bit:
+                        # _route_normally (``get`` on the outer dict so an
+                        # unknown source drops like the engine, not KeyError)
+                        node_entries = routing_entries.get(node)
+                        entry = node_entries.get(destination) if node_entries else None
+                        if entry is None:
+                            status = DeliveryStatus.DROPPED
+                            drop_reason = "no route to destination in routing table"
+                            break
+                        egress = entry.egress
+                        edge_bit = 1 << egress.edge_id
+                        touched |= edge_bit
+                        if not failed_mask & edge_bit:
+                            hop_weight = weight_of[egress.edge_id]
+                            hop_head = egress.head
+                            break  # plain shortest-path forward, no counters
+                        # _start_recycling: mark the header, then failure
+                        # avoidance from the failed egress.
+                        pr_bit = True
+                        dd_value = None if simple else entry.discriminator
+                        candidate = egress
+                        backup = None
+                        for _attempt in range(degree_of[node]):
+                            candidate, edge_bit, hop_weight, hop_head = avoid_next[candidate]
+                            touched |= edge_bit
+                            if not failed_mask & edge_bit:
+                                backup = candidate
+                                break
+                        n_detected += 1
+                        if backup is None:
+                            status = DeliveryStatus.DROPPED
+                            drop_reason = "all interfaces failed at the detecting router"
+                            break
+                        n_recycled += 1
+                        egress = backup
+                        break
+                    # _cycle_follow
+                    cycle_step = cycle_next.get(ingress)
+                    if cycle_step is None:  # pragma: no cover - mirrors row_for_ingress
+                        raise ProtocolError(
+                            f"router {node!r} has no cycle-following row for "
+                            f"ingress {ingress!r}"
+                        )
+                    outgoing, edge_bit, hop_weight, hop_head = cycle_step
+                    touched |= edge_bit
+                    if not failed_mask & edge_bit:
+                        n_cycle_hops += 1
+                        egress = outgoing
+                        break
+                    if simple:
+                        # Section 4.2 termination: resume shortest-path routing.
+                        pr_bit = False
+                        dd_value = None
+                        continue
+                    entry = routing_entries[node].get(destination)
+                    if entry is None:
+                        raise NoPathExists(node, destination)
+                    if entry.discriminator < dd_value:
+                        # Section 4.3 termination: strictly closer than the
+                        # marking router — resume shortest-path routing.
+                        pr_bit = False
+                        dd_value = None
+                        continue
+                    candidate = outgoing
+                    backup = None
+                    for _attempt in range(degree_of[node]):
+                        candidate, edge_bit, hop_weight, hop_head = avoid_next[candidate]
+                        touched |= edge_bit
+                        if not failed_mask & edge_bit:
+                            backup = candidate
+                            break
+                    n_detected += 1
+                    if backup is None:
+                        status = DeliveryStatus.DROPPED
+                        drop_reason = "all interfaces failed while cycle following"
+                        break
+                    n_cycle_hops += 1
+                    egress = backup
+                    break
+                if status is not None:
+                    break
+                # --- hop bookkeeping (engine, inlined) ---
+                cost += hop_weight
+                ttl -= 1
+                ingress = egress
+                node = hop_head
+                path.append(hop_head)
+            # Engine equivalence: a counter key exists exactly when at least
+            # one decision carried it (PR decisions never carry zeros).
+            counters: Dict[str, float] = {}
+            if n_detected:
+                counters["failures_detected"] = float(n_detected)
+            if n_recycled:
+                counters["recycling_started"] = float(n_recycled)
+            if n_cycle_hops:
+                counters["cycle_following_hops"] = float(n_cycle_hops)
+            outcome = ForwardingOutcome(
+                source=source,
+                destination=destination,
+                status=status,
+                path=path,
+                cost=cost,
+                hops=len(path) - 1,
+                drop_reason=drop_reason,
+                counters=counters,
+            )
+            outcomes[pair] = outcome
+            if entries_for_pair is None:
+                memo[pair] = [(touched, failed_mask & touched, outcome)]
+            elif len(entries_for_pair) < 64:
+                entries_for_pair.append((touched, failed_mask & touched, outcome))
+        return outcomes
 
     # ------------------------------------------------------------------
     # overhead accounting (Section 6)
@@ -84,6 +334,7 @@ class SimplePacketRecycling(PacketRecycling):
     """The one-bit protocol of Section 4.2 (single-failure coverage only)."""
 
     name = "Packet Re-cycling (1-bit)"
+    _walk_simple = True
 
     def build_logic(self, state: NetworkState) -> RouterLogic:
         return SimplePacketRecyclingLogic(self.routing, self.cycle_tables, state)

@@ -28,8 +28,46 @@ from repro.embedding.planarity import is_planar, planar_embedding
 from repro.embedding.rotation import RotationSystem
 
 
+def _orbit_stats(rotation: RotationSystem) -> Tuple[int, int]:
+    """``(self_paired_edges, face_count)`` of a rotation system, traced leanly.
+
+    Scoring a candidate rotation is the inner loop of every genus heuristic:
+    this helper computes exactly what :func:`embedding_score` needs — how many
+    orbits the face permutation has and how many edges have both darts on one
+    orbit — without materialising :class:`~repro.embedding.faces.Face`
+    objects.  Orbit membership is identical to :func:`trace_faces` (the same
+    permutation is followed from the same deterministically sorted starts).
+    """
+    successor = {}
+    graph = rotation.graph
+    for node in graph.nodes():
+        cycle = rotation.rotation_at(node)
+        length = len(cycle)
+        for index, dart in enumerate(cycle):
+            successor[dart] = cycle[(index + 1) % length]
+    face_of: dict = {}
+    faces = 0
+    for start in sorted(successor):
+        if start in face_of:
+            continue
+        dart = start
+        while dart not in face_of:
+            face_of[dart] = faces
+            dart = successor[dart.reversed()]
+        faces += 1
+    self_paired = 0
+    for edge in graph.edges():
+        forward, backward = edge.darts()
+        # During greedy construction some edges of the graph may not be part
+        # of the rotation yet; they simply do not contribute to the score.
+        forward_face = face_of.get(forward)
+        if forward_face is not None and forward_face == face_of.get(backward):
+            self_paired += 1
+    return self_paired, faces
+
+
 def _face_count(rotation: RotationSystem) -> int:
-    return len(trace_faces(rotation))
+    return _orbit_stats(rotation)[1]
 
 
 def self_paired_edge_count(rotation: RotationSystem) -> int:
@@ -57,18 +95,8 @@ def embedding_score(rotation: RotationSystem) -> Tuple[int, int]:
     Lexicographic: first minimise the number of self-paired (unprotectable)
     edges, then maximise the number of faces (i.e. minimise genus).
     """
-    faces = trace_faces(rotation)
-    face_of = {dart: face for face in faces for dart in face.darts}
-    self_paired = 0
-    for edge in rotation.graph.edges():
-        forward, backward = edge.darts()
-        # During greedy construction some edges of the graph may not be part
-        # of the rotation yet; they simply do not contribute to the score.
-        if forward not in face_of or backward not in face_of:
-            continue
-        if face_of[forward] is face_of[backward]:
-            self_paired += 1
-    return (-self_paired, len(faces))
+    self_paired, faces = _orbit_stats(rotation)
+    return (-self_paired, faces)
 
 
 def greedy_insertion_rotation(graph: Graph, seed: Optional[int] = None) -> RotationSystem:
@@ -196,22 +224,81 @@ def local_search_rotation(
     """
     rng = random.Random(seed)
     current = (initial or RotationSystem.from_adjacency_order(graph)).copy()
-    current_score = embedding_score(current)
     movable = [node for node in graph.nodes() if graph.degree(node) >= 3]
     if not movable:
         return current
+
+    # The hill climb scores thousands of candidate rotations, so the loop
+    # runs on an integer encoding of the darts: rotations become lists of
+    # ints, the face permutation becomes one flat successor array, and a
+    # score is one O(darts) orbit trace over plain lists.  The random draws
+    # (``choice`` indexes by position, the int lists mirror the dart lists)
+    # and the score values are identical to the object-level implementation,
+    # so the search visits and returns exactly the same rotation system.
+    rotations = current.as_mapping()
+    darts: List[Dart] = [dart for node in graph.nodes() for dart in rotations[node]]
+    index_of = {dart: position for position, dart in enumerate(darts)}
+    total = len(darts)
+    reverse = [index_of[dart.reversed()] for dart in darts]
+    rot = {
+        node: [index_of[dart] for dart in rotations[node]] for node in graph.nodes()
+    }
+    edge_pairs: List[Tuple[int, int]] = []
+    for edge in graph.edges():
+        forward, backward = edge.darts()
+        forward_index = index_of.get(forward)
+        backward_index = index_of.get(backward)
+        if forward_index is not None and backward_index is not None:
+            edge_pairs.append((forward_index, backward_index))
+
+    successor = [0] * total
+
+    def sync(node: str) -> None:
+        cycle = rot[node]
+        length = len(cycle)
+        for position in range(length):
+            successor[cycle[position]] = cycle[(position + 1) % length]
+
+    for node in rot:
+        sync(node)
+
+    def score() -> Tuple[int, int]:
+        face_of = [-1] * total
+        faces = 0
+        for start in range(total):
+            if face_of[start] >= 0:
+                continue
+            dart = start
+            while face_of[dart] < 0:
+                face_of[dart] = faces
+                dart = successor[reverse[dart]]
+            faces += 1
+        self_paired = 0
+        for forward_index, backward_index in edge_pairs:
+            if face_of[forward_index] == face_of[backward_index]:
+                self_paired += 1
+        return (-self_paired, faces)
+
+    current_score = score()
     for _round in range(iterations):
         node = rng.choice(movable)
-        rotation = current.rotation_at(node)
-        dart = rng.choice(rotation)
-        new_index = rng.randrange(len(rotation))
-        candidate = current.copy()
-        candidate.move_dart(dart, new_index)
-        candidate_score = embedding_score(candidate)
+        cycle = rot[node]
+        dart = rng.choice(cycle)
+        new_index = rng.randrange(len(cycle))
+        old_index = cycle.index(dart)
+        del cycle[old_index]
+        cycle.insert(new_index, dart)
+        sync(node)
+        candidate_score = score()
         if candidate_score >= current_score:
-            current = candidate
             current_score = candidate_score
-    return current
+        else:
+            del cycle[cycle.index(dart)]
+            cycle.insert(old_index, dart)
+            sync(node)
+    return RotationSystem(
+        graph, {node: [darts[i] for i in cycle] for node, cycle in rot.items()}
+    )
 
 
 def minimise_genus(

@@ -11,6 +11,7 @@ exactly the same (scenario, pair) workload, and report the stretch CCDF
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,11 +22,11 @@ from repro.errors import ExperimentError
 from repro.failures.sampling import sample_multi_link_failures
 from repro.failures.scenarios import FailureScenario, all_affecting_pairs, single_link_failures
 from repro.forwarding.scheme import ForwardingScheme
-from repro.graph.connectivity import same_component
 from repro.graph.multigraph import Graph
+from repro.graph.spcache import engine_for
 from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
 from repro.metrics.stretch import StretchSample, collect_stretch_samples, stretch_values
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import RoutingTables, cached_routing_tables
 from repro.topologies.registry import by_name
 
 #: Figure 2 panel definitions: (paper label, topology name, failures per scenario).
@@ -39,14 +40,21 @@ FIGURE2_PANELS: Dict[str, Tuple[str, int]] = {
 }
 
 
+#: Accepted panel spellings: "2a", "fig2a", "figure2a" (case-insensitive,
+#: surrounding whitespace ignored).  An explicit pattern rather than
+#: ``lstrip``-chains: ``lstrip("fig")`` strips *characters*, not a prefix,
+#: and happily mangles labels like "gif2a" into accidental matches.
+_PANEL_PATTERN = re.compile(r"^(?:fig(?:ure)?)?\s*(2[a-f])$", re.IGNORECASE)
+
+
 def resolve_figure2_panel(panel: str) -> Tuple[str, int]:
-    """Normalise a panel label ("2a", "fig2a", ...) to (topology, failures)."""
-    key = panel.lower().lstrip("fig").lstrip("ure").strip() or panel
-    if key not in FIGURE2_PANELS:
+    """Normalise a panel label ("2a", "fig2a", "figure2a", ...) to (topology, failures)."""
+    match = _PANEL_PATTERN.match(panel.strip())
+    if match is None:
         raise ExperimentError(
             f"unknown Figure 2 panel {panel!r}; expected one of {sorted(FIGURE2_PANELS)}"
         )
-    return FIGURE2_PANELS[key]
+    return FIGURE2_PANELS[match.group(1).lower()]
 
 
 @dataclass
@@ -102,14 +110,16 @@ def _pairs_for_scenarios(
     tables: RoutingTables,
 ) -> Dict[Tuple[int, ...], List[Tuple[str, str]]]:
     """Affected-and-still-connected pairs for every scenario."""
+    engine = engine_for(graph)
     pairs_per_scenario: Dict[Tuple[int, ...], List[Tuple[str, str]]] = {}
     for scenario in scenarios:
         key = tuple(sorted(scenario.failed_links))
         affected = all_affecting_pairs(graph, scenario, tables)
+        failed = frozenset(key)
         reachable = [
             (source, destination)
             for source, destination in affected
-            if same_component(graph, source, destination, key)
+            if engine.same_component(source, destination, failed)
         ]
         pairs_per_scenario[key] = reachable
     return pairs_per_scenario
@@ -129,7 +139,11 @@ def run_stretch_experiment(
     if thresholds is None:
         thresholds = default_stretch_thresholds()
 
-    baseline_tables = RoutingTables(graph)
+    # One scenario context per panel: the failure-free tables and the
+    # affected/reachable pair sets are computed once and shared by all three
+    # schemes (and, through the per-process caches, by later invocations on
+    # the same topology).
+    baseline_tables = cached_routing_tables(graph)
     pairs_per_scenario = _pairs_for_scenarios(graph, scenarios, baseline_tables)
     scenario_keys = [tuple(sorted(scenario.failed_links)) for scenario in scenarios]
     measured_pairs = sum(len(pairs) for pairs in pairs_per_scenario.values())

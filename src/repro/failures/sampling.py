@@ -18,6 +18,7 @@ from repro.errors import FailureScenarioError
 from repro.failures.scenarios import FailureScenario
 from repro.graph.connectivity import is_connected
 from repro.graph.multigraph import Graph
+from repro.graph.spcache import engine_for
 
 
 def sample_multi_link_failures(
@@ -50,6 +51,10 @@ def sample_multi_link_failures(
             f"cannot fail {failures} links in a topology with {len(edge_ids)} links"
         )
     rng = random.Random(seed)
+    # Rejection sampling runs one connectivity check per candidate; the
+    # engine's component labelling is the fast (and memoized) equivalent of
+    # :func:`repro.graph.connectivity.is_connected`.
+    engine = engine_for(graph)
     scenarios: List[FailureScenario] = []
     seen: set = set()
     attempts_left = samples * max_attempts_per_sample
@@ -58,7 +63,7 @@ def sample_multi_link_failures(
         combination = tuple(sorted(rng.sample(edge_ids, failures)))
         if unique and combination in seen:
             continue
-        if require_connected and not is_connected(graph, combination):
+        if require_connected and not engine.is_connected(combination):
             if unique:
                 seen.add(combination)
             continue

@@ -8,6 +8,7 @@ from typing import Iterable, List, Optional, Tuple
 from repro.errors import FailureScenarioError
 from repro.graph.connectivity import is_connected
 from repro.graph.multigraph import Graph
+from repro.graph.spcache import engine_for
 from repro.routing.tables import RoutingTables
 
 
@@ -98,9 +99,17 @@ def all_affecting_pairs(
     only over pairs that actually need repairing (pairs whose shortest path
     does not touch a failed link have stretch exactly 1 under every scheme
     and would just compress the interesting part of the distribution).
+
+    For the default failure-free tables the check runs on the shared
+    shortest-path engine: the failure-free path of every pair is folded into
+    an edge bitmask exactly once per topology (per process), and each
+    scenario costs one bitmask AND per pair instead of a hop-by-hop table
+    walk.  Caller-supplied tables with exclusions (or tables for another
+    graph) fall back to the explicit walk below, which the equivalence suite
+    keeps bit-identical to the fast path.
     """
-    if tables is None:
-        tables = RoutingTables(graph)
+    if tables is None or (tables.graph is graph and not tables.excluded_edges):
+        return engine_for(graph).affecting_pairs(scenario.failed_links)
     failed = set(scenario.failed_links)
     pairs: List[Tuple[str, str]] = []
     for source in graph.nodes():

@@ -15,7 +15,6 @@ every router and enforcing the invariants that are independent of any scheme:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ProtocolError
@@ -33,18 +32,58 @@ class DeliveryStatus(str, enum.Enum):
     TTL_EXCEEDED = "ttl-exceeded"
 
 
-@dataclass
 class ForwardingOutcome:
-    """Everything the experiments need to know about one packet's journey."""
+    """Everything the experiments need to know about one packet's journey.
 
-    source: str
-    destination: str
-    status: DeliveryStatus
-    path: List[str]
-    cost: float
-    hops: int
-    drop_reason: Optional[str] = None
-    counters: Dict[str, float] = field(default_factory=dict)
+    A plain slotted class rather than a dataclass: sweeps create one outcome
+    per (scenario, pair) packet, so construction cost is a measurable part
+    of a campaign.
+    """
+
+    __slots__ = (
+        "source",
+        "destination",
+        "status",
+        "path",
+        "cost",
+        "hops",
+        "drop_reason",
+        "counters",
+    )
+
+    def __init__(
+        self,
+        source: str,
+        destination: str,
+        status: DeliveryStatus,
+        path: List[str],
+        cost: float,
+        hops: int,
+        drop_reason: Optional[str] = None,
+        counters: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.status = status
+        self.path = path
+        self.cost = cost
+        self.hops = hops
+        self.drop_reason = drop_reason
+        self.counters = counters if counters is not None else {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ForwardingOutcome):
+            return NotImplemented
+        return (
+            self.source == other.source
+            and self.destination == other.destination
+            and self.status == other.status
+            and self.path == other.path
+            and self.cost == other.cost
+            and self.hops == other.hops
+            and self.drop_reason == other.drop_reason
+            and self.counters == other.counters
+        )
 
     @property
     def delivered(self) -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Set
 
-from repro.errors import FailureScenarioError
+from repro.errors import EdgeNotFound, FailureScenarioError
 from repro.graph.darts import Dart
 from repro.graph.multigraph import Graph
 
@@ -31,8 +31,12 @@ class NetworkState:
     # ------------------------------------------------------------------
     def fail_link(self, edge_id: int) -> None:
         """Mark a link as failed (bidirectionally)."""
-        if not any(edge_id == edge.edge_id for edge in self.graph.edges()):
-            raise FailureScenarioError(f"edge {edge_id} is not part of {self.graph.name!r}")
+        try:
+            self.graph.edge(edge_id)
+        except EdgeNotFound:
+            raise FailureScenarioError(
+                f"edge {edge_id} is not part of {self.graph.name!r}"
+            ) from None
         self._failed.add(edge_id)
 
     def restore_link(self, edge_id: int) -> None:

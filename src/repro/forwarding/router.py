@@ -51,7 +51,10 @@ class ForwardingDecision:
         self.action = action
         self.egress = egress
         self.drop_reason = drop_reason
-        self.counters = dict(counters or {})
+        # The classmethod constructors pass a fresh kwargs dict; the decision
+        # takes ownership rather than copying (decisions are read-only once
+        # handed to the engine).
+        self.counters = counters if counters is not None else {}
 
     @classmethod
     def forward(cls, egress: Dart, **counters: float) -> "ForwardingDecision":

@@ -16,6 +16,8 @@ one per direction of data flow.  This package provides:
 
 from repro.graph.darts import Dart
 from repro.graph.multigraph import Edge, Graph
+from repro.graph.compiled import CompiledGraph, compile_graph, graph_signature
+from repro.graph.spcache import ShortestPathEngine, engine_for
 from repro.graph.shortest_paths import (
     all_pairs_shortest_costs,
     dijkstra,
@@ -37,9 +39,14 @@ from repro.graph.connectivity import (
 from repro.graph.traversal import bfs_order, bfs_tree, dfs_order, spanning_tree_edges
 
 __all__ = [
+    "CompiledGraph",
     "Dart",
     "Edge",
     "Graph",
+    "ShortestPathEngine",
+    "compile_graph",
+    "engine_for",
+    "graph_signature",
     "all_pairs_shortest_costs",
     "dijkstra",
     "path_cost",

@@ -1,0 +1,287 @@
+"""Integer-indexed, array-backed snapshot of a :class:`~repro.graph.multigraph.Graph`.
+
+The string-keyed multigraph is the right construction API, but it is a poor
+substrate for the sweep hot path: every Dijkstra relaxation pays string
+hashing, ``Edge`` attribute chasing and a generator frame per neighbor.  A
+:class:`CompiledGraph` freezes one topology into flat CSR-style adjacency
+arrays over small integers:
+
+* node *indices* are the lexicographic ranks of the node names, so a heap
+  ordered by ``(cost, index)`` pops in exactly the same order as the
+  reference implementation's ``(cost, name)`` heap — tie-breaking is
+  bit-identical by construction;
+* the adjacency slice of a node preserves the multigraph's edge insertion
+  order, so relaxation scans visit neighbors in the same order as
+  :meth:`Graph.iter_adjacent`;
+* failed links are tested against an integer *exclusion bitmask*
+  (``mask >> edge_id & 1``) instead of a per-call ``frozenset``.
+
+A compiled snapshot is immutable and safe to share read-only across threads
+and (via pickling or fork) across runner worker processes.  Use
+:func:`compile_graph` or the memoizing engine in :mod:`repro.graph.spcache`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import NodeNotFound
+from repro.graph.multigraph import Graph
+
+#: Same tolerance as :mod:`repro.graph.shortest_paths` — the compiled engine
+#: must make exactly the same equal-cost decisions as the reference Dijkstra.
+_COST_EPSILON = 1e-9
+
+
+def graph_signature(graph: Graph) -> Tuple:
+    """Content identity of a graph: nodes in insertion order plus every edge.
+
+    Two graphs with equal signatures produce byte-identical shortest-path
+    results, so the signature doubles as the cache key of the per-process
+    engine registry (see :func:`repro.graph.spcache.engine_for`) and as the
+    ``graph_version`` component of memoization keys.
+    """
+    return (
+        tuple(graph.nodes()),
+        tuple(
+            (edge.edge_id, edge.u, edge.v, edge.weight) for edge in graph.edges()
+        ),
+    )
+
+
+class CompiledGraph:
+    """Read-only CSR adjacency snapshot of one topology.
+
+    Attributes
+    ----------
+    names:
+        Node names ordered by lexicographic rank; ``names[i]`` is the name of
+        node index ``i``.
+    order:
+        Node names in the source graph's insertion order (what
+        ``graph.nodes()`` returns) — iteration order of pair sweeps.
+    index:
+        Mapping ``name -> node index``.
+    """
+
+    __slots__ = (
+        "name",
+        "names",
+        "order",
+        "index",
+        "adj_start",
+        "adj_neighbor",
+        "adj_edge",
+        "adj_weight",
+        "adj_items",
+        "edge_table",
+        "signature",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        self.name = graph.name
+        order = tuple(graph.nodes())
+        names = tuple(sorted(order))
+        index = {node: position for position, node in enumerate(names)}
+        self.order = order
+        self.names = names
+        self.index = index
+
+        adj_start: List[int] = [0]
+        adj_neighbor: List[int] = []
+        adj_edge: List[int] = []
+        adj_weight: List[float] = []
+        adj_items: List[Tuple[int, int, float]] = []
+        for node in names:
+            for edge in graph.incident_edges(node):
+                neighbor = index[edge.other(node)]
+                adj_neighbor.append(neighbor)
+                adj_edge.append(edge.edge_id)
+                adj_weight.append(edge.weight)
+                adj_items.append((edge.edge_id, neighbor, edge.weight))
+            adj_start.append(len(adj_neighbor))
+        self.adj_start = adj_start
+        self.adj_neighbor = adj_neighbor
+        self.adj_edge = adj_edge
+        self.adj_weight = adj_weight
+        #: The same CSR slices as ``(edge_id, neighbor, weight)`` tuples —
+        #: unpacking a tuple per relaxation beats three indexed list loads.
+        self.adj_items = adj_items
+        #: ``edge_id -> (u_index, v_index, weight)`` for O(1) edge lookup.
+        self.edge_table: Dict[int, Tuple[int, int, float]] = {
+            edge.edge_id: (index[edge.u], index[edge.v], edge.weight)
+            for edge in graph.edges()
+        }
+        self.signature = graph_signature(graph)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def number_of_nodes(self) -> int:
+        return len(self.names)
+
+    def number_of_edges(self) -> int:
+        return len(self.edge_table)
+
+    def node_index(self, node: str) -> int:
+        """Index of ``node``, raising :class:`NodeNotFound` if absent."""
+        try:
+            return self.index[node]
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def exclusion_mask(self, excluded_edges: Optional[Iterable[int]] = None) -> int:
+        """Failed-link set as an integer bitmask (bit ``i`` = edge id ``i``)."""
+        mask = 0
+        for edge_id in excluded_edges or ():
+            mask |= 1 << edge_id
+        return mask
+
+    # ------------------------------------------------------------------
+    # shortest paths
+    # ------------------------------------------------------------------
+    def dijkstra_indexed(
+        self, source: int, excluded_mask: int = 0
+    ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Single-source shortest paths over node indices.
+
+        Semantically identical to :func:`repro.graph.shortest_paths.dijkstra`
+        — same float arithmetic, same epsilon comparisons, same
+        lexicographic tie-breaking, and the returned dicts have the same
+        *insertion order* as the reference implementation's (consumers rely
+        on that order for deterministic equal-cost sorts).
+        """
+        dist: Dict[int, float] = {source: 0.0}
+        parent: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        finalized = bytearray(len(self.names))
+        adj_start = self.adj_start
+        adj_items = self.adj_items
+        dist_get = dist.get
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            cost, node = pop(heap)
+            if finalized[node]:
+                continue
+            finalized[node] = 1
+            for edge_id, neighbor, weight in adj_items[
+                adj_start[node] : adj_start[node + 1]
+            ]:
+                if (excluded_mask >> edge_id) & 1:
+                    continue
+                if finalized[neighbor]:
+                    continue
+                candidate = cost + weight
+                current = dist_get(neighbor)
+                if current is None:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = (node, edge_id)
+                    push(heap, (candidate, neighbor))
+                    continue
+                if candidate < current - _COST_EPSILON:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = (node, edge_id)
+                    push(heap, (candidate, neighbor))
+                elif (
+                    candidate - current <= _COST_EPSILON
+                    and current - candidate <= _COST_EPSILON
+                    and (node, edge_id) < parent[neighbor]
+                ):
+                    dist[neighbor] = candidate
+                    parent[neighbor] = (node, edge_id)
+                    push(heap, (candidate, neighbor))
+        return dist, parent
+
+    def dijkstra_named(
+        self, source: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Tuple[Dict[str, float], Dict[str, Tuple[str, int]]]:
+        """Drop-in equivalent of the reference ``dijkstra()`` (name-keyed)."""
+        dist_idx, parent_idx = self.dijkstra_indexed(
+            self.node_index(source), self.exclusion_mask(excluded_edges)
+        )
+        names = self.names
+        dist = {names[node]: cost for node, cost in dist_idx.items()}
+        parent = {
+            names[node]: (names[towards], edge_id)
+            for node, (towards, edge_id) in parent_idx.items()
+        }
+        return dist, parent
+
+    def dijkstra_to(
+        self,
+        source: int,
+        target: int,
+        excluded_mask: int = 0,
+    ) -> Optional[float]:
+        """Early-exit Dijkstra: cost from ``source`` to ``target`` or ``None``.
+
+        Stops as soon as the target is finalized; tie-breaking is irrelevant
+        for the cost, so this variant skips the parent bookkeeping entirely.
+        """
+        if source == target:
+            return 0.0
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        finalized = bytearray(len(self.names))
+        adj_start = self.adj_start
+        adj_items = self.adj_items
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if finalized[node]:
+                continue
+            if node == target:
+                return cost
+            finalized[node] = 1
+            for edge_id, neighbor, weight in adj_items[
+                adj_start[node] : adj_start[node + 1]
+            ]:
+                if (excluded_mask >> edge_id) & 1:
+                    continue
+                if finalized[neighbor]:
+                    continue
+                candidate = cost + weight
+                current = dist.get(neighbor)
+                if current is None or candidate < current:
+                    dist[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        return None
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def component_labels(self, excluded_mask: int = 0) -> List[int]:
+        """Connected-component label of every node index under the mask."""
+        labels = [-1] * len(self.names)
+        adj_start = self.adj_start
+        adj_items = self.adj_items
+        current = 0
+        for root in range(len(self.names)):
+            if labels[root] >= 0:
+                continue
+            labels[root] = current
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                for edge_id, neighbor, _weight in adj_items[
+                    adj_start[node] : adj_start[node + 1]
+                ]:
+                    if (excluded_mask >> edge_id) & 1:
+                        continue
+                    if labels[neighbor] < 0:
+                        labels[neighbor] = current
+                        stack.append(neighbor)
+            current += 1
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"CompiledGraph({self.name!r}, nodes={len(self.names)}, "
+            f"edges={len(self.edge_table)})"
+        )
+
+
+def compile_graph(graph: Graph) -> CompiledGraph:
+    """Freeze ``graph`` into a :class:`CompiledGraph` snapshot."""
+    return CompiledGraph(graph)

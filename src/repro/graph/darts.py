@@ -12,10 +12,7 @@ links), a dart is identified by the *edge id* plus the tail node, not by the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True, order=True)
 class Dart:
     """One direction of one physical edge.
 
@@ -31,15 +28,77 @@ class Dart:
     The dart ``u -> v`` models the router interface at ``u`` that transmits
     towards ``v``; its :meth:`reversed` counterpart models the interface at
     ``v`` that transmits towards ``u``.
+
+    Darts are immutable value objects used as dictionary keys on every
+    forwarding hop and in every face trace, so the hash is computed once at
+    construction and the reverse dart is cached after the first request.
     """
 
-    edge_id: int
-    tail: str
-    head: str
+    __slots__ = ("edge_id", "tail", "head", "_hash", "_reversed")
+
+    def __init__(self, edge_id: int, tail: str, head: str) -> None:
+        object.__setattr__(self, "edge_id", edge_id)
+        object.__setattr__(self, "tail", tail)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "_hash", hash((edge_id, tail, head)))
+        object.__setattr__(self, "_reversed", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Dart is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Dart is immutable; cannot delete {name!r}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dart):
+            return NotImplemented
+        return (
+            self.edge_id == other.edge_id
+            and self.tail == other.tail
+            and self.head == other.head
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: "Dart") -> bool:
+        if not isinstance(other, Dart):
+            return NotImplemented
+        return (self.edge_id, self.tail, self.head) < (other.edge_id, other.tail, other.head)
+
+    def __le__(self, other: "Dart") -> bool:
+        if not isinstance(other, Dart):
+            return NotImplemented
+        return (self.edge_id, self.tail, self.head) <= (other.edge_id, other.tail, other.head)
+
+    def __gt__(self, other: "Dart") -> bool:
+        if not isinstance(other, Dart):
+            return NotImplemented
+        return (self.edge_id, self.tail, self.head) > (other.edge_id, other.tail, other.head)
+
+    def __ge__(self, other: "Dart") -> bool:
+        if not isinstance(other, Dart):
+            return NotImplemented
+        return (self.edge_id, self.tail, self.head) >= (other.edge_id, other.tail, other.head)
+
+    def __reduce__(self):
+        # Pickle by value; the cached hash and reverse are rebuilt on load.
+        return (Dart, (self.edge_id, self.tail, self.head))
 
     def reversed(self) -> "Dart":
         """Return the dart for the same edge traversed in the other direction."""
-        return Dart(self.edge_id, self.head, self.tail)
+        back = self._reversed
+        if back is None:
+            back = Dart(self.edge_id, self.head, self.tail)
+            object.__setattr__(back, "_reversed", self)
+            object.__setattr__(self, "_reversed", back)
+        return back
 
     @property
     def endpoints(self) -> tuple[str, str]:

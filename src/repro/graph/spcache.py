@@ -1,0 +1,380 @@
+"""Memoized shortest-path engine shared by every routing consumer.
+
+This module is the caching layer between the experiments and the compiled
+graph core (:mod:`repro.graph.compiled`):
+
+* :class:`ShortestPathEngine` — per-topology memoization of SSSP trees,
+  all-pairs costs, connectivity labels and failure-free path-edge bitmasks,
+  all keyed by ``(graph_version, source, frozenset(excluded_edges))`` with an
+  LRU bound.
+* :func:`engine_for` — a per-process, content-addressed registry: every
+  consumer (routing tables, FCP, LFA, the campaign executor) asking for the
+  engine of an equal-content graph gets the *same* engine object, which is
+  what makes a sweep's cells share one set of shortest-path trees per worker
+  process.
+
+Results returned by the engine are cached objects shared between callers and
+must be treated as **read-only**.  The underlying algorithms are bit-identical
+to the reference implementations in :mod:`repro.graph.shortest_paths` —
+identical tie-breaking, identical dict insertion order — which the
+equivalence suite in ``tests/graph/test_compiled_equivalence.py`` asserts
+across randomized topologies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import NodeNotFound, NoPathExists
+from repro.graph.compiled import CompiledGraph, graph_signature
+from repro.graph.multigraph import Graph
+
+#: Default bound of the per-engine SSSP memo (an entry is one (dist, parent)
+#: tree, i.e. O(nodes) — FCP sweeps can touch thousands of distinct carried
+#: failure sets, hence a generous default).
+DEFAULT_SSSP_CACHE = 8192
+
+#: Bound of the per-process engine registry (one entry per distinct topology
+#: content seen by this process).
+_MAX_ENGINES = 32
+
+
+class _LruDict(OrderedDict):
+    """Tiny LRU: ``get_or_none`` refreshes recency, ``put`` evicts oldest."""
+
+    def __init__(self, maxsize: int) -> None:
+        super().__init__()
+        self.maxsize = maxsize
+
+    def get_or_none(self, key):
+        try:
+            value = self[key]
+        except KeyError:
+            return None
+        self.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+
+
+class ShortestPathEngine:
+    """Compiled + memoized shortest paths for one topology snapshot.
+
+    The engine answers the same questions as the pure functions in
+    :mod:`repro.graph.shortest_paths`, but every answer is computed on the
+    :class:`~repro.graph.compiled.CompiledGraph` core and memoized, so a
+    sweep asking for the same ``(source, excluded)`` tree twice pays one
+    dictionary lookup the second time.
+    """
+
+    def __init__(self, graph: Graph, sssp_cache_size: int = DEFAULT_SSSP_CACHE) -> None:
+        self.compiled = CompiledGraph(graph)
+        #: Content identity of the snapshot; part of every external cache key.
+        self.graph_version = hash(self.compiled.signature)
+        self._sssp: _LruDict = _LruDict(sssp_cache_size)
+        self._sssp_idx: _LruDict = _LruDict(sssp_cache_size)
+        self._apsp: _LruDict = _LruDict(64)
+        self._components: _LruDict = _LruDict(1024)
+        self._path_masks: Optional[Dict[str, Dict[str, int]]] = None
+        #: Free-form per-engine memo for consumers that live in modules the
+        #: engine cannot import (FCP SPF/outcome memos, PR outcome memos,
+        #: executor scenario contexts).  Entries here are few and long-lived
+        #: singletons; high-churn per-failure-set consumers get their own
+        #: bounded cache below so scenario churn cannot evict these.
+        self.consumer_cache: _LruDict = _LruDict(256)
+        #: Per-failure-set routing tables (see
+        #: :func:`repro.routing.tables.cached_routing_tables`): one entry per
+        #: (discriminator, excluded set), each O(nodes^2) — bounded separately
+        #: because a long campaign touches thousands of distinct failure sets.
+        self.tables_cache: _LruDict = _LruDict(128)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # single-source shortest paths
+    # ------------------------------------------------------------------
+    def sssp(
+        self, source: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Tuple[Dict[str, float], Dict[str, Tuple[str, int]]]:
+        """Memoized ``(dist, parent)`` from ``source`` (read-only result).
+
+        Bit-identical to :func:`repro.graph.shortest_paths.dijkstra`,
+        including the insertion order of the returned dicts.
+        """
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        key = (source, excluded)
+        cached = self._sssp.get_or_none(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        # Built on the index-keyed memo so a key needed in both
+        # representations runs Dijkstra once.
+        dist_idx, parent_idx = self.sssp_indexed(source, excluded)
+        names = self.compiled.names
+        dist = {names[node]: cost for node, cost in dist_idx.items()}
+        parent = {
+            names[node]: (names[towards], edge_id)
+            for node, (towards, edge_id) in parent_idx.items()
+        }
+        value = (dist, parent)
+        self._sssp.put(key, value)
+        return value
+
+    def distances(
+        self, source: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Dict[str, float]:
+        """Memoized distance map from ``source`` (read-only result)."""
+        return self.sssp(source, excluded_edges)[0]
+
+    def sssp_indexed(
+        self, source: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Memoized index-keyed ``(dist, parent)`` from ``source``.
+
+        The raw :meth:`CompiledGraph.dijkstra_indexed` result without the
+        node-name conversion — for consumers that walk trees in index space
+        (read-only).  Memoized separately from :meth:`sssp` so neither
+        representation is rebuilt when only the other is needed.
+        """
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        key = (source, excluded)
+        cached = self._sssp_idx.get_or_none(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        compiled = self.compiled
+        value = compiled.dijkstra_indexed(
+            compiled.node_index(source), compiled.exclusion_mask(excluded)
+        )
+        self._sssp_idx.put(key, value)
+        return value
+
+    def cost_between(
+        self,
+        source: str,
+        destination: str,
+        excluded_edges: Optional[Iterable[int]] = None,
+    ) -> float:
+        """Cost of the shortest ``source -> destination`` path.
+
+        Serves from the SSSP memo when the tree is already cached; otherwise
+        runs a destination-targeted early-exit Dijkstra (which does *not*
+        populate the memo — it finalizes only a prefix of the tree).  Raises
+        :class:`NoPathExists` when unreachable.
+        """
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        compiled = self.compiled
+        target = compiled.node_index(destination)  # validates the destination
+        cached = self._sssp.get_or_none((source, excluded))
+        if cached is not None:
+            self.hits += 1
+            try:
+                return cached[0][destination]
+            except KeyError:
+                raise NoPathExists(source, destination) from None
+        cost = compiled.dijkstra_to(
+            compiled.node_index(source), target, compiled.exclusion_mask(excluded)
+        )
+        if cost is None:
+            raise NoPathExists(source, destination)
+        return cost
+
+    # ------------------------------------------------------------------
+    # all-pairs shortest costs
+    # ------------------------------------------------------------------
+    def all_pairs_shortest_costs(
+        self, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Memoized all-pairs cost table (read-only result).
+
+        Identical to :func:`repro.graph.shortest_paths.all_pairs_shortest_costs`:
+        one SSSP per node, nodes in graph insertion order.
+        """
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        cached = self._apsp.get_or_none(excluded)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        value = {
+            node: self.sssp(node, excluded)[0] for node in self.compiled.order
+        }
+        self._apsp.put(excluded, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def _labels(self, excluded: FrozenSet[int]) -> List[int]:
+        cached = self._components.get_or_none(excluded)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        labels = self.compiled.component_labels(self.compiled.exclusion_mask(excluded))
+        self._components.put(excluded, labels)
+        return labels
+
+    def same_component(
+        self, u: str, v: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> bool:
+        """Whether ``u`` and ``v`` stay connected once ``excluded_edges`` fail.
+
+        Equivalent to :func:`repro.graph.connectivity.same_component`, but a
+        scenario's component labels are computed once and every subsequent
+        pair query is two list lookups.
+        """
+        compiled = self.compiled
+        index = compiled.index
+        if u not in index:
+            raise NodeNotFound(u)
+        if v not in index:
+            raise NodeNotFound(v)
+        if u == v:
+            return True
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        labels = self._labels(excluded)
+        return labels[index[u]] == labels[index[v]]
+
+    def is_connected(self, excluded_edges: Optional[Iterable[int]] = None) -> bool:
+        """Whether the whole graph stays connected under the exclusions."""
+        if not self.compiled.names:
+            return True
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        labels = self._labels(excluded)
+        return max(labels) == 0 if labels else True
+
+    # ------------------------------------------------------------------
+    # failure-free path-edge bitmasks (the all_affecting_pairs fast path)
+    # ------------------------------------------------------------------
+    def path_edge_masks(self) -> Dict[str, Dict[str, int]]:
+        """Per destination: bitmask of edges on every source's failure-free path.
+
+        ``masks[destination][source]`` has bit ``e`` set iff edge ``e`` lies
+        on the (deterministically tie-broken) failure-free shortest path from
+        ``source`` to ``destination`` — the exact path the routing tables
+        forward along.  Sources with no route do not appear.  Computed once
+        per engine and reused by every scenario.
+        """
+        if self._path_masks is not None:
+            self.hits += 1
+            return self._path_masks
+        masks: Dict[str, Dict[str, int]] = {}
+        for destination in self.compiled.order:
+            _dist, parent = self.sssp(destination)
+            dest_masks: Dict[str, int] = {destination: 0}
+            for node in parent:
+                if node in dest_masks:
+                    continue
+                # Resolve the parent chain iteratively; every hop strictly
+                # approaches the destination, so the chain terminates.
+                chain = []
+                walk = node
+                while walk not in dest_masks:
+                    chain.append(walk)
+                    walk = parent[walk][0]
+                mask = dest_masks[walk]
+                for link in reversed(chain):
+                    mask = mask | (1 << parent[link][1])
+                    dest_masks[link] = mask
+            del dest_masks[destination]
+            masks[destination] = dest_masks
+        self._path_masks = masks
+        return masks
+
+    def affecting_pairs(self, failed_links: Iterable[int]) -> List[Tuple[str, str]]:
+        """Ordered pairs whose failure-free path crosses a failed link.
+
+        Equivalent to :func:`repro.failures.scenarios.all_affecting_pairs`
+        with default failure-free tables — same pairs, same order — but each
+        pair is one bitmask AND instead of a hop-by-hop table walk.
+        """
+        failed_mask = self.compiled.exclusion_mask(failed_links)
+        masks = self.path_edge_masks()
+        pairs: List[Tuple[str, str]] = []
+        for source in self.compiled.order:
+            for destination in self.compiled.order:
+                if source == destination:
+                    continue
+                path_mask = masks[destination].get(source)
+                if path_mask is not None and path_mask & failed_mask:
+                    pairs.append((source, destination))
+        return pairs
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters plus current memo sizes (for ``repro bench``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "sssp_entries": len(self._sssp),
+            "apsp_entries": len(self._apsp),
+            "component_entries": len(self._components),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"ShortestPathEngine({self.compiled.name!r}, "
+            f"nodes={len(self.compiled.names)}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-process, content-addressed engine registry
+# ----------------------------------------------------------------------
+_ENGINES: "OrderedDict[Tuple, ShortestPathEngine]" = OrderedDict()
+
+
+def engine_for(graph: Graph) -> ShortestPathEngine:
+    """The shared engine of ``graph``'s *content* in this process.
+
+    Keyed by :func:`~repro.graph.compiled.graph_signature`, so distinct
+    ``Graph`` objects loaded from the same topology (one per campaign cell)
+    all share one engine — and a graph mutated in place simply resolves to a
+    fresh engine on its next call, because its signature changed.
+    """
+    key = graph_signature(graph)
+    engine = _ENGINES.get(key)
+    if engine is not None:
+        _ENGINES.move_to_end(key)
+        return engine
+    engine = ShortestPathEngine(graph)
+    _ENGINES[key] = engine
+    _ENGINES.move_to_end(key)
+    while len(_ENGINES) > _MAX_ENGINES:
+        _ENGINES.popitem(last=False)
+    return engine
+
+
+def clear_engines() -> None:
+    """Drop every cached engine (tests and long-lived processes)."""
+    _ENGINES.clear()

@@ -40,13 +40,12 @@ def ccdf_curve(values: Sequence[float], thresholds: Iterable[float]) -> List[Tup
     return curve
 
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile (``fraction`` in [0, 1]) of ``values``."""
-    if not values:
+def _percentile_of_sorted(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample."""
+    if not ordered:
         raise ValueError("cannot compute a percentile of an empty sample")
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must lie in [0, 1]")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     position = fraction * (len(ordered) - 1)
@@ -58,17 +57,29 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1]) of ``values``."""
+    return _percentile_of_sorted(sorted(values), fraction)
+
+
 def distribution_summary(values: Sequence[float]) -> Dict[str, float]:
-    """Mean, median, p90, p99 and max of a sample (empty sample → zeros)."""
+    """Mean, median, p90, p99 and max of a sample (empty sample → zeros).
+
+    The sample is sorted once and shared by every percentile (a sweep calls
+    this per cell over thousands of stretch values).
+    """
     if not values:
         return {"count": 0, "mean": 0.0, "median": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(values)
     return {
-        "count": float(len(values)),
+        "count": float(len(ordered)),
+        # Summed in the caller's order (not sorted order): float addition is
+        # not associative and the summary must stay bit-identical.
         "mean": sum(values) / len(values),
-        "median": percentile(values, 0.5),
-        "p90": percentile(values, 0.9),
-        "p99": percentile(values, 0.99),
-        "max": max(values),
+        "median": _percentile_of_sorted(ordered, 0.5),
+        "p90": _percentile_of_sorted(ordered, 0.9),
+        "p99": _percentile_of_sorted(ordered, 0.99),
+        "max": ordered[-1],
     }
 
 

@@ -10,28 +10,82 @@ have no stretch — they are reported separately as losses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.forwarding.engine import ForwardingOutcome
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import RoutingTables, cached_routing_tables
 
 
-@dataclass(frozen=True)
 class StretchSample:
-    """One (scheme, scenario, source, destination) stretch measurement."""
+    """One (scheme, scenario, source, destination) stretch measurement.
 
-    scheme: str
-    source: str
-    destination: str
-    failed_links: Tuple[int, ...]
-    stretch: Optional[float]
-    delivered: bool
-    hops: int
-    cost: float
-    baseline_cost: float
+    A plain slotted class rather than a frozen dataclass: a campaign creates
+    (and the aggregation layer re-creates) one sample per measured packet,
+    so construction cost matters at sweep scale.
+    """
+
+    __slots__ = (
+        "scheme",
+        "source",
+        "destination",
+        "failed_links",
+        "stretch",
+        "delivered",
+        "hops",
+        "cost",
+        "baseline_cost",
+    )
+
+    def __init__(
+        self,
+        scheme: str,
+        source: str,
+        destination: str,
+        failed_links: Tuple[int, ...],
+        stretch: Optional[float],
+        delivered: bool,
+        hops: int,
+        cost: float,
+        baseline_cost: float,
+    ) -> None:
+        self.scheme = scheme
+        self.source = source
+        self.destination = destination
+        self.failed_links = failed_links
+        self.stretch = stretch
+        self.delivered = delivered
+        self.hops = hops
+        self.cost = cost
+        self.baseline_cost = baseline_cost
+
+    def _key(self) -> tuple:
+        return (
+            self.scheme,
+            self.source,
+            self.destination,
+            self.failed_links,
+            self.stretch,
+            self.delivered,
+            self.hops,
+            self.cost,
+            self.baseline_cost,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StretchSample):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"StretchSample({self.scheme}: {self.source}->{self.destination}, "
+            f"stretch={self.stretch}, delivered={self.delivered})"
+        )
 
     @property
     def lost(self) -> bool:
@@ -63,7 +117,7 @@ def collect_stretch_samples(
     """
     graph: Graph = scheme.graph
     if baseline_tables is None:
-        baseline_tables = RoutingTables(graph)
+        baseline_tables = cached_routing_tables(graph)
     samples: List[StretchSample] = []
     for scenario in scenarios:
         key = tuple(sorted(scenario))

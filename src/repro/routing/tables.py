@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.errors import NoPathExists, RoutingError
 from repro.graph.darts import Dart
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import dijkstra
+from repro.graph.spcache import ShortestPathEngine, engine_for
 from repro.routing.discriminator import DiscriminatorKind, discriminator_value
 
 
@@ -54,19 +54,28 @@ class RoutingTables:
         graph: Graph,
         discriminator_kind: DiscriminatorKind = DiscriminatorKind.HOP_COUNT,
         excluded_edges: Optional[Iterable[int]] = None,
+        engine: Optional[ShortestPathEngine] = None,
     ) -> None:
         self.graph = graph
         self.discriminator_kind = discriminator_kind
         self._excluded = frozenset(excluded_edges or ())
+        self._engine = engine if engine is not None else engine_for(graph)
         # _entries[node][destination] -> RoutingEntry
         self._entries: Dict[str, Dict[str, RoutingEntry]] = {
             node: {} for node in graph.nodes()
         }
         self._build()
 
+    @property
+    def excluded_edges(self) -> frozenset:
+        """The failed links these tables were computed without."""
+        return self._excluded
+
     def _build(self) -> None:
         for destination in self.graph.nodes():
-            dist, parent = dijkstra(self.graph, destination, self._excluded)
+            # Memoized per (topology content, destination, excluded set): one
+            # Dijkstra per destination per process, not per consumer.
+            dist, parent = self._engine.sssp(destination, self._excluded)
             hops = self._hop_counts(destination, dist, parent)
             for node, (towards, edge_id) in parent.items():
                 # ``towards`` is the next hop of ``node`` on its way to the
@@ -181,3 +190,26 @@ def build_routing_tables(
 ) -> RoutingTables:
     """Convenience constructor mirroring the paper's initialisation step."""
     return RoutingTables(graph, discriminator_kind, excluded_edges)
+
+
+def cached_routing_tables(
+    graph: Graph,
+    discriminator_kind: DiscriminatorKind = DiscriminatorKind.HOP_COUNT,
+    excluded_edges: Optional[Iterable[int]] = None,
+) -> RoutingTables:
+    """Shared routing tables for one (topology content, kind, failure set).
+
+    Tables are immutable after construction, so every consumer in a process
+    asking for the same combination — the re-convergence baseline building
+    per-scenario tables, the stretch experiment's failure-free baseline, the
+    campaign executor — receives the same instance.  The memo lives on the
+    per-content :class:`~repro.graph.spcache.ShortestPathEngine`, so a
+    mutated graph naturally resolves to fresh tables.
+    """
+    engine = engine_for(graph)
+    key = (discriminator_kind, frozenset(excluded_edges or ()))
+    tables = engine.tables_cache.get_or_none(key)
+    if tables is None:
+        tables = RoutingTables(graph, discriminator_kind, excluded_edges, engine=engine)
+        engine.tables_cache.put(key, tables)
+    return tables

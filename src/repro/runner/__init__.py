@@ -58,6 +58,7 @@ from repro.runner.executor import (
     run_campaign,
     run_cell,
 )
+from repro.runner.bench import check_regression, run_bench
 
 __all__ = [
     "ArtifactCache",
@@ -69,6 +70,7 @@ __all__ = [
     "available_schemes",
     "build_scheme",
     "cached_embedding",
+    "check_regression",
     "coverage_reports",
     "families_in",
     "family_summary_rows",
@@ -78,6 +80,7 @@ __all__ = [
     "merged_ccdf",
     "node_failure_campaign_spec",
     "overhead_rows",
+    "run_bench",
     "run_campaign",
     "run_cell",
     "scenario_family",

@@ -143,20 +143,32 @@ def _samples_from_record(record: Record, name: Optional[str] = None) -> List[Str
         )
     if name is None:
         name = record["scheme_name"]
-    return [
-        StretchSample(
-            scheme=name,
-            source=row[0],
-            destination=row[1],
-            failed_links=tuple(row[2]),
-            stretch=row[3],
-            delivered=row[4],
-            hops=row[5],
-            cost=row[6],
-            baseline_cost=row[7],
+    # Consecutive rows of one scenario share the failed-links list object
+    # (and JSONL-loaded rows repeat equal lists), so the tuple conversion is
+    # cached across the run of identical values.
+    last_links = None
+    last_tuple: tuple = ()
+    samples = []
+    append = samples.append
+    for row in rows:
+        links = row[2]
+        if links is not last_links:
+            last_tuple = tuple(links)
+            last_links = links
+        append(
+            StretchSample(
+                name,
+                row[0],
+                row[1],
+                last_tuple,
+                row[3],
+                row[4],
+                row[5],
+                row[6],
+                row[7],
+            )
         )
-        for row in rows
-    ]
+    return samples
 
 
 def stretch_result_from_records(

@@ -1,0 +1,148 @@
+"""``python -m repro bench`` — reproducible wall-clock benchmarks.
+
+Runs the two workloads the performance work is anchored on and reports their
+wall-clock timings as a JSON artifact (``BENCH_*.json``):
+
+* **figure2** — one multi-failure Figure 2 panel driven through the campaign
+  runner (the per-cell hot path: scenario generation, affected-pair
+  conditioning, per-scheme delivery walks, aggregation);
+* **sweep** — a (topologies × schemes) campaign executed four ways: cold
+  (offline embedding computed and persisted), warm (artifact cache hit,
+  in-process engine caches hot), parallel (worker processes) and resumed
+  (every cell skipped via the JSONL store).
+
+The CI benchmark-regression step runs ``repro bench --quick --check
+benchmarks/bench_baseline.json``: the run fails when any timing regresses
+more than ``--tolerance`` (default 25%) against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.runner.executor import run_campaign
+from repro.runner.spec import CampaignSpec, ScenarioSpec, figure2_campaign_spec
+
+
+def _sweep_spec(quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        topologies=("abilene", "geant"),
+        schemes=("reconvergence", "fcp", "pr"),
+        scenarios=(
+            ScenarioSpec("multi-link", failures=4, samples=2 if quick else 4),
+        ),
+        embedding_method="local-search",
+        embedding_iterations=600 if quick else 1200,
+        embedding_seed=0,
+    )
+
+
+def _figure2_spec(quick: bool) -> CampaignSpec:
+    return figure2_campaign_spec("2d", samples=20 if quick else 60, seed=1)
+
+
+def run_bench(
+    quick: bool = False,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Run both benchmark workloads and return the timing document."""
+    timings: Dict[str, float] = {}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+
+        started = time.perf_counter()
+        run_campaign(_figure2_spec(quick), workers=1, cache_dir=cache_dir)
+        timings["figure2_s"] = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        results = Path(tmp) / "results.jsonl"
+        spec = _sweep_spec(quick)
+
+        started = time.perf_counter()
+        cold = run_campaign(spec, workers=1, cache_dir=cache_dir, results_path=results)
+        timings["sweep_cold_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run_campaign(spec, workers=1, cache_dir=cache_dir)
+        timings["sweep_warm_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run_campaign(spec, workers=workers, cache_dir=cache_dir)
+        timings["sweep_parallel_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        resumed = run_campaign(
+            spec, workers=1, cache_dir=cache_dir, results_path=results, resume=True
+        )
+        timings["sweep_resumed_s"] = time.perf_counter() - started
+
+        offline_cold = cold.offline_seconds()
+        cells = cold.executed
+        resumed_skipped = resumed.skipped
+
+    timings["sweep_total_s"] = (
+        timings["sweep_cold_s"]
+        + timings["sweep_warm_s"]
+        + timings["sweep_parallel_s"]
+        + timings["sweep_resumed_s"]
+    )
+    return {
+        "timings": {name: round(value, 4) for name, value in timings.items()},
+        "meta": {
+            "quick": quick,
+            "workers": workers,
+            "cells": cells,
+            "offline_cold_s": round(offline_cold, 4),
+            "resumed_skipped": resumed_skipped,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Timings in ``current`` that exceed the baseline by more than ``tolerance``.
+
+    Only timing keys present in both documents are compared; a missing key is
+    not a regression (it lets the baseline trail the benchmark's evolution).
+    Returns human-readable violation strings, empty when the check passes.
+    """
+    violations: List[str] = []
+    baseline_timings = baseline.get("timings", {})
+    current_timings = current.get("timings", {})
+    for name, allowed in sorted(baseline_timings.items()):
+        measured = current_timings.get(name)
+        if measured is None or not isinstance(allowed, (int, float)):
+            continue
+        budget = allowed * (1.0 + tolerance)
+        if measured > budget:
+            violations.append(
+                f"{name}: {measured:.3f}s exceeds baseline {allowed:.3f}s "
+                f"+{tolerance:.0%} (budget {budget:.3f}s)"
+            )
+    return violations
+
+
+def write_bench(document: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a timing document as pretty JSON (sorted keys)."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a timing document written by :func:`write_bench`."""
+    return json.loads(Path(path).read_text())

@@ -46,14 +46,14 @@ from repro.failures.scenarios import (
     node_failure_scenarios,
     single_link_failures,
 )
+from repro.forwarding.engine import DeliveryStatus
 from repro.forwarding.scheme import ForwardingScheme
-from repro.graph.connectivity import same_component
 from repro.graph.multigraph import Graph
+from repro.graph.spcache import engine_for
 from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
 from repro.metrics.overhead import overhead_comparison
-from repro.metrics.stretch import StretchSample
 from repro.routing.discriminator import DiscriminatorKind
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import cached_routing_tables
 from repro.runner import aggregate
 from repro.runner.cache import ArtifactCache, cached_embedding
 from repro.runner.spec import EMBEDDING_SCHEMES, SCHEME_NAMES, CampaignCell, CampaignSpec
@@ -62,11 +62,34 @@ from repro.topologies.parser import load_graph
 from repro.topologies.registry import available_topologies, by_name
 
 
+#: Per-process topology memo: a campaign's cells repeatedly load the same
+#: few topologies, and a shared ``Graph`` object lets every cell of a worker
+#: resolve to the same shortest-path engine without re-parsing anything.
+#: File-based topologies are keyed by (path, mtime, size) so an edited file
+#: is reloaded.
+_TOPOLOGY_CACHE: Dict[Tuple, Graph] = {}
+
+
 def load_topology(spec: str) -> Graph:
     """A registry name (``abilene``) or a path to an edge-list file."""
     if spec.lower() in available_topologies():
-        return by_name(spec)
-    return load_graph(spec)
+        key: Tuple = ("registry", spec.lower())
+    else:
+        try:
+            stat = os.stat(spec)
+        except OSError:
+            return load_graph(spec)  # surface the parser's missing-file error
+        key = ("file", spec, stat.st_mtime_ns, stat.st_size)
+    graph = _TOPOLOGY_CACHE.get(key)
+    if graph is None:
+        if key[0] == "registry":
+            graph = by_name(spec)
+        else:
+            graph = load_graph(spec)
+        if len(_TOPOLOGY_CACHE) >= 64:
+            _TOPOLOGY_CACHE.clear()
+        _TOPOLOGY_CACHE[key] = graph
+    return graph
 
 
 def build_scheme(
@@ -137,6 +160,42 @@ def generate_scenarios(graph: Graph, cell: CampaignCell) -> List[FailureScenario
     return generated
 
 
+def _scenario_context(
+    graph: Graph, cell: CampaignCell
+) -> List[Tuple[Tuple[int, ...], List[Tuple[str, str]], List[Tuple[str, str]]]]:
+    """``(failure key, affected pairs, measured pairs)`` per scenario of a cell.
+
+    The context depends only on (topology content, scenario spec, seed,
+    coverage mode) — deliberately *not* on the scheme or discriminator — so
+    the cells of one scenario column share it through the per-process engine
+    cache: scenario generation, the affected-pair conditioning and the
+    connectivity filtering all run once per worker instead of once per cell.
+    """
+    engine = engine_for(graph)
+    key = ("cell-context", cell.scenario.key(), cell.seed, cell.coverage)
+    cached = engine.consumer_cache.get_or_none(key)
+    if cached is not None:
+        return cached
+    scenarios = generate_scenarios(graph, cell)
+    tables = cached_routing_tables(graph)
+    context = []
+    for scenario in scenarios:
+        failed = tuple(sorted(scenario.failed_links))
+        failed_set = frozenset(failed)
+        affected = [
+            pair
+            for pair in all_affecting_pairs(graph, scenario, tables)
+            if engine.same_component(pair[0], pair[1], failed_set)
+        ]
+        if cell.coverage == "full":
+            measured = reachable_pairs(graph, failed)
+        else:
+            measured = affected
+        context.append((failed, affected, measured))
+    engine.consumer_cache.put(key, context)
+    return context
+
+
 # ----------------------------------------------------------------------
 # cell execution (top-level so it pickles into worker processes)
 # ----------------------------------------------------------------------
@@ -150,8 +209,8 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     """
     started = time.perf_counter()
     graph = load_topology(cell.topology)
-    scenarios = generate_scenarios(graph, cell)
-    tables = RoutingTables(graph)
+    context = _scenario_context(graph, cell)
+    tables = cached_routing_tables(graph)
 
     cache: Optional[ArtifactCache] = None
     embedding = None
@@ -169,61 +228,74 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     offline_seconds = time.perf_counter() - offline_started
 
     report = CoverageReport(scheme=scheme.name)
-    samples: List[StretchSample] = []
     nodes = graph.nodes()
     all_pairs_count = len(nodes) * (len(nodes) - 1)
     measured_pairs = 0
-    for scenario in scenarios:
-        key = tuple(sorted(scenario.failed_links))
-        affected = [
-            pair
-            for pair in all_affecting_pairs(graph, scenario, tables)
-            if same_component(graph, pair[0], pair[1], key)
-        ]
+    # Accounting runs over every (scenario, pair) outcome, so the loop works
+    # on primitives: per-sample payload rows are built directly (identical
+    # values to the StretchSample-based construction they replace) and
+    # failure-free baseline costs are memoized per pair.
+    delivered_status = DeliveryStatus.DELIVERED
+    sample_rows: List[List[Any]] = []
+    stretch_values: List[float] = []
+    n_samples = 0
+    delivered_samples = 0
+    baseline_cost_of: Dict[Tuple[str, str], float] = {}
+    record_samples = cell.record_samples
+    for key, affected, measured in context:
         measured_pairs += len(affected)
         if cell.coverage == "full":
-            measured = reachable_pairs(graph, key)
             report.unreachable_pairs_skipped += all_pairs_count - len(measured)
-        else:
-            measured = affected
         if not measured:
             continue
         affected_set = set(affected)
         outcomes = scheme.deliver_many(measured, failed_links=key)
-        for (source, destination), outcome in outcomes.items():
-            report.record(outcome.status, key, outcome.drop_reason)
-            if (source, destination) not in affected_set:
+        key_row = list(key)
+        for pair, outcome in outcomes.items():
+            status = outcome.status
+            delivered = status is delivered_status
+            if delivered:
+                report.attempts += 1
+                report.delivered += 1
+            else:
+                report.record(status, key, outcome.drop_reason)
+            if pair not in affected_set:
                 continue
-            baseline_cost = tables.cost(source, destination)
-            stretch = (
-                outcome.cost / baseline_cost
-                if outcome.delivered and baseline_cost > 0
-                else None
-            )
-            samples.append(
-                StretchSample(
-                    scheme=scheme.name,
-                    source=source,
-                    destination=destination,
-                    failed_links=key,
-                    stretch=stretch,
-                    delivered=outcome.delivered,
-                    hops=outcome.hops,
-                    cost=outcome.cost,
-                    baseline_cost=baseline_cost,
+            baseline_cost = baseline_cost_of.get(pair)
+            if baseline_cost is None:
+                baseline_cost = tables.cost(pair[0], pair[1])
+                baseline_cost_of[pair] = baseline_cost
+            n_samples += 1
+            if delivered and baseline_cost > 0:
+                stretch = outcome.cost / baseline_cost
+                stretch_values.append(stretch)
+                delivered_samples += 1
+            else:
+                stretch = None
+                if delivered:
+                    delivered_samples += 1
+            if record_samples:
+                sample_rows.append(
+                    [
+                        pair[0],
+                        pair[1],
+                        key_row,
+                        stretch,
+                        delivered,
+                        outcome.hops,
+                        outcome.cost,
+                        baseline_cost,
+                    ]
                 )
-            )
 
     [overhead_row] = overhead_comparison(graph, [scheme])
-    stretch_values = [s.stretch for s in samples if s.stretch is not None]
-    delivered_samples = sum(1 for s in samples if s.delivered)
     payload: Dict[str, Any] = {
-        "scenarios": len(scenarios),
-        "failures_per_scenario": len(scenarios[0].failed_links) if scenarios else 0,
+        "scenarios": len(context),
+        "failures_per_scenario": len(context[0][0]) if context else 0,
         "measured_pairs": measured_pairs,
-        "n_samples": len(samples),
+        "n_samples": n_samples,
         "delivered_samples": delivered_samples,
-        "delivery_ratio": delivered_samples / len(samples) if samples else 1.0,
+        "delivery_ratio": delivered_samples / n_samples if n_samples else 1.0,
         "n_stretch": len(stretch_values),
         # JSON-normalised (lists, not tuples) so in-memory records compare
         # equal to records reloaded from the JSONL store.
@@ -244,20 +316,8 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
         "memory_entries": overhead_row.memory_entries,
         "online_computation": overhead_row.online_computation,
     }
-    if cell.record_samples:
-        payload["samples"] = [
-            [
-                s.source,
-                s.destination,
-                list(s.failed_links),
-                s.stretch,
-                s.delivered,
-                s.hops,
-                s.cost,
-                s.baseline_cost,
-            ]
-            for s in samples
-        ]
+    if record_samples:
+        payload["samples"] = sample_rows
     return {
         "cell_id": cell.cell_id,
         "index": cell.index,

@@ -1,0 +1,101 @@
+"""Fast-path ``deliver_many`` overrides vs. the hop-by-hop engine.
+
+Re-convergence, FCP and both Packet Re-cycling variants override
+``deliver_many`` with flat walks (plus cross-scenario outcome memoization)
+for sweep speed.  ``ForwardingScheme.deliver_many`` — the generic
+implementation driving the real :class:`HopByHopEngine` — remains the
+reference; every override must produce outcomes that are field-for-field
+identical: status, path, hop-order cost summation, hop count, drop reason
+and accounting counters.  Randomized over topologies, failure sets and pair
+subsets, with repeated rounds per scheme instance so the memoized paths are
+exercised as hard as the cold ones.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.fcp import FailureCarryingPackets
+from repro.baselines.reconvergence import Reconvergence
+from repro.core.scheme import PacketRecycling, SimplePacketRecycling
+from repro.forwarding.scheme import ForwardingScheme
+from repro.topologies.registry import by_name
+
+SCHEME_FACTORIES = {
+    "reconvergence": lambda graph: Reconvergence(graph),
+    "fcp": lambda graph: FailureCarryingPackets(graph),
+    "pr": lambda graph: PacketRecycling(graph, embedding_seed=7),
+    "pr-1bit": lambda graph: SimplePacketRecycling(graph, embedding_seed=7),
+}
+
+
+def assert_outcomes_identical(fast, reference, context):
+    assert fast.keys() == reference.keys(), context
+    for pair in reference:
+        a, b = fast[pair], reference[pair]
+        assert a.source == b.source and a.destination == b.destination, context
+        assert a.status == b.status, (context, pair, a.status, b.status)
+        assert a.path == b.path, (context, pair, a.path, b.path)
+        assert a.cost == b.cost, (context, pair, a.cost, b.cost)
+        assert a.hops == b.hops, (context, pair)
+        assert a.drop_reason == b.drop_reason, (context, pair)
+        assert a.counters == b.counters, (context, pair, a.counters, b.counters)
+
+
+@pytest.mark.parametrize("scheme_key", sorted(SCHEME_FACTORIES))
+@pytest.mark.parametrize("topology", ["abilene", "teleglobe", "geant"])
+def test_fast_path_matches_engine(topology, scheme_key):
+    graph = by_name(topology)
+    scheme = SCHEME_FACTORIES[scheme_key](graph)
+    nodes = graph.nodes()
+    pairs = [(u, v) for u in nodes for v in nodes if u != v]
+    edge_ids = graph.edge_ids()
+    rng = random.Random(hash((topology, scheme_key)) & 0xFFFF)
+    for _round in range(8):
+        failures = rng.choice([0, 1, 1, 2, 3, 5])
+        failed = tuple(sorted(rng.sample(edge_ids, failures)))
+        subset = rng.sample(pairs, min(40, len(pairs)))
+        fast = scheme.deliver_many(subset, failed_links=failed)
+        reference = ForwardingScheme.deliver_many(scheme, subset, failed_links=failed)
+        assert_outcomes_identical(fast, reference, (topology, scheme_key, failed))
+
+
+@pytest.mark.parametrize("scheme_key", sorted(SCHEME_FACTORIES))
+def test_fast_path_memo_is_scenario_safe(scheme_key):
+    """Outcomes memoized under one scenario must not leak into another.
+
+    Alternating between failure sets that overlap on some edges is the
+    adversarial case for the touched-edge pattern memo: a reused outcome is
+    only legal when the new scenario agrees on every edge the original walk
+    consulted.
+    """
+    graph = by_name("abilene")
+    scheme = SCHEME_FACTORIES[scheme_key](graph)
+    nodes = graph.nodes()
+    pairs = [(u, v) for u in nodes for v in nodes if u != v]
+    edge_ids = graph.edge_ids()
+    rng = random.Random(99)
+    scenario_pool = [
+        tuple(sorted(rng.sample(edge_ids, rng.choice([1, 2, 4])))) for _ in range(6)
+    ]
+    for _round in range(3):
+        for failed in scenario_pool:
+            fast = scheme.deliver_many(pairs, failed_links=failed)
+            reference = ForwardingScheme.deliver_many(scheme, pairs, failed_links=failed)
+            assert_outcomes_identical(fast, reference, (scheme_key, failed))
+
+
+def test_fresh_instances_share_memo_but_stay_correct():
+    """Two PR instances with identical offline state share the engine memo."""
+    graph = by_name("geant")
+    first = PacketRecycling(graph, embedding_seed=7)
+    second = PacketRecycling(graph, embedding_seed=7)
+    edge_ids = graph.edge_ids()
+    nodes = graph.nodes()
+    pairs = [(u, v) for u in nodes for v in nodes if u != v][:60]
+    failed = tuple(edge_ids[:2])
+    warm = first.deliver_many(pairs, failed_links=failed)
+    again = second.deliver_many(pairs, failed_links=failed)
+    reference = ForwardingScheme.deliver_many(second, pairs, failed_links=failed)
+    assert_outcomes_identical(again, reference, "shared-memo")
+    assert_outcomes_identical(warm, reference, "first-instance")

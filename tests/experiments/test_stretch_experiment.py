@@ -7,6 +7,7 @@ from repro.experiments.stretch import (
     FIGURE2_PANELS,
     default_schemes,
     figure2_panel,
+    resolve_figure2_panel,
     run_stretch_experiment,
 )
 from repro.failures.scenarios import single_link_failures
@@ -25,6 +26,28 @@ class TestPanelDefinitions:
     def test_unknown_panel_rejected(self):
         with pytest.raises(ExperimentError):
             figure2_panel("2z")
+
+    @pytest.mark.parametrize("spelling", ["2a", "fig2a", "figure2a", "FIG2A", "Figure 2a", "  2a  "])
+    def test_accepted_panel_spellings(self, spelling):
+        assert resolve_figure2_panel(spelling) == ("abilene", 1)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",            # empty
+            "2g",          # out of range
+            "fig",         # prefix alone
+            "figure",      # prefix alone
+            "gif2a",       # lstrip("fig") would have mangled this into a match
+            "ure2a",       # likewise for lstrip("ure")
+            "fig2a2b",     # trailing junk
+            "3a",          # wrong figure number
+            "a2",          # reversed
+        ],
+    )
+    def test_rejected_panel_spellings(self, bad):
+        with pytest.raises(ExperimentError):
+            resolve_figure2_panel(bad)
 
 
 class TestDefaultSchemes:

@@ -1,0 +1,199 @@
+"""Randomized equivalence: the compiled engine vs. the reference algorithms.
+
+The compiled shortest-path core (:mod:`repro.graph.compiled`) and its
+memoizing engine (:mod:`repro.graph.spcache`) exist purely for speed; every
+answer must be **bit-identical** to the pure reference implementations in
+:mod:`repro.graph.shortest_paths` and :mod:`repro.graph.connectivity` —
+including deterministic equal-cost tie-breaking and even the insertion order
+of the returned dicts (equal-cost sorts downstream rely on it).  This suite
+checks that over randomized multigraphs (parallel edges, random weights,
+disconnected pieces), random exclusion sets, and the real topologies.
+"""
+
+import random
+
+import pytest
+
+from repro.failures.scenarios import FailureScenario, all_affecting_pairs
+from repro.graph.compiled import CompiledGraph
+from repro.graph.connectivity import connected_components, same_component
+from repro.graph.multigraph import Graph
+from repro.graph.shortest_paths import (
+    all_pairs_shortest_costs,
+    dijkstra,
+    shortest_path_cost,
+)
+from repro.graph.spcache import ShortestPathEngine, engine_for
+from repro.errors import NoPathExists
+from repro.routing.tables import RoutingTables
+from repro.topologies.registry import by_name
+
+
+def random_graph(seed: int, nodes: int = 10, extra_edges: int = 14) -> Graph:
+    """A random connected-ish multigraph; some seeds leave isolated pieces."""
+    rng = random.Random(seed)
+    names = [f"n{i:02d}" for i in range(nodes)]
+    rng.shuffle(names)
+    graph = Graph(f"random-{seed}")
+    for name in names:
+        graph.ensure_node(name)
+    # A spanning path over a random subset keeps most seeds connected while
+    # leaving the rest as isolated nodes (the disconnected case).
+    backbone = names[: rng.randint(max(2, nodes - 3), nodes)]
+    for u, v in zip(backbone, backbone[1:]):
+        graph.add_edge(u, v, rng.choice([1.0, 1.0, 2.0, 2.5, 7.0]))
+    for _ in range(extra_edges):
+        u, v = rng.sample(names, 2)
+        graph.add_edge(u, v, rng.choice([1.0, 1.0, 1.0, 3.0, 10.0]))
+    return graph
+
+
+def random_exclusions(rng: random.Random, graph: Graph):
+    edge_ids = graph.edge_ids()
+    k = rng.randint(0, min(4, len(edge_ids)))
+    return frozenset(rng.sample(edge_ids, k))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_engine_sssp_matches_reference_dijkstra(seed):
+    graph = random_graph(seed)
+    engine = ShortestPathEngine(graph)
+    rng = random.Random(1000 + seed)
+    for _ in range(8):
+        excluded = random_exclusions(rng, graph)
+        source = rng.choice(graph.nodes())
+        ref_dist, ref_parent = dijkstra(graph, source, excluded)
+        dist, parent = engine.sssp(source, excluded)
+        assert dist == ref_dist
+        assert parent == ref_parent
+        # Insertion order matters too: RoutingTables' equal-cost hop sort is
+        # stable in it.
+        assert list(dist) == list(ref_dist)
+        assert list(parent) == list(ref_parent)
+
+
+@pytest.mark.parametrize("topology", ["abilene", "teleglobe", "geant"])
+def test_engine_sssp_matches_reference_on_real_topologies(topology):
+    graph = by_name(topology)
+    engine = engine_for(graph)
+    rng = random.Random(7)
+    for _ in range(5):
+        excluded = random_exclusions(rng, graph)
+        for source in graph.nodes():
+            ref = dijkstra(graph, source, excluded)
+            fast = engine.sssp(source, excluded)
+            assert fast[0] == ref[0] and fast[1] == ref[1]
+            assert list(fast[1]) == list(ref[1])
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_all_pairs_costs_match(seed):
+    graph = random_graph(seed, nodes=8, extra_edges=10)
+    engine = ShortestPathEngine(graph)
+    rng = random.Random(2000 + seed)
+    excluded = random_exclusions(rng, graph)
+    assert engine.all_pairs_shortest_costs(excluded) == all_pairs_shortest_costs(
+        graph, excluded
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_cost_between_matches_reference(seed):
+    graph = random_graph(seed)
+    engine = ShortestPathEngine(graph)
+    rng = random.Random(3000 + seed)
+    nodes = graph.nodes()
+    for _ in range(10):
+        excluded = random_exclusions(rng, graph)
+        source, destination = rng.sample(nodes, 2)
+        try:
+            expected = shortest_path_cost(graph, source, destination, excluded)
+        except NoPathExists:
+            with pytest.raises(NoPathExists):
+                engine.cost_between(source, destination, excluded)
+            continue
+        assert engine.cost_between(source, destination, excluded) == expected
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_component_labels_match_connectivity(seed):
+    graph = random_graph(seed)
+    engine = ShortestPathEngine(graph)
+    rng = random.Random(4000 + seed)
+    nodes = graph.nodes()
+    for _ in range(6):
+        excluded = random_exclusions(rng, graph)
+        components = connected_components(graph, excluded)
+        assert engine.is_connected(excluded) == (len(components) == 1)
+        for _ in range(15):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            assert engine.same_component(u, v, excluded) == same_component(
+                graph, u, v, excluded
+            )
+
+
+def _legacy_affecting_pairs(graph, scenario, tables):
+    """The pre-engine hop-walk implementation, verbatim."""
+    failed = set(scenario.failed_links)
+    pairs = []
+    for source in graph.nodes():
+        for destination in graph.nodes():
+            if source == destination or not tables.has_route(source, destination):
+                continue
+            node = source
+            affected = False
+            while node != destination:
+                entry = tables.entry(node, destination)
+                if entry.egress.edge_id in failed:
+                    affected = True
+                    break
+                node = entry.next_hop
+            if affected:
+                pairs.append((source, destination))
+    return pairs
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_affecting_pairs_fast_path_matches_table_walk(seed):
+    graph = random_graph(seed)
+    tables = RoutingTables(graph)
+    rng = random.Random(5000 + seed)
+    for _ in range(6):
+        excluded = random_exclusions(rng, graph)
+        scenario = FailureScenario(tuple(excluded), kind="custom")
+        fast = all_affecting_pairs(graph, scenario)
+        assert fast == _legacy_affecting_pairs(graph, scenario, tables)
+        # Same answer (and order) whether or not the default tables are
+        # passed explicitly.
+        assert fast == all_affecting_pairs(graph, scenario, tables)
+
+
+def test_affecting_pairs_with_excluded_tables_uses_walk():
+    graph = by_name("abilene")
+    pre_failed = frozenset([graph.edge_ids()[0]])
+    tables = RoutingTables(graph, excluded_edges=pre_failed)
+    scenario = FailureScenario((graph.edge_ids()[1],), kind="custom")
+    assert all_affecting_pairs(graph, scenario, tables) == _legacy_affecting_pairs(
+        graph, scenario, tables
+    )
+
+
+def test_engine_is_content_addressed():
+    one = by_name("abilene")
+    two = by_name("abilene")
+    assert one is not two
+    assert engine_for(one) is engine_for(two)
+    # Mutating a graph changes its content signature and thus its engine.
+    mutated = by_name("abilene")
+    engine_before = engine_for(mutated)
+    mutated.add_edge(mutated.nodes()[0], mutated.nodes()[-1], 5.0)
+    assert engine_for(mutated) is not engine_before
+
+
+def test_compiled_graph_exclusion_mask_round_trip():
+    graph = by_name("abilene")
+    compiled = CompiledGraph(graph)
+    edge_ids = graph.edge_ids()[:3]
+    mask = compiled.exclusion_mask(edge_ids)
+    for edge_id in graph.edge_ids():
+        assert bool((mask >> edge_id) & 1) == (edge_id in edge_ids)

@@ -1,0 +1,96 @@
+"""Tests for the ``repro bench`` benchmark harness and regression check."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner.bench import check_regression, load_bench, run_bench, write_bench
+
+
+class TestCheckRegression:
+    def _doc(self, **timings):
+        return {"timings": timings, "meta": {}}
+
+    def test_within_tolerance_passes(self):
+        baseline = self._doc(sweep_total_s=1.0)
+        current = self._doc(sweep_total_s=1.2)
+        assert check_regression(current, baseline, tolerance=0.25) == []
+
+    def test_regression_reported(self):
+        baseline = self._doc(sweep_total_s=1.0, figure2_s=0.5)
+        current = self._doc(sweep_total_s=1.3, figure2_s=0.5)
+        violations = check_regression(current, baseline, tolerance=0.25)
+        assert len(violations) == 1
+        assert "sweep_total_s" in violations[0]
+
+    def test_missing_keys_are_not_regressions(self):
+        baseline = self._doc(sweep_total_s=1.0, removed_metric_s=0.1)
+        current = self._doc(sweep_total_s=0.9, brand_new_metric_s=9.9)
+        assert check_regression(current, baseline, tolerance=0.25) == []
+
+    def test_zero_tolerance(self):
+        baseline = self._doc(sweep_total_s=1.0)
+        current = self._doc(sweep_total_s=1.0001)
+        assert check_regression(current, baseline, tolerance=0.0)
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def quick_document(self):
+        return run_bench(quick=True, workers=2)
+
+    def test_document_shape(self, quick_document):
+        timings = quick_document["timings"]
+        assert set(timings) == {
+            "figure2_s",
+            "sweep_cold_s",
+            "sweep_warm_s",
+            "sweep_parallel_s",
+            "sweep_resumed_s",
+            "sweep_total_s",
+        }
+        assert all(value >= 0 for value in timings.values())
+        assert quick_document["meta"]["quick"] is True
+        assert quick_document["meta"]["cells"] == 6
+
+    def test_total_is_sum_of_sweep_phases(self, quick_document):
+        timings = quick_document["timings"]
+        expected = (
+            timings["sweep_cold_s"]
+            + timings["sweep_warm_s"]
+            + timings["sweep_parallel_s"]
+            + timings["sweep_resumed_s"]
+        )
+        assert timings["sweep_total_s"] == pytest.approx(expected, abs=0.01)
+
+    def test_write_and_load_round_trip(self, quick_document, tmp_path):
+        path = write_bench(quick_document, tmp_path / "BENCH_sweep.json")
+        assert load_bench(path) == json.loads(path.read_text())
+
+
+class TestBenchCli:
+    def test_bench_writes_output_and_passes_generous_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"timings": {"sweep_total_s": 1e6}}))
+        output = tmp_path / "BENCH_sweep.json"
+        code = main([
+            "bench", "--quick",
+            "--output", str(output),
+            "--check", str(baseline),
+        ])
+        assert code == 0
+        assert output.exists()
+        assert "regression check" in capsys.readouterr().out
+
+    def test_bench_fails_on_impossible_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"timings": {"sweep_total_s": 1e-9}}))
+        output = tmp_path / "BENCH_sweep.json"
+        code = main([
+            "bench", "--quick",
+            "--output", str(output),
+            "--check", str(baseline),
+        ])
+        assert code == 1
+        assert "PERFORMANCE REGRESSION" in capsys.readouterr().out
