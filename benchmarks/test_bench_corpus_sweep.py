@@ -1,0 +1,77 @@
+"""S2 — corpus-sharded campaign wall-time: zoo + synthetic topologies.
+
+Anchors the perf trajectory of the topology-corpus subsystem: a single-link
+campaign sharded across committed Topology Zoo snapshots and parameterized
+synthetic instances, serial vs parallel, with the cross-topology summary
+aggregation included in the measured work.  Parallel workers build their
+topologies lazily (first cell that shards onto them) and must produce
+byte-identical payloads to the serial run.
+"""
+
+import time
+
+from repro.experiments.asciiplot import render_table
+from repro.runner import CampaignSpec, ScenarioSpec, run_campaign
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        topologies=(
+            "nsfnet1991",
+            "switch2003",
+            "garr1999",
+            "fat-tree:k=4",
+            "waxman:size=24,seed=7",
+            "barabasi-albert:size=24,m=2,seed=3",
+        ),
+        schemes=("reconvergence", "fcp"),
+        scenarios=(ScenarioSpec(kind="single-link"),),
+    )
+
+
+def _payloads(result):
+    return [{k: v for k, v in r.items() if k != "meta"} for r in result.records]
+
+
+def test_bench_corpus_sweep_serial_vs_parallel(benchmark):
+    def run():
+        timings = {}
+        spec = _spec()
+
+        started = time.perf_counter()
+        serial = run_campaign(spec, workers=1)
+        serial_rows = serial.topology_summary()
+        timings["serial"] = (time.perf_counter() - started, serial)
+
+        started = time.perf_counter()
+        parallel = run_campaign(spec, workers=2)
+        parallel.topology_summary()
+        timings["parallel (2 workers)"] = (time.perf_counter() - started, parallel)
+        return timings, serial_rows
+
+    timings, serial_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("=== Corpus sweep: 6 topologies (3 zoo + 3 synthetic), 2 schemes ===")
+    print(render_table(
+        ["run", "wall", "cells"],
+        [
+            [name, f"{wall:.2f}s", result.executed]
+            for name, (wall, result) in timings.items()
+        ],
+    ))
+    print()
+    print(render_table(
+        ["topology", "scheme", "scenarios", "delivery", "mean stretch",
+         "max", "coverage"],
+        serial_rows,
+    ))
+
+    _, serial = timings["serial"]
+    _, parallel = timings["parallel (2 workers)"]
+    spec = serial.spec
+    # One cell per (topology, scheme); one summary row each.
+    assert serial.executed == len(spec.topologies) * len(spec.schemes)
+    assert len(serial_rows) == serial.executed
+    # Sharding across workers must not change a single payload byte.
+    assert _payloads(serial) == _payloads(parallel)

@@ -21,6 +21,13 @@ pluggable scenario-model registry of :mod:`repro.scenarios`
 (:func:`available_scenario_models`, :func:`get_scenario_model`,
 :func:`register_scenario_model`), so custom scenario sets can be built and
 swept without reaching into subpackages.
+
+So does the topology corpus (:mod:`repro.topologies.corpus`):
+:func:`parse_topology_spec` / :func:`build_topology` resolve
+``name[:k=v,...]`` specs (legacy ISP maps, parameterized synthetic
+families, committed Topology Zoo snapshots), :func:`topology_set` expands
+the named corpus sets campaigns shard across, and
+:func:`register_topology_family` plugs in new families.
 """
 
 from __future__ import annotations
@@ -57,6 +64,15 @@ from repro.scenarios import (  # noqa: F401  (re-exported convenience API)
     available_scenario_models,
     get_scenario_model,
     register_scenario_model,
+)
+from repro.topologies.corpus import (  # noqa: F401  (re-exported convenience API)
+    TopologyFamily,
+    TopologySpec,
+    build_topology,
+    parse_topology_spec,
+    register_family as register_topology_family,
+    topology_set,
+    validate_topology,
 )
 
 

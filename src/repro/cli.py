@@ -4,6 +4,14 @@ The CLI exposes the operational workflow and the headline experiments so that
 the reproduction can be driven without writing Python:
 
 * ``topology``  — summarise a built-in or file-based topology.
+* ``topologies`` — inspect the topology corpus: ``topologies list``
+  tabulates every registered family (legacy ISP maps, parameterized
+  synthetic generators, committed Topology Zoo snapshots) and the named
+  corpus sets; ``topologies show SPEC`` builds one ``name[:k=v,...]`` spec
+  (or file) and summarises it; ``topologies validate --all`` builds the
+  whole corpus and checks the invariants campaigns rely on.  Example::
+
+      python -m repro topologies show waxman:size=40,seed=3 --links
 * ``embed``     — run the offline stage and write the embedding artefact.
 * ``tables``    — print one router's cycle following table.
 * ``deliver``   — forward one packet under a failure set and show the path.
@@ -28,6 +36,14 @@ the reproduction can be driven without writing Python:
       python -m repro sweep --topologies abilene geant \\
           --schemes reconvergence fcp pr --failures 4 --samples 20 \\
           --workers 4 --cache-dir .repro-cache --results campaign.jsonl
+
+  ``--topology-set zoo|synthetic|all`` shards the campaign across a whole
+  corpus set instead of (or on top of) ``--topologies``; the report then
+  leads with a cross-topology summary table (one row per topology x
+  scheme).  Example::
+
+      python -m repro sweep --topology-set all --schemes reconvergence fcp \\
+          --workers 4 --results corpus.jsonl
 
   A campaign can also be saved to / loaded from a JSON spec file
   (``--save-spec`` / ``--spec``); a second invocation with the same spec
@@ -66,6 +82,7 @@ from repro.runner import (
 from repro.runner import aggregate as campaign_aggregate
 from repro.errors import ReproError
 from repro.scenarios import available_scenario_models, get_scenario_model, registered_models
+from repro.topologies import corpus as topology_corpus
 
 
 def _parse_failed_links(graph: Graph, specs: Sequence[str]) -> List[int]:
@@ -88,16 +105,21 @@ def _parse_failed_links(graph: Graph, specs: Sequence[str]) -> List[int]:
 # ----------------------------------------------------------------------
 # sub-commands
 # ----------------------------------------------------------------------
-def _cmd_topology(args: argparse.Namespace) -> int:
-    graph = _load_topology(args.topology)
-    print(f"name: {graph.name}")
+def _print_topology_summary(graph: Graph, links: bool) -> None:
+    """The shared body of ``topology`` and ``topologies show``."""
     print(f"routers: {graph.number_of_nodes()}")
     print(f"links: {graph.number_of_edges()}")
     print(f"hop diameter: {int(diameter(graph, hop_count=True))}")
     print(f"2-edge-connected: {is_two_edge_connected(graph)}")
-    if args.links:
+    if links:
         for edge in graph.edges():
             print(f"  [{edge.edge_id}] {edge.u} -- {edge.v}  weight={edge.weight:g}")
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.topology)
+    print(f"name: {graph.name}")
+    _print_topology_summary(graph, args.links)
     return 0
 
 
@@ -265,6 +287,50 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = []
+        for family in topology_corpus.registered_families():
+            params = ", ".join(
+                f"{param.name}={param.default!r}" for param in family.params
+            )
+            rows.append([family.name, family.kind, params or "-", family.summary])
+        print(render_table(["topology", "kind", "parameters (defaults)", "summary"], rows))
+        print()
+        for set_name in topology_corpus.TOPOLOGY_SETS:
+            members = topology_corpus.topology_set(set_name)
+            print(f"set {set_name!r}: {len(members)} topologies")
+        return 0
+
+    if args.action == "show":
+        try:
+            graph = topology_corpus.build_topology(args.spec)
+        except (ReproError, OSError) as exc:
+            raise SystemExit(str(exc))
+        print(f"spec: {topology_corpus.canonical_topology(args.spec)}")
+        _print_topology_summary(graph, args.links)
+        return 0
+
+    # validate: every named spec (or a whole corpus set) must build and
+    # satisfy the invariants campaigns rely on.
+    specs = list(args.specs)
+    if args.all:
+        specs.extend(topology_corpus.topology_set("all"))
+    elif args.set:
+        specs.extend(topology_corpus.topology_set(args.set))
+    if not specs:
+        raise SystemExit("nothing to validate; pass specs, --set NAME or --all")
+    failures = 0
+    for spec in specs:
+        report = topology_corpus.validate_topology(spec)
+        print(report.describe())
+        if not report.ok:
+            failures += 1
+    print()
+    print(f"{len(specs) - failures}/{len(specs)} topologies valid")
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.bench import check_regression, load_bench, run_bench, write_bench
 
@@ -311,16 +377,24 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         raise SystemExit(
             "no scenarios selected; drop --skip-single or add --failures/--node/--model"
         )
-    return CampaignSpec(
-        topologies=tuple(args.topologies),
-        schemes=tuple(args.schemes),
-        discriminators=tuple(args.discriminators),
-        scenarios=tuple(scenarios),
-        seed=args.seed,
-        embedding_method=args.embedding_method,
-        embedding_seed=args.embedding_seed,
-        coverage=args.coverage,
-    )
+    topologies = list(args.topologies or [])
+    if args.topology_set:
+        topologies.extend(topology_corpus.topology_set(args.topology_set))
+    if not topologies:
+        topologies = ["abilene", "geant"]
+    try:
+        return CampaignSpec(
+            topologies=tuple(topologies),
+            schemes=tuple(args.schemes),
+            discriminators=tuple(args.discriminators),
+            scenarios=tuple(scenarios),
+            seed=args.seed,
+            embedding_method=args.embedding_method,
+            embedding_seed=args.embedding_seed,
+            coverage=args.coverage,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -361,34 +435,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if result.results_path is not None:
         print(f"results: {result.results_path}")
 
-    for topology in spec.topologies:
-        print()
-        print(f"=== {topology} ===")
-        curves = result.merged_ccdf(topology)
-        if curves:
-            headers = ["stretch x"] + sorted(curves)
-            print(render_table(headers, ccdf_rows(curves)))
-            if args.plot:
-                print()
-                print(render_ccdf_plot(curves, title=f"P(Stretch > x | path) — {topology}"))
-        print()
-        print(render_table(
-            ["scheme", "delivery", "mean stretch", "max", "coverage"],
-            campaign_aggregate.summary_rows(result.records, topology),
-        ))
-        if len(campaign_aggregate.families_in(result.records)) > 1:
+    # A corpus-scale sweep would print dozens of per-topology sections;
+    # beyond a few topologies the cross-topology summary table carries the
+    # report instead (pass --plot to force the detailed sections).
+    detailed = len(spec.topologies) <= 3 or args.plot
+    if detailed:
+        for topology in spec.topologies:
+            print()
+            print(f"=== {topology} ===")
+            curves = result.merged_ccdf(topology)
+            if curves:
+                headers = ["stretch x"] + sorted(curves)
+                print(render_table(headers, ccdf_rows(curves)))
+                if args.plot:
+                    print()
+                    print(render_ccdf_plot(curves, title=f"P(Stretch > x | path) — {topology}"))
             print()
             print(render_table(
-                ["family", "scheme", "scenarios", "delivery", "mean stretch",
-                 "max", "coverage"],
-                campaign_aggregate.family_summary_rows(result.records, topology),
+                ["scheme", "delivery", "mean stretch", "max", "coverage"],
+                campaign_aggregate.summary_rows(result.records, topology),
             ))
-    overheads = result.overhead_rows()
-    for topology in spec.topologies:
-        rows = overheads.get(topology)
-        if rows:
-            print()
-            print(render_overhead_table(topology, rows))
+            if len(campaign_aggregate.families_in(result.records)) > 1:
+                print()
+                print(render_table(
+                    ["family", "scheme", "scenarios", "delivery", "mean stretch",
+                     "max", "coverage"],
+                    campaign_aggregate.family_summary_rows(result.records, topology),
+                ))
+    if len(spec.topologies) > 1:
+        print()
+        print(f"=== corpus summary ({len(spec.topologies)} topologies) ===")
+        print(render_table(
+            ["topology", "scheme", "scenarios", "delivery", "mean stretch",
+             "max", "coverage"],
+            result.topology_summary(),
+        ))
+    if detailed:
+        overheads = result.overhead_rows()
+        for topology in spec.topologies:
+            rows = overheads.get(topology)
+            if rows:
+                print()
+                print(render_overhead_table(topology, rows))
     return 0
 
 
@@ -404,6 +492,38 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("topology", help="registry name (abilene/teleglobe/geant) or file path")
     topology.add_argument("--links", action="store_true", help="list every link")
     topology.set_defaults(handler=_cmd_topology)
+
+    topologies_cmd = sub.add_parser(
+        "topologies",
+        help="inspect the topology corpus (families, zoo snapshots, sets)",
+    )
+    topologies_sub = topologies_cmd.add_subparsers(dest="action", required=True)
+    topologies_list = topologies_sub.add_parser(
+        "list", help="tabulate the registered topology families and corpus sets"
+    )
+    topologies_list.set_defaults(handler=_cmd_topologies)
+    topologies_show = topologies_sub.add_parser(
+        "show", help="build one corpus spec or file and summarise it"
+    )
+    topologies_show.add_argument(
+        "spec", help="topology spec (name[:k=v,...]) or file path"
+    )
+    topologies_show.add_argument("--links", action="store_true", help="list every link")
+    topologies_show.set_defaults(handler=_cmd_topologies)
+    topologies_validate = topologies_sub.add_parser(
+        "validate", help="build corpus entries and check campaign invariants"
+    )
+    topologies_validate.add_argument(
+        "specs", nargs="*", help="topology specs or file paths to validate"
+    )
+    topologies_validate.add_argument(
+        "--set", choices=list(topology_corpus.TOPOLOGY_SETS),
+        help="also validate every member of this corpus set",
+    )
+    topologies_validate.add_argument(
+        "--all", action="store_true", help="validate the whole corpus (set 'all')"
+    )
+    topologies_validate.set_defaults(handler=_cmd_topologies)
 
     embed_cmd = sub.add_parser("embed", help="compute the cellular embedding (offline stage)")
     embed_cmd.add_argument("topology")
@@ -494,8 +614,13 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a parallel experiment campaign over the evaluation grid",
     )
-    sweep.add_argument("--topologies", nargs="+", default=["abilene", "geant"],
-                       help="registry names or edge-list file paths")
+    sweep.add_argument("--topologies", nargs="+", default=None,
+                       help="corpus specs (name[:k=v,...]) or topology file "
+                            "paths; defaults to abilene geant unless "
+                            "--topology-set is given")
+    sweep.add_argument("--topology-set", choices=list(topology_corpus.TOPOLOGY_SETS),
+                       help="also sweep a whole corpus set (zoo snapshots, "
+                            "seeded synthetic instances, or both)")
     sweep.add_argument("--schemes", nargs="+", default=["reconvergence", "fcp", "pr"],
                        choices=available_schemes(), metavar="SCHEME",
                        help=f"schemes to sweep (choices: {', '.join(available_schemes())})")

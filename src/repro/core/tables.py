@@ -21,7 +21,7 @@ Both facts are verified against the paper's Table 1 in the test-suite.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import ProtocolError
 from repro.embedding.builder import CellularEmbedding

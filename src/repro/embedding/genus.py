@@ -18,7 +18,7 @@ below therefore maximise the number of faces:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import NotPlanar
 from repro.graph.darts import Dart

@@ -27,7 +27,7 @@ vertices by concatenation, which preserves genus 0.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DisconnectedGraph, EmbeddingError, NotPlanar
 from repro.graph.connectivity import biconnected_edge_components, is_connected

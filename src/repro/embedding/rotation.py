@@ -10,7 +10,7 @@ about the surface explicitly: the rotation system *is* the embedding.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InvalidRotationSystem
 from repro.graph.darts import Dart

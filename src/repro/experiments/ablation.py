@@ -15,7 +15,7 @@ Two knobs of PR affect the stretch/overhead trade-off:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.scheme import PacketRecycling
 from repro.embedding.builder import embed

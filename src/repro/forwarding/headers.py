@@ -14,7 +14,7 @@ accounting only counts the fields that scheme actually uses.
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Iterable, Optional, Set
+from typing import FrozenSet, Optional, Set
 
 from repro.errors import HeaderFieldOverflow
 

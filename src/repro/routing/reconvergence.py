@@ -17,7 +17,7 @@ of this process are needed by the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.graph.multigraph import Graph
 from repro.graph.shortest_paths import dijkstra

@@ -33,6 +33,7 @@ from repro.runner.spec import (
     CampaignSpec,
     ScenarioSpec,
     available_schemes,
+    corpus_campaign_spec,
     figure2_campaign_spec,
     node_failure_campaign_spec,
     scenario_model_campaign_spec,
@@ -48,6 +49,7 @@ from repro.runner.aggregate import (
     scenario_family,
     stretch_result_from_records,
     summary_rows,
+    topology_summary_rows,
 )
 from repro.runner.executor import (
     CampaignResult,
@@ -71,6 +73,7 @@ __all__ = [
     "build_scheme",
     "cached_embedding",
     "check_regression",
+    "corpus_campaign_spec",
     "coverage_reports",
     "families_in",
     "family_summary_rows",
@@ -88,4 +91,5 @@ __all__ = [
     "stretch_result_from_records",
     "summary_rows",
     "topology_fingerprint",
+    "topology_summary_rows",
 ]

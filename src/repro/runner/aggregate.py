@@ -25,6 +25,7 @@ from repro.core.coverage import CoverageReport
 from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
 from repro.metrics.overhead import OverheadRow
 from repro.metrics.stretch import StretchSample
+from repro.topologies.corpus import TOPOLOGY_FILE_SUFFIXES
 
 Record = Dict[str, Any]
 
@@ -97,6 +98,22 @@ def scheme_label(record: Record, records: Sequence[Record]) -> str:
     return f'{record["scheme_name"]} [{record.get("discriminator")}]'
 
 
+def _scheme_labels(records: Sequence[Record]) -> List[str]:
+    """:func:`scheme_label` for every record, deciding the format once.
+
+    The multi-discriminator check scans the whole record set; calling
+    :func:`scheme_label` per record would redo that scan per record
+    (quadratic on corpus-scale campaigns).
+    """
+    multi = len({r.get("discriminator") for r in records}) > 1
+    if not multi:
+        return [record["scheme_name"] for record in records]
+    return [
+        f'{record["scheme_name"]} [{record.get("discriminator")}]'
+        for record in records
+    ]
+
+
 def merged_ccdf(
     records: Sequence[Record], topology: Optional[str] = None
 ) -> Dict[str, List[Tuple[float, float]]]:
@@ -110,8 +127,7 @@ def merged_ccdf(
     order: List[str] = []
     weights: Dict[str, int] = {}
     sums: Dict[str, Dict[float, float]] = {}
-    for record in selected:
-        name = scheme_label(record, selected)
+    for record, name in zip(selected, _scheme_labels(selected)):
         if name not in order:
             order.append(name)
         count = record["payload"]["n_stretch"]
@@ -193,8 +209,7 @@ def stretch_result_from_records(
 
     by_scheme: Dict[str, List[StretchSample]] = {}
     scenario_cells: Dict[Tuple[object, ...], Record] = {}
-    for record in selected:
-        name = scheme_label(record, selected)
+    for record, name in zip(selected, _scheme_labels(selected)):
         by_scheme.setdefault(name, []).extend(_samples_from_record(record, name))
         scenario_key = tuple(sorted(record["scenario"].items()))
         scenario_cells.setdefault(scenario_key, record)
@@ -220,9 +235,17 @@ def stretch_result_from_records(
 
 
 def load_name(record: Record) -> str:
-    """The display name of a record's topology (registry key or file stem)."""
-    topology = record["topology"]
-    return topology.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    """The display name of a record's topology.
+
+    File paths reduce to their stem; corpus specs (which may contain dots
+    inside parameter values, e.g. ``waxman:alpha=0.6,...``) pass through
+    unchanged.
+    """
+    topology = record["topology"].replace("\\", "/").rsplit("/", 1)[-1]
+    for suffix in TOPOLOGY_FILE_SUFFIXES:
+        if topology.lower().endswith(suffix):
+            return topology[: -len(suffix)]
+    return topology
 
 
 def coverage_reports(
@@ -230,8 +253,7 @@ def coverage_reports(
 ) -> Dict[Tuple[str, str], CoverageReport]:
     """Summed :class:`CoverageReport` per (topology, scheme display name)."""
     reports: Dict[Tuple[str, str], CoverageReport] = {}
-    for record in records:
-        name = scheme_label(record, records)
+    for record, name in zip(records, _scheme_labels(records)):
         key = (record["topology"], name)
         report = reports.setdefault(key, CoverageReport(scheme=name))
         coverage = record["payload"]["coverage"]
@@ -253,8 +275,7 @@ def overhead_rows(records: Sequence[Record]) -> Dict[str, List[OverheadRow]]:
     """
     tables: Dict[str, List[OverheadRow]] = {}
     seen: set = set()
-    for record in records:
-        name = scheme_label(record, records)
+    for record, name in zip(records, _scheme_labels(records)):
         key = (record["topology"], name)
         if key in seen:
             continue
@@ -322,12 +343,36 @@ def summary_rows(
 ) -> List[List[object]]:
     """Per-scheme summary table rows (delivery, pooled mean/max stretch)."""
     selected = records_for(records, topology)
-    keys = [(scheme_label(record, selected),) for record in selected]
+    keys = [(name,) for name in _scheme_labels(selected)]
     totals = _pooled_totals(selected, keys)
     return [
         [name] + _totals_columns(totals[(name,)])
         for (name,) in dict.fromkeys(keys)
     ]
+
+
+def topology_summary_rows(records: Sequence[Record]) -> List[List[object]]:
+    """Per-(topology, scheme) summary rows spanning a whole corpus sweep.
+
+    The cross-topology companion of :func:`summary_rows`: one row per
+    (topology, scheme display name) pair in first-seen order, so a campaign
+    sharded over dozens of corpus topologies aggregates into one table in a
+    single pass over the records instead of one :func:`records_for` scan per
+    topology.
+    """
+    keys = [
+        (record["topology"], name)
+        for record, name in zip(records, _scheme_labels(records))
+    ]
+    totals = _pooled_totals(records, keys)
+    rows: List[List[object]] = []
+    for topology, name in dict.fromkeys(keys):
+        entry = totals[(topology, name)]
+        rows.append(
+            [topology, name, f"{int(entry['scenarios'])}"]
+            + _totals_columns(entry)
+        )
+    return rows
 
 
 def family_summary_rows(
@@ -342,8 +387,8 @@ def family_summary_rows(
     """
     selected = records_for(records, topology)
     keys = [
-        (scenario_family(record), scheme_label(record, selected))
-        for record in selected
+        (scenario_family(record), name)
+        for record, name in zip(selected, _scheme_labels(selected))
     ]
     totals = _pooled_totals(selected, keys)
     rows: List[List[object]] = []

@@ -9,7 +9,11 @@ wall-clock timings as a JSON artifact (``BENCH_*.json``):
 * **sweep** — a (topologies × schemes) campaign executed four ways: cold
   (offline embedding computed and persisted), warm (artifact cache hit,
   in-process engine caches hot), parallel (worker processes) and resumed
-  (every cell skipped via the JSONL store).
+  (every cell skipped via the JSONL store);
+* **corpus** — a corpus-sharded single-link campaign over zoo snapshots and
+  parameterized synthetic instances (quick mode uses a 4-topology slice,
+  full mode the entire ``all`` set), exercising lazy per-worker topology
+  construction and the cross-topology aggregation path.
 
 The CI benchmark-regression step runs ``repro bench --quick --check
 benchmarks/bench_baseline.json``: the run fails when any timing regresses
@@ -27,7 +31,27 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro.runner.executor import run_campaign
-from repro.runner.spec import CampaignSpec, ScenarioSpec, figure2_campaign_spec
+from repro.runner.spec import (
+    CampaignSpec,
+    ScenarioSpec,
+    corpus_campaign_spec,
+    figure2_campaign_spec,
+)
+
+
+def _corpus_spec(quick: bool) -> CampaignSpec:
+    if quick:
+        return CampaignSpec(
+            topologies=(
+                "nsfnet1991",
+                "switch2003",
+                "fat-tree:k=4",
+                "waxman:size=24,seed=7",
+            ),
+            schemes=("reconvergence", "fcp"),
+            scenarios=(ScenarioSpec(kind="single-link"),),
+        )
+    return corpus_campaign_spec("all")
 
 
 def _sweep_spec(quick: bool) -> CampaignSpec:
@@ -60,6 +84,13 @@ def run_bench(
         started = time.perf_counter()
         run_campaign(_figure2_spec(quick), workers=1, cache_dir=cache_dir)
         timings["figure2_s"] = time.perf_counter() - started
+
+    # The cross-topology aggregation is part of the corpus workload: the
+    # sweep is not done until the per-topology summary exists.
+    started = time.perf_counter()
+    corpus_result = run_campaign(_corpus_spec(quick), workers=1)
+    corpus_rows = len(corpus_result.topology_summary())
+    timings["corpus_sweep_s"] = time.perf_counter() - started
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         cache_dir = Path(tmp) / "cache"
@@ -100,6 +131,8 @@ def run_bench(
             "quick": quick,
             "workers": workers,
             "cells": cells,
+            "corpus_topologies": len(corpus_result.spec.topologies),
+            "corpus_summary_rows": corpus_rows,
             "offline_cold_s": round(offline_cold, 4),
             "resumed_skipped": resumed_skipped,
             "python": platform.python_version(),

@@ -30,7 +30,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.baselines.fcp import FailureCarryingPackets
 from repro.baselines.lfa import LoopFreeAlternates
@@ -58,34 +58,44 @@ from repro.runner import aggregate
 from repro.runner.cache import ArtifactCache, cached_embedding
 from repro.runner.spec import EMBEDDING_SCHEMES, SCHEME_NAMES, CampaignCell, CampaignSpec
 from repro.scenarios import get_scenario_model
-from repro.topologies.parser import load_graph
-from repro.topologies.registry import available_topologies, by_name
+from repro.topologies import corpus
 
 
 #: Per-process topology memo: a campaign's cells repeatedly load the same
 #: few topologies, and a shared ``Graph`` object lets every cell of a worker
-#: resolve to the same shortest-path engine without re-parsing anything.
-#: File-based topologies are keyed by (path, mtime, size) so an edited file
-#: is reloaded.
+#: resolve to the same shortest-path engine without re-parsing or
+#: re-generating anything — corpus topologies are constructed lazily, once
+#: per worker, on the first cell that shards onto them.  Corpus specs are
+#: keyed by their canonical form; file-based topologies by (path, mtime,
+#: size) so an edited file is reloaded.
 _TOPOLOGY_CACHE: Dict[Tuple, Graph] = {}
 
 
 def load_topology(spec: str) -> Graph:
-    """A registry name (``abilene``) or a path to an edge-list file."""
-    if spec.lower() in available_topologies():
-        key: Tuple = ("registry", spec.lower())
+    """A corpus topology spec (``name[:k=v,...]``) or a path to a topology file.
+
+    Corpus specs cover the legacy registry names (``abilene``), the
+    parameterized synthetic families (``waxman:size=40,seed=3``) and the
+    committed zoo snapshots (``nsfnet1991``); anything else is treated as a
+    path to a GraphML or edge-list file.
+    """
+    parsed = corpus.try_parse_spec(spec)
+    if parsed is not None:
+        key: Tuple = ("corpus", parsed.canonical)
     else:
         try:
             stat = os.stat(spec)
         except OSError:
-            return load_graph(spec)  # surface the parser's missing-file error
+            # Not a registered name and not a file: surface the loader's
+            # missing-file error.
+            return corpus.load_topology_file(spec)
         key = ("file", spec, stat.st_mtime_ns, stat.st_size)
     graph = _TOPOLOGY_CACHE.get(key)
     if graph is None:
-        if key[0] == "registry":
-            graph = by_name(spec)
+        if parsed is not None:
+            graph = parsed.build()
         else:
-            graph = load_graph(spec)
+            graph = corpus.load_topology_file(spec)
         if len(_TOPOLOGY_CACHE) >= 64:
             _TOPOLOGY_CACHE.clear()
         _TOPOLOGY_CACHE[key] = graph
@@ -418,6 +428,10 @@ class CampaignResult:
 
     def family_summary(self, topology: Optional[str] = None):
         return aggregate.family_summary_rows(self.records, topology)
+
+    def topology_summary(self):
+        """Per-(topology, scheme) rows spanning the whole corpus swept."""
+        return aggregate.topology_summary_rows(self.records)
 
     def _executed_records(self) -> List[Dict[str, Any]]:
         """Records produced by this invocation (resumed records excluded)."""

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 from repro.errors import ExperimentError
 from repro.routing.discriminator import DiscriminatorKind
 from repro.scenarios import get_scenario_model
+from repro.topologies.corpus import canonical_topology, topology_set
 
 #: Scheme registry keys accepted by campaign specs, with their display names
 #: (the ``name`` attribute of the scheme class the executor instantiates).
@@ -258,8 +259,15 @@ class CampaignCell:
 class CampaignSpec:
     """A declarative sweep grid over the evaluation dimensions.
 
-    ``topologies`` entries are registry names (``"abilene"``) or paths to
-    edge-list files; ``schemes`` are keys of :data:`SCHEME_NAMES`;
+    ``topologies`` entries are corpus topology specs — registry names
+    (``"abilene"``), parameterized synthetic instances
+    (``"waxman:size=40,seed=3"``), committed zoo snapshots
+    (``"nsfnet1991"``) — or paths to GraphML / edge-list files.  Corpus
+    specs are canonicalised at construction (family lowercased, every
+    declared parameter resolved, name-sorted), so two spellings of the same
+    instance produce identical cell ids and cache keys; see
+    :func:`repro.topologies.corpus.parse_topology_spec`.  ``schemes`` are
+    keys of :data:`SCHEME_NAMES`;
     ``discriminators`` are :class:`~repro.routing.discriminator.DiscriminatorKind`
     values.  ``coverage`` selects which pairs are delivery-accounted:
     ``"affected"`` measures only pairs whose failure-free path broke (the
@@ -284,7 +292,16 @@ class CampaignSpec:
             # produce duplicate cells (same cell_id, double-counted results).
             return tuple(dict.fromkeys(values))
 
-        object.__setattr__(self, "topologies", unique(self.topologies))
+        # Canonicalising before dedup folds distinct spellings of the same
+        # corpus instance ("WAXMAN:seed=3,size=40" vs the sorted,
+        # default-resolved form) into one grid entry; file paths pass
+        # through untouched.  Bad params of a *known* family raise here —
+        # at spec construction — rather than inside a worker process.
+        object.__setattr__(
+            self,
+            "topologies",
+            unique(canonical_topology(entry) for entry in self.topologies),
+        )
         object.__setattr__(self, "schemes", unique(self.schemes))
         object.__setattr__(self, "discriminators", unique(self.discriminators))
         object.__setattr__(self, "scenarios", unique(self.scenarios))
@@ -436,6 +453,26 @@ def node_failure_campaign_spec(
     return CampaignSpec(
         topologies=tuple(topologies),
         scenarios=(ScenarioSpec(kind="node"),),
+        seed=seed,
+    )
+
+
+def corpus_campaign_spec(
+    topology_set_name: str = "all",
+    schemes: Sequence[str] = ("reconvergence", "fcp"),
+    seed: int = 1,
+) -> CampaignSpec:
+    """A single-link-failure campaign sharded across a named corpus set.
+
+    ``topology_set_name`` is one of ``zoo`` / ``synthetic`` / ``all`` (see
+    :func:`repro.topologies.corpus.topology_set`).  The default schemes skip
+    the embedding-bearing PR variants so the corpus-wide sweep stays cheap;
+    pass ``schemes=("reconvergence", "fcp", "pr")`` for the full comparison.
+    """
+    return CampaignSpec(
+        topologies=tuple(topology_set(topology_set_name)),
+        schemes=tuple(schemes),
+        scenarios=(ScenarioSpec(kind="single-link"),),
         seed=seed,
     )
 

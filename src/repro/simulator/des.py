@@ -12,7 +12,7 @@ PR?*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.forwarding.network_state import NetworkState

@@ -15,9 +15,12 @@ from repro.topologies.abilene import abilene
 from repro.topologies.geant import geant
 from repro.topologies.teleglobe import teleglobe
 from repro.topologies.generators import (
+    barabasi_albert_graph,
     barbell_graph,
     complete_graph,
+    er_giant_component_graph,
     erdos_renyi_graph,
+    fat_tree_graph,
     grid_graph,
     k33_graph,
     k5_graph,
@@ -29,10 +32,46 @@ from repro.topologies.generators import (
     waxman_graph,
     wheel_graph,
 )
+from repro.topologies.graphml import graph_from_graphml, load_graphml
 from repro.topologies.parser import graph_from_text, graph_to_text, load_graph, save_graph
 from repro.topologies.registry import available_topologies, by_name
+from repro.topologies.corpus import (
+    TopologyFamily,
+    TopologyParam,
+    TopologySpec,
+    TopologyValidation,
+    build_topology,
+    canonical_topology,
+    family_names,
+    get_family,
+    load_topology_file,
+    parse_topology_spec,
+    register_family,
+    registered_families,
+    topology_set,
+    validate_topology,
+)
 
 __all__ = [
+    "TopologyFamily",
+    "TopologyParam",
+    "TopologySpec",
+    "TopologyValidation",
+    "build_topology",
+    "canonical_topology",
+    "family_names",
+    "get_family",
+    "load_topology_file",
+    "parse_topology_spec",
+    "register_family",
+    "registered_families",
+    "topology_set",
+    "validate_topology",
+    "barabasi_albert_graph",
+    "er_giant_component_graph",
+    "fat_tree_graph",
+    "graph_from_graphml",
+    "load_graphml",
     "example_fig1",
     "example_fig1_embedding",
     "abilene",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import TopologyError
 from repro.graph.connectivity import is_connected
@@ -255,6 +255,131 @@ def random_planar_graph(
             graph.add_edge(f"r{row}c{col}", f"r{row + 1}c{col + 1}", 1.0)
         else:
             graph.add_edge(f"r{row}c{col + 1}", f"r{row + 1}c{col}", 1.0)
+    return graph
+
+
+def barabasi_albert_graph(
+    size: int,
+    attachments: int = 2,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Barabási–Albert preferential-attachment graph (scale-free degrees).
+
+    The graph starts as a clique on ``attachments + 1`` nodes; every further
+    node attaches to ``attachments`` *distinct* existing nodes chosen with
+    probability proportional to their current degree (implemented with the
+    classic repeated-endpoints urn).  Always connected by construction, with
+    the hub-and-spoke degree skew of real AS- and router-level graphs.
+    """
+    if attachments < 1:
+        raise TopologyError("Barabási–Albert needs at least 1 attachment per node")
+    if size < attachments + 2:
+        raise TopologyError(
+            f"a Barabási–Albert graph with m={attachments} needs at least "
+            f"{attachments + 2} nodes"
+        )
+    rng = random.Random(seed)
+    graph = Graph(f"ba-{size}-{attachments}")
+    core = attachments + 1
+    for index in range(core):
+        graph.ensure_node(_node(index))
+    #: One entry per edge endpoint — sampling it uniformly is sampling nodes
+    #: proportionally to degree.
+    urn: List[int] = []
+    for left, right in itertools.combinations(range(core), 2):
+        graph.add_edge(_node(left), _node(right), 1.0)
+        urn.extend((left, right))
+    for index in range(core, size):
+        targets: List[int] = []
+        while len(targets) < attachments:
+            candidate = urn[rng.randrange(len(urn))]
+            if candidate not in targets:
+                targets.append(candidate)
+        graph.ensure_node(_node(index))
+        for target in targets:
+            graph.add_edge(_node(index), _node(target), 1.0)
+            urn.extend((index, target))
+    return graph
+
+
+def fat_tree_graph(arity: int, weight: float = 1.0) -> Graph:
+    """A k-ary fat-tree switch fabric (core, aggregation and edge layers).
+
+    ``arity`` (the classic ``k``) must be even: the fabric has ``(k/2)^2``
+    core switches and ``k`` pods of ``k/2`` aggregation plus ``k/2`` edge
+    switches.  Aggregation switch ``i`` of every pod uplinks to core switches
+    ``i*(k/2) .. (i+1)*(k/2)-1``; within a pod every edge switch connects to
+    every aggregation switch.  Hosts are omitted (router-level topology).
+    """
+    if arity < 2 or arity % 2:
+        raise TopologyError("a fat-tree needs an even arity k >= 2")
+    half = arity // 2
+    graph = Graph(f"fat-tree-{arity}")
+    cores = [f"c{index}" for index in range(half * half)]
+    for core in cores:
+        graph.ensure_node(core)
+    for pod in range(arity):
+        aggs = [f"p{pod}a{index}" for index in range(half)]
+        edges = [f"p{pod}e{index}" for index in range(half)]
+        for node in aggs + edges:
+            graph.ensure_node(node)
+        for index, agg in enumerate(aggs):
+            for slot in range(half):
+                graph.add_edge(agg, cores[index * half + slot], weight)
+        for edge in edges:
+            for agg in aggs:
+                graph.add_edge(edge, agg, weight)
+    return graph
+
+
+def er_giant_component_graph(
+    size: int,
+    probability: float,
+    seed: Optional[int] = None,
+) -> Graph:
+    """The giant component of one G(n, p) sample, nodes relabelled densely.
+
+    Unlike :func:`erdos_renyi_graph` (which patches the sample into
+    connectivity with ring edges), this keeps the *organic* connected
+    structure of the sample: draw G(n, p) once, keep the largest connected
+    component, drop the rest.  Nodes are renamed ``n0, n1, ...`` in original
+    order so that the result has the same dense naming as the other
+    generators.  Raises if the giant component has fewer than 3 nodes —
+    raise ``probability`` (or ``size``) instead of resampling, so the output
+    stays a pure function of the seed.
+    """
+    sample = erdos_renyi_graph(size, probability, seed=seed, ensure_connectivity=False)
+    components: Dict[str, int] = {}
+    members: Dict[int, List[str]] = {}
+    for node in sample.nodes():
+        if node in components:
+            continue
+        label = len(members)
+        stack = [node]
+        components[node] = label
+        members[label] = [node]
+        while stack:
+            current = stack.pop()
+            for neighbor in sample.neighbors(current):
+                if neighbor not in components:
+                    components[neighbor] = label
+                    members[label].append(neighbor)
+                    stack.append(neighbor)
+    giant = max(members.values(), key=len)
+    if len(giant) < 3:
+        raise TopologyError(
+            f"the giant component of G({size}, {probability}) with this seed "
+            f"has only {len(giant)} nodes; raise probability or size"
+        )
+    keep = set(giant)
+    ordered = [node for node in sample.nodes() if node in keep]
+    renamed = {node: _node(index) for index, node in enumerate(ordered)}
+    graph = Graph(f"er-giant-{size}-{probability}")
+    for node in ordered:
+        graph.ensure_node(renamed[node])
+    for edge in sample.edges():
+        if edge.u in keep and edge.v in keep:
+            graph.add_edge(renamed[edge.u], renamed[edge.v], edge.weight)
     return graph
 
 

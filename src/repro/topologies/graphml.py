@@ -1,0 +1,201 @@
+"""GraphML topology ingestion (the Topology Zoo interchange format).
+
+The `Internet Topology Zoo <http://www.topology-zoo.org/>`_ publishes its
+network maps as GraphML.  This loader reads the subset of GraphML those
+files use — ``<key>`` attribute declarations, ``<node>``/``<edge>`` elements
+with ``<data>`` children — into the package's :class:`~repro.graph.multigraph.Graph`,
+with strict validation:
+
+* malformed XML, missing node ids, duplicate node ids/labels and edges that
+  reference undeclared nodes all raise :class:`~repro.errors.TopologyError`;
+* link weights are read from a ``weight`` (or ``LinkWeight``) edge attribute
+  when present, coerced to a positive finite float, defaulting to ``1.0``;
+* parallel links are governed by ``multi``: kept as multigraph edges
+  (``"keep"``, the default — ISP PoP pairs routinely run parallel links),
+  collapsed to the minimum-weight link (``"merge"``), or rejected
+  (``"error"``);
+* directed exports (``edgedefault="directed"``) conventionally list every
+  trunk twice, once per direction — reciprocal duplicates of one unordered
+  pair collapse to the first occurrence instead of doubling the link count;
+* self-loops (which occur in a few Zoo exports) are dropped — a router-level
+  topology has no use for them.
+
+Node display names prefer the Zoo's ``label`` attribute (city names) when
+every node has one and they are unique; otherwise the raw GraphML ids are
+used.  Either way the naming is deterministic, so content-addressed caches
+key the same file to the same fingerprint on every load.
+"""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import TopologyError
+from repro.graph.multigraph import Graph
+
+#: Edge attribute names (``attr.name`` of a ``<key>`` declaration) accepted
+#: as the link weight, in preference order, matched case-insensitively.
+_WEIGHT_ATTRS = ("weight", "linkweight", "cost", "metric")
+
+_MULTI_MODES = ("keep", "merge", "error")
+
+
+def _local(tag: str) -> str:
+    """Tag name with any ``{namespace}`` prefix stripped."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _data_values(element: ElementTree.Element) -> Dict[str, str]:
+    """``key id -> text`` for the ``<data>`` children of one element."""
+    values: Dict[str, str] = {}
+    for child in element:
+        if _local(child.tag) == "data" and child.get("key") is not None:
+            values[child.get("key", "")] = (child.text or "").strip()
+    return values
+
+
+def _coerce_weight(text: str, context: str) -> float:
+    try:
+        weight = float(text)
+    except ValueError:
+        raise TopologyError(f"{context}: weight {text!r} is not a number") from None
+    if not math.isfinite(weight):
+        raise TopologyError(f"{context}: weight {text!r} is not finite")
+    if weight <= 0:
+        raise TopologyError(f"{context}: weight must be positive, got {weight:g}")
+    return weight
+
+
+def graph_from_graphml(
+    text: str,
+    name: str = "network",
+    multi: str = "keep",
+) -> Graph:
+    """Parse a GraphML document into a :class:`Graph`.
+
+    ``multi`` selects the parallel-link policy (see the module docstring).
+    """
+    if multi not in _MULTI_MODES:
+        raise TopologyError(
+            f"unknown multi-edge mode {multi!r}; expected one of {_MULTI_MODES}"
+        )
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise TopologyError(f"malformed GraphML: {exc}") from None
+    if _local(root.tag) != "graphml":
+        raise TopologyError(
+            f"not a GraphML document (root element {_local(root.tag)!r})"
+        )
+
+    # <key> declarations: key id -> declared attribute name (lowercased).
+    attr_names: Dict[str, str] = {}
+    for element in root.iter():
+        if _local(element.tag) == "key" and element.get("id") is not None:
+            attr_names[element.get("id", "")] = (
+                element.get("attr.name") or element.get("yfiles.type") or ""
+            ).lower()
+
+    graphs = [element for element in root if _local(element.tag) == "graph"]
+    if not graphs:
+        raise TopologyError("GraphML document declares no <graph> element")
+    graph_element = graphs[0]
+    # Directed exports conventionally list every trunk twice (A->B and
+    # B->A); loading those as two undirected links would double every count,
+    # so reciprocal duplicates of one unordered pair collapse to the first.
+    directed = graph_element.get("edgedefault") == "directed"
+
+    # First pass: nodes, with duplicate-id and duplicate-label detection.
+    ids: List[str] = []
+    labels: Dict[str, Optional[str]] = {}
+    edges: List[Tuple[str, str, float]] = []
+    for element in graph_element:
+        tag = _local(element.tag)
+        if tag == "node":
+            node_id = element.get("id")
+            if node_id is None:
+                raise TopologyError("GraphML node without an id attribute")
+            if node_id in labels:
+                raise TopologyError(f"duplicate GraphML node id {node_id!r}")
+            label: Optional[str] = None
+            for key, value in _data_values(element).items():
+                if attr_names.get(key) == "label" and value:
+                    label = value
+            ids.append(node_id)
+            labels[node_id] = label
+        elif tag == "edge":
+            source, target = element.get("source"), element.get("target")
+            if source is None or target is None:
+                raise TopologyError("GraphML edge without source/target attributes")
+            weight = 1.0
+            values = _data_values(element)
+            for attr in _WEIGHT_ATTRS:
+                found = [
+                    value for key, value in values.items()
+                    if attr_names.get(key) == attr and value
+                ]
+                if found:
+                    weight = _coerce_weight(
+                        found[0], f"edge {source!r} -- {target!r}"
+                    )
+                    break
+            edges.append((source, target, weight))
+
+    if not ids:
+        raise TopologyError("GraphML graph declares no nodes")
+    undeclared = sorted(
+        {endpoint for u, v, _ in edges for endpoint in (u, v)} - set(labels)
+    )
+    if undeclared:
+        raise TopologyError(
+            f"GraphML edges reference undeclared node ids {undeclared!r}"
+        )
+
+    # City labels are friendlier than numeric ids, but only usable when they
+    # unambiguously name every node.
+    label_values = [labels[node_id] for node_id in ids]
+    if all(label_values) and len(set(label_values)) == len(label_values):
+        display = {node_id: labels[node_id] for node_id in ids}
+    else:
+        display = {node_id: node_id for node_id in ids}
+
+    graph = Graph(name)
+    for node_id in ids:
+        graph.ensure_node(display[node_id])
+    seen_pairs = set()
+    for source, target, weight in edges:
+        u, v = display[source], display[target]
+        if u == v:
+            continue  # self-loop: meaningless at the router level
+        if directed:
+            pair = (u, v) if u <= v else (v, u)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+        if graph.has_edge_between(u, v):
+            if multi == "error":
+                raise TopologyError(f"parallel link {u!r} -- {v!r} (multi='error')")
+            if multi == "merge":
+                # Collapse to the cheapest parallel link.
+                [existing] = graph.edge_ids_between(u, v)
+                if weight < graph.weight(existing):
+                    graph.remove_edge(existing)
+                    graph.add_edge(u, v, weight)
+                continue
+        graph.add_edge(u, v, weight)
+    if graph.number_of_edges() == 0:
+        raise TopologyError(f"GraphML graph {name!r} has no usable links")
+    return graph
+
+
+def load_graphml(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    multi: str = "keep",
+) -> Graph:
+    """Load a GraphML topology file."""
+    path = Path(path)
+    return graph_from_graphml(path.read_text(), name=name or path.stem, multi=multi)

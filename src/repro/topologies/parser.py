@@ -20,7 +20,8 @@ def graph_from_text(text: str, name: str = "network") -> Graph:
 
     Each non-empty, non-comment line is ``<node> <node> [<weight>]``.  Nodes
     appearing only in a ``node <name>`` line (no links) are allowed so that
-    topologies with isolated routers can at least be represented.
+    topologies with isolated routers can at least be represented; declaring
+    a name that already exists is rejected as a duplicate.
     """
     graph = Graph(name)
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
@@ -31,6 +32,10 @@ def graph_from_text(text: str, name: str = "network") -> Graph:
         if parts[0] == "node":
             if len(parts) != 2:
                 raise TopologyError(f"line {line_number}: expected 'node <name>'")
+            if graph.has_node(parts[1]):
+                raise TopologyError(
+                    f"line {line_number}: duplicate node name {parts[1]!r}"
+                )
             graph.ensure_node(parts[1])
             continue
         if len(parts) == 2:

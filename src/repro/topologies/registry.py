@@ -1,34 +1,43 @@
-"""Registry of the named topologies used by the experiment runners."""
+"""Registry of the named topologies used by the experiment runners.
+
+Since the corpus subsystem (:mod:`repro.topologies.corpus`) this module is a
+thin compatibility facade: names resolve against the corpus family registry,
+which also holds the parameterized synthetic generators and the committed
+Topology Zoo snapshots.  :func:`by_name` keeps its historical contract —
+case-insensitive lookup of a *parameter-free* build — while parameterized
+instances go through :func:`repro.topologies.corpus.parse_topology_spec`.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
-from repro.errors import TopologyError
 from repro.graph.multigraph import Graph
-from repro.topologies.abilene import abilene
-from repro.topologies.example import example_fig1
-from repro.topologies.geant import geant
-from repro.topologies.teleglobe import teleglobe
-
-_REGISTRY: Dict[str, Callable[[], Graph]] = {
-    "abilene": abilene,
-    "teleglobe": teleglobe,
-    "geant": geant,
-    "fig1-example": example_fig1,
-}
+from repro.topologies import corpus
 
 
 def available_topologies() -> List[str]:
-    """Names accepted by :func:`by_name`, in display order."""
-    return list(_REGISTRY)
+    """Names accepted by :func:`by_name`, as a sorted copy.
+
+    The list is rebuilt on every call (callers cannot mutate the registry
+    through it) and sorted, so display order no longer leaks registration
+    order.  Parameterized synthetic families are included — :func:`by_name`
+    builds them with their declared defaults.
+    """
+    return corpus.family_names()
 
 
 def by_name(name: str) -> Graph:
-    """Build a topology by its registry name (case-insensitive)."""
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise TopologyError(
-            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
-        )
-    return _REGISTRY[key]()
+    """Build a topology by its registry name (case-insensitive).
+
+    Unknown names raise :class:`~repro.errors.TopologyError` reporting the
+    name exactly as it was attempted (original case preserved), so a
+    case-mismatched or misspelled lookup is traceable to its call site.
+    Parameterized families build with their declared defaults; pass a
+    ``name:k=v,...`` spec through :func:`corpus.build_topology` to override.
+    """
+    family = corpus.get_family(name)
+    spec = corpus.TopologySpec(
+        family.name, tuple(sorted(family.default_params().items()))
+    )
+    return spec.build()

@@ -44,6 +44,7 @@ class TestRunBench:
         timings = quick_document["timings"]
         assert set(timings) == {
             "figure2_s",
+            "corpus_sweep_s",
             "sweep_cold_s",
             "sweep_warm_s",
             "sweep_parallel_s",
@@ -53,6 +54,9 @@ class TestRunBench:
         assert all(value >= 0 for value in timings.values())
         assert quick_document["meta"]["quick"] is True
         assert quick_document["meta"]["cells"] == 6
+        # quick corpus slice: 4 topologies x 2 schemes.
+        assert quick_document["meta"]["corpus_topologies"] == 4
+        assert quick_document["meta"]["corpus_summary_rows"] == 8
 
     def test_total_is_sum_of_sweep_phases(self, quick_document):
         timings = quick_document["timings"]

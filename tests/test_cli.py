@@ -171,6 +171,75 @@ class TestSweepModels:
             ])
 
 
+class TestTopologiesCommand:
+    def test_list_tabulates_families_and_sets(self, capsys):
+        assert main(["topologies", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "waxman" in output and "nsfnet1991" in output
+        assert "set 'all'" in output
+
+    def test_show_parameterized_spec(self, capsys):
+        assert main(["topologies", "show", "fat-tree:k=4"]) == 0
+        output = capsys.readouterr().out
+        assert "spec: fat-tree:k=4" in output
+        assert "routers: 20" in output
+
+    def test_show_canonicalises_spelling(self, capsys):
+        assert main(["topologies", "show", "WAXMAN:seed=3,size=20"]) == 0
+        assert "spec: waxman:alpha=0.6,beta=0.4,seed=3,size=20" in capsys.readouterr().out
+
+    def test_show_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topologies", "show", "meteor-net"])
+
+    def test_validate_all_passes(self, capsys):
+        assert main(["topologies", "validate", "--all"]) == 0
+        output = capsys.readouterr().out
+        assert "topologies valid" in output
+        assert "FAIL" not in output
+
+    def test_validate_reports_failures_with_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "split.topo"
+        path.write_text("a b 1\nc d 1\n")
+        assert main(["topologies", "validate", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_validate_needs_a_target(self):
+        with pytest.raises(SystemExit):
+            main(["topologies", "validate"])
+
+
+class TestSweepTopologySet:
+    def test_corpus_sweep_prints_cross_topology_summary(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--topologies", "nsfnet1991", "fat-tree:k=4",
+            "--schemes", "reconvergence",
+            "--quiet", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "corpus summary (2 topologies)" in output
+        assert "nsfnet1991" in output and "fat-tree:k=4" in output
+
+    def test_topology_set_expands_the_grid(self, capsys, tmp_path):
+        from repro.topologies.corpus import topology_set
+
+        assert main([
+            "sweep", "--topology-set", "zoo",
+            "--schemes", "reconvergence",
+            "--quiet", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert f"corpus summary ({len(topology_set('zoo'))} topologies)" in output
+
+    def test_bad_topology_param_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--topologies", "ring:blast=9",
+                "--schemes", "reconvergence",
+                "--quiet", "--cache-dir", str(tmp_path / "cache"),
+            ])
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,190 @@
+"""Tests for the GraphML topology reader and its error paths."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topologies.corpus import DATA_DIR, load_topology_file
+from repro.topologies.graphml import graph_from_graphml, load_graphml
+
+
+def document(nodes: str, edges: str, keys: str = "") -> str:
+    default_keys = (
+        '<key id="d0" for="node" attr.name="label" attr.type="string"/>'
+        '<key id="d1" for="edge" attr.name="weight" attr.type="double"/>'
+    )
+    return (
+        '<?xml version="1.0" encoding="utf-8"?>'
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">'
+        f"{keys or default_keys}"
+        '<graph edgedefault="undirected">'
+        f"{nodes}{edges}"
+        "</graph></graphml>"
+    )
+
+
+TRIANGLE = document(
+    '<node id="0"><data key="d0">A</data></node>'
+    '<node id="1"><data key="d0">B</data></node>'
+    '<node id="2"><data key="d0">C</data></node>',
+    '<edge source="0" target="1"><data key="d1">2.5</data></edge>'
+    '<edge source="1" target="2"/>'
+    '<edge source="2" target="0"/>',
+)
+
+
+class TestParsing:
+    def test_labels_become_node_names(self):
+        graph = graph_from_graphml(TRIANGLE, name="tri")
+        assert sorted(graph.nodes()) == ["A", "B", "C"]
+        assert graph.name == "tri"
+
+    def test_weight_attribute_parsed_and_defaulted(self):
+        graph = graph_from_graphml(TRIANGLE)
+        weights = sorted(edge.weight for edge in graph.edges())
+        assert weights == [1.0, 1.0, 2.5]
+
+    def test_missing_labels_fall_back_to_ids(self):
+        text = document(
+            '<node id="n0"/><node id="n1"/>',
+            '<edge source="n0" target="n1"/>',
+        )
+        assert sorted(graph_from_graphml(text).nodes()) == ["n0", "n1"]
+
+    def test_duplicate_labels_fall_back_to_ids(self):
+        text = document(
+            '<node id="0"><data key="d0">X</data></node>'
+            '<node id="1"><data key="d0">X</data></node>',
+            '<edge source="0" target="1"/>',
+        )
+        assert sorted(graph_from_graphml(text).nodes()) == ["0", "1"]
+
+    def test_directed_export_reciprocal_edges_collapse(self):
+        text = (
+            '<?xml version="1.0" encoding="utf-8"?>'
+            '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">'
+            '<graph edgedefault="directed">'
+            '<node id="a"/><node id="b"/><node id="c"/>'
+            '<edge source="a" target="b"/><edge source="b" target="a"/>'
+            '<edge source="b" target="c"/><edge source="c" target="b"/>'
+            '<edge source="c" target="a"/>'
+            "</graph></graphml>"
+        )
+        graph = graph_from_graphml(text)
+        assert graph.number_of_edges() == 3
+
+    def test_self_loops_dropped(self):
+        text = document(
+            '<node id="0"/><node id="1"/>',
+            '<edge source="0" target="0"/><edge source="0" target="1"/>',
+        )
+        assert graph_from_graphml(text).number_of_edges() == 1
+
+
+class TestErrorPaths:
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(TopologyError, match="malformed GraphML"):
+            graph_from_graphml("<graphml><graph><node id=0 /></graphml>")
+
+    def test_non_graphml_root_rejected(self):
+        with pytest.raises(TopologyError, match="not a GraphML document"):
+            graph_from_graphml("<svg><graph/></svg>")
+
+    def test_document_without_graph_rejected(self):
+        with pytest.raises(TopologyError, match="no <graph>"):
+            graph_from_graphml(
+                '<graphml xmlns="http://graphml.graphdrawing.org/xmlns"></graphml>'
+            )
+
+    def test_duplicate_node_id_rejected(self):
+        text = document(
+            '<node id="0"/><node id="0"/>', '<edge source="0" target="0"/>'
+        )
+        with pytest.raises(TopologyError, match="duplicate GraphML node id"):
+            graph_from_graphml(text)
+
+    def test_node_without_id_rejected(self):
+        text = document("<node/>", "")
+        with pytest.raises(TopologyError, match="without an id"):
+            graph_from_graphml(text)
+
+    def test_edge_to_undeclared_node_rejected(self):
+        text = document(
+            '<node id="0"/>', '<edge source="0" target="ghost"/>'
+        )
+        with pytest.raises(TopologyError, match="undeclared node ids"):
+            graph_from_graphml(text)
+
+    def test_negative_weight_rejected(self):
+        text = document(
+            '<node id="0"/><node id="1"/>',
+            '<edge source="0" target="1"><data key="d1">-3</data></edge>',
+        )
+        with pytest.raises(TopologyError, match="must be positive"):
+            graph_from_graphml(text)
+
+    def test_non_numeric_weight_rejected(self):
+        text = document(
+            '<node id="0"/><node id="1"/>',
+            '<edge source="0" target="1"><data key="d1">heavy</data></edge>',
+        )
+        with pytest.raises(TopologyError, match="is not a number"):
+            graph_from_graphml(text)
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(TopologyError, match="no usable links"):
+            graph_from_graphml(document('<node id="0"/>', ""))
+
+
+class TestMultiEdgeHandling:
+    PARALLEL = document(
+        '<node id="0"/><node id="1"/>',
+        '<edge source="0" target="1"><data key="d1">3</data></edge>'
+        '<edge source="1" target="0"><data key="d1">2</data></edge>',
+    )
+
+    def test_keep_preserves_parallel_links(self):
+        graph = graph_from_graphml(self.PARALLEL, multi="keep")
+        assert graph.number_of_edges() == 2
+
+    def test_merge_keeps_the_cheapest(self):
+        graph = graph_from_graphml(self.PARALLEL, multi="merge")
+        assert graph.number_of_edges() == 1
+        assert graph.edges()[0].weight == 2.0
+
+    def test_error_mode_rejects(self):
+        with pytest.raises(TopologyError, match="parallel link"):
+            graph_from_graphml(self.PARALLEL, multi="error")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TopologyError, match="unknown multi-edge mode"):
+            graph_from_graphml(self.PARALLEL, multi="average")
+
+
+class TestFileLoading:
+    def test_load_graphml_names_by_stem(self, tmp_path):
+        path = tmp_path / "mini.graphml"
+        path.write_text(TRIANGLE)
+        assert load_graphml(path).name == "mini"
+
+    def test_load_topology_file_dispatches_on_suffix(self, tmp_path):
+        graphml_path = tmp_path / "net.graphml"
+        graphml_path.write_text(TRIANGLE)
+        edges_path = tmp_path / "net.edges"
+        edges_path.write_text("a b 1\nb c 2\nc a 1\n")
+        assert load_topology_file(graphml_path).number_of_edges() == 3
+        assert load_topology_file(edges_path).number_of_edges() == 3
+
+    def test_require_connected_rejects_split_graphml(self, tmp_path):
+        text = document(
+            '<node id="0"/><node id="1"/><node id="2"/><node id="3"/>',
+            '<edge source="0" target="1"/><edge source="2" target="3"/>',
+        )
+        path = tmp_path / "split.graphml"
+        path.write_text(text)
+        with pytest.raises(TopologyError, match="disconnected"):
+            load_topology_file(path, require_connected=True)
+
+    def test_every_committed_graphml_snapshot_parses(self):
+        for path in sorted(DATA_DIR.glob("*.graphml")):
+            graph = load_graphml(path)
+            assert graph.number_of_edges() >= 3, path.name

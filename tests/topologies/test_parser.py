@@ -35,6 +35,14 @@ class TestParser:
         with pytest.raises(TopologyError):
             graph_from_text("a b 1 extra\n")
 
+    def test_duplicate_node_declaration_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate node name"):
+            graph_from_text("node lonely\nnode lonely\n")
+
+    def test_redeclaring_an_edge_endpoint_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate node name"):
+            graph_from_text("a b 1\nnode a\n")
+
     def test_round_trip(self, abilene_graph):
         text = graph_to_text(abilene_graph)
         rebuilt = graph_from_text(text, name="abilene")
@@ -58,3 +66,8 @@ class TestRegistry:
     def test_unknown_name_rejected(self):
         with pytest.raises(TopologyError):
             by_name("arpanet-1969")
+
+    def test_available_topologies_is_a_sorted_copy(self):
+        names = available_topologies()
+        assert names == sorted(names)
+        assert available_topologies() is not names
