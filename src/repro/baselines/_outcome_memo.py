@@ -1,0 +1,58 @@
+"""Touched-edge-pattern outcome memo shared by the scheme fast paths.
+
+FCP and LFA walks consult the failure set only through "is edge e failed?"
+tests, so an outcome is valid for any scenario that agrees with the original
+walk on exactly the edges it touched.  The memo entry for a pair is a list of
+``(touched_mask, pattern, outcome)`` triples where ``pattern`` is the failure
+bitmask restricted to the touched edges.  These helpers keep the probe and
+record logic in one place so the fast paths cannot drift apart; the walks
+themselves stay scheme-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.forwarding.engine import ForwardingOutcome
+
+#: Per-pair entry cap: a pathological scenario stream cannot grow one pair's
+#: memo without bound (64 distinct touched-edge patterns per pair in practice
+#: covers every scenario family many times over).
+MAX_PATTERNS_PER_PAIR = 64
+
+_Entry = Tuple[int, int, ForwardingOutcome]
+
+
+def lookup_outcome(
+    entries: Optional[List[_Entry]], failed_mask: int
+) -> Optional[ForwardingOutcome]:
+    """The memoized outcome valid under ``failed_mask``, or ``None``.
+
+    An entry matches when the failure mask agrees with the recorded pattern
+    on every touched edge: ``failed_mask & touched_mask == pattern``.
+    """
+    if entries is not None:
+        for touched_mask, pattern, outcome in entries:
+            if failed_mask & touched_mask == pattern:
+                return outcome
+    return None
+
+
+def remember_outcome(
+    memo: Dict[tuple, List[_Entry]],
+    pair: tuple,
+    entries: Optional[List[_Entry]],
+    touched: int,
+    failed_mask: int,
+    outcome: ForwardingOutcome,
+) -> None:
+    """Record ``outcome`` for ``pair`` under its touched-edge pattern.
+
+    ``entries`` is the list previously fetched for the probe (``None`` when
+    the pair had no memo yet), so the record path does one dict store at
+    most and no second lookup.
+    """
+    if entries is None:
+        memo[pair] = [(touched, failed_mask & touched, outcome)]
+    elif len(entries) < MAX_PATTERNS_PER_PAIR:
+        entries.append((touched, failed_mask & touched, outcome))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional
 
+from repro.baselines._outcome_memo import lookup_outcome, remember_outcome
 from repro.errors import ProtocolError
 from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
 from repro.forwarding.headers import link_identifier_bits
@@ -72,29 +73,46 @@ class FcpLogic(RouterLogic):
         self, node: str, destination: str, failures: FrozenSet[int]
     ) -> Optional[Dart]:
         """Egress dart of the shortest path on the map minus carried failures."""
+        dest_idx = self._engine.compiled.index.get(destination)
+        if dest_idx is None:
+            return None
+        return self._next_hop_indexed(node, dest_idx, failures)
+
+    def _next_hop_indexed(
+        self, node: str, dest_idx: int, failures: FrozenSet[int]
+    ) -> Optional[Dart]:
+        """Same as :meth:`_next_hop_given_failures`, destination pre-indexed.
+
+        The SPF tables are kept in node-index space: the engine's repaired
+        index tree is used as-is, skipping the name-keyed dict conversion a
+        ``sssp()`` call would build for every distinct carried set.
+        """
         cache_key = (node, failures)
         table = self._spf_cache.get_or_none(cache_key)
         if table is None:
             # One SPF per distinct (router, carried set); destinations are
             # resolved lazily below, so a carried set that only ever routes
-            # towards one destination never pays for the full table.
-            table = (self._engine.sssp(node, failures)[1], {})
+            # towards one destination never pays for the full table.  The
+            # parent tree is only chain-walked, so the content-only
+            # (order-free) repaired tree applies.
+            table = (self._engine.sssp_tree(node, failures)[1], {})
             self._spf_cache.put(cache_key, table)
         parent, first_hops = table
         try:
-            return first_hops[destination]
+            return first_hops[dest_idx]
         except KeyError:
             pass
-        if destination == node or destination not in parent:
+        node_idx = self._engine.compiled.index[node]
+        if dest_idx == node_idx or dest_idx not in parent:
             egress: Optional[Dart] = None
         else:
             # Walk the parent chain up to the root's direct child; memoize
             # the first hop of every node on the chain on the way back.
             chain = []
-            walk = destination
+            walk = dest_idx
             while walk not in first_hops:
                 towards, edge_id = parent[walk]
-                if towards == node:
+                if towards == node_idx:
                     first_hops[walk] = self.graph.dart(edge_id, node)
                     break
                 chain.append(walk)
@@ -102,7 +120,7 @@ class FcpLogic(RouterLogic):
             egress = first_hops[walk]
             for link in chain:
                 first_hops[link] = egress
-        first_hops[destination] = egress
+        first_hops[dest_idx] = egress
         return egress
 
     def decide(
@@ -153,6 +171,7 @@ class FailureCarryingPackets(ForwardingScheme):
         super().__init__(graph)
         self.routing = cached_routing_tables(graph)
         engine = engine_for(graph)
+        self._engine = engine
         # Shared across every FCP instance of this topology content in this
         # process: SPF tables are keyed by the carried failure set, so they
         # stay valid across scenarios, cells and campaign re-runs.
@@ -190,13 +209,14 @@ class FailureCarryingPackets(ForwardingScheme):
         """
         state = NetworkState(self.graph, failed_links)  # validates the ids
         logic = FcpLogic(self.graph, self.routing, state, spf_cache=self._spf_cache)
-        next_hop_given_failures = logic._next_hop_given_failures
+        next_hop_indexed = logic._next_hop_indexed
         spf_get = self._spf_cache.get_or_none
         failed_mask = 0
         for edge_id in state.failed_edges:
             failed_mask |= 1 << edge_id
         routing_entries = self.routing._entries
-        weight_of = {edge.edge_id: edge.weight for edge in self.graph.edges()}
+        index_of = self._engine.compiled.index
+        weight_of = self._engine.compiled.edge_weight
         ttl_budget = self.default_ttl()
         attempts_bound = self.graph.number_of_edges() + 1
         memo = self._outcome_memo
@@ -204,21 +224,25 @@ class FailureCarryingPackets(ForwardingScheme):
         for pair in pairs:
             source, destination = pair
             entries_for_pair = memo.get(pair)
-            if entries_for_pair is not None:
-                hit = None
-                for touched_mask, pattern, cached in entries_for_pair:
-                    if failed_mask & touched_mask == pattern:
-                        hit = cached
-                        break
-                if hit is not None:
-                    outcomes[pair] = hit
-                    continue
+            hit = lookup_outcome(entries_for_pair, failed_mask)
+            if hit is not None:
+                outcomes[pair] = hit
+                continue
             node = source
+            # -1 for an unknown destination: it matches no parent entry, so
+            # the walk drops exactly where the name-keyed lookup used to.
+            dest_idx = index_of.get(destination, -1)
             path = [node]
             cost = 0.0
             ttl = ttl_budget
             carried: FrozenSet[int] = frozenset()
-            counters: Dict[str, float] = {}
+            # Accumulated in locals and materialised once per outcome: same
+            # values the engine's per-decision accumulation produces (FCP
+            # decisions always carry both counters — explicit zeros included
+            # — so the keys appear exactly when at least one hop was decided).
+            spf_total = 0.0
+            failures_total = 0.0
+            decided = False
             outcome = None
             touched = 0
             while outcome is None:
@@ -230,7 +254,12 @@ class FailureCarryingPackets(ForwardingScheme):
                         path=path,
                         cost=cost,
                         hops=len(path) - 1,
-                        counters=counters,
+                        counters={
+                            "spf_computations": spf_total,
+                            "failures_recorded": failures_total,
+                        }
+                        if decided
+                        else {},
                     )
                     break
                 if ttl <= 0:
@@ -242,7 +271,12 @@ class FailureCarryingPackets(ForwardingScheme):
                         cost=cost,
                         hops=len(path) - 1,
                         drop_reason="ttl expired",
-                        counters=counters,
+                        counters={
+                            "spf_computations": spf_total,
+                            "failures_recorded": failures_total,
+                        }
+                        if decided
+                        else {},
                     )
                     break
                 # --- FcpLogic.decide, inlined ---
@@ -252,18 +286,16 @@ class FailureCarryingPackets(ForwardingScheme):
                 forwarded = False
                 for _attempt in range(attempts_bound):
                     if carried:
-                        # Inlined hot path of _next_hop_given_failures: both
-                        # the SPF table and the destination's first hop are
-                        # usually already memoized.
+                        # Inlined hot path of _next_hop_indexed: both the SPF
+                        # table and the destination's first hop are usually
+                        # already memoized.
                         table = spf_get((node, carried))
                         if table is not None:
-                            egress = table[1].get(destination, _UNRESOLVED)
+                            egress = table[1].get(dest_idx, _UNRESOLVED)
                             if egress is _UNRESOLVED:
-                                egress = next_hop_given_failures(
-                                    node, destination, carried
-                                )
+                                egress = next_hop_indexed(node, dest_idx, carried)
                         else:
-                            egress = next_hop_given_failures(node, destination, carried)
+                            egress = next_hop_indexed(node, dest_idx, carried)
                         spf_runs += 1
                     else:
                         node_entries = routing_entries.get(node)
@@ -286,12 +318,9 @@ class FailureCarryingPackets(ForwardingScheme):
                     raise ProtocolError(
                         "FCP failed to converge on a next hop; graph state inconsistent"
                     )
-                counters["spf_computations"] = (
-                    counters.get("spf_computations", 0.0) + spf_runs
-                )
-                counters["failures_recorded"] = (
-                    counters.get("failures_recorded", 0.0) + failures_added
-                )
+                decided = True
+                spf_total += spf_runs
+                failures_total += failures_added
                 if not forwarded:
                     outcome = ForwardingOutcome(
                         source=source,
@@ -301,7 +330,10 @@ class FailureCarryingPackets(ForwardingScheme):
                         cost=cost,
                         hops=len(path) - 1,
                         drop_reason="destination unreachable given carried failures",
-                        counters=counters,
+                        counters={
+                            "spf_computations": spf_total,
+                            "failures_recorded": failures_total,
+                        },
                     )
                     break
                 cost += weight_of[egress.edge_id]
@@ -309,10 +341,7 @@ class FailureCarryingPackets(ForwardingScheme):
                 node = egress.head
                 path.append(node)
             outcomes[pair] = outcome
-            if entries_for_pair is None:
-                memo[pair] = [(touched, failed_mask & touched, outcome)]
-            elif len(entries_for_pair) < 64:
-                entries_for_pair.append((touched, failed_mask & touched, outcome))
+            remember_outcome(memo, pair, entries_for_pair, touched, failed_mask, outcome)
         return outcomes
 
     def header_overhead_bits(self, carried_failures: int = 1) -> int:

@@ -12,9 +12,11 @@ is precisely why the paper compares against FCP and re-convergence instead.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.baselines._outcome_memo import lookup_outcome, remember_outcome
 from repro.errors import ProtocolError
+from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
 from repro.forwarding.network_state import NetworkState
 from repro.forwarding.packets import Packet
 from repro.forwarding.router import ForwardingDecision, RouterLogic
@@ -71,8 +73,20 @@ class LoopFreeAlternates(ForwardingScheme):
         self.routing = cached_routing_tables(graph)
         # Memoized on the per-process engine: the failure-free APSP is shared
         # with every other consumer of this topology (read-only).
-        self._costs = engine_for(graph).all_pairs_shortest_costs()
+        engine = engine_for(graph)
+        self._engine = engine
+        self._costs = engine.all_pairs_shortest_costs()
         self.alternates = self._compute_alternates()
+        # Cross-scenario outcome memo, same shape as FCP's: pair ->
+        # [(touched_mask, pattern, outcome)].  An LFA walk consults the
+        # failure set only through "is this dart's edge failed?" tests on the
+        # primary and tried alternates, so an outcome is valid for any
+        # scenario agreeing with ``pattern`` on the touched edges.  Routes
+        # and alternates are failure-free precomputations shared engine-wide.
+        self._outcome_memo = engine.consumer_cache.get_or_none(("lfa-outcomes",))
+        if self._outcome_memo is None:
+            self._outcome_memo = {}
+            engine.consumer_cache.put(("lfa-outcomes",), self._outcome_memo)
 
     def _compute_alternates(self) -> Dict[Tuple[str, str], List[Dart]]:
         """Per (router, destination): loop-free alternate egresses, best first."""
@@ -101,6 +115,120 @@ class LoopFreeAlternates(ForwardingScheme):
 
     def build_logic(self, state: NetworkState) -> RouterLogic:
         return LfaLogic(self.routing, self.alternates, state)
+
+    def deliver_many(
+        self,
+        pairs: Iterable[tuple],
+        failed_links: Iterable[int] = (),
+    ) -> Dict[tuple, ForwardingOutcome]:
+        """Sweep fast path: walk primaries and precomputed alternates directly.
+
+        Replicates :meth:`LfaLogic.decide` plus the hop-by-hop engine
+        bookkeeping in one flat loop — identical paths, costs, counters and
+        drop reasons (asserted by the fast-path equivalence tests) — with
+        outcomes served from the touched-edge-pattern memo when a previous
+        scenario already exercised the same failure pattern on this pair.
+        :meth:`ForwardingScheme.deliver` still runs the real engine.
+        """
+        state = NetworkState(self.graph, failed_links)  # validates the ids
+        failed_mask = 0
+        for edge_id in state.failed_edges:
+            failed_mask |= 1 << edge_id
+        routing_entries = self.routing._entries
+        alternates = self.alternates
+        weight_of = self._engine.compiled.edge_weight
+        ttl_budget = self.default_ttl()
+        memo = self._outcome_memo
+        outcomes: Dict[tuple, ForwardingOutcome] = {}
+        for pair in pairs:
+            entries_for_pair = memo.get(pair)
+            hit = lookup_outcome(entries_for_pair, failed_mask)
+            if hit is not None:
+                outcomes[pair] = hit
+                continue
+            source, destination = pair
+            node = source
+            path = [node]
+            cost = 0.0
+            ttl = ttl_budget
+            counters: Dict[str, float] = {}
+            touched = 0
+            outcome = None
+            while outcome is None:
+                if node == destination:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.DELIVERED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        counters=counters,
+                    )
+                    break
+                if ttl <= 0:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.TTL_EXCEEDED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        drop_reason="ttl expired",
+                        counters=counters,
+                    )
+                    break
+                # --- LfaLogic.decide, inlined ---
+                node_entries = routing_entries.get(node)
+                entry = node_entries.get(destination) if node_entries else None
+                if entry is None:
+                    outcome = ForwardingOutcome(
+                        source=source,
+                        destination=destination,
+                        status=DeliveryStatus.DROPPED,
+                        path=path,
+                        cost=cost,
+                        hops=len(path) - 1,
+                        drop_reason="no route to destination",
+                        counters=counters,
+                    )
+                    break
+                egress = entry.egress
+                edge_bit = 1 << egress.edge_id
+                touched |= edge_bit
+                if failed_mask & edge_bit:
+                    egress = None
+                    for alternate in alternates.get((node, destination), ()):
+                        alt_bit = 1 << alternate.edge_id
+                        touched |= alt_bit
+                        if not failed_mask & alt_bit:
+                            egress = alternate
+                            counters["lfa_activations"] = (
+                                counters.get("lfa_activations", 0.0) + 1
+                            )
+                            break
+                    if egress is None:
+                        counters["failures_detected"] = (
+                            counters.get("failures_detected", 0.0) + 1
+                        )
+                        outcome = ForwardingOutcome(
+                            source=source,
+                            destination=destination,
+                            status=DeliveryStatus.DROPPED,
+                            path=path,
+                            cost=cost,
+                            hops=len(path) - 1,
+                            drop_reason="no usable loop-free alternate",
+                            counters=counters,
+                        )
+                        break
+                cost += weight_of[egress.edge_id]
+                ttl -= 1
+                node = egress.head
+                path.append(node)
+            outcomes[pair] = outcome
+            remember_outcome(memo, pair, entries_for_pair, touched, failed_mask, outcome)
+        return outcomes
 
     def header_overhead_bits(self) -> int:
         """LFA needs no header changes."""

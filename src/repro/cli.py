@@ -69,7 +69,7 @@ from repro.failures.sampling import sample_multi_link_failures
 from repro.failures.scenarios import single_link_failures
 from repro.graph.connectivity import is_two_edge_connected
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import diameter
+from repro.graph.spcache import cached_diameter
 from repro.metrics.overhead import render_overhead_table
 from repro.runner import (
     ArtifactCache,
@@ -109,7 +109,7 @@ def _print_topology_summary(graph: Graph, links: bool) -> None:
     """The shared body of ``topology`` and ``topologies show``."""
     print(f"routers: {graph.number_of_nodes()}")
     print(f"links: {graph.number_of_edges()}")
-    print(f"hop diameter: {int(diameter(graph, hop_count=True))}")
+    print(f"hop diameter: {int(cached_diameter(graph, hop_count=True))}")
     print(f"2-edge-connected: {is_two_edge_connected(graph)}")
     if links:
         for edge in graph.edges():
@@ -342,6 +342,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     meta = document["meta"]
     print(f"cells={meta['cells']} offline(cold)={meta['offline_cold_s']:.3f}s "
           f"quick={meta['quick']} workers={meta['workers']}")
+    print(f"incremental repair: {meta['repair_hits']} trees repaired, "
+          f"{meta['repair_fallbacks']} fallbacks to full recompute")
     path = write_bench(document, args.output)
     print(f"timings written to {path}")
 

@@ -31,8 +31,14 @@ class FailureScenario:
         return len(self.failed_links)
 
     def keeps_connected(self, graph: Graph) -> bool:
-        """Whether the network stays connected under this scenario."""
-        return is_connected(graph, self.failed_links)
+        """Whether the network stays connected under this scenario.
+
+        Served by the shared engine's memoized component labels (equivalent
+        to :func:`repro.graph.connectivity.is_connected`), so enumerators
+        probing every link and every consumer re-checking the same scenario
+        share one labelling per failure set.
+        """
+        return engine_for(graph).is_connected(self.failed_links)
 
     def describe(self, graph: Graph) -> str:
         """Human-readable description listing the failed links by endpoints."""
@@ -51,9 +57,10 @@ def single_link_failures(graph: Graph, only_non_disconnecting: bool = False) -> 
     can recover traffic that must cross a failed bridge.
     """
     scenarios: List[FailureScenario] = []
+    engine = engine_for(graph)
     for edge in graph.edges():
         scenario = FailureScenario((edge.edge_id,), kind="single-link")
-        if only_non_disconnecting and not scenario.keeps_connected(graph):
+        if only_non_disconnecting and not engine.is_connected(scenario.failed_links):
             continue
         scenarios.append(scenario)
     return scenarios

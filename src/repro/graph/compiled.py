@@ -33,6 +33,29 @@ from repro.graph.multigraph import Graph
 #: must make exactly the same equal-cost decisions as the reference Dijkstra.
 _COST_EPSILON = 1e-9
 
+#: Weights eligible for incremental SSSP repair must be exact multiples of
+#: ``2**-20``: finite sums of such weights are computed exactly in double
+#: precision, so the reference Dijkstra's epsilon comparisons degenerate to
+#: exact equality and its tie-breaking becomes order-independent — the
+#: property every soundness argument of :meth:`CompiledGraph.sssp_repair`
+#: rests on.  Graphs with other weights simply fall back to full recompute.
+_REPAIR_WEIGHT_SCALE = 1048576.0
+
+#: Weights must also dwarf the tie-breaking epsilon, so a single edge can
+#: never bridge two cost classes the reference would consider equal.
+_REPAIR_MIN_WEIGHT = 1e-6
+
+#: Exactness also needs headroom at the top: a sum of 2**-20-granular values
+#: stays exact only below 2**53 * 2**-20 = 2**33.  Bounding the *total* edge
+#: weight (an upper bound on any simple path cost) at 2**32 keeps every
+#: reachable sum one power of two clear of the rounding threshold.
+_REPAIR_MAX_TOTAL_WEIGHT = 4294967296.0
+
+#: Above this fraction of affected (reachable) vertices a repair would do
+#: almost as much heap work as a full recompute while still paying the
+#: order-replay pass on top — recompute from scratch instead.
+REPAIR_MAX_AFFECTED_FRACTION = 0.5
+
 
 def graph_signature(graph: Graph) -> Tuple:
     """Content identity of a graph: nodes in insertion order plus every edge.
@@ -76,7 +99,9 @@ class CompiledGraph:
         "adj_weight",
         "adj_items",
         "edge_table",
+        "edge_weight",
         "signature",
+        "repair_safe",
     )
 
     def __init__(self, graph: Graph) -> None:
@@ -113,7 +138,23 @@ class CompiledGraph:
             edge.edge_id: (index[edge.u], index[edge.v], edge.weight)
             for edge in graph.edges()
         }
+        #: ``edge_id -> weight``: the per-hop cost lookup of the sweep fast
+        #: paths, built once here instead of per ``deliver_many`` call.
+        self.edge_weight: Dict[int, float] = {
+            edge.edge_id: edge.weight for edge in graph.edges()
+        }
         self.signature = graph_signature(graph)
+        #: Whether every edge weight is exact enough for incremental repair
+        #: (see :data:`_REPAIR_WEIGHT_SCALE` / :data:`_REPAIR_MAX_TOTAL_WEIGHT`);
+        #: checked once at compile time.
+        self.repair_safe = (
+            all(
+                edge.weight > _REPAIR_MIN_WEIGHT
+                and (edge.weight * _REPAIR_WEIGHT_SCALE).is_integer()
+                for edge in graph.edges()
+            )
+            and sum(adj_weight) <= 2 * _REPAIR_MAX_TOTAL_WEIGHT
+        )
 
     # ------------------------------------------------------------------
     # inspection
@@ -193,6 +234,269 @@ class CompiledGraph:
                     parent[neighbor] = (node, edge_id)
                     push(heap, (candidate, neighbor))
         return dist, parent
+
+    def _repair_frontier(
+        self,
+        excluded_mask: int,
+        base_dist: Dict[int, float],
+        affected: List[int],
+        in_affected: set,
+    ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Dijkstra restricted to the affected region of a repair.
+
+        Every affected vertex is seeded from its unaffected, reachable
+        neighbors (the frontier — their distances are frozen), then the heap
+        runs over affected vertices only.  The accept rules mirror
+        :meth:`dijkstra_indexed`; under ``repair_safe`` weights they reduce
+        to the order-independent "smallest (candidate, parent)" choice, so
+        the resulting distances and parents equal the full run's.  Affected
+        vertices unreachable under the exclusions are absent from the result.
+        """
+        adj_start = self.adj_start
+        adj_items = self.adj_items
+        dist: Dict[int, float] = {}
+        parent: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[float, int]] = []
+        push = heapq.heappush
+        for node in affected:
+            for edge_id, neighbor, weight in adj_items[
+                adj_start[node] : adj_start[node + 1]
+            ]:
+                if (excluded_mask >> edge_id) & 1:
+                    continue
+                if neighbor in in_affected:
+                    continue
+                base = base_dist.get(neighbor)
+                if base is None:
+                    continue
+                candidate = base + weight
+                current = dist.get(node)
+                if current is None:
+                    dist[node] = candidate
+                    parent[node] = (neighbor, edge_id)
+                elif candidate < current - _COST_EPSILON:
+                    dist[node] = candidate
+                    parent[node] = (neighbor, edge_id)
+                elif (
+                    candidate - current <= _COST_EPSILON
+                    and current - candidate <= _COST_EPSILON
+                    and (neighbor, edge_id) < parent[node]
+                ):
+                    dist[node] = candidate
+                    parent[node] = (neighbor, edge_id)
+        for node, cost in dist.items():
+            push(heap, (cost, node))
+        finalized: set = set()
+        pop = heapq.heappop
+        dist_get = dist.get
+        while heap:
+            cost, node = pop(heap)
+            if node in finalized:
+                continue
+            finalized.add(node)
+            for edge_id, neighbor, weight in adj_items[
+                adj_start[node] : adj_start[node + 1]
+            ]:
+                if (excluded_mask >> edge_id) & 1:
+                    continue
+                if neighbor not in in_affected or neighbor in finalized:
+                    continue
+                candidate = cost + weight
+                current = dist_get(neighbor)
+                if current is None:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = (node, edge_id)
+                    push(heap, (candidate, neighbor))
+                elif candidate < current - _COST_EPSILON:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = (node, edge_id)
+                    push(heap, (candidate, neighbor))
+                elif (
+                    candidate - current <= _COST_EPSILON
+                    and current - candidate <= _COST_EPSILON
+                    and (node, edge_id) < parent[neighbor]
+                ):
+                    dist[neighbor] = candidate
+                    parent[neighbor] = (node, edge_id)
+                    push(heap, (candidate, neighbor))
+        return dist, parent
+
+    def sssp_repair_content(
+        self,
+        excluded_mask: int,
+        base_dist: Dict[int, float],
+        base_parent: Dict[int, Tuple[int, int]],
+        base_masks: Dict[int, int],
+        max_affected_fraction: float = REPAIR_MAX_AFFECTED_FRACTION,
+    ) -> Optional[Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]:
+        """Content-only repair: correct values and parents, unspecified order.
+
+        For consumers that only *look up* tree entries (the re-convergence
+        walk, FCP's per-carried-set SPF tables) the discovery-order replay of
+        :meth:`sssp_repair` is pure overhead.  This variant patches a C-speed
+        copy of the base dicts instead: unaffected vertices keep their
+        entries, affected vertices are re-solved by the frontier Dijkstra and
+        overwritten (or dropped when unreachable).  Same fallback conditions
+        and ``repair_safe`` prerequisites as :meth:`sssp_repair`; with no
+        affected vertices the memoized base dicts are returned as-is.
+        """
+        affected = [v for v, mask in base_masks.items() if mask & excluded_mask]
+        if not affected:
+            return base_dist, base_parent
+        if len(affected) > max_affected_fraction * len(base_dist):
+            return None
+        in_affected = set(affected)
+        dist, parent = self._repair_frontier(
+            excluded_mask, base_dist, affected, in_affected
+        )
+        dist_out = dict(base_dist)
+        parent_out = dict(base_parent)
+        for node in affected:
+            if node in dist:
+                dist_out[node] = dist[node]
+                parent_out[node] = parent[node]
+            else:
+                del dist_out[node]
+                del parent_out[node]
+        return dist_out, parent_out
+
+    def sssp_repair(
+        self,
+        source: int,
+        excluded_mask: int,
+        base_dist: Dict[int, float],
+        base_parent: Dict[int, Tuple[int, int]],
+        base_order: Tuple[int, ...],
+        base_masks: Dict[int, int],
+        base_discovery_mask: int,
+        max_affected_fraction: float = REPAIR_MAX_AFFECTED_FRACTION,
+    ) -> Optional[Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]:
+        """Repair the failure-free SSSP tree of ``source`` under ``excluded_mask``.
+
+        ``base_*`` describe the memoized failure-free run: ``base_dist`` /
+        ``base_parent`` are its result, ``base_order`` its finalization (heap
+        pop) order, ``base_masks[v]`` the bitmask of edges on the
+        failure-free shortest path ``source -> v`` and ``base_discovery_mask``
+        the bitmask of edges whose scan *discovered* a vertex (first
+        insertion into the result dicts).  The repair
+
+        1. finds the *affected* vertices — one bitmask AND per reachable
+           vertex — whose failure-free path crosses an excluded edge; every
+           other vertex provably keeps its distance and parent;
+        2. re-runs Dijkstra only over the affected region, seeded from the
+           unaffected boundary;
+        3. replays the discovery scan over the merged finalization order so
+           the returned dicts have exactly the insertion order a full
+           :meth:`dijkstra_indexed` run would produce.
+
+        When nothing is affected *and* no excluded edge was a discovery edge,
+        the failed run is the failure-free run with some no-op scans removed,
+        so the memoized base dicts are returned as-is (they are shared
+        read-only, like every engine result).
+
+        The result is bit-identical to a full recompute — values, parents,
+        tie-breaking and dict insertion order — *provided* the graph is
+        :attr:`repair_safe` (callers must check; with exact weight sums the
+        reference epsilon tie-breaking is order-independent and the
+        finalization order is exactly ``sorted((dist, node))``, which are the
+        two facts steps 2 and 3 rely on).  Returns ``None`` when more than
+        ``max_affected_fraction`` of the reachable vertices are affected —
+        the caller should fall back to a full recompute.
+        """
+        affected = [v for v, mask in base_masks.items() if mask & excluded_mask]
+        if not affected and not (excluded_mask & base_discovery_mask):
+            return base_dist, base_parent
+        if len(affected) > max_affected_fraction * len(base_dist):
+            return None
+
+        adj_start = self.adj_start
+        adj_items = self.adj_items
+
+        if affected:
+            in_affected = set(affected)
+            dist, parent = self._repair_frontier(
+                excluded_mask, base_dist, affected, in_affected
+            )
+            # Merge the two finalization orders: unaffected vertices keep
+            # their relative base order, repaired vertices slot in by their
+            # new (dist, index) keys.  Both sequences are sorted by that key,
+            # and keys are unique, so this is a plain two-way merge.
+            repaired = sorted((cost, v) for v, cost in dist.items())
+            unaffected = [v for v in base_order if v not in in_affected]
+            merged: List[int] = []
+            append = merged.append
+            i = j = 0
+            while i < len(unaffected) and j < len(repaired):
+                u = unaffected[i]
+                key = (base_dist[u], u)
+                if key < repaired[j]:
+                    append(u)
+                    i += 1
+                else:
+                    append(repaired[j][1])
+                    j += 1
+            merged.extend(unaffected[i:])
+            for _cost, v in repaired[j:]:
+                append(v)
+            final_dist = dist
+            final_parent = parent
+        else:
+            in_affected = ()
+            merged = base_order
+            final_dist = {}
+            final_parent = {}
+
+        # Replay the reference discovery scan: walk the finalization order,
+        # scan each vertex's adjacency in CSR order, and record every vertex
+        # the first time a usable edge reaches it.  This reproduces the
+        # insertion order of dijkstra_indexed's result dicts exactly.  A
+        # neighbor the reference would skip as already-finalized is always
+        # already discovered here (discovery strictly precedes finalization),
+        # so the single ``discovered`` test subsumes the finalized test.
+        dist_out: Dict[int, float] = {source: 0.0}
+        parent_out: Dict[int, Tuple[int, int]] = {}
+        discovered = bytearray(len(self.names))
+        discovered[source] = 1
+        for node in merged:
+            for edge_id, neighbor, _weight in adj_items[
+                adj_start[node] : adj_start[node + 1]
+            ]:
+                if discovered[neighbor]:
+                    continue
+                if (excluded_mask >> edge_id) & 1:
+                    continue
+                discovered[neighbor] = 1
+                if neighbor in in_affected:
+                    dist_out[neighbor] = final_dist[neighbor]
+                    parent_out[neighbor] = final_parent[neighbor]
+                else:
+                    dist_out[neighbor] = base_dist[neighbor]
+                    parent_out[neighbor] = base_parent[neighbor]
+        return dist_out, parent_out
+
+    def discovery_edge_mask(self, source: int, order: Iterable[int]) -> int:
+        """Bitmask of the edges whose scan discovered a vertex.
+
+        Replays the failure-free discovery scan over ``order`` (the
+        finalization order of the unexcluded run) and collects the edge that
+        first reaches each vertex.  Excluding only edges outside this mask
+        (and off every shortest path) provably leaves the result dicts of
+        :meth:`dijkstra_indexed` untouched — the zero-work fast path of
+        :meth:`sssp_repair`.
+        """
+        adj_start = self.adj_start
+        adj_items = self.adj_items
+        discovered = bytearray(len(self.names))
+        discovered[source] = 1
+        mask = 0
+        for node in order:
+            for edge_id, neighbor, _weight in adj_items[
+                adj_start[node] : adj_start[node + 1]
+            ]:
+                if not discovered[neighbor]:
+                    discovered[neighbor] = 1
+                    mask |= 1 << edge_id
+        return mask
 
     def dijkstra_named(
         self, source: str, excluded_edges: Optional[Iterable[int]] = None

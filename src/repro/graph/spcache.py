@@ -40,6 +40,9 @@ DEFAULT_SSSP_CACHE = 8192
 _MAX_ENGINES = 32
 
 
+_MISSING = object()
+
+
 class _LruDict(OrderedDict):
     """Tiny LRU: ``get_or_none`` refreshes recency, ``put`` evicts oldest."""
 
@@ -48,9 +51,10 @@ class _LruDict(OrderedDict):
         self.maxsize = maxsize
 
     def get_or_none(self, key):
-        try:
-            value = self[key]
-        except KeyError:
+        # Sentinel-based miss detection: the memo misses of a sweep are hot
+        # enough that raising/catching KeyError is measurable.
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
             return None
         self.move_to_end(key)
         return value
@@ -78,9 +82,11 @@ class ShortestPathEngine:
         self.graph_version = hash(self.compiled.signature)
         self._sssp: _LruDict = _LruDict(sssp_cache_size)
         self._sssp_idx: _LruDict = _LruDict(sssp_cache_size)
+        self._tree: _LruDict = _LruDict(sssp_cache_size)
         self._apsp: _LruDict = _LruDict(64)
         self._components: _LruDict = _LruDict(1024)
         self._path_masks: Optional[Dict[str, Dict[str, int]]] = None
+        self._pair_mask_rows: Optional[List[Tuple[Tuple[str, str], int]]] = None
         #: Free-form per-engine memo for consumers that live in modules the
         #: engine cannot import (FCP SPF/outcome memos, PR outcome memos,
         #: executor scenario contexts).  Entries here are few and long-lived
@@ -92,8 +98,18 @@ class ShortestPathEngine:
         #: (discriminator, excluded set), each O(nodes^2) — bounded separately
         #: because a long campaign touches thousands of distinct failure sets.
         self.tables_cache: _LruDict = _LruDict(128)
+        #: Per-source bases for incremental SSSP repair: the failure-free
+        #: indexed tree plus its finalization order and per-vertex path-edge
+        #: bitmasks.  At most one entry per node, each O(nodes) — never
+        #: evicted, so scenario churn cannot force a base rebuild.
+        self._repair_base: Dict[str, Tuple] = {}
         self.hits = 0
         self.misses = 0
+        #: Memo misses served by repairing the failure-free tree instead of
+        #: a full Dijkstra, and misses where repair was attempted but bailed
+        #: out (affected fraction above the fallback threshold).
+        self.repair_hits = 0
+        self.repair_fallbacks = 0
 
     # ------------------------------------------------------------------
     # single-source shortest paths
@@ -158,11 +174,108 @@ class ShortestPathEngine:
             return cached
         self.misses += 1
         compiled = self.compiled
-        value = compiled.dijkstra_indexed(
-            compiled.node_index(source), compiled.exclusion_mask(excluded)
-        )
+        value = None
+        if excluded and compiled.repair_safe:
+            # Incremental repair: re-run Dijkstra only over the vertices
+            # whose failure-free path crosses an excluded edge, then replay
+            # the discovery order — bit-identical to the full recompute
+            # (asserted across the corpus by the equivalence suite).
+            value = compiled.sssp_repair(
+                compiled.node_index(source),
+                compiled.exclusion_mask(excluded),
+                *self._repair_base_for(source),
+            )
+            if value is not None:
+                self.repair_hits += 1
+            else:
+                self.repair_fallbacks += 1
+        if value is None:
+            value = compiled.dijkstra_indexed(
+                compiled.node_index(source), compiled.exclusion_mask(excluded)
+            )
         self._sssp_idx.put(key, value)
         return value
+
+    def sssp_tree(
+        self, source: str, excluded_edges: Optional[Iterable[int]] = None
+    ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Memoized index-keyed ``(dist, parent)`` with *unspecified* order.
+
+        Same distances, parents and tie-breaking as :meth:`sssp_indexed`,
+        but the dict insertion order is not part of the contract — which
+        lets a repair skip the discovery-order replay and patch a copy of
+        the failure-free tree instead.  For consumers that only look up
+        entries (next-hop walks, parent-chain resolution); anything that
+        iterates the dicts and leaks the order into results must use
+        :meth:`sssp_indexed`.  Results are read-only and may alias the
+        ordered memo's (a hit in either representation is shared).
+        """
+        excluded: FrozenSet[int] = (
+            excluded_edges
+            if isinstance(excluded_edges, frozenset)
+            else frozenset(excluded_edges or ())
+        )
+        key = (source, excluded)
+        cached = self._tree.get_or_none(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        # An ordered tree is a valid unordered tree: share it when present.
+        cached = self._sssp_idx.get_or_none(key)
+        if cached is not None:
+            self.hits += 1
+            self._tree.put(key, cached)
+            return cached
+        self.misses += 1
+        compiled = self.compiled
+        value = None
+        if excluded and compiled.repair_safe:
+            base = self._repair_base_for(source)
+            value = compiled.sssp_repair_content(
+                compiled.exclusion_mask(excluded), base[0], base[1], base[3]
+            )
+            if value is not None:
+                self.repair_hits += 1
+            else:
+                self.repair_fallbacks += 1
+        if value is None:
+            value = compiled.dijkstra_indexed(
+                compiled.node_index(source), compiled.exclusion_mask(excluded)
+            )
+            # A full run is discovery-ordered, so it serves both memos.
+            self._sssp_idx.put(key, value)
+        self._tree.put(key, value)
+        return value
+
+    def _repair_base_for(self, source: str) -> Tuple:
+        """The failure-free repair base of ``source`` (built once per source).
+
+        ``(dist, parent, finalization order, path-edge masks, discovery-edge
+        mask)`` of the failure-free indexed tree.  Only meaningful on
+        ``repair_safe`` graphs, where the finalization order is exactly
+        ``sorted((dist, index))`` and path masks follow parent pointers
+        (parents always precede children in finalization order because
+        weights are strictly positive).
+        """
+        base = self._repair_base.get(source)
+        if base is None:
+            compiled = self.compiled
+            dist_idx, parent_idx = self.sssp_indexed(source)
+            order = tuple(
+                node for _cost, node in sorted((c, v) for v, c in dist_idx.items())
+            )
+            masks: Dict[int, int] = {}
+            source_idx = compiled.node_index(source)
+            discovery_mask = 0
+            if order:
+                masks[order[0]] = 0
+                for node in order[1:]:
+                    towards, edge_id = parent_idx[node]
+                    masks[node] = masks[towards] | (1 << edge_id)
+                discovery_mask = compiled.discovery_edge_mask(source_idx, order)
+            base = (dist_idx, parent_idx, order, masks, discovery_mask)
+            self._repair_base[source] = base
+        return base
 
     def cost_between(
         self,
@@ -317,28 +430,45 @@ class ShortestPathEngine:
 
         Equivalent to :func:`repro.failures.scenarios.all_affecting_pairs`
         with default failure-free tables — same pairs, same order — but each
-        pair is one bitmask AND instead of a hop-by-hop table walk.
+        pair is one bitmask AND over a flat, precomputed ``(pair, mask)``
+        row list (built once per engine; a routed pair's path has at least
+        one edge, so a zero mask never occurs and rows hold exactly the
+        pairs the nested ``masks[destination].get(source)`` walk would test).
         """
+        rows = self._pair_mask_rows
+        if rows is None:
+            masks = self.path_edge_masks()
+            rows = []
+            for source in self.compiled.order:
+                for destination in self.compiled.order:
+                    if source == destination:
+                        continue
+                    path_mask = masks[destination].get(source)
+                    if path_mask:
+                        rows.append(((source, destination), path_mask))
+            self._pair_mask_rows = rows
         failed_mask = self.compiled.exclusion_mask(failed_links)
-        masks = self.path_edge_masks()
-        pairs: List[Tuple[str, str]] = []
-        for source in self.compiled.order:
-            for destination in self.compiled.order:
-                if source == destination:
-                    continue
-                path_mask = masks[destination].get(source)
-                if path_mask is not None and path_mask & failed_mask:
-                    pairs.append((source, destination))
-        return pairs
+        return [pair for pair, mask in rows if mask & failed_mask]
 
     def cache_info(self) -> Dict[str, int]:
-        """Hit/miss counters plus current memo sizes (for ``repro bench``)."""
+        """Hit/miss counters plus current memo sizes (for ``repro bench``).
+
+        ``repair_hits`` counts memo misses answered by incrementally
+        repairing the failure-free tree; ``repair_fallbacks`` counts misses
+        where repair bailed out to a full Dijkstra (affected fraction above
+        the threshold).  Both stay zero when ``repair_safe`` is false — on
+        such graphs repair is never attempted.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "sssp_entries": len(self._sssp),
             "apsp_entries": len(self._apsp),
             "component_entries": len(self._components),
+            "repair_hits": self.repair_hits,
+            "repair_fallbacks": self.repair_fallbacks,
+            "repair_bases": len(self._repair_base),
+            "repair_safe": int(self.compiled.repair_safe),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial formatting
@@ -375,6 +505,80 @@ def engine_for(graph: Graph) -> ShortestPathEngine:
     return engine
 
 
-def clear_engines() -> None:
-    """Drop every cached engine (tests and long-lived processes)."""
-    _ENGINES.clear()
+def hop_engine_for(graph: Graph) -> ShortestPathEngine:
+    """The shared engine of the unit-weight variant of ``graph``.
+
+    Hop-count queries (flooding distances of the re-convergence timing model,
+    the paper's ``log2(d)`` DD-bit diameter) run Dijkstra with every weight
+    forced to 1.0.  The unit copy is built once per topology content and its
+    engine shared through the base engine's consumer cache, so those
+    consumers get memoized — and incrementally repaired — hop trees instead
+    of copying the graph per query.
+    """
+    engine = engine_for(graph)
+    hop = engine.consumer_cache.get_or_none(("hop-engine",))
+    if hop is None:
+        unit = graph.copy()
+        for edge in unit.edges():
+            edge.weight = 1.0
+        # Deliberately NOT registered in the per-process registry: the hop
+        # engine lives and dies with its base engine via the consumer cache,
+        # and registering it would halve the registry's effective capacity
+        # (a corpus-wide sweep already keeps one base engine per topology).
+        hop = ShortestPathEngine(unit)
+        engine.consumer_cache.put(("hop-engine",), hop)
+    return hop
+
+
+def cached_diameter(graph: Graph, hop_count: bool = True) -> float:
+    """Graph diameter, memoized per topology content.
+
+    Same value as :func:`repro.graph.shortest_paths.diameter` — the engine
+    trees are bit-identical to the reference Dijkstra — but the all-pairs
+    pass runs once per (topology content, metric) per process instead of
+    once per caller (PR's DD-bit sizing, overhead rows and the CLI all ask).
+    """
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    engine = engine_for(graph)
+    key = ("diameter", hop_count)
+    cached = engine.consumer_cache.get_or_none(key)
+    if cached is None:
+        source = hop_engine_for(graph) if hop_count else engine
+        costs = source.all_pairs_shortest_costs()
+        cached = max(
+            (max(dist.values()) if dist else 0.0) for dist in costs.values()
+        )
+        engine.consumer_cache.put(key, cached)
+    return cached
+
+
+def clear_engines(keep: Optional[Iterable[Tuple]] = None) -> None:
+    """Drop cached engines (tests, worker initializers, long processes).
+
+    With ``keep`` — an iterable of :func:`graph_signature` keys — only the
+    engines *not* listed are dropped.  Campaign worker initializers use this
+    to shed engines left over from earlier topology sets (fork-started
+    workers inherit the parent's registry) while retaining the warm engines
+    of the topologies the current campaign actually sweeps.
+    """
+    if keep is None:
+        _ENGINES.clear()
+        return
+    keep_keys = set(keep)
+    for key in [key for key in _ENGINES if key not in keep_keys]:
+        del _ENGINES[key]
+
+
+def aggregate_cache_info() -> Dict[str, int]:
+    """Summed :meth:`ShortestPathEngine.cache_info` over this process's engines.
+
+    ``repro bench`` reports these totals so the incremental-repair hit rate
+    of a workload is visible next to its wall-clock timing.
+    """
+    totals: Dict[str, int] = {}
+    for engine in _ENGINES.values():
+        for name, value in engine.cache_info().items():
+            totals[name] = totals.get(name, 0) + value
+    totals["engines"] = len(_ENGINES)
+    return totals

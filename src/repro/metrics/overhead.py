@@ -15,7 +15,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.forwarding.headers import link_identifier_bits
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import diameter
+from repro.graph.spcache import cached_diameter
 
 
 @dataclass(frozen=True)
@@ -54,7 +54,7 @@ def overhead_comparison(
         worst_case_failures = max(
             1, graph.number_of_edges() - graph.number_of_nodes() + 1
         )
-    hop_diameter = int(diameter(graph, hop_count=True))
+    hop_diameter = int(cached_diameter(graph, hop_count=True))
     rows: List[OverheadRow] = []
     for scheme in schemes:
         if hasattr(scheme, "dd_bits"):

@@ -16,7 +16,7 @@ from typing import Dict
 
 from repro.errors import RoutingError
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import diameter
+from repro.graph.spcache import cached_diameter
 
 
 class DiscriminatorKind(str, enum.Enum):
@@ -49,9 +49,9 @@ def discriminator_bits_required(graph: Graph, kind: DiscriminatorKind) -> int:
     if graph.number_of_nodes() <= 1:
         return 1
     if kind is DiscriminatorKind.HOP_COUNT:
-        largest = int(diameter(graph, hop_count=True))
+        largest = int(cached_diameter(graph, hop_count=True))
     elif kind is DiscriminatorKind.WEIGHTED_COST:
-        largest = int(math.ceil(diameter(graph, hop_count=False)))
+        largest = int(math.ceil(cached_diameter(graph, hop_count=False)))
     else:
         raise RoutingError(f"unknown discriminator kind {kind!r}")
     return max(1, math.ceil(math.log2(largest + 1)))

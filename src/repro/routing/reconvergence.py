@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
 from repro.graph.multigraph import Graph
-from repro.graph.shortest_paths import dijkstra
+from repro.graph.spcache import hop_engine_for
 from repro.routing.discriminator import DiscriminatorKind
 from repro.routing.tables import RoutingTables
 
@@ -99,12 +99,16 @@ class ReconvergenceModel:
         detection = failure_time + self.detection_delay
         origination = detection + self.lsa_origination_delay
 
-        hop_graph = graph.copy()
-        for other in hop_graph.edges():
-            other.weight = 1.0
+        # Flooding distances are hop counts on the failed topology; the
+        # shared unit-weight engine memoizes (and incrementally repairs) the
+        # per-endpoint trees instead of copying the graph per episode.  The
+        # per-call content lookup (a graph-signature hash) is kept on
+        # purpose: it is what lets a mutated graph resolve to a fresh engine.
+        hop_engine = hop_engine_for(graph)
+        excluded = frozenset((failed_edge,))
         distances: Dict[str, float] = {}
         for endpoint in (edge.u, edge.v):
-            dist, _parent = dijkstra(hop_graph, endpoint, excluded_edges={failed_edge})
+            dist = hop_engine.distances(endpoint, excluded)
             for node, hops in dist.items():
                 if node not in distances or hops < distances[node]:
                     distances[node] = hops

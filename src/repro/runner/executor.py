@@ -49,14 +49,20 @@ from repro.failures.scenarios import (
 from repro.forwarding.engine import DeliveryStatus
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
-from repro.graph.spcache import engine_for
+from repro.graph.compiled import graph_signature
+from repro.graph.spcache import clear_engines, engine_for
 from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
 from repro.metrics.overhead import overhead_comparison
 from repro.routing.discriminator import DiscriminatorKind
-from repro.routing.tables import cached_routing_tables
 from repro.runner import aggregate
 from repro.runner.cache import ArtifactCache, cached_embedding
-from repro.runner.spec import EMBEDDING_SCHEMES, SCHEME_NAMES, CampaignCell, CampaignSpec
+from repro.runner.spec import (
+    EMBEDDING_SCHEMES,
+    SCHEME_NAMES,
+    CampaignCell,
+    CampaignSpec,
+    chunk_cells,
+)
 from repro.scenarios import get_scenario_model
 from repro.topologies import corpus
 
@@ -187,21 +193,29 @@ def _scenario_context(
     if cached is not None:
         return cached
     scenarios = generate_scenarios(graph, cell)
-    tables = cached_routing_tables(graph)
     context = []
+    # Scenario models (srlg, regional, maintenance, ...) can emit the same
+    # failed-link set repeatedly; the conditioning work is a pure function
+    # of that set, so duplicates share one entry (and downstream one
+    # delivery pass per pattern, see run_cell).
+    by_pattern: Dict[Tuple[int, ...], Tuple] = {}
     for scenario in scenarios:
         failed = tuple(sorted(scenario.failed_links))
-        failed_set = frozenset(failed)
-        affected = [
-            pair
-            for pair in all_affecting_pairs(graph, scenario, tables)
-            if engine.same_component(pair[0], pair[1], failed_set)
-        ]
-        if cell.coverage == "full":
-            measured = reachable_pairs(graph, failed)
-        else:
-            measured = affected
-        context.append((failed, affected, measured))
+        entry = by_pattern.get(failed)
+        if entry is None:
+            failed_set = frozenset(failed)
+            affected = [
+                pair
+                for pair in all_affecting_pairs(graph, scenario)
+                if engine.same_component(pair[0], pair[1], failed_set)
+            ]
+            if cell.coverage == "full":
+                measured = reachable_pairs(graph, failed)
+            else:
+                measured = affected
+            entry = (failed, affected, measured)
+            by_pattern[failed] = entry
+        context.append(entry)
     engine.consumer_cache.put(key, context)
     return context
 
@@ -220,7 +234,12 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     started = time.perf_counter()
     graph = load_topology(cell.topology)
     context = _scenario_context(graph, cell)
-    tables = cached_routing_tables(graph)
+    # Failure-free baseline costs come straight off the engine's memoized
+    # destination trees (the same values RoutingTables.cost would return),
+    # so a cell whose scheme builds no routing tables doesn't force a full
+    # table construction just for the stretch baseline.
+    engine = engine_for(graph)
+    engine_distances = engine.distances
 
     cache: Optional[ArtifactCache] = None
     embedding = None
@@ -252,6 +271,11 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     delivered_samples = 0
     baseline_cost_of: Dict[Tuple[str, str], float] = {}
     record_samples = cell.record_samples
+    # One delivery pass per distinct failed-link pattern: scenarios sharing
+    # a pattern (common under srlg/regional/maintenance models) reuse the
+    # same outcome dict — deliver_many is deterministic in (pairs, failed
+    # links), so the per-scenario accounting below is unchanged.
+    outcomes_by_pattern: Dict[Tuple[int, ...], Dict[Tuple, Any]] = {}
     for key, affected, measured in context:
         measured_pairs += len(affected)
         if cell.coverage == "full":
@@ -259,7 +283,10 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
         if not measured:
             continue
         affected_set = set(affected)
-        outcomes = scheme.deliver_many(measured, failed_links=key)
+        outcomes = outcomes_by_pattern.get(key)
+        if outcomes is None:
+            outcomes = scheme.deliver_many(measured, failed_links=key)
+            outcomes_by_pattern[key] = outcomes
         key_row = list(key)
         for pair, outcome in outcomes.items():
             status = outcome.status
@@ -273,7 +300,10 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
                 continue
             baseline_cost = baseline_cost_of.get(pair)
             if baseline_cost is None:
-                baseline_cost = tables.cost(pair[0], pair[1])
+                # cost(source -> destination) == dist[source] of the
+                # destination-rooted failure-free tree (undirected graph,
+                # exactly what RoutingTables stores in its cost column).
+                baseline_cost = engine_distances(pair[1])[pair[0]]
                 baseline_cost_of[pair] = baseline_cost
             n_samples += 1
             if delivered and baseline_cost > 0:
@@ -347,6 +377,58 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
             "pid": os.getpid(),
         },
     }
+
+
+def _worker_init(active_topologies: Tuple[str, ...] = ()) -> None:
+    """Per-worker process initializer: shed every stale per-process cache.
+
+    Fork-started workers inherit the parent's engine registry and topology
+    memo.  The registries are content-addressed, so inherited entries are
+    never *wrong* — but a resumed campaign after a topology-set change (or a
+    long sequence of sweeps in one driver process) would keep every stale
+    engine alive in every worker.  ``clear_engines`` with the campaign's
+    active topology signatures drops exactly those stale engines while
+    keeping the warm, still-valid engines of the topologies this campaign
+    sweeps (on a machine where workers time-share cores, re-deriving them
+    per worker is the dominant dispatch cost).
+    """
+    keep_sigs = []
+    keep_graphs = []
+    for spec in active_topologies:
+        try:
+            graph = load_topology(spec)  # usually an inherited cache hit
+        except Exception:
+            # A broken spec fails in run_cell with its real error; the
+            # initializer must never take the whole pool down.
+            continue
+        keep_graphs.append(graph)
+        keep_sigs.append(graph_signature(graph))
+    clear_engines(keep=keep_sigs)
+    alive = {id(graph) for graph in keep_graphs}
+    for key in [key for key, graph in _TOPOLOGY_CACHE.items() if id(graph) not in alive]:
+        del _TOPOLOGY_CACHE[key]
+
+
+def _run_cell_chunk(
+    cells: List[CampaignCell], cache_dir: Optional[str] = None
+) -> List[Tuple[str, Any]]:
+    """Run a chunk of cells in one worker round trip (see ``chunk_cells``).
+
+    Cells of one topology share the worker's graph, engine and scenario
+    context across the whole chunk; one submission and one result message
+    replace a per-cell pickling round trip.  Cells stay independent even
+    inside a chunk: one cell raising must not discard its siblings'
+    completed records (they still reach the JSONL store, so a resumed run
+    skips them), hence the per-cell ``("ok", record) | ("error", exc)``
+    envelope instead of a bare record list.
+    """
+    outcomes: List[Tuple[str, Any]] = []
+    for cell in cells:
+        try:
+            outcomes.append(("ok", run_cell(cell, cache_dir)))
+        except Exception as exc:
+            outcomes.append(("error", exc))
+    return outcomes
 
 
 # ----------------------------------------------------------------------
@@ -518,32 +600,73 @@ def run_campaign(
     # collide for equivalent cells.
     new_records: Dict[int, Dict[str, Any]] = {}
     if workers <= 1 or len(pending) <= 1:
+        # Same failure semantics as the chunked parallel path below: cells
+        # are independent, so one failing cell must not stop its siblings'
+        # records from being computed and flushed — the first error is
+        # re-raised only after the campaign has drained, and a resumed run
+        # then only redoes the failed cells.
+        first_error: Optional[BaseException] = None
         for cell in pending:
-            record = run_cell(cell, cache_str)
+            try:
+                record = run_cell(cell, cache_str)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
             new_records[cell.index] = record
             finish(cell, record)
+        if first_error is not None:
+            raise first_error
     else:
-        # Flush records to the store in cell order even though they complete
-        # out of order, so parallel and serial runs produce identical files.
-        buffered: Dict[int, Tuple[CampaignCell, Dict[str, Any]]] = {}
+        # Chunked dispatch: one future per chunk of (topology-grouped) cells
+        # instead of one per cell, with per-worker persistent engine reuse
+        # across a chunk.  Records are still flushed to the store in cell
+        # order even though chunks complete out of order, so parallel and
+        # serial runs produce identical files.
+        # position -> (cell, record), or None for a failed cell (the flush
+        # loop skips the sentinel instead of stalling on the gap).
+        buffered: Dict[int, Optional[Tuple[CampaignCell, Dict[str, Any]]]] = {}
         next_position = 0
         positions = {cell.index: position for position, cell in enumerate(pending)}
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        chunks = chunk_cells(pending, workers)
+        active_topologies = tuple(dict.fromkeys(cell.topology for cell in pending))
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_worker_init,
+            initargs=(active_topologies,),
+        ) as pool:
             futures = {
-                pool.submit(run_cell, cell, cache_str): cell for cell in pending
+                pool.submit(_run_cell_chunk, chunk, cache_str): chunk
+                for chunk in chunks
             }
             remaining = set(futures)
+            # A failing cell is re-raised only after every chunk has drained
+            # and every completed record has been flushed to the store: the
+            # cells are independent, so a resumed run should only redo the
+            # failed cell, not its finished siblings.
+            first_error: Optional[BaseException] = None
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    cell = futures[future]
-                    record = future.result()
-                    new_records[cell.index] = record
-                    buffered[positions[cell.index]] = (cell, record)
+                    chunk = futures[future]
+                    for cell, (status, payload) in zip(chunk, future.result()):
+                        if status == "error":
+                            if first_error is None:
+                                first_error = payload
+                            # A sentinel keeps the in-order flush advancing
+                            # past the failed cell — completed records that
+                            # sort after it must still reach the store.
+                            buffered[positions[cell.index]] = None
+                            continue
+                        new_records[cell.index] = payload
+                        buffered[positions[cell.index]] = (cell, payload)
                     while next_position in buffered:
-                        ready_cell, ready_record = buffered.pop(next_position)
-                        finish(ready_cell, ready_record)
+                        ready = buffered.pop(next_position)
+                        if ready is not None:
+                            finish(*ready)
                         next_position += 1
+            if first_error is not None:
+                raise first_error
 
     ordered: List[Dict[str, Any]] = []
     executed_ids = set()

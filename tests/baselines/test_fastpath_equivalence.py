@@ -1,6 +1,6 @@
 """Fast-path ``deliver_many`` overrides vs. the hop-by-hop engine.
 
-Re-convergence, FCP and both Packet Re-cycling variants override
+Re-convergence, FCP, LFA and both Packet Re-cycling variants override
 ``deliver_many`` with flat walks (plus cross-scenario outcome memoization)
 for sweep speed.  ``ForwardingScheme.deliver_many`` — the generic
 implementation driving the real :class:`HopByHopEngine` — remains the
@@ -16,6 +16,7 @@ import random
 import pytest
 
 from repro.baselines.fcp import FailureCarryingPackets
+from repro.baselines.lfa import LoopFreeAlternates
 from repro.baselines.reconvergence import Reconvergence
 from repro.core.scheme import PacketRecycling, SimplePacketRecycling
 from repro.forwarding.scheme import ForwardingScheme
@@ -24,6 +25,7 @@ from repro.topologies.registry import by_name
 SCHEME_FACTORIES = {
     "reconvergence": lambda graph: Reconvergence(graph),
     "fcp": lambda graph: FailureCarryingPackets(graph),
+    "lfa": lambda graph: LoopFreeAlternates(graph),
     "pr": lambda graph: PacketRecycling(graph, embedding_seed=7),
     "pr-1bit": lambda graph: SimplePacketRecycling(graph, embedding_seed=7),
 }

@@ -26,6 +26,7 @@ from repro.graph.shortest_paths import (
 from repro.graph.spcache import ShortestPathEngine, engine_for
 from repro.errors import NoPathExists
 from repro.routing.tables import RoutingTables
+from repro.topologies.corpus import parse_topology_spec, topology_set
 from repro.topologies.registry import by_name
 
 
@@ -176,6 +177,112 @@ def test_affecting_pairs_with_excluded_tables_uses_walk():
     assert all_affecting_pairs(graph, scenario, tables) == _legacy_affecting_pairs(
         graph, scenario, tables
     )
+
+
+# ----------------------------------------------------------------------
+# incremental SSSP repair vs. full recompute, across the whole corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topology", topology_set("all"))
+def test_repaired_sssp_matches_full_recompute_across_corpus(topology):
+    """Repaired trees must be field-for-field identical to full Dijkstra.
+
+    Randomized excluded-edge sets over every corpus topology; the engine
+    route exercises the repair layer (zero-work aliasing, frontier repair,
+    threshold fallback and the ``repair_safe`` guard for non-exact weights)
+    while the reference runs the pure Dijkstra.  Identity covers distances,
+    parents, tie-breaking and dict insertion order.
+    """
+    graph = parse_topology_spec(topology).build()
+    engine = ShortestPathEngine(graph)
+    rng = random.Random(topology)  # str seeds are process-stable
+    edge_ids = graph.edge_ids()
+    nodes = graph.nodes()
+    for _trial in range(12):
+        k = rng.randint(1, min(5, len(edge_ids)))
+        excluded = frozenset(rng.sample(edge_ids, k))
+        for source in rng.sample(nodes, min(4, len(nodes))):
+            ref_dist, ref_parent = dijkstra(graph, source, excluded)
+            dist, parent = engine.sssp(source, excluded)
+            assert dist == ref_dist and parent == ref_parent
+            assert list(dist) == list(ref_dist)
+            assert list(parent) == list(ref_parent)
+    info = engine.cache_info()
+    if info["repair_safe"]:
+        # Every corpus topology with exact weights must actually exercise
+        # the repair layer in this workload, not silently fall back.
+        assert info["repair_hits"] > 0
+    else:
+        assert info["repair_hits"] == 0 and info["repair_fallbacks"] == 0
+
+
+@pytest.mark.parametrize("topology", topology_set("all"))
+def test_content_tree_matches_full_recompute_across_corpus(topology):
+    """``sssp_tree`` (order-free repair) must agree on values and parents."""
+    graph = parse_topology_spec(topology).build()
+    engine = ShortestPathEngine(graph)
+    rng = random.Random("tree:" + topology)
+    edge_ids = graph.edge_ids()
+    compiled = engine.compiled
+    names = compiled.names
+    for _trial in range(10):
+        k = rng.randint(1, min(4, len(edge_ids)))
+        excluded = frozenset(rng.sample(edge_ids, k))
+        source = rng.choice(graph.nodes())
+        ref_dist, ref_parent = dijkstra(graph, source, excluded)
+        dist, parent = engine.sssp_tree(source, excluded)
+        assert {names[v]: c for v, c in dist.items()} == ref_dist
+        assert {
+            names[v]: (names[t], e) for v, (t, e) in parent.items()
+        } == ref_parent
+
+
+def test_repair_falls_back_above_affected_threshold():
+    """A failure hitting most of a tree must recompute, not repair."""
+    graph = by_name("abilene")
+    engine = ShortestPathEngine(graph)
+    source = graph.nodes()[0]
+    # Excluding every edge on the source's failure-free tree affects every
+    # reachable vertex — far beyond the fallback fraction.
+    _dist, parent = engine.sssp(source)
+    tree_edges = frozenset(edge_id for (_towards, edge_id) in parent.values())
+    before = engine.repair_fallbacks
+    ref = dijkstra(graph, source, tree_edges)
+    fast = engine.sssp(source, tree_edges)
+    assert fast[0] == ref[0] and fast[1] == ref[1]
+    assert list(fast[0]) == list(ref[0])
+    assert engine.repair_fallbacks == before + 1
+
+
+def test_repair_disabled_on_inexact_weights():
+    """Graphs with non-dyadic weights must never attempt a repair."""
+    graph = parse_topology_spec("garr1999").build()
+    engine = ShortestPathEngine(graph)
+    assert not engine.compiled.repair_safe
+    rng = random.Random(5)
+    edge_ids = graph.edge_ids()
+    for _ in range(6):
+        excluded = frozenset(rng.sample(edge_ids, 2))
+        source = rng.choice(graph.nodes())
+        ref = dijkstra(graph, source, excluded)
+        fast = engine.sssp(source, excluded)
+        assert fast[0] == ref[0] and fast[1] == ref[1]
+        assert list(fast[1]) == list(ref[1])
+    assert engine.repair_hits == 0
+    assert engine.repair_fallbacks == 0
+
+
+def test_cache_info_reports_repair_counters():
+    graph = by_name("abilene")
+    engine = ShortestPathEngine(graph)
+    info = engine.cache_info()
+    for key in ("repair_hits", "repair_fallbacks", "repair_bases", "repair_safe"):
+        assert key in info
+    assert info["repair_safe"] == 1
+    assert info["repair_hits"] == 0
+    engine.sssp(graph.nodes()[0], frozenset({graph.edge_ids()[0]}))
+    info = engine.cache_info()
+    assert info["repair_hits"] + info["repair_fallbacks"] == 1
+    assert info["repair_bases"] == 1
 
 
 def test_engine_is_content_addressed():

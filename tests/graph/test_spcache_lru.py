@@ -1,0 +1,69 @@
+"""Unit tests for the engine's tiny LRU (`_LruDict`).
+
+Every memo in :mod:`repro.graph.spcache` — SSSP trees, APSP tables,
+component labels, consumer caches — sits on this class, so its eviction
+order and edge cases deserve direct coverage rather than only being
+exercised incidentally through the engine.
+"""
+
+from repro.graph.spcache import _LruDict
+
+
+class TestLruEviction:
+    def test_put_evicts_oldest_beyond_maxsize(self):
+        lru = _LruDict(3)
+        for key in "abcd":
+            lru.put(key, key.upper())
+        assert list(lru) == ["b", "c", "d"]
+        assert lru.get_or_none("a") is None
+
+    def test_get_refreshes_recency(self):
+        lru = _LruDict(3)
+        for key in "abc":
+            lru.put(key, key.upper())
+        # Touching "a" makes "b" the eviction candidate.
+        assert lru.get_or_none("a") == "A"
+        lru.put("d", "D")
+        assert list(lru) == ["c", "a", "d"]
+        assert lru.get_or_none("b") is None
+
+    def test_put_existing_key_refreshes_and_keeps_size(self):
+        lru = _LruDict(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 3)  # refresh, not grow
+        lru.put("c", 4)  # evicts "b", the least recently put
+        assert list(lru) == ["a", "c"]
+        assert lru.get_or_none("a") == 3
+        assert lru.get_or_none("b") is None
+
+    def test_miss_returns_none_without_inserting(self):
+        lru = _LruDict(2)
+        assert lru.get_or_none("ghost") is None
+        assert len(lru) == 0
+
+    def test_none_values_are_indistinguishable_from_misses(self):
+        # Engine memos never store None — get_or_none treats it as a miss,
+        # which this pins down as the documented (if sharp-edged) contract.
+        lru = _LruDict(2)
+        lru.put("a", None)
+        assert lru.get_or_none("a") is None
+        assert "a" in lru
+
+    def test_maxsize_zero_stores_nothing(self):
+        lru = _LruDict(0)
+        lru.put("a", 1)
+        assert len(lru) == 0
+        assert lru.get_or_none("a") is None
+        # Repeated puts must not leak entries either.
+        for key in "abc":
+            lru.put(key, key)
+        assert len(lru) == 0
+
+    def test_maxsize_one_keeps_only_latest(self):
+        lru = _LruDict(1)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert list(lru) == ["b"]
+        assert lru.get_or_none("a") is None
+        assert lru.get_or_none("b") == 2

@@ -49,6 +49,7 @@ class TestRunBench:
             "sweep_warm_s",
             "sweep_parallel_s",
             "sweep_resumed_s",
+            "sweep_incremental_s",
             "sweep_total_s",
         }
         assert all(value >= 0 for value in timings.values())
@@ -57,6 +58,12 @@ class TestRunBench:
         # quick corpus slice: 4 topologies x 2 schemes.
         assert quick_document["meta"]["corpus_topologies"] == 4
         assert quick_document["meta"]["corpus_summary_rows"] == 8
+
+    def test_incremental_repair_counters_reported(self, quick_document):
+        """The repair-heavy workload must actually exercise the repair layer."""
+        meta = quick_document["meta"]
+        assert meta["repair_hits"] > 0
+        assert meta["repair_fallbacks"] >= 0
 
     def test_total_is_sum_of_sweep_phases(self, quick_document):
         timings = quick_document["timings"]
@@ -71,6 +78,49 @@ class TestRunBench:
     def test_write_and_load_round_trip(self, quick_document, tmp_path):
         path = write_bench(quick_document, tmp_path / "BENCH_sweep.json")
         assert load_bench(path) == json.loads(path.read_text())
+
+
+class TestWriteBench:
+    def test_round_trip(self, tmp_path):
+        document = {"timings": {"x_s": 1.0}, "meta": {"quick": True}}
+        path = write_bench(document, tmp_path / "bench.json")
+        assert load_bench(path) == document
+
+    def test_existing_history_is_preserved(self, tmp_path):
+        """A routine bench run must not erase the committed perf trajectory."""
+        path = tmp_path / "BENCH_sweep.json"
+        trajectory = {
+            "note": "trajectory",
+            "history": [{"label": "PR 5", "timings": {"x_s": 2.0}}],
+            "timings": {"x_s": 2.0},
+            "meta": {"quick": True},
+        }
+        write_bench(trajectory, path)
+        fresh = {"timings": {"x_s": 1.5}, "meta": {"quick": True, "workers": 2}}
+        write_bench(fresh, path)
+        merged = load_bench(path)
+        assert merged["timings"] == {"x_s": 1.5}
+        assert merged["meta"] == {"quick": True, "workers": 2}
+        assert merged["history"] == trajectory["history"]
+        assert merged["note"] == "trajectory"
+
+    def test_plain_documents_are_overwritten(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench({"timings": {"x_s": 9.0}, "meta": {}}, path)
+        write_bench({"timings": {"x_s": 1.0}, "meta": {}}, path)
+        assert load_bench(path) == {"timings": {"x_s": 1.0}, "meta": {}}
+
+    def test_document_with_its_own_history_wins(self, tmp_path):
+        """A deliberately updated trajectory must not be reverted to the stale one."""
+        path = tmp_path / "BENCH_sweep.json"
+        write_bench({"history": [{"label": "old"}], "timings": {}, "meta": {}}, path)
+        updated = {
+            "history": [{"label": "old"}, {"label": "new"}],
+            "timings": {"x_s": 1.0},
+            "meta": {},
+        }
+        write_bench(updated, path)
+        assert load_bench(path)["history"] == updated["history"]
 
 
 class TestBenchCli:

@@ -4,11 +4,16 @@ import json
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, FailureScenarioError
+from repro.graph.spcache import _ENGINES, engine_for
 from repro.runner.executor import (
     ResultStore,
+    _TOPOLOGY_CACHE,
+    _run_cell_chunk,
+    _worker_init,
     build_scheme,
     generate_scenarios,
+    load_topology,
     run_campaign,
     run_cell,
 )
@@ -203,6 +208,124 @@ class TestDeterminism:
         assert warm.cache_stats()["misses"] == 0
         assert warm.cache_stats()["hits"] > 0
         assert deterministic_part(cold.records) == deterministic_part(warm.records)
+
+
+class TestChunkedDispatch:
+    def test_run_cell_chunk_matches_individual_cells(self):
+        cells = CampaignSpec(
+            topologies=("fig1-example",), schemes=("reconvergence", "fcp")
+        ).cells()
+        outcomes = _run_cell_chunk(cells)
+        assert [status for status, _payload in outcomes] == ["ok", "ok"]
+        chunk_records = [payload for _status, payload in outcomes]
+        individual = [run_cell(cell) for cell in cells]
+        assert deterministic_part(chunk_records) == deterministic_part(individual)
+
+    def test_failing_cell_keeps_siblings_records(self, tmp_path):
+        """One failing cell must not discard completed records of its chunk.
+
+        fig1-example has fewer than 40 links, so the multi-link cells raise
+        (FailureScenarioError) inside their worker chunk; the single-link
+        cells that completed first must still reach the store so a resumed
+        run skips them.
+        """
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence", "fcp"),
+            scenarios=(
+                ScenarioSpec("single-link"),
+                ScenarioSpec("multi-link", failures=40, samples=2),
+            ),
+        )
+        path = tmp_path / "results.jsonl"
+        with pytest.raises(FailureScenarioError):
+            run_campaign(spec, workers=2, results_path=path)
+        completed = ResultStore(path).completed_cell_ids()
+        single_link_ids = {
+            cell.cell_id
+            for cell in spec.cells()
+            if cell.scenario.kind == "single-link"
+        }
+        assert completed == single_link_ids
+
+    def test_failing_cell_before_completed_ones_does_not_stall_flush(
+        self, tmp_path
+    ):
+        """A failed cell ordered before completed cells must not block them.
+
+        With the failing multi-link scenario listed first, every completed
+        cell sorts *after* the failure — the in-order flush has to skip the
+        failed position instead of waiting forever for its record.
+        """
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence", "fcp"),
+            scenarios=(
+                ScenarioSpec("multi-link", failures=40, samples=2),
+                ScenarioSpec("single-link"),
+            ),
+        )
+        path = tmp_path / "results.jsonl"
+        with pytest.raises(FailureScenarioError):
+            run_campaign(spec, workers=2, results_path=path)
+        completed = ResultStore(path).completed_cell_ids()
+        single_link_ids = {
+            cell.cell_id
+            for cell in spec.cells()
+            if cell.scenario.kind == "single-link"
+        }
+        assert completed == single_link_ids
+        # And the resumed run only redoes the failed cells.
+        with pytest.raises(FailureScenarioError):
+            run_campaign(spec, workers=2, results_path=path, resume=True)
+        assert ResultStore(path).completed_cell_ids() == single_link_ids
+
+    def test_serial_failure_semantics_match_parallel(self, tmp_path):
+        """Serial and parallel runs must leave identical resume state."""
+        spec = CampaignSpec(
+            topologies=("fig1-example",),
+            schemes=("reconvergence", "fcp"),
+            scenarios=(
+                ScenarioSpec("multi-link", failures=40, samples=2),
+                ScenarioSpec("single-link"),
+            ),
+        )
+        serial = tmp_path / "serial.jsonl"
+        with pytest.raises(FailureScenarioError):
+            run_campaign(spec, workers=1, results_path=serial)
+        parallel = tmp_path / "parallel.jsonl"
+        with pytest.raises(FailureScenarioError):
+            run_campaign(spec, workers=2, results_path=parallel)
+        assert (
+            ResultStore(serial).completed_cell_ids()
+            == ResultStore(parallel).completed_cell_ids()
+        )
+        assert deterministic_part(ResultStore(serial).load()) == deterministic_part(
+            ResultStore(parallel).load()
+        )
+
+    def test_worker_init_drops_stale_engines_keeps_active(self):
+        stale = example_fig1()
+        engine_for(stale)  # a leftover engine from a previous topology set
+        active = load_topology("abilene")
+        active_engine = engine_for(active)
+        _worker_init(("abilene",))
+        assert engine_for(active) is active_engine  # warm engine survived
+        signatures = set(_ENGINES)
+        assert all(key == active_engine.compiled.signature for key in signatures)
+        # The topology memo is pruned to the active set as well.
+        assert all(graph is active for graph in _TOPOLOGY_CACHE.values())
+
+    def test_worker_init_without_topologies_clears_everything(self):
+        engine_for(example_fig1())
+        load_topology("abilene")
+        _worker_init()
+        assert not _ENGINES
+        assert not _TOPOLOGY_CACHE
+
+    def test_worker_init_survives_broken_topology_spec(self):
+        _worker_init(("no-such-topology-file.graphml", "abilene"))
+        assert _TOPOLOGY_CACHE  # abilene stayed loadable
 
 
 class TestResultStore:

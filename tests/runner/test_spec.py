@@ -7,6 +7,7 @@ from repro.runner.spec import (
     CampaignSpec,
     ScenarioSpec,
     available_schemes,
+    chunk_cells,
     figure2_campaign_spec,
     node_failure_campaign_spec,
     scenario_model_campaign_spec,
@@ -248,3 +249,41 @@ class TestCannedSpecs:
         names = available_schemes()
         for key in ("reconvergence", "fcp", "pr"):
             assert key in names
+
+
+class TestChunkCells:
+    def _cells(self, topologies, schemes):
+        return CampaignSpec(topologies=topologies, schemes=schemes).cells()
+
+    def test_chunks_partition_cells_in_order(self):
+        cells = self._cells(("abilene", "geant", "teleglobe"), ("reconvergence", "fcp"))
+        chunks = chunk_cells(cells, workers=2)
+        flattened = [cell for chunk in chunks for cell in chunk]
+        assert flattened == cells  # a partition, order preserved
+        assert all(chunks)  # no empty chunks
+
+    def test_chunks_prefer_topology_boundaries(self):
+        cells = self._cells(
+            ("abilene", "geant"), ("reconvergence", "fcp", "pr")
+        )
+        chunks = chunk_cells(cells, workers=2)
+        # 6 cells over 2 workers: one chunk per topology, so a worker builds
+        # each topology's engine exactly once.
+        assert [sorted({c.topology for c in chunk}) for chunk in chunks] == [
+            ["abilene"],
+            ["geant"],
+        ]
+
+    def test_oversized_topology_group_is_split(self):
+        cells = self._cells(
+            ("abilene",),
+            ("reconvergence", "fcp", "pr", "pr-1bit", "lfa", "noprotection"),
+        )
+        chunks = chunk_cells(cells, workers=3, chunks_per_worker=2)
+        assert len(chunks) > 1
+        assert [cell for chunk in chunks for cell in chunk] == cells
+
+    def test_empty_and_single_cell(self):
+        assert chunk_cells([], workers=4) == []
+        [cell] = self._cells(("abilene",), ("reconvergence",))
+        assert chunk_cells([cell], workers=4) == [[cell]]
