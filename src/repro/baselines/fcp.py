@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional
 
+from repro import telemetry
 from repro.baselines._outcome_memo import lookup_outcome, remember_outcome
 from repro.errors import ProtocolError
 from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
@@ -220,12 +221,14 @@ class FailureCarryingPackets(ForwardingScheme):
         ttl_budget = self.default_ttl()
         attempts_bound = self.graph.number_of_edges() + 1
         memo = self._outcome_memo
+        memo_hits = 0
         outcomes: Dict[tuple, ForwardingOutcome] = {}
         for pair in pairs:
             source, destination = pair
             entries_for_pair = memo.get(pair)
             hit = lookup_outcome(entries_for_pair, failed_mask)
             if hit is not None:
+                memo_hits += 1
                 outcomes[pair] = hit
                 continue
             node = source
@@ -342,6 +345,9 @@ class FailureCarryingPackets(ForwardingScheme):
                 path.append(node)
             outcomes[pair] = outcome
             remember_outcome(memo, pair, entries_for_pair, touched, failed_mask, outcome)
+        if outcomes:
+            telemetry.count("outcome_memo/hits", memo_hits)
+            telemetry.count("outcome_memo/misses", len(outcomes) - memo_hits)
         return outcomes
 
     def header_overhead_bits(self, carried_failures: int = 1) -> int:

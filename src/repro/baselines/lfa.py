@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.baselines._outcome_memo import lookup_outcome, remember_outcome
 from repro.errors import ProtocolError
 from repro.forwarding.engine import DeliveryStatus, ForwardingOutcome
@@ -139,11 +140,13 @@ class LoopFreeAlternates(ForwardingScheme):
         weight_of = self._engine.compiled.edge_weight
         ttl_budget = self.default_ttl()
         memo = self._outcome_memo
+        memo_hits = 0
         outcomes: Dict[tuple, ForwardingOutcome] = {}
         for pair in pairs:
             entries_for_pair = memo.get(pair)
             hit = lookup_outcome(entries_for_pair, failed_mask)
             if hit is not None:
+                memo_hits += 1
                 outcomes[pair] = hit
                 continue
             source, destination = pair
@@ -228,6 +231,9 @@ class LoopFreeAlternates(ForwardingScheme):
                 path.append(node)
             outcomes[pair] = outcome
             remember_outcome(memo, pair, entries_for_pair, touched, failed_mask, outcome)
+        if outcomes:
+            telemetry.count("outcome_memo/hits", memo_hits)
+            telemetry.count("outcome_memo/misses", len(outcomes) - memo_hits)
         return outcomes
 
     def header_overhead_bits(self) -> int:

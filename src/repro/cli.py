@@ -83,6 +83,7 @@ from repro.runner import aggregate as campaign_aggregate
 from repro.errors import ReproError
 from repro.scenarios import available_scenario_models, get_scenario_model, registered_models
 from repro.topologies import corpus as topology_corpus
+from repro import telemetry
 
 
 def _parse_failed_links(graph: Graph, specs: Sequence[str]) -> List[int]:
@@ -360,6 +361,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_manifest_arg(path_arg: str) -> Dict[str, object]:
+    """Resolve a ``repro report`` argument to a loaded telemetry manifest.
+
+    Accepts either the manifest itself (``*.telemetry.json``) or the JSONL
+    results file it sits next to; in the latter case the sidecar written by
+    the sweep is preferred, falling back to re-merging the records.
+    """
+    from pathlib import Path
+
+    path = Path(path_arg)
+    if not path.exists():
+        raise SystemExit(f"no such file: {path}")
+    if path.suffix == ".jsonl":
+        sidecar = telemetry.manifest_path_for(path)
+        if sidecar.exists():
+            return telemetry.load_manifest(sidecar)
+        from repro.runner import ResultStore
+
+        records = ResultStore(path).load()
+        if not records:
+            raise SystemExit(f"{path} holds no complete records")
+        return telemetry.build_manifest(records)
+    try:
+        return telemetry.load_manifest(path)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise SystemExit(f"cannot read manifest {path}: {exc}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    manifest = _load_manifest_arg(args.results)
+    if args.validate:
+        problems = telemetry.validate_manifest(manifest)
+        if problems:
+            print(f"manifest INVALID ({len(problems)} problems):")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"manifest valid ({manifest.get('schema')})")
+        return 0
+    print(telemetry.render_report(manifest, slowest=args.slowest))
+    return 0
+
+
 def _sweep_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """Build the campaign spec a ``sweep`` invocation describes."""
     if args.spec:
@@ -403,6 +447,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _sweep_spec_from_args(args)
     if args.resume and not args.results:
         raise SystemExit("--resume needs --results to know which cells are done")
+    if args.no_telemetry:
+        telemetry.set_enabled(False)
     for name in spec.topologies:
         try:
             _load_topology(name)
@@ -436,6 +482,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"({args.cache_dir})")
     if result.results_path is not None:
         print(f"results: {result.results_path}")
+    engine_counters = result.engine_counters()
+    if engine_counters:
+        # Merged across every worker through the per-cell snapshots — the
+        # campaign-wide totals a per-process aggregate_cache_info() misses.
+        print("engine counters (all workers): "
+              + ", ".join(f"{name}={value}"
+                          for name, value in sorted(engine_counters.items())))
+    if result.telemetry_path is not None:
+        print(f"telemetry manifest: {result.telemetry_path}")
+    if args.slowest:
+        manifest = result.telemetry(slowest=args.slowest)
+        rows = telemetry.report.slowest_rows(manifest, args.slowest)
+        if rows:
+            print()
+            print(f"=== slowest cells (top {len(rows)}) ===")
+            print(render_table(
+                ["cell", "topology", "scheme", "scenario", "elapsed",
+                 "dominant phase"],
+                rows,
+            ))
 
     # A corpus-scale sweep would print dozens of per-topology sections;
     # beyond a few topologies the cross-topology summary table carries the
@@ -660,7 +726,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--save-spec", help="write the campaign spec to this JSON file")
     sweep.add_argument("--plot", action="store_true", help="also print ASCII CCDF plots")
     sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    sweep.add_argument("--slowest", type=int, default=0, metavar="N",
+                       help="print the N slowest cells with their phase breakdown")
+    sweep.add_argument("--no-telemetry", action="store_true",
+                       help="disable telemetry collection (payloads are "
+                            "byte-identical either way)")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="query a campaign's telemetry manifest (phase times, cache "
+             "efficiency, slowest cells)",
+    )
+    report.add_argument("results",
+                        help="campaign results JSONL (its .telemetry.json "
+                             "sidecar is used) or a manifest file directly")
+    report.add_argument("--slowest", type=int, default=10, metavar="N",
+                        help="rows in the slowest-cells table (default 10)")
+    report.add_argument("--validate", action="store_true",
+                        help="only validate the manifest schema; exit 1 on "
+                             "problems (the CI smoke gate)")
+    report.set_defaults(handler=_cmd_report)
 
     return parser
 

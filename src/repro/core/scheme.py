@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from repro import telemetry
 from repro.core.protocol import PacketRecyclingLogic, SimplePacketRecyclingLogic
 from repro.core.tables import CycleFollowingTables
 from repro.embedding.builder import CellularEmbedding, embed
@@ -159,6 +160,7 @@ class PacketRecycling(ForwardingScheme):
                 memo = {}
                 engine.consumer_cache.put(token, memo)
             self._outcome_memo = memo
+        memo_hits = 0
         outcomes: Dict[tuple, ForwardingOutcome] = {}
         for pair in pairs:
             source, destination = pair
@@ -170,6 +172,7 @@ class PacketRecycling(ForwardingScheme):
                         hit = cached
                         break
                 if hit is not None:
+                    memo_hits += 1
                     outcomes[pair] = hit
                     continue
             node = source
@@ -307,6 +310,9 @@ class PacketRecycling(ForwardingScheme):
                 memo[pair] = [(touched, failed_mask & touched, outcome)]
             elif len(entries_for_pair) < 64:
                 entries_for_pair.append((touched, failed_mask & touched, outcome))
+        if outcomes:
+            telemetry.count("outcome_memo/hits", memo_hits)
+            telemetry.count("outcome_memo/misses", len(outcomes) - memo_hits)
         return outcomes
 
     # ------------------------------------------------------------------

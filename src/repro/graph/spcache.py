@@ -42,6 +42,11 @@ _MAX_ENGINES = 32
 
 _MISSING = object()
 
+#: Engines constructed by this process since import (registry-cached *and*
+#: nested hop engines alike) — the per-cell telemetry deltas count builds
+#: through this instead of registry size, which eviction would distort.
+_ENGINE_BUILDS = 0
+
 
 class _LruDict(OrderedDict):
     """Tiny LRU: ``get_or_none`` refreshes recency, ``put`` evicts oldest."""
@@ -49,6 +54,8 @@ class _LruDict(OrderedDict):
     def __init__(self, maxsize: int) -> None:
         super().__init__()
         self.maxsize = maxsize
+        #: Entries dropped by the size bound since construction (telemetry).
+        self.evictions = 0
 
     def get_or_none(self, key):
         # Sentinel-based miss detection: the memo misses of a sweep are hot
@@ -64,6 +71,7 @@ class _LruDict(OrderedDict):
         self.move_to_end(key)
         while len(self) > self.maxsize:
             self.popitem(last=False)
+            self.evictions += 1
 
 
 class ShortestPathEngine:
@@ -77,6 +85,8 @@ class ShortestPathEngine:
     """
 
     def __init__(self, graph: Graph, sssp_cache_size: int = DEFAULT_SSSP_CACHE) -> None:
+        global _ENGINE_BUILDS
+        _ENGINE_BUILDS += 1
         self.compiled = CompiledGraph(graph)
         #: Content identity of the snapshot; part of every external cache key.
         self.graph_version = hash(self.compiled.signature)
@@ -469,7 +479,20 @@ class ShortestPathEngine:
             "repair_fallbacks": self.repair_fallbacks,
             "repair_bases": len(self._repair_base),
             "repair_safe": int(self.compiled.repair_safe),
+            "evictions": self.evictions(),
         }
+
+    def evictions(self) -> int:
+        """Entries dropped by LRU bounds across every memo of this engine."""
+        return (
+            self._sssp.evictions
+            + self._sssp_idx.evictions
+            + self._tree.evictions
+            + self._apsp.evictions
+            + self._components.evictions
+            + self.consumer_cache.evictions
+            + self.tables_cache.evictions
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial formatting
         return (
@@ -570,14 +593,71 @@ def clear_engines(keep: Optional[Iterable[Tuple]] = None) -> None:
         del _ENGINES[key]
 
 
+def _all_engines() -> List[ShortestPathEngine]:
+    """Registry engines plus the hop engines nested in their consumer caches.
+
+    Hop engines (:func:`hop_engine_for`) are deliberately kept out of the
+    registry, so any total summed over ``_ENGINES`` alone silently drops
+    their hit/miss work.  The lookup uses plain ``dict.get`` — *not*
+    ``get_or_none`` — so taking a telemetry snapshot never refreshes LRU
+    recency and therefore cannot change eviction behaviour.
+    """
+    engines: List[ShortestPathEngine] = []
+    for engine in _ENGINES.values():
+        engines.append(engine)
+        hop = dict.get(engine.consumer_cache, ("hop-engine",))
+        if hop is not None:
+            engines.append(hop)
+    return engines
+
+
+#: ``cache_info`` keys that are monotonic event counts (deltas are
+#: meaningful); the remaining keys are gauges of current memo sizes.
+ENGINE_COUNTER_KEYS = (
+    "hits",
+    "misses",
+    "repair_hits",
+    "repair_fallbacks",
+    "evictions",
+)
+
+
+def engine_counter_totals() -> Dict[str, int]:
+    """Monotonic engine counters summed over every engine in this process.
+
+    The snapshot the campaign executor diffs around each cell to attribute
+    engine work (memo hits/misses, repair hits/fallbacks, LRU evictions,
+    engine builds) to the cell that caused it.  Only monotonic counters are
+    included — memo *sizes* are gauges and would make deltas meaningless.
+    """
+    totals: Dict[str, int] = {name: 0 for name in ENGINE_COUNTER_KEYS}
+    for engine in _all_engines():
+        totals["hits"] += engine.hits
+        totals["misses"] += engine.misses
+        totals["repair_hits"] += engine.repair_hits
+        totals["repair_fallbacks"] += engine.repair_fallbacks
+        totals["evictions"] += engine.evictions()
+    totals["builds"] = _ENGINE_BUILDS
+    return totals
+
+
 def aggregate_cache_info() -> Dict[str, int]:
     """Summed :meth:`ShortestPathEngine.cache_info` over this process's engines.
 
     ``repro bench`` reports these totals so the incremental-repair hit rate
-    of a workload is visible next to its wall-clock timing.
+    of a workload is visible next to its wall-clock timing.  Hop engines
+    nested in consumer caches are included.
+
+    **Scope caveat:** this sees only the *calling process*.  Cells executed
+    by worker processes accumulate their counters in those workers, so a
+    parallel sweep's totals must be read from the merged telemetry manifest
+    (``CampaignResult.telemetry()`` / the ``.telemetry.json`` sidecar),
+    which routes per-worker counters back through the chunk-result
+    envelopes — serial and parallel runs of the same campaign then report
+    identical totals for identical work.
     """
     totals: Dict[str, int] = {}
-    for engine in _ENGINES.values():
+    for engine in _all_engines():
         for name, value in engine.cache_info().items():
             totals[name] = totals.get(name, 0) + value
     totals["engines"] = len(_ENGINES)

@@ -59,6 +59,7 @@ from repro.runner.executor import (
     load_topology,
     run_campaign,
     run_cell,
+    telemetry_manifest,
 )
 from repro.runner.bench import check_regression, run_bench
 
@@ -90,6 +91,7 @@ __all__ = [
     "scenario_model_campaign_spec",
     "stretch_result_from_records",
     "summary_rows",
+    "telemetry_manifest",
     "topology_fingerprint",
     "topology_summary_rows",
 ]

@@ -116,6 +116,9 @@ def run_bench(
     corpus_result = run_campaign(_corpus_spec(quick), workers=1)
     corpus_rows = len(corpus_result.topology_summary())
     timings["corpus_sweep_s"] = time.perf_counter() - started
+    # Merged telemetry counters of the corpus workload (empty when telemetry
+    # is disabled): where the corpus wall-clock went, cache layer by layer.
+    corpus_counters = corpus_result.merged_counters()
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         cache_dir = Path(tmp) / "cache"
@@ -169,6 +172,7 @@ def run_bench(
             "corpus_summary_rows": corpus_rows,
             "repair_hits": engine_info.get("repair_hits", 0),
             "repair_fallbacks": engine_info.get("repair_fallbacks", 0),
+            "corpus_counters": corpus_counters,
             "offline_cold_s": round(offline_cold, 4),
             "resumed_skipped": resumed_skipped,
             "python": platform.python_version(),

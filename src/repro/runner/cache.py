@@ -27,6 +27,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro import telemetry
 from repro.embedding.builder import CellularEmbedding, embed
 from repro.embedding.serialization import embedding_from_dict, embedding_to_dict
 from repro.graph.multigraph import Graph
@@ -157,6 +158,8 @@ class ArtifactCache:
                 os.unlink(tmp_name)
             raise
         self.stores += 1
+        telemetry.count("artifact_cache/stores")
+        telemetry.count("artifact_cache/write_bytes", path.stat().st_size)
         return path
 
     def get_or_build(
@@ -170,8 +173,10 @@ class ArtifactCache:
         cached = self.load_embedding(graph, method, seed, iterations)
         if cached is not None:
             self.hits += 1
+            telemetry.count("artifact_cache/hits")
             return cached
         self.misses += 1
+        telemetry.count("artifact_cache/misses")
         embedding = embed(graph, method=method, iterations=iterations, seed=seed)
         self.store_embedding(graph, embedding, method, seed, iterations)
         return embedding

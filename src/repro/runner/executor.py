@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
+from repro import telemetry
 from repro.baselines.fcp import FailureCarryingPackets
 from repro.baselines.lfa import LoopFreeAlternates
 from repro.baselines.noprotection import NoProtection
@@ -50,7 +51,7 @@ from repro.forwarding.engine import DeliveryStatus
 from repro.forwarding.scheme import ForwardingScheme
 from repro.graph.multigraph import Graph
 from repro.graph.compiled import graph_signature
-from repro.graph.spcache import clear_engines, engine_for
+from repro.graph.spcache import clear_engines, engine_counter_totals, engine_for
 from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
 from repro.metrics.overhead import overhead_comparison
 from repro.routing.discriminator import DiscriminatorKind
@@ -226,14 +227,47 @@ def _scenario_context(
 def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, Any]:
     """Run one campaign cell and return its result record.
 
+    When telemetry is enabled the cell body runs under a *fresh*
+    :class:`~repro.telemetry.TelemetryCollector`, and the record's ``meta``
+    gains a ``telemetry`` snapshot: phase spans, outcome-memo and artifact
+    cache counters, plus the cell's *delta* of the per-process engine
+    counters (hits/misses/repair/evictions/builds accumulate on the engines
+    across a whole worker; diffing around the cell attributes them to it).
+    Snapshots ride inside the records, so they cross the chunk-result
+    envelopes from workers unchanged and survive the JSONL store for
+    resumed campaigns.  The ``payload`` is byte-identical with telemetry on
+    or off.
+    """
+    collector = telemetry.TelemetryCollector() if telemetry.enabled() else None
+    if collector is None:
+        return _run_cell_body(cell, cache_dir)
+    engines_before = engine_counter_totals()
+    with telemetry.collector_scope(collector):
+        record = _run_cell_body(cell, cache_dir)
+    engines_after = engine_counter_totals()
+    for name in sorted(engines_after):
+        # Clamped at zero: a registry eviction mid-cell can make a raw
+        # delta negative, and merged counters must stay monotonic.
+        delta = engines_after[name] - engines_before.get(name, 0)
+        collector.count(f"engine/{name}", max(0, delta))
+    collector.count("cells/executed")
+    record["meta"]["telemetry"] = collector.snapshot()
+    return record
+
+
+def _run_cell_body(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """The instrumented cell body (see :func:`run_cell`).
+
     The forwarding work is one delivery pass per scenario over the measured
     pair set; coverage accounting and stretch samples are both derived from
     that single pass (stretch only over the pairs whose failure-free path
     the scenario broke — the Figure 2 conditioning).
     """
     started = time.perf_counter()
-    graph = load_topology(cell.topology)
-    context = _scenario_context(graph, cell)
+    with telemetry.span("cell/topology_load"):
+        graph = load_topology(cell.topology)
+    with telemetry.span("cell/scenarios"):
+        context = _scenario_context(graph, cell)
     # Failure-free baseline costs come straight off the engine's memoized
     # destination trees (the same values RoutingTables.cost would return),
     # so a cell whose scheme builds no routing tables doesn't force a full
@@ -246,14 +280,16 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     offline_started = time.perf_counter()
     if cell.scheme in EMBEDDING_SCHEMES:
         cache = ArtifactCache(cache_dir) if cache_dir else None
-        embedding = cached_embedding(
-            graph,
-            method=cell.embedding_method,
-            seed=cell.embedding_seed,
-            iterations=cell.embedding_iterations,
-            cache=cache,
-        )
-    scheme = build_scheme(cell.scheme, graph, cell.discriminator, embedding)
+        with telemetry.span("offline/embedding"):
+            embedding = cached_embedding(
+                graph,
+                method=cell.embedding_method,
+                seed=cell.embedding_seed,
+                iterations=cell.embedding_iterations,
+                cache=cache,
+            )
+    with telemetry.span("cell/build_scheme"):
+        scheme = build_scheme(cell.scheme, graph, cell.discriminator, embedding)
     offline_seconds = time.perf_counter() - offline_started
 
     report = CoverageReport(scheme=scheme.name)
@@ -276,88 +312,93 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     # same outcome dict — deliver_many is deterministic in (pairs, failed
     # links), so the per-scenario accounting below is unchanged.
     outcomes_by_pattern: Dict[Tuple[int, ...], Dict[Tuple, Any]] = {}
-    for key, affected, measured in context:
-        measured_pairs += len(affected)
-        if cell.coverage == "full":
-            report.unreachable_pairs_skipped += all_pairs_count - len(measured)
-        if not measured:
-            continue
-        affected_set = set(affected)
-        outcomes = outcomes_by_pattern.get(key)
-        if outcomes is None:
-            outcomes = scheme.deliver_many(measured, failed_links=key)
-            outcomes_by_pattern[key] = outcomes
-        key_row = list(key)
-        for pair, outcome in outcomes.items():
-            status = outcome.status
-            delivered = status is delivered_status
-            if delivered:
-                report.attempts += 1
-                report.delivered += 1
-            else:
-                report.record(status, key, outcome.drop_reason)
-            if pair not in affected_set:
+    with telemetry.span(f"delivery/scheme={cell.scheme}"):
+        for key, affected, measured in context:
+            measured_pairs += len(affected)
+            if cell.coverage == "full":
+                report.unreachable_pairs_skipped += all_pairs_count - len(measured)
+            if not measured:
                 continue
-            baseline_cost = baseline_cost_of.get(pair)
-            if baseline_cost is None:
-                # cost(source -> destination) == dist[source] of the
-                # destination-rooted failure-free tree (undirected graph,
-                # exactly what RoutingTables stores in its cost column).
-                baseline_cost = engine_distances(pair[1])[pair[0]]
-                baseline_cost_of[pair] = baseline_cost
-            n_samples += 1
-            if delivered and baseline_cost > 0:
-                stretch = outcome.cost / baseline_cost
-                stretch_values.append(stretch)
-                delivered_samples += 1
-            else:
-                stretch = None
+            affected_set = set(affected)
+            outcomes = outcomes_by_pattern.get(key)
+            if outcomes is None:
+                outcomes = scheme.deliver_many(measured, failed_links=key)
+                outcomes_by_pattern[key] = outcomes
+            key_row = list(key)
+            for pair, outcome in outcomes.items():
+                status = outcome.status
+                delivered = status is delivered_status
                 if delivered:
+                    report.attempts += 1
+                    report.delivered += 1
+                else:
+                    report.record(status, key, outcome.drop_reason)
+                if pair not in affected_set:
+                    continue
+                baseline_cost = baseline_cost_of.get(pair)
+                if baseline_cost is None:
+                    # cost(source -> destination) == dist[source] of the
+                    # destination-rooted failure-free tree (undirected graph,
+                    # exactly what RoutingTables stores in its cost column).
+                    baseline_cost = engine_distances(pair[1])[pair[0]]
+                    baseline_cost_of[pair] = baseline_cost
+                n_samples += 1
+                if delivered and baseline_cost > 0:
+                    stretch = outcome.cost / baseline_cost
+                    stretch_values.append(stretch)
                     delivered_samples += 1
-            if record_samples:
-                sample_rows.append(
-                    [
-                        pair[0],
-                        pair[1],
-                        key_row,
-                        stretch,
-                        delivered,
-                        outcome.hops,
-                        outcome.cost,
-                        baseline_cost,
-                    ]
-                )
+                else:
+                    stretch = None
+                    if delivered:
+                        delivered_samples += 1
+                if record_samples:
+                    sample_rows.append(
+                        [
+                            pair[0],
+                            pair[1],
+                            key_row,
+                            stretch,
+                            delivered,
+                            outcome.hops,
+                            outcome.cost,
+                            baseline_cost,
+                        ]
+                    )
 
-    [overhead_row] = overhead_comparison(graph, [scheme])
-    payload: Dict[str, Any] = {
-        "scenarios": len(context),
-        "failures_per_scenario": len(context[0][0]) if context else 0,
-        "measured_pairs": measured_pairs,
-        "n_samples": n_samples,
-        "delivered_samples": delivered_samples,
-        "delivery_ratio": delivered_samples / n_samples if n_samples else 1.0,
-        "n_stretch": len(stretch_values),
-        # JSON-normalised (lists, not tuples) so in-memory records compare
-        # equal to records reloaded from the JSONL store.
-        "ccdf": [
-            [x, p] for x, p in ccdf_curve(stretch_values, default_stretch_thresholds())
-        ],
-        "stretch_summary": distribution_summary(stretch_values),
-        "coverage": {
-            "attempts": report.attempts,
-            "delivered": report.delivered,
-            "dropped": report.dropped,
-            "looped": report.looped,
-            "unreachable_pairs_skipped": report.unreachable_pairs_skipped,
-            "drop_reasons": dict(sorted(report.drop_reasons.items())),
-        },
-        "header_bits": overhead_row.header_bits,
-        "header_bits_note": overhead_row.header_bits_note,
-        "memory_entries": overhead_row.memory_entries,
-        "online_computation": overhead_row.online_computation,
-    }
-    if record_samples:
-        payload["samples"] = sample_rows
+    telemetry.record_value("cell/measured_pairs", measured_pairs)
+    telemetry.record_value("cell/stretch_samples", len(stretch_values))
+    with telemetry.span("cell/aggregate"):
+        [overhead_row] = overhead_comparison(graph, [scheme])
+        payload: Dict[str, Any] = {
+            "scenarios": len(context),
+            "failures_per_scenario": len(context[0][0]) if context else 0,
+            "measured_pairs": measured_pairs,
+            "n_samples": n_samples,
+            "delivered_samples": delivered_samples,
+            "delivery_ratio": delivered_samples / n_samples if n_samples else 1.0,
+            "n_stretch": len(stretch_values),
+            # JSON-normalised (lists, not tuples) so in-memory records compare
+            # equal to records reloaded from the JSONL store.
+            "ccdf": [
+                [x, p]
+                for x, p in ccdf_curve(stretch_values, default_stretch_thresholds())
+            ],
+            "stretch_summary": distribution_summary(stretch_values),
+            "coverage": {
+                "attempts": report.attempts,
+                "delivered": report.delivered,
+                "dropped": report.dropped,
+                "looped": report.looped,
+                "unreachable_pairs_skipped": report.unreachable_pairs_skipped,
+                "drop_reasons": dict(sorted(report.drop_reasons.items())),
+            },
+            "header_bits": overhead_row.header_bits,
+            "header_bits_note": overhead_row.header_bits_note,
+            "memory_entries": overhead_row.memory_entries,
+            "online_computation": overhead_row.online_computation,
+        }
+        if record_samples:
+            payload["samples"] = sample_rows
     return {
         "cell_id": cell.cell_id,
         "index": cell.index,
@@ -379,7 +420,9 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     }
 
 
-def _worker_init(active_topologies: Tuple[str, ...] = ()) -> None:
+def _worker_init(
+    active_topologies: Tuple[str, ...] = (), telemetry_enabled: Optional[bool] = None
+) -> None:
     """Per-worker process initializer: shed every stale per-process cache.
 
     Fork-started workers inherit the parent's engine registry and topology
@@ -391,7 +434,13 @@ def _worker_init(active_topologies: Tuple[str, ...] = ()) -> None:
     keeping the warm, still-valid engines of the topologies this campaign
     sweeps (on a machine where workers time-share cores, re-deriving them
     per worker is the dominant dispatch cost).
+
+    ``telemetry_enabled`` carries the parent's telemetry state into the
+    worker explicitly (spawn-started workers re-read only the environment,
+    which a ``--no-telemetry`` run does not touch).
     """
+    if telemetry_enabled is not None:
+        telemetry.set_enabled(telemetry_enabled)
     keep_sigs = []
     keep_graphs = []
     for spec in active_topologies:
@@ -494,6 +543,10 @@ class CampaignResult:
     results_path: Optional[Path] = None
     #: cell_ids actually run in this invocation (resumed cells excluded).
     executed_cell_ids: Set[str] = field(default_factory=set)
+    #: Worker count of this invocation (recorded in the telemetry manifest).
+    workers: int = 1
+    #: Sidecar manifest path, when the campaign streamed to a JSONL store.
+    telemetry_path: Optional[Path] = None
 
     # Aggregation views over the records (see :mod:`repro.runner.aggregate`).
     def stretch_result(self, topology: Optional[str] = None):
@@ -531,6 +584,54 @@ class CampaignResult:
         return sum(
             r.get("meta", {}).get("offline_s", 0.0) for r in self._executed_records()
         )
+
+    # ------------------------------------------------------------------
+    # telemetry views
+    # ------------------------------------------------------------------
+    def telemetry(self, slowest: int = 10) -> Dict[str, Any]:
+        """The campaign telemetry manifest merged over every record.
+
+        Includes resumed records: their snapshots were produced when those
+        cells actually ran, so a resumed campaign reports the same merged
+        counters a fresh one does.
+        """
+        return telemetry_manifest(self, slowest=slowest)
+
+    def merged_counters(self) -> Dict[str, int]:
+        """Deterministically merged telemetry counters over every record.
+
+        This is the campaign-wide answer :func:`aggregate_cache_info` cannot
+        give: engine counters accumulate per *process*, so in a parallel run
+        the parent's registry only ever saw its own cells.  The per-cell
+        snapshots merged here crossed the chunk envelopes from every worker.
+        """
+        return dict(telemetry.merge_records(self.records).counters)
+
+    def engine_counters(self) -> Dict[str, int]:
+        """Merged ``engine/*`` counters with the prefix stripped."""
+        return {
+            name.split("/", 1)[1]: value
+            for name, value in self.merged_counters().items()
+            if name.startswith("engine/")
+        }
+
+
+def telemetry_manifest(result: CampaignResult, slowest: int = 10) -> Dict[str, Any]:
+    """The telemetry manifest of a campaign result (see :mod:`repro.telemetry`)."""
+    return telemetry.build_manifest(
+        result.records,
+        campaign={
+            "spec_hash": result.spec.spec_hash(),
+            "cells": result.spec.cell_count(),
+        },
+        run={
+            "executed": result.executed,
+            "skipped": result.skipped,
+            "workers": result.workers,
+            "elapsed_s": result.elapsed_s,
+        },
+        slowest=slowest,
+    )
 
 
 ProgressCallback = Callable[[CampaignCell, Dict[str, Any], int, int], None]
@@ -633,7 +734,7 @@ def run_campaign(
         with ProcessPoolExecutor(
             max_workers=min(workers, len(chunks)),
             initializer=_worker_init,
-            initargs=(active_topologies,),
+            initargs=(active_topologies, telemetry.enabled()),
         ) as pool:
             futures = {
                 pool.submit(_run_cell_chunk, chunk, cache_str): chunk
@@ -678,7 +779,7 @@ def run_campaign(
             record = previous.get(cell.cell_id)
         if record is not None:
             ordered.append(record)
-    return CampaignResult(
+    result = CampaignResult(
         spec=spec,
         records=ordered,
         executed=len(new_records),
@@ -686,4 +787,12 @@ def run_campaign(
         elapsed_s=time.perf_counter() - started,
         results_path=store.path if store is not None else None,
         executed_cell_ids=executed_ids,
+        workers=workers,
     )
+    if store is not None:
+        # The manifest merges over *all* records (resumed included), so a
+        # resumed campaign rewrites a sidecar covering the whole campaign.
+        result.telemetry_path = telemetry.write_manifest(
+            telemetry_manifest(result), telemetry.manifest_path_for(store.path)
+        )
+    return result

@@ -1,0 +1,354 @@
+"""Per-process telemetry collection: spans, counters, value distributions.
+
+The collector is the write side of the campaign telemetry subsystem.  It is
+deliberately tiny and stdlib-only — every hot layer of the codebase (the
+shortest-path engine, the scheme fast paths, the artifact cache, the campaign
+executor) reports into the *active* collector through three module-level
+primitives:
+
+* :func:`count` — monotonic named counters (``count("engine/builds")``);
+* :func:`span` — wall-clock timing of a code region, aggregated per span
+  name (``with span("delivery/scheme=fcp"): ...``).  Nested spans record
+  under the joined path of the enclosing spans, so hierarchy can be given
+  either explicitly in the name or implicitly by nesting;
+* :func:`record_value` — value distributions (min/max/sum/count plus a
+  fixed-size first-K reservoir for p50/p95).
+
+Telemetry is **disabled by setting the active collector to ``None``** — the
+disabled fast path of every primitive is one module-global load plus an
+``is None`` test, which keeps the instrumented hot paths within benchmark
+noise.  The default state comes from the ``REPRO_TELEMETRY`` environment
+variable (enabled unless it is ``0``/``false``/``off``).
+
+Snapshots (:meth:`TelemetryCollector.snapshot`) are plain JSON-ready dicts
+with sorted keys; the campaign executor attaches one per cell record, which
+is how worker processes ship their telemetry back through the existing
+chunk-result envelopes (see :mod:`repro.telemetry.merge`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Values kept per distribution for percentile estimates.  The reservoir is
+#: the *first* ``RESERVOIR_SIZE`` values rather than a random sample: first-K
+#: is deterministic (a requirement for byte-identical merged manifests), at
+#: the cost of bias when a metric drifts beyond the first K observations.
+RESERVOIR_SIZE = 512
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty list."""
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class Distribution:
+    """Streaming min/max/sum/count with a fixed first-K reservoir."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "reservoir")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.reservoir: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if len(self.reservoir) < RESERVOIR_SIZE:
+            self.reservoir.append(value)
+
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Fold a snapshot dict produced by :meth:`to_dict` into this one."""
+        if not payload.get("count"):
+            return
+        self.count += int(payload["count"])
+        self.total += float(payload["sum"])
+        for bound, better in (("min", min), ("max", max)):
+            value = payload.get(bound)
+            if value is None:
+                continue
+            current = self.minimum if bound == "min" else self.maximum
+            merged = float(value) if current is None else better(current, float(value))
+            if bound == "min":
+                self.minimum = merged
+            else:
+                self.maximum = merged
+        room = RESERVOIR_SIZE - len(self.reservoir)
+        if room > 0:
+            self.reservoir.extend(payload.get("reservoir", ())[:room])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Snapshot for transport (keeps the reservoir so merges can refine)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "reservoir": list(self.reservoir),
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Manifest-facing summary (reservoir reduced to p50/p95)."""
+        ordered = sorted(self.reservoir)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": _percentile(ordered, 0.50) if ordered else None,
+            "p95": _percentile(ordered, 0.95) if ordered else None,
+        }
+
+
+class TelemetryCollector:
+    """One process's (or one cell's) accumulated telemetry.
+
+    ``counters`` maps name -> int, ``spans`` maps span path -> ``[count,
+    total_s, min_s, max_s]`` and ``values`` maps name ->
+    :class:`Distribution`.  All three use flat ``/``-separated names; the
+    span stack additionally prefixes nested spans with their enclosing path.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.spans: Dict[str, List[float]] = {}
+        self.values: Dict[str, Distribution] = {}
+        self._span_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_value(self, name: str, value: float) -> None:
+        distribution = self.values.get(name)
+        if distribution is None:
+            distribution = self.values[name] = Distribution()
+        distribution.add(value)
+
+    def record_span(self, path: str, seconds: float) -> None:
+        entry = self.spans.get(path)
+        if entry is None:
+            self.spans[path] = [1, seconds, seconds, seconds]
+            return
+        entry[0] += 1
+        entry[1] += seconds
+        if seconds < entry[2]:
+            entry[2] = seconds
+        if seconds > entry[3]:
+            entry[3] = seconds
+
+    def span_path(self, name: str) -> str:
+        """The full path ``name`` records under, given the open span stack."""
+        if not self._span_stack:
+            return name
+        return f"{self._span_stack[-1]}/{name}"
+
+    # ------------------------------------------------------------------
+    # snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready snapshot with deterministic (sorted) key order."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "spans": {
+                path: {
+                    "count": entry[0],
+                    "total_s": entry[1],
+                    "min_s": entry[2],
+                    "max_s": entry[3],
+                }
+                for path, entry in sorted(self.spans.items())
+            },
+            "values": {
+                name: self.values[name].to_dict() for name in sorted(self.values)
+            },
+        }
+
+    def merge_snapshot(self, payload: Dict[str, Any]) -> None:
+        """Fold one :meth:`snapshot` dict into this collector.
+
+        Counter addition is commutative and the span/distribution folds keep
+        only order-independent aggregates (count/total/min/max and a first-K
+        reservoir filled in merge order), so merging per-cell snapshots in
+        cell order is deterministic regardless of which worker produced them.
+        """
+        for name, amount in payload.get("counters", {}).items():
+            self.count(name, int(amount))
+        for path, entry in payload.get("spans", {}).items():
+            current = self.spans.get(path)
+            if current is None:
+                self.spans[path] = [
+                    int(entry["count"]),
+                    float(entry["total_s"]),
+                    float(entry["min_s"]),
+                    float(entry["max_s"]),
+                ]
+                continue
+            current[0] += int(entry["count"])
+            current[1] += float(entry["total_s"])
+            current[2] = min(current[2], float(entry["min_s"]))
+            current[3] = max(current[3], float(entry["max_s"]))
+        for name, dist_payload in payload.get("values", {}).items():
+            distribution = self.values.get(name)
+            if distribution is None:
+                distribution = self.values[name] = Distribution()
+            distribution.merge(dist_payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"TelemetryCollector(counters={len(self.counters)}, "
+            f"spans={len(self.spans)}, values={len(self.values)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the active collector (None == disabled)
+# ----------------------------------------------------------------------
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+_ACTIVE: Optional[TelemetryCollector] = TelemetryCollector() if _env_enabled() else None
+
+
+def enabled() -> bool:
+    """Whether telemetry is being collected in this process right now."""
+    return _ACTIVE is not None
+
+
+def set_enabled(on: bool) -> None:
+    """Turn collection on (fresh process collector) or off (no collector)."""
+    global _ACTIVE
+    _ACTIVE = TelemetryCollector() if on else None
+
+
+def active_collector() -> Optional[TelemetryCollector]:
+    return _ACTIVE
+
+
+class collector_scope:
+    """Temporarily make ``collector`` the active one (``None`` disables).
+
+    The campaign executor wraps each cell in a scope holding a *fresh*
+    collector, so a cell's snapshot is exactly the telemetry produced while
+    it ran — no delta arithmetic, and no cross-cell leakage.  Reentrant and
+    exception-safe; restores the previous collector on exit.
+    """
+
+    __slots__ = ("collector", "_previous")
+
+    def __init__(self, collector: Optional[TelemetryCollector]) -> None:
+        self.collector = collector
+        self._previous: Optional[TelemetryCollector] = None
+
+    def __enter__(self) -> Optional[TelemetryCollector]:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.collector
+        return self.collector
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+# ----------------------------------------------------------------------
+# module-level primitives (near-zero overhead when disabled)
+# ----------------------------------------------------------------------
+def count(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to counter ``name`` on the active collector."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.count(name, amount)
+
+
+def record_value(name: str, value: float) -> None:
+    """Record ``value`` into distribution ``name`` on the active collector."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.record_value(name, value)
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("collector", "path", "_started")
+
+    def __init__(self, collector: TelemetryCollector, path: str) -> None:
+        self.collector = collector
+        self.path = path
+
+    def __enter__(self) -> "_Span":
+        self.collector._span_stack.append(self.path)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._started
+        stack = self.collector._span_stack
+        if stack and stack[-1] == self.path:
+            stack.pop()
+        self.collector.record_span(self.path, elapsed)
+
+
+def span(name: str):
+    """Time a code region under span ``name`` (hierarchical via nesting).
+
+    Usage::
+
+        with span("delivery/scheme=fcp"):
+            ...
+
+    Opening a span inside another records under the joined path
+    (``outer/inner``).  When telemetry is disabled this returns a shared
+    no-op context manager — no allocation, no clock reads.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        return _NULL_SPAN
+    return _Span(collector, collector.span_path(name))
+
+
+def counters_with_prefix(
+    counters: Dict[str, int], prefix: str
+) -> Dict[str, int]:
+    """The sub-dict of ``counters`` whose names start with ``prefix``."""
+    return {name: value for name, value in counters.items() if name.startswith(prefix)}
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> TelemetryCollector:
+    """Fold snapshot dicts (in iteration order) into one collector."""
+    merged = TelemetryCollector()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged

@@ -1,0 +1,169 @@
+"""Collector unit tests: spans, counters, distributions, enable/disable."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.collector import (
+    RESERVOIR_SIZE,
+    Distribution,
+    TelemetryCollector,
+    _NULL_SPAN,
+    _percentile,
+)
+
+
+@pytest.fixture(autouse=True)
+def enabled_telemetry():
+    """Every test starts (and leaves the process) with telemetry enabled."""
+    telemetry.set_enabled(True)
+    yield
+    telemetry.set_enabled(True)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        collector = TelemetryCollector()
+        with telemetry.collector_scope(collector):
+            telemetry.count("a/b")
+            telemetry.count("a/b", 4)
+            telemetry.count("c")
+        assert collector.counters == {"a/b": 5, "c": 1}
+
+    def test_counters_with_prefix(self):
+        counters = {"engine/hits": 3, "engine/misses": 1, "cells/executed": 2}
+        assert telemetry.counters_with_prefix(counters, "engine/") == {
+            "engine/hits": 3,
+            "engine/misses": 1,
+        }
+
+
+class TestSpans:
+    def test_span_records_under_its_name(self):
+        collector = TelemetryCollector()
+        with telemetry.collector_scope(collector):
+            with telemetry.span("cell/topology_load"):
+                pass
+        [(path, entry)] = collector.spans.items()
+        assert path == "cell/topology_load"
+        assert entry[0] == 1
+        assert entry[1] >= 0.0
+
+    def test_nested_spans_join_paths(self):
+        collector = TelemetryCollector()
+        with telemetry.collector_scope(collector):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+        assert set(collector.spans) == {"outer", "outer/inner"}
+
+    def test_span_aggregates_min_max(self):
+        collector = TelemetryCollector()
+        collector.record_span("x", 2.0)
+        collector.record_span("x", 1.0)
+        collector.record_span("x", 3.0)
+        assert collector.spans["x"] == [3, 6.0, 1.0, 3.0]
+
+    def test_exception_still_records_and_pops(self):
+        collector = TelemetryCollector()
+        with telemetry.collector_scope(collector):
+            with pytest.raises(ValueError):
+                with telemetry.span("boom"):
+                    raise ValueError("x")
+        assert collector.spans["boom"][0] == 1
+        assert collector._span_stack == []
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_shared_null(self):
+        telemetry.set_enabled(False)
+        assert telemetry.span("anything") is _NULL_SPAN
+        assert telemetry.span("other") is _NULL_SPAN
+
+    def test_disabled_primitives_are_noops(self):
+        telemetry.set_enabled(False)
+        telemetry.count("x")
+        telemetry.record_value("y", 1.0)
+        with telemetry.span("z"):
+            pass
+        assert telemetry.active_collector() is None
+        assert not telemetry.enabled()
+
+    def test_scope_restores_previous_collector(self):
+        outer = telemetry.active_collector()
+        inner = TelemetryCollector()
+        with telemetry.collector_scope(inner):
+            assert telemetry.active_collector() is inner
+            with telemetry.collector_scope(None):
+                assert not telemetry.enabled()
+            assert telemetry.active_collector() is inner
+        assert telemetry.active_collector() is outer
+
+
+class TestDistribution:
+    def test_add_and_summary(self):
+        dist = Distribution()
+        for value in [3.0, 1.0, 2.0]:
+            dist.add(value)
+        summary = dist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == 2.0
+
+    def test_reservoir_is_first_k(self):
+        dist = Distribution()
+        for value in range(RESERVOIR_SIZE + 100):
+            dist.add(float(value))
+        assert dist.count == RESERVOIR_SIZE + 100
+        assert len(dist.reservoir) == RESERVOIR_SIZE
+        assert dist.reservoir[0] == 0.0
+        assert dist.reservoir[-1] == float(RESERVOIR_SIZE - 1)
+
+    def test_merge_from_snapshot(self):
+        a, b = Distribution(), Distribution()
+        a.add(1.0)
+        b.add(5.0)
+        b.add(3.0)
+        a.merge(b.to_dict())
+        assert a.count == 3
+        assert a.total == 9.0
+        assert a.minimum == 1.0
+        assert a.maximum == 5.0
+
+    def test_merge_empty_is_noop(self):
+        a = Distribution()
+        a.add(2.0)
+        a.merge(Distribution().to_dict())
+        assert a.count == 1
+
+    def test_percentile_nearest_rank(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(ordered, 0.0) == 1.0
+        assert _percentile(ordered, 1.0) == 4.0
+        assert _percentile(ordered, 0.5) == 3.0
+
+
+class TestSnapshotMerge:
+    def test_snapshot_round_trips_through_merge(self):
+        collector = TelemetryCollector()
+        collector.count("a", 2)
+        collector.record_span("s", 1.5)
+        collector.record_value("v", 4.0)
+        merged = telemetry.merge_snapshots([collector.snapshot()])
+        assert merged.counters == {"a": 2}
+        assert merged.spans["s"] == [1, 1.5, 1.5, 1.5]
+        assert merged.values["v"].total == 4.0
+
+    def test_merge_order_independent_for_counters_and_spans(self):
+        def snap(seconds):
+            c = TelemetryCollector()
+            c.count("n")
+            c.record_span("s", seconds)
+            return c.snapshot()
+
+        one, two = snap(1.0), snap(2.0)
+        forward = telemetry.merge_snapshots([one, two])
+        backward = telemetry.merge_snapshots([two, one])
+        assert forward.counters == backward.counters
+        assert forward.spans == backward.spans

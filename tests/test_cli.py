@@ -240,6 +240,74 @@ class TestSweepTopologySet:
             ])
 
 
+class TestReportCommand:
+    def _swept(self, tmp_path, *extra):
+        results = tmp_path / "run.jsonl"
+        assert main([
+            "sweep", "--topologies", "fig1-example",
+            "--schemes", "reconvergence", "pr",
+            "--quiet", "--cache-dir", str(tmp_path / "cache"),
+            "--results", str(results), *extra,
+        ]) == 0
+        return results
+
+    def test_sweep_prints_manifest_and_merged_counters(self, capsys, tmp_path):
+        self._swept(tmp_path)
+        output = capsys.readouterr().out
+        assert "telemetry manifest:" in output
+        assert "engine counters (all workers):" in output
+
+    def test_sweep_slowest_table(self, capsys, tmp_path):
+        self._swept(tmp_path, "--slowest", "2")
+        output = capsys.readouterr().out
+        assert "slowest cells" in output
+        assert "dominant phase" in output
+
+    def test_report_from_results_jsonl(self, capsys, tmp_path):
+        results = self._swept(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(results)]) == 0
+        output = capsys.readouterr().out
+        assert "phase-time breakdown" in output
+        assert "cache efficiency" in output
+
+    def test_report_from_manifest_file(self, capsys, tmp_path):
+        results = self._swept(tmp_path)
+        capsys.readouterr()
+        from repro import telemetry
+
+        assert main(["report", str(telemetry.manifest_path_for(results))]) == 0
+        assert "campaign telemetry:" in capsys.readouterr().out
+
+    def test_report_validate_gate(self, capsys, tmp_path):
+        results = self._swept(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(results), "--validate"]) == 0
+        assert "manifest valid" in capsys.readouterr().out
+        broken = tmp_path / "broken.telemetry.json"
+        broken.write_text('{"schema": "bogus"}')
+        assert main(["report", str(broken), "--validate"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_report_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_sweep_no_telemetry_still_writes_manifest(self, capsys, tmp_path):
+        import json
+
+        from repro import telemetry
+
+        try:
+            results = self._swept(tmp_path, "--no-telemetry")
+        finally:
+            telemetry.set_enabled(True)
+        output = capsys.readouterr().out
+        assert "engine counters (all workers):" not in output
+        manifest = json.loads(telemetry.manifest_path_for(results).read_text())
+        assert manifest["records"]["with_telemetry"] == 0
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
