@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -74,12 +75,14 @@ from repro.metrics.overhead import render_overhead_table
 from repro.runner import (
     ArtifactCache,
     CampaignSpec,
+    ExecutionPolicy,
     ScenarioSpec,
     available_schemes,
     load_topology as _load_topology,
     run_campaign,
 )
 from repro.runner import aggregate as campaign_aggregate
+from repro.runner import faults as fault_harness
 from repro.errors import ReproError
 from repro.scenarios import available_scenario_models, get_scenario_model, registered_models
 from repro.topologies import corpus as topology_corpus
@@ -333,7 +336,13 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.runner.bench import check_regression, load_bench, run_bench, write_bench
+    from repro.runner.bench import (
+        check_ft_overhead,
+        check_regression,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
 
     document = run_bench(quick=args.quick, workers=args.workers)
     rows = [
@@ -358,6 +367,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"  {violation}")
             return 1
         print(f"regression check vs {args.check} passed (tolerance {args.tolerance:.0%})")
+        # Idle fault-layer overhead is gated against this run's own
+        # fault-free twins (same machine, same thermal state).
+        ft_violations = check_ft_overhead(document)
+        if ft_violations:
+            print()
+            print("FAULT-LAYER OVERHEAD over budget:")
+            for violation in ft_violations:
+                print(f"  {violation}")
+            return 1
+        print("idle fault-layer overhead within budget (<3% vs fault-free)")
     return 0
 
 
@@ -449,6 +468,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--resume needs --results to know which cells are done")
     if args.no_telemetry:
         telemetry.set_enabled(False)
+    try:
+        policy = ExecutionPolicy(
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+            on_error=args.on_error,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.inject is not None:
+        # The environment variable is the cross-process contract: worker
+        # processes re-read it in their initializer, so --inject reaches
+        # them however the pool starts.
+        try:
+            fault_harness.parse_plan(args.inject)
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+        os.environ[fault_harness.ENV_VAR] = args.inject
+        fault_harness.reload_from_env()
     for name in spec.topologies:
         try:
             _load_topology(name)
@@ -470,12 +507,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         results_path=args.results,
         resume=args.resume,
         progress=progress,
+        policy=policy,
     )
 
     print()
     print(f"campaign {spec.spec_hash()}: {result.executed} cells executed, "
           f"{result.skipped} reused, {result.elapsed_s:.2f}s wall, "
           f"offline stage {result.offline_seconds():.2f}s")
+    if result.fault_counters:
+        print("fault counters: "
+              + ", ".join(f"{name.split('/', 1)[1]}={value}"
+                          for name, value in sorted(result.fault_counters.items())))
+    if result.quarantined:
+        print()
+        print(f"=== quarantined cells ({len(result.quarantined)}) ===")
+        print(render_table(
+            ["cell", "topology", "scheme", "scenario", "attempts", "error"],
+            [
+                [
+                    entry["cell_id"],
+                    entry["topology"],
+                    entry["scheme"],
+                    entry["scenario_family"],
+                    str(entry["attempts"]),
+                    f"{entry['error_type']}: {entry['error'][:60]}",
+                ]
+                for entry in result.quarantined
+            ],
+        ))
+        if result.quarantine_path is not None:
+            print(f"quarantine sidecar: {result.quarantine_path}")
     stats = result.cache_stats()
     if args.cache_dir:
         print(f"artifact cache: {stats['hits']} hits, {stats['misses']} misses "
@@ -726,6 +787,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--save-spec", help="write the campaign spec to this JSON file")
     sweep.add_argument("--plot", action="store_true", help="also print ASCII CCDF plots")
     sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    sweep.add_argument("--max-retries", type=int, default=0, metavar="N",
+                       help="re-attempt a failing/timed-out/crashed cell up to N times "
+                            "with exponential backoff (deterministic per-cell jitter)")
+    sweep.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-cell wall-clock timeout; a cell exceeding it fails "
+                            "(and retries under --max-retries)")
+    sweep.add_argument("--on-error", choices=["fail", "quarantine"], default="fail",
+                       help="what to do when a cell exhausts its retries: abort the "
+                            "campaign after draining (fail, default) or record the "
+                            "cell in the campaign.quarantine.jsonl sidecar and keep "
+                            "going (quarantine)")
+    sweep.add_argument("--inject", metavar="PLAN",
+                       help="arm the deterministic fault-injection harness (testing "
+                            "only); same grammar as the REPRO_FAULTS environment "
+                            "variable, e.g. 'site=cell-body,kind=exception,p=0.2,seed=1'")
     sweep.add_argument("--slowest", type=int, default=0, metavar="N",
                        help="print the N slowest cells with their phase breakdown")
     sweep.add_argument("--no-telemetry", action="store_true",

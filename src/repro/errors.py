@@ -95,3 +95,24 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was configured inconsistently."""
+
+
+class ResultStoreError(ExperimentError):
+    """A campaign result store holds a record that cannot be trusted.
+
+    Raised for mid-file corruption (malformed JSON, checksum mismatch) where
+    silently dropping the record would under-count results; a torn *trailing*
+    record — the expected shape of a crash mid-append — is skipped instead.
+    """
+
+
+class CellTimeoutError(ExperimentError):
+    """A campaign cell exceeded its per-cell wall-clock timeout."""
+
+
+class WorkerCrashError(ExperimentError):
+    """A worker process died (SIGKILL, OOM, segfault) while running a cell."""
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by the fault-injection harness."""

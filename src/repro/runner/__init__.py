@@ -9,6 +9,10 @@ runs.  This subsystem turns that grid into a first-class object:
   offline-stage artifacts (cellular embeddings), shared across processes;
 * :mod:`repro.runner.executor` — a :mod:`concurrent.futures`-based parallel
   executor with a streaming JSONL result store and resume-from-partial;
+* :mod:`repro.runner.policy` — the fault-tolerance policy (per-cell
+  timeouts, bounded retries with deterministic backoff, quarantine);
+* :mod:`repro.runner.faults` — a deterministic fault-injection harness for
+  chaos-testing the executor (``REPRO_FAULTS``);
 * :mod:`repro.runner.aggregate` — merges cell records back into the
   codebase's existing metrics shapes (stretch CCDFs, coverage reports,
   overhead tables).
@@ -39,7 +43,9 @@ from repro.runner.spec import (
     scenario_model_campaign_spec,
 )
 from repro.runner.cache import ArtifactCache, cached_embedding, topology_fingerprint
-from repro.runner import aggregate
+from repro.runner import aggregate, faults
+from repro.runner.faults import FaultPlan, FaultSpec, parse_plan
+from repro.runner.policy import ExecutionPolicy, quarantine_path_for, run_with_timeout
 from repro.runner.aggregate import (
     coverage_reports,
     families_in,
@@ -61,18 +67,22 @@ from repro.runner.executor import (
     run_cell,
     telemetry_manifest,
 )
-from repro.runner.bench import check_regression, run_bench
+from repro.runner.bench import check_ft_overhead, check_regression, run_bench
 
 __all__ = [
     "ArtifactCache",
     "CampaignCell",
     "CampaignResult",
     "CampaignSpec",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "FaultSpec",
     "ResultStore",
     "ScenarioSpec",
     "available_schemes",
     "build_scheme",
     "cached_embedding",
+    "check_ft_overhead",
     "check_regression",
     "corpus_campaign_spec",
     "coverage_reports",
@@ -84,9 +94,12 @@ __all__ = [
     "merged_ccdf",
     "node_failure_campaign_spec",
     "overhead_rows",
+    "parse_plan",
+    "quarantine_path_for",
     "run_bench",
     "run_campaign",
     "run_cell",
+    "run_with_timeout",
     "scenario_family",
     "scenario_model_campaign_spec",
     "stretch_result_from_records",

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Union
 
 from repro.graph.spcache import aggregate_cache_info
 from repro.runner.executor import run_campaign
+from repro.runner.policy import ExecutionPolicy
 from repro.runner.spec import (
     CampaignSpec,
     ScenarioSpec,
@@ -120,6 +121,16 @@ def run_bench(
     # is disabled): where the corpus wall-clock went, cache layer by layer.
     corpus_counters = corpus_result.merged_counters()
 
+    # The same corpus workload with the fault-tolerance layer armed but
+    # idle (retries + timeout + quarantine configured, zero faults firing):
+    # the *_ft_s timings exist so CI can gate the layer's overhead against
+    # the fault-free baseline (see check_ft_overhead).
+    ft_policy = ExecutionPolicy(max_retries=2, cell_timeout=600.0, on_error="quarantine")
+    started = time.perf_counter()
+    ft_result = run_campaign(_corpus_spec(quick), workers=1, policy=ft_policy)
+    timings["corpus_sweep_ft_s"] = time.perf_counter() - started
+    assert not ft_result.quarantined, "idle fault layer must quarantine nothing"
+
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         cache_dir = Path(tmp) / "cache"
         results = Path(tmp) / "results.jsonl"
@@ -136,6 +147,10 @@ def run_bench(
         started = time.perf_counter()
         run_campaign(spec, workers=workers, cache_dir=cache_dir)
         timings["sweep_parallel_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run_campaign(spec, workers=workers, cache_dir=cache_dir, policy=ft_policy)
+        timings["sweep_parallel_ft_s"] = time.perf_counter() - started
 
         started = time.perf_counter()
         resumed = run_campaign(
@@ -180,6 +195,46 @@ def run_bench(
             "cpu_count": os.cpu_count(),
         },
     }
+
+
+#: (fault-layer timing, fault-free timing) pairs compared by
+#: :func:`check_ft_overhead`.
+FT_OVERHEAD_PAIRS = (
+    ("corpus_sweep_ft_s", "corpus_sweep_s"),
+    ("sweep_parallel_ft_s", "sweep_parallel_s"),
+)
+
+
+def check_ft_overhead(
+    document: Dict[str, Any],
+    limit: float = 0.03,
+    floor_s: float = 0.05,
+) -> List[str]:
+    """Violations of the idle fault-layer overhead budget, empty when ok.
+
+    Compares each ``*_ft_s`` timing against its fault-free twin *from the
+    same run* (same machine, same thermal state — the only comparison where
+    a 3% relative budget is meaningful).  ``floor_s`` is an absolute noise
+    floor: quick-mode legs finish in well under 100 ms, where 3% is below
+    scheduler jitter, so a delta must exceed BOTH the relative budget and
+    the floor to count as a violation.
+    """
+    timings = document.get("timings", {})
+    violations: List[str] = []
+    for ft_name, base_name in FT_OVERHEAD_PAIRS:
+        ft_value = timings.get(ft_name)
+        base_value = timings.get(base_name)
+        if not isinstance(ft_value, (int, float)) or not isinstance(
+            base_value, (int, float)
+        ):
+            continue
+        delta = ft_value - base_value
+        if delta > base_value * limit and delta > floor_s:
+            violations.append(
+                f"{ft_name}: {ft_value:.3f}s is {delta:.3f}s over fault-free "
+                f"{base_name} {base_value:.3f}s (> {limit:.0%} and > {floor_s:.2f}s)"
+            )
+    return violations
 
 
 def check_regression(

@@ -27,10 +27,13 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+import zlib
+
 from repro import telemetry
 from repro.embedding.builder import CellularEmbedding, embed
 from repro.embedding.serialization import embedding_from_dict, embedding_to_dict
 from repro.graph.multigraph import Graph
+from repro.runner import faults
 
 #: Default cache location, overridable through the environment.
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -70,6 +73,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.heals = 0
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -102,6 +106,12 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # load / store
     # ------------------------------------------------------------------
+    @staticmethod
+    def content_crc(embedding_payload: Any) -> str:
+        """CRC-32 (hex) over the canonical JSON of a serialized embedding."""
+        canonical = json.dumps(embedding_payload, sort_keys=True)
+        return format(zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
     def load_embedding(
         self,
         graph: Graph,
@@ -111,20 +121,42 @@ class ArtifactCache:
     ) -> Optional[CellularEmbedding]:
         """Return the cached embedding, or ``None`` on a miss.
 
-        A corrupt or partially written entry counts as a miss; the caller is
-        expected to rebuild and overwrite it.
+        Entries carry a content checksum; a corrupt, truncated or
+        checksum-failing entry **self-heals**: the bad file is evicted
+        (counted as ``artifact_cache/heals``) and the miss makes the caller
+        rebuild it in place.  Entries written before the checksum protocol
+        (no ``content_crc`` field) are accepted unverified.
         """
         key = self.embedding_key(graph, method, seed, iterations)
         path = self.path_for(key)
         if not path.exists():
             return None
+        spec = faults.checkpoint("cache-read", key)
+        if spec is not None and spec.kind == "partial-write":
+            # Simulate a torn artifact: truncate the entry in place, then
+            # read it back like any other corrupt file.
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
         try:
             payload = json.loads(path.read_text())
             if payload.get("key") != key:
-                return None
+                raise ValueError("artifact key mismatch")
+            crc = payload.get("content_crc")
+            if crc is not None and crc != self.content_crc(payload["embedding"]):
+                raise ValueError("artifact content checksum mismatch")
             return embedding_from_dict(payload["embedding"])
         except Exception:
+            self._heal(path)
             return None
+
+    def _heal(self, path: Path) -> None:
+        """Evict a corrupt artifact so the caller's rebuild replaces it."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - lost a race with another healer
+            pass
+        self.heals += 1
+        telemetry.count("artifact_cache/heals")
 
     def store_embedding(
         self,
@@ -138,13 +170,15 @@ class ArtifactCache:
         key = self.embedding_key(graph, method, seed, iterations)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        serialized = embedding_to_dict(embedding)
         payload: Dict[str, Any] = {
             "key": key,
             "topology_fingerprint": topology_fingerprint(graph),
             "method": method,
             "seed": seed,
             "iterations": iterations,
-            "embedding": embedding_to_dict(embedding),
+            "content_crc": self.content_crc(serialized),
+            "embedding": serialized,
         }
         handle, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
@@ -202,7 +236,12 @@ class ArtifactCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "heals": self.heals,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial formatting
         return f"ArtifactCache(root={str(self.root)!r}, entries={len(self)})"

@@ -26,8 +26,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
+import zlib
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
@@ -39,7 +43,12 @@ from repro.baselines.noprotection import NoProtection
 from repro.baselines.reconvergence import Reconvergence
 from repro.core.coverage import CoverageReport, reachable_pairs
 from repro.core.scheme import PacketRecycling, SimplePacketRecycling
-from repro.errors import ExperimentError
+from repro.errors import (
+    CellTimeoutError,
+    ExperimentError,
+    ResultStoreError,
+    WorkerCrashError,
+)
 from repro.failures.sampling import sample_multi_link_failures
 from repro.failures.scenarios import (
     FailureScenario,
@@ -55,8 +64,9 @@ from repro.graph.spcache import clear_engines, engine_counter_totals, engine_for
 from repro.metrics.ccdf import ccdf_curve, default_stretch_thresholds, distribution_summary
 from repro.metrics.overhead import overhead_comparison
 from repro.routing.discriminator import DiscriminatorKind
-from repro.runner import aggregate
+from repro.runner import aggregate, faults
 from repro.runner.cache import ArtifactCache, cached_embedding
+from repro.runner.policy import ExecutionPolicy, quarantine_path_for, run_with_timeout
 from repro.runner.spec import (
     EMBEDDING_SCHEMES,
     SCHEME_NAMES,
@@ -224,7 +234,9 @@ def _scenario_context(
 # ----------------------------------------------------------------------
 # cell execution (top-level so it pickles into worker processes)
 # ----------------------------------------------------------------------
-def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, Any]:
+def run_cell(
+    cell: CampaignCell, cache_dir: Optional[str] = None, attempt: int = 0
+) -> Dict[str, Any]:
     """Run one campaign cell and return its result record.
 
     When telemetry is enabled the cell body runs under a *fresh*
@@ -238,6 +250,7 @@ def run_cell(cell: CampaignCell, cache_dir: Optional[str] = None) -> Dict[str, A
     resumed campaigns.  The ``payload`` is byte-identical with telemetry on
     or off.
     """
+    faults.checkpoint("cell-body", cell.cell_id, attempt)
     collector = telemetry.TelemetryCollector() if telemetry.enabled() else None
     if collector is None:
         return _run_cell_body(cell, cache_dir)
@@ -439,6 +452,10 @@ def _worker_init(
     worker explicitly (spawn-started workers re-read only the environment,
     which a ``--no-telemetry`` run does not touch).
     """
+    # Fault plans travel through REPRO_FAULTS: fork-started workers must
+    # shed the parent's fire accounting, spawn-started ones must load the
+    # plan at all.
+    faults.reload_from_env()
     if telemetry_enabled is not None:
         telemetry.set_enabled(telemetry_enabled)
     keep_sigs = []
@@ -458,9 +475,52 @@ def _worker_init(
         del _TOPOLOGY_CACHE[key]
 
 
+def _run_cell_attempts(
+    cell: CampaignCell,
+    cache_dir: Optional[str],
+    policy: ExecutionPolicy,
+    base_attempt: int = 0,
+) -> Tuple[str, Any, Dict[str, int]]:
+    """Run one cell under the execution policy: timeout, retries, backoff.
+
+    Returns a ``(status, payload, info)`` envelope: ``("ok", record, info)``
+    or ``("error", last_exception, info)`` once the retry budget is spent.
+    ``info`` carries the fault accounting (``retries``, ``timeouts``,
+    ``attempts``) that the parent folds into the campaign fault counters.
+    ``base_attempt`` is the number of attempts already consumed elsewhere —
+    a crashed worker's re-dispatch arrives here with the crash counted.
+    """
+    attempt = base_attempt
+    info = {"retries": 0, "timeouts": 0, "attempts": 0}
+    while True:
+        info["attempts"] = attempt + 1
+        try:
+            record = run_with_timeout(
+                lambda: run_cell(cell, cache_dir, attempt=attempt),
+                policy.cell_timeout,
+                label=f"cell {cell.cell_id}",
+            )
+            return "ok", record, info
+        except CellTimeoutError as exc:
+            info["timeouts"] += 1
+            last_error: Exception = exc
+        except Exception as exc:
+            last_error = exc
+        attempt += 1
+        if attempt > policy.max_retries:
+            return "error", last_error, info
+        info["retries"] += 1
+        delay = policy.backoff_seconds(cell.cell_id, attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+
 def _run_cell_chunk(
-    cells: List[CampaignCell], cache_dir: Optional[str] = None
-) -> List[Tuple[str, Any]]:
+    cells: List[CampaignCell],
+    cache_dir: Optional[str] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    base_attempts: Optional[List[int]] = None,
+) -> List[Tuple[str, Any, Dict[str, int]]]:
     """Run a chunk of cells in one worker round trip (see ``chunk_cells``).
 
     Cells of one topology share the worker's graph, engine and scenario
@@ -468,15 +528,23 @@ def _run_cell_chunk(
     replace a per-cell pickling round trip.  Cells stay independent even
     inside a chunk: one cell raising must not discard its siblings'
     completed records (they still reach the JSONL store, so a resumed run
-    skips them), hence the per-cell ``("ok", record) | ("error", exc)``
-    envelope instead of a bare record list.
+    skips them), hence the per-cell ``("ok", record, info) | ("error", exc,
+    info)`` envelope instead of a bare record list.  Retries and the cell
+    timeout run *inside* the worker (the cheapest place to re-attempt);
+    only worker crashes need parent-side recovery, which re-dispatches with
+    ``base_attempts`` advanced so the crash counts against the retry budget.
     """
-    outcomes: List[Tuple[str, Any]] = []
-    for cell in cells:
-        try:
-            outcomes.append(("ok", run_cell(cell, cache_dir)))
-        except Exception as exc:
-            outcomes.append(("error", exc))
+    if policy is None:
+        policy = ExecutionPolicy()
+    outcomes: List[Tuple[str, Any, Dict[str, int]]] = []
+    for position, cell in enumerate(cells):
+        base = base_attempts[position] if base_attempts else 0
+        outcomes.append(_run_cell_attempts(cell, cache_dir, policy, base))
+    faults.checkpoint(
+        "chunk-envelope",
+        cells[0].cell_id if cells else None,
+        base_attempts[0] if base_attempts else 0,
+    )
     return outcomes
 
 
@@ -484,44 +552,156 @@ def _run_cell_chunk(
 # JSONL result store
 # ----------------------------------------------------------------------
 class ResultStore:
-    """Append-only JSONL store of campaign cell records.
+    """Append-only JSONL store of campaign cell records, crash-consistent.
 
-    One record per line, flushed as soon as the cell completes, which makes
-    a killed campaign resumable: on the next run every ``cell_id`` already
-    in the file is skipped and its record reused.
+    One record per line, flushed (and by default fsynced) as soon as the
+    cell completes, which makes a killed campaign resumable: on the next run
+    every ``cell_id`` already in the file is skipped and its record reused.
+
+    Each line carries an injected ``_checksum`` field (CRC-32 of the record
+    without it), so every line stays plain JSON while :meth:`load` can tell
+    a *trusted* record from a corrupted one.  A torn or checksum-failing
+    **final** line is the expected shape of a crash mid-append and is
+    silently skipped (counted in :attr:`torn_records_skipped`); the same
+    damage **mid-file** means the store cannot be trusted as a whole and
+    raises :class:`~repro.errors.ResultStoreError` with the line number,
+    byte offset and (when parseable) the cell id.  The first append after
+    reopening a file truncates any torn tail so the new record starts on a
+    clean line boundary instead of welding onto the crash debris.
+
+    Per-append ``fsync`` is on by default and gated by the
+    ``REPRO_STORE_FSYNC`` environment variable (set ``0`` to trade crash
+    consistency for throughput on slow filesystems).
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        #: torn trailing records dropped by the most recent :meth:`load`.
+        self.torn_records_skipped = 0
+        # Whether this instance has verified the file ends on a clean line
+        # boundary.  A crash mid-append leaves a torn tail without a
+        # newline; appending straight onto it would weld two records into
+        # one garbage line, so the first append repairs the tail first.
+        self._tail_clean = False
 
     def exists(self) -> bool:
         return self.path.exists()
 
+    #: Lines are written as ``{"_checksum": "xxxxxxxx", <canonical body>`` so
+    #: :meth:`load` can verify them with one crc32 over the stored bytes
+    #: instead of re-serialising every record.
+    _CHECKSUM_PREFIX = '{"_checksum": "'
+    _CHECKSUM_HEAD = len(_CHECKSUM_PREFIX) + 8 + len('", ')
+
+    @staticmethod
+    def checksum(record: Dict[str, Any]) -> str:
+        """CRC-32 (hex) over the canonical JSON of a record sans ``_checksum``."""
+        canonical = json.dumps(
+            {k: v for k, v in record.items() if k != "_checksum"}, sort_keys=True
+        )
+        return format(zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a torn trailing line back to the last clean boundary.
+
+        Only bytes after the final newline are dropped — by construction
+        they are the unparseable remains of an interrupted append.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        with self.path.open("r+b") as stream:
+            stream.truncate(data.rfind(b"\n") + 1)
+
     def append(self, record: Dict[str, Any]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._tail_clean:
+            self._repair_torn_tail()
+            self._tail_clean = True
+        body = json.dumps(record, sort_keys=True)
+        crc = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
+        line = f'{self._CHECKSUM_PREFIX}{crc}", {body[1:]}' if len(body) > 2 else body
+        spec = faults.checkpoint("store-append", record.get("cell_id"))
         with self.path.open("a") as stream:
-            stream.write(json.dumps(record, sort_keys=True))
+            if spec is not None and spec.kind == "partial-write":
+                # A realistic torn write is a crash mid-append: persist a
+                # prefix of the line, then die without the trailing newline.
+                stream.write(line[: max(1, len(line) // 2)])
+                stream.flush()
+                os.fsync(stream.fileno())
+                faults.crash_now()
+            stream.write(line)
             stream.write("\n")
             stream.flush()
+            if os.environ.get("REPRO_STORE_FSYNC", "1") != "0":
+                os.fsync(stream.fileno())
 
     def truncate(self) -> None:
         """Start the file over (a fresh, non-resumed campaign run)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.path.write_text("")
+        self._tail_clean = True
 
     def load(self) -> List[Dict[str, Any]]:
-        """Every complete record in the file (a torn final line is dropped)."""
+        """Every trusted record in the file (a torn final line is dropped).
+
+        The injected ``_checksum`` field is verified and stripped, so the
+        returned records compare equal to the in-memory records that
+        produced them.  Records written before the checksum protocol (no
+        ``_checksum`` field) are accepted unverified.
+        """
+        self.torn_records_skipped = 0
         if not self.path.exists():
             return []
         records: List[Dict[str, Any]] = []
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue
+        lines = self.path.read_text().split("\n")
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        offset = 0
+        for number, line in enumerate(lines):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    record = json.loads(stripped)
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not a JSON object")
+                    stored = record.pop("_checksum", None)
+                    if stored is not None:
+                        if stripped.startswith(self._CHECKSUM_PREFIX) and (
+                            stripped[self._CHECKSUM_HEAD - 3 : self._CHECKSUM_HEAD]
+                            == '", '
+                        ):
+                            # Our own line layout: verify the stored bytes
+                            # directly, no re-serialisation needed.
+                            body = "{" + stripped[self._CHECKSUM_HEAD :]
+                            computed = format(
+                                zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x"
+                            )
+                        else:
+                            computed = self.checksum(record)
+                        if stored != computed:
+                            raise ValueError(
+                                f"checksum mismatch (stored {stored},"
+                                f" computed {computed})"
+                            )
+                except ValueError as exc:
+                    if number == last_content:
+                        # The expected shape of a crash mid-append; the
+                        # missing cell simply re-runs on resume.
+                        self.torn_records_skipped += 1
+                    else:
+                        match = re.search(r'"cell_id"\s*:\s*"([^"]+)"', stripped)
+                        cell = f", cell {match.group(1)}" if match else ""
+                        raise ResultStoreError(
+                            f"corrupt record in {self.path} at line {number + 1}"
+                            f" (byte offset {offset}){cell}: {exc}"
+                        )
+                else:
+                    records.append(record)
+            offset += len(line.encode("utf-8")) + 1
         return records
 
     def completed_cell_ids(self) -> Set[str]:
@@ -547,6 +727,13 @@ class CampaignResult:
     workers: int = 1
     #: Sidecar manifest path, when the campaign streamed to a JSONL store.
     telemetry_path: Optional[Path] = None
+    #: Quarantined-cell entries (``on_error="quarantine"``), in cell order.
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    #: Quarantine sidecar path, when quarantining into a JSONL store.
+    quarantine_path: Optional[Path] = None
+    #: Non-zero ``faults/*`` counters of this invocation (retries, timeouts,
+    #: quarantined cells, pool rebuilds, torn records skipped on resume).
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     # Aggregation views over the records (see :mod:`repro.runner.aggregate`).
     def stretch_result(self, topology: Optional[str] = None):
@@ -629,8 +816,10 @@ def telemetry_manifest(result: CampaignResult, slowest: int = 10) -> Dict[str, A
             "skipped": result.skipped,
             "workers": result.workers,
             "elapsed_s": result.elapsed_s,
+            "quarantined": len(result.quarantined),
         },
         slowest=slowest,
+        extra_counters=result.fault_counters,
     )
 
 
@@ -644,6 +833,7 @@ def run_campaign(
     results_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> CampaignResult:
     """Run every cell of a campaign, optionally in parallel and resumably.
 
@@ -663,14 +853,29 @@ def run_campaign(
         ``results_path`` and reuse those records in the returned result.
     progress:
         Called as ``progress(cell, record, done, total)`` after each cell.
+    policy:
+        Fault-tolerance policy (retries, per-cell timeout, quarantine,
+        pool-rebuild budget); ``None`` keeps the legacy semantics: no
+        retries, no timeout, the first error aborts the campaign (raised
+        only after every completed record — and the telemetry manifest —
+        has been flushed).
     """
     started = time.perf_counter()
+    if policy is None:
+        policy = ExecutionPolicy()
     if not workers:
         workers = os.cpu_count() or 1
     cache_str = str(cache_dir) if cache_dir is not None else None
     cells = spec.cells()
     cells_by_id = {cell.cell_id: cell for cell in cells}
 
+    fault_counters = {
+        "faults/retries": 0,
+        "faults/timeouts": 0,
+        "faults/quarantined_cells": 0,
+        "faults/pool_rebuilds": 0,
+        "faults/torn_records_skipped": 0,
+    }
     store = ResultStore(results_path) if results_path is not None else None
     previous: Dict[str, Dict[str, Any]] = {}
     if resume:
@@ -679,6 +884,7 @@ def run_campaign(
         for record in store.load():
             if record.get("cell_id") in cells_by_id:
                 previous[record["cell_id"]] = record
+        fault_counters["faults/torn_records_skipped"] += store.torn_records_skipped
     elif store is not None and store.exists():
         # Without resume the file represents *this* run; appending to the
         # previous run's records would double-count every cell downstream.
@@ -696,6 +902,36 @@ def run_campaign(
         if progress is not None:
             progress(cell, record, done, total)
 
+    # Failure disposition: quarantine mode records the cell and moves on;
+    # fail mode remembers the first error, which is re-raised only after
+    # the campaign has drained and the manifest sidecar is on disk.
+    first_error: Optional[BaseException] = None
+    quarantined: List[Dict[str, Any]] = []
+
+    def dispose_failure(cell: CampaignCell, exc: BaseException, attempts: int) -> None:
+        nonlocal first_error
+        if policy.quarantines:
+            fault_counters["faults/quarantined_cells"] += 1
+            quarantined.append(
+                {
+                    "cell_id": cell.cell_id,
+                    "index": cell.index,
+                    "topology": cell.topology,
+                    "scheme": cell.scheme,
+                    "scenario_family": cell.scenario.family,
+                    "seed": cell.seed,
+                    "error_type": type(exc).__name__,
+                    "error": str(exc),
+                    "attempts": attempts,
+                }
+            )
+        elif first_error is None:
+            first_error = exc
+
+    def fold_info(info: Dict[str, int]) -> None:
+        fault_counters["faults/retries"] += info.get("retries", 0)
+        fault_counters["faults/timeouts"] += info.get("timeouts", 0)
+
     # Bookkeeping is keyed by cell.index (unique by construction) rather
     # than cell_id, which content-hashes the inputs and could in principle
     # collide for equivalent cells.
@@ -706,18 +942,14 @@ def run_campaign(
         # records from being computed and flushed — the first error is
         # re-raised only after the campaign has drained, and a resumed run
         # then only redoes the failed cells.
-        first_error: Optional[BaseException] = None
         for cell in pending:
-            try:
-                record = run_cell(cell, cache_str)
-            except Exception as exc:
-                if first_error is None:
-                    first_error = exc
+            status, payload, info = _run_cell_attempts(cell, cache_str, policy)
+            fold_info(info)
+            if status == "error":
+                dispose_failure(cell, payload, info["attempts"])
                 continue
-            new_records[cell.index] = record
-            finish(cell, record)
-        if first_error is not None:
-            raise first_error
+            new_records[cell.index] = payload
+            finish(cell, payload)
     else:
         # Chunked dispatch: one future per chunk of (topology-grouped) cells
         # instead of one per cell, with per-worker persistent engine reuse
@@ -731,43 +963,137 @@ def run_campaign(
         positions = {cell.index: position for position, cell in enumerate(pending)}
         chunks = chunk_cells(pending, workers)
         active_topologies = tuple(dict.fromkeys(cell.topology for cell in pending))
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            initializer=_worker_init,
-            initargs=(active_topologies, telemetry.enabled()),
-        ) as pool:
-            futures = {
-                pool.submit(_run_cell_chunk, chunk, cache_str): chunk
-                for chunk in chunks
-            }
-            remaining = set(futures)
-            # A failing cell is re-raised only after every chunk has drained
-            # and every completed record has been flushed to the store: the
-            # cells are independent, so a resumed run should only redo the
-            # failed cell, not its finished siblings.
-            first_error: Optional[BaseException] = None
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    chunk = futures[future]
-                    for cell, (status, payload) in zip(chunk, future.result()):
-                        if status == "error":
-                            if first_error is None:
-                                first_error = payload
-                            # A sentinel keeps the in-order flush advancing
-                            # past the failed cell — completed records that
-                            # sort after it must still reach the store.
-                            buffered[positions[cell.index]] = None
-                            continue
-                        new_records[cell.index] = payload
-                        buffered[positions[cell.index]] = (cell, payload)
-                    while next_position in buffered:
-                        ready = buffered.pop(next_position)
-                        if ready is not None:
-                            finish(*ready)
-                        next_position += 1
-            if first_error is not None:
-                raise first_error
+        max_workers = min(workers, len(chunks))
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_worker_init,
+                initargs=(active_topologies, telemetry.enabled()),
+            )
+
+        def flush_ready() -> None:
+            nonlocal next_position
+            while next_position in buffered:
+                ready = buffered.pop(next_position)
+                if ready is not None:
+                    finish(*ready)
+                next_position += 1
+
+        Group = Tuple[List[CampaignCell], List[int]]
+
+        def process_envelopes(group: Group, envelopes: List[Tuple]) -> None:
+            group_cells, bases = group
+            for cell, base, (status, payload, info) in zip(
+                group_cells, bases, envelopes
+            ):
+                fold_info(info)
+                if status == "error":
+                    # A sentinel keeps the in-order flush advancing past the
+                    # failed cell — completed records that sort after it
+                    # must still reach the store.
+                    buffered[positions[cell.index]] = None
+                    dispose_failure(cell, payload, info["attempts"])
+                    continue
+                new_records[cell.index] = payload
+                buffered[positions[cell.index]] = (cell, payload)
+            flush_ready()
+
+        def submit(pool: ProcessPoolExecutor, group: Group):
+            return pool.submit(_run_cell_chunk, group[0], cache_str, policy, group[1])
+
+        # Two dispatch regimes.  Normal: every chunk in flight at once.
+        # Recovery (after a pool crash): the doomed groups re-dispatch ONE
+        # AT A TIME — `BrokenProcessPool` dooms every in-flight future, so
+        # solo dispatch is the only way to attribute a crash to a group,
+        # and a crashing multi-cell group bisects down to the poison cell.
+        normal_queue: deque = deque((list(chunk), [0] * len(chunk)) for chunk in chunks)
+        recovery_queue: deque = deque()
+        in_flight: Dict[Any, Group] = {}
+        rebuilds = 0
+        pool = make_pool()
+        try:
+            while normal_queue or recovery_queue or in_flight:
+                crashed_groups: List[Group] = []
+                broken = False
+                try:
+                    if recovery_queue:
+                        if not in_flight:
+                            group = recovery_queue.popleft()
+                            in_flight[submit(pool, group)] = group
+                    else:
+                        while normal_queue:
+                            group = normal_queue.popleft()
+                            in_flight[submit(pool, group)] = group
+                except BrokenProcessPool:
+                    # The pool died between submissions (e.g. an initializer
+                    # crash); the unsubmitted group is doomed-by-association.
+                    broken = True
+                    crashed_groups.append(group)
+                if in_flight and not broken:
+                    finished, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        group = in_flight.pop(future)
+                        try:
+                            process_envelopes(group, future.result())
+                        except BrokenProcessPool:
+                            broken = True
+                            crashed_groups.append(group)
+                if not broken:
+                    continue
+                # A worker died.  Every in-flight future of a broken pool
+                # completes immediately: harvest the ones that finished
+                # before the crash, doom the rest.
+                if in_flight:
+                    wait(set(in_flight))
+                    for future, group in list(in_flight.items()):
+                        try:
+                            process_envelopes(group, future.result())
+                        except BrokenProcessPool:
+                            crashed_groups.append(group)
+                    in_flight.clear()
+                rebuilds += 1
+                fault_counters["faults/pool_rebuilds"] += 1
+                if rebuilds > policy.max_pool_rebuilds:
+                    raise ExperimentError(
+                        f"worker pool died {rebuilds} times; giving up"
+                        f" (max_pool_rebuilds={policy.max_pool_rebuilds})"
+                    )
+                pool.shutdown(wait=False)
+                pool = make_pool()
+                if len(crashed_groups) == 1 and len(crashed_groups[0][0]) == 1:
+                    # Solo dispatch of a single cell crashed: definitive
+                    # attribution.  The crash consumes one retry attempt.
+                    [poison], [base] = crashed_groups[0]
+                    attempt = base + 1
+                    if attempt <= policy.max_retries:
+                        fault_counters["faults/retries"] += 1
+                        time.sleep(policy.backoff_seconds(poison.cell_id, attempt))
+                        recovery_queue.appendleft(([poison], [attempt]))
+                    else:
+                        buffered[positions[poison.index]] = None
+                        dispose_failure(
+                            poison,
+                            WorkerCrashError(
+                                f"worker process died while running cell"
+                                f" {poison.cell_id} (attempt {attempt})"
+                            ),
+                            attempt,
+                        )
+                        flush_ready()
+                else:
+                    # Ambiguous: several groups were in flight.  Re-dispatch
+                    # them solo, bisecting multi-cell groups so repeated
+                    # crashes converge on the poison cell.
+                    for group_cells, bases in crashed_groups:
+                        if len(group_cells) <= 1:
+                            recovery_queue.append((group_cells, bases))
+                        else:
+                            mid = (len(group_cells) + 1) // 2
+                            recovery_queue.append((group_cells[:mid], bases[:mid]))
+                            recovery_queue.append((group_cells[mid:], bases[mid:]))
+        finally:
+            pool.shutdown(wait=True)
 
     ordered: List[Dict[str, Any]] = []
     executed_ids = set()
@@ -779,6 +1105,18 @@ def run_campaign(
             record = previous.get(cell.cell_id)
         if record is not None:
             ordered.append(record)
+    # Quarantine entries are sorted into cell order and rewritten as a
+    # whole at the end of the run, so serial and parallel runs of the same
+    # campaign leave identical sidecars (quarantined cells never enter the
+    # results store — a resumed run re-attempts them).
+    quarantined.sort(key=lambda entry: entry["index"])
+    quarantine_path: Optional[Path] = None
+    if store is not None and policy.quarantines:
+        quarantine_store = ResultStore(quarantine_path_for(store.path))
+        quarantine_store.truncate()
+        for entry in quarantined:
+            quarantine_store.append(entry)
+        quarantine_path = quarantine_store.path
     result = CampaignResult(
         spec=spec,
         records=ordered,
@@ -788,11 +1126,18 @@ def run_campaign(
         results_path=store.path if store is not None else None,
         executed_cell_ids=executed_ids,
         workers=workers,
+        quarantined=quarantined,
+        quarantine_path=quarantine_path,
+        fault_counters={k: v for k, v in fault_counters.items() if v},
     )
     if store is not None:
         # The manifest merges over *all* records (resumed included), so a
         # resumed campaign rewrites a sidecar covering the whole campaign.
+        # Written before the first-error re-raise below: a failing cell
+        # must not lose the telemetry of the records that did complete.
         result.telemetry_path = telemetry.write_manifest(
             telemetry_manifest(result), telemetry.manifest_path_for(store.path)
         )
+    if first_error is not None:
+        raise first_error
     return result

@@ -1,0 +1,135 @@
+"""Execution policy for fault-tolerant campaigns: retries, timeouts, quarantine.
+
+:class:`ExecutionPolicy` bundles the knobs `run_campaign` consults when a
+cell fails: how many times to retry, how long a cell may run, and whether a
+cell that exhausts its retries aborts the campaign (``on_error="fail"``, the
+legacy behaviour and the default) or is quarantined into a JSONL sidecar
+next to the results file (``on_error="quarantine"``) so the rest of the
+sweep completes.
+
+Backoff between retries is exponential with **deterministic jitter**: the
+jitter fraction is hashed from ``(cell_id, attempt)``, so a rerun of the
+same campaign against the same flaky resource spaces its retries
+identically — reproducibility extends to the failure path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from repro.errors import CellTimeoutError, ExperimentError
+
+#: Valid ``on_error`` dispositions.
+ON_ERROR_MODES = ("fail", "quarantine")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How `run_campaign` treats failing, hanging, and crashing cells.
+
+    The defaults reproduce the legacy semantics exactly: no retries, no
+    timeout, first error aborts the campaign.
+    """
+
+    max_retries: int = 0
+    cell_timeout: Optional[float] = None
+    on_error: str = "fail"
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 5.0
+    max_pool_rebuilds: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ExperimentError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ExperimentError(
+                f"cell_timeout must be positive, got {self.cell_timeout}"
+            )
+        if self.on_error not in ON_ERROR_MODES:
+            raise ExperimentError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ExperimentError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    @property
+    def quarantines(self) -> bool:
+        return self.on_error == "quarantine"
+
+    def backoff_seconds(self, cell_id: str, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based) of a cell.
+
+        Exponential in the attempt number, capped, with a deterministic
+        jitter in ``[0, 1)`` of the base delay hashed from the cell id so
+        two cells failing together don't retry in lockstep — yet the same
+        cell always waits the same amount on the same attempt.
+        """
+        if attempt <= 0:
+            return 0.0
+        base = self.backoff_base_s * (2.0 ** (attempt - 1))
+        digest = hashlib.sha256(f"{cell_id}|{attempt}".encode("utf-8")).digest()
+        jitter = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return min(self.backoff_cap_s, base * (1.0 + jitter))
+
+
+def run_with_timeout(
+    fn: Callable[[], Any], timeout: Optional[float], label: str = "cell"
+) -> Any:
+    """Run ``fn`` with a wall-clock deadline, raising :class:`CellTimeoutError`.
+
+    On the main thread of a process (the only thread a worker process runs
+    cells on) the deadline is enforced with ``SIGALRM``/``setitimer``, which
+    interrupts even a CPU-bound cell body.  Off the main thread — e.g. a
+    library caller driving campaigns from a thread — we fall back to running
+    ``fn`` on a daemon thread and abandoning it on timeout: the result is
+    discarded, but the campaign regains control.
+    """
+    if timeout is None:
+        return fn()
+    if threading.current_thread() is threading.main_thread():
+        def _on_alarm(signum, frame):
+            raise CellTimeoutError(f"{label} exceeded {timeout:g}s wall-clock timeout")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return fn()
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    box: dict = {}
+
+    def _target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # propagated below
+            box["error"] = exc
+
+    worker = threading.Thread(target=_target, daemon=True)
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise CellTimeoutError(f"{label} exceeded {timeout:g}s wall-clock timeout")
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+def quarantine_path_for(results_path: Union[str, Path]) -> Path:
+    """The quarantine sidecar path of a JSONL results file.
+
+    ``campaign.jsonl`` -> ``campaign.quarantine.jsonl``; other names get
+    ``.quarantine.jsonl`` appended, mirroring the telemetry sidecar naming.
+    """
+    path = Path(results_path)
+    if path.suffix == ".jsonl":
+        return path.with_name(path.stem + ".quarantine.jsonl")
+    return path.with_name(path.name + ".quarantine.jsonl")

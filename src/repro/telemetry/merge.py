@@ -104,6 +104,7 @@ def build_manifest(
     campaign: Optional[Dict[str, Any]] = None,
     run: Optional[Dict[str, Any]] = None,
     slowest: int = 10,
+    extra_counters: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
     """Assemble the campaign telemetry manifest from cell records.
 
@@ -112,15 +113,23 @@ def build_manifest(
     counts, worker count, wall time) and is deliberately outside the
     deterministic view — a resumed run reports different ``run`` facts while
     merging to the identical ``counters`` section.
+
+    ``extra_counters`` carries run-level counters that no cell snapshot can
+    hold — the executor's fault accounting (``faults/retries``,
+    ``faults/pool_rebuilds``, ...) happens in the parent, outside any cell.
+    Only **non-zero** entries are merged in, so a fault-free run's counters
+    section is byte-identical whether or not the fault layer was armed.
     """
     merged = merge_records(records)
     with_snapshots = sum(1 for r in records if record_snapshot(r) is not None)
+    counters: Dict[str, int] = dict(merged.counters)
+    for name, value in (extra_counters or {}).items():
+        if value:
+            counters[name] = counters.get(name, 0) + value
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "campaign": dict(sorted((campaign or {}).items())),
-        "counters": {
-            name: merged.counters[name] for name in sorted(merged.counters)
-        },
+        "counters": {name: counters[name] for name in sorted(counters)},
         "spans": {
             path: {
                 "count": entry[0],

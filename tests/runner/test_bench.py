@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.runner.bench import check_regression, load_bench, run_bench, write_bench
+from repro.runner.bench import (
+    check_ft_overhead,
+    check_regression,
+    load_bench,
+    run_bench,
+    write_bench,
+)
 
 
 class TestCheckRegression:
@@ -35,6 +41,37 @@ class TestCheckRegression:
         assert check_regression(current, baseline, tolerance=0.0)
 
 
+class TestCheckFtOverhead:
+    def _doc(self, **timings):
+        return {"timings": timings, "meta": {}}
+
+    def test_within_budget_passes(self):
+        document = self._doc(
+            corpus_sweep_s=2.0,
+            corpus_sweep_ft_s=2.04,
+            sweep_parallel_s=1.0,
+            sweep_parallel_ft_s=1.02,
+        )
+        assert check_ft_overhead(document) == []
+
+    def test_noise_floor_tolerates_tiny_absolute_deltas(self):
+        # 50% relative overhead — but 40 ms absolute, below scheduler
+        # jitter on a sub-100ms quick-mode leg.
+        document = self._doc(corpus_sweep_s=0.08, corpus_sweep_ft_s=0.12)
+        assert check_ft_overhead(document) == []
+
+    def test_violation_reported_with_both_timings(self):
+        document = self._doc(corpus_sweep_s=2.0, corpus_sweep_ft_s=2.5)
+        violations = check_ft_overhead(document)
+        assert len(violations) == 1
+        assert "corpus_sweep_ft_s" in violations[0]
+        assert "2.500" in violations[0]
+
+    def test_missing_keys_are_not_violations(self):
+        assert check_ft_overhead(self._doc(corpus_sweep_s=1.0)) == []
+        assert check_ft_overhead({"timings": {}}) == []
+
+
 class TestRunBench:
     @pytest.fixture(scope="class")
     def quick_document(self):
@@ -45,9 +82,11 @@ class TestRunBench:
         assert set(timings) == {
             "figure2_s",
             "corpus_sweep_s",
+            "corpus_sweep_ft_s",
             "sweep_cold_s",
             "sweep_warm_s",
             "sweep_parallel_s",
+            "sweep_parallel_ft_s",
             "sweep_resumed_s",
             "sweep_incremental_s",
             "sweep_total_s",

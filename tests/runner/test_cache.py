@@ -41,9 +41,9 @@ class TestHitMiss:
         cache = ArtifactCache(tmp_path)
         graph = abilene()
         first = cache.get_or_build(graph, seed=0)
-        assert cache.stats() == {"hits": 0, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 0, "misses": 1, "stores": 1, "heals": 0}
         second = cache.get_or_build(graph, seed=0)
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1, "heals": 0}
         assert len(cache) == 1
         # The cached artifact reproduces the rotation system exactly.
         for node in graph.nodes():
@@ -56,7 +56,7 @@ class TestHitMiss:
         ArtifactCache(tmp_path).get_or_build(graph, seed=0)
         cache = ArtifactCache(tmp_path)  # simulates another worker process
         cache.get_or_build(graph, seed=0)
-        assert cache.stats() == {"hits": 1, "misses": 0, "stores": 0}
+        assert cache.stats() == {"hits": 1, "misses": 0, "stores": 0, "heals": 0}
 
     def test_parameters_are_part_of_the_key(self, tmp_path):
         cache = ArtifactCache(tmp_path)
@@ -99,6 +99,24 @@ class TestInvalidation:
         payload["key"] = "0" * 64
         entry.write_text(json.dumps(payload))
         assert cache.load_embedding(graph, seed=0) is None
+
+    def test_content_crc_mismatch_heals_and_rebuilds(self, tmp_path):
+        """Silent bit rot inside a structurally-valid entry is caught by the
+        content hash: the entry is unlinked (healed) and rebuilt as a miss."""
+        cache = ArtifactCache(tmp_path)
+        graph = square()
+        cache.get_or_build(graph, seed=0)
+        [entry] = cache.entries()
+        payload = json.loads(entry.read_text())
+        payload["embedding"]["name"] = "tampered"
+        entry.write_text(json.dumps(payload))  # valid JSON, wrong content
+        rebuilt = cache.get_or_build(graph, seed=0)
+        assert cache.stats() == {"hits": 0, "misses": 2, "stores": 2, "heals": 1}
+        assert rebuilt.number_of_faces == embed(graph, seed=0).number_of_faces
+        # The healed entry verifies again on the next read.
+        fresh = ArtifactCache(tmp_path)
+        assert fresh.load_embedding(graph, seed=0) is not None
+        assert fresh.stats()["heals"] == 0
 
 
 class TestMaintenance:

@@ -1,0 +1,332 @@
+"""Chaos suite: injected faults must never change what a campaign computes.
+
+Every test follows the same contract: run a campaign clean, run it again
+under a deterministic fault plan, and require the surviving records to be
+byte-identical (modulo timing metadata) to the clean run — retries,
+timeouts, worker crashes and torn writes may cost wall-clock and show up in
+the ``faults/*`` counters, but never in the science.
+
+In-process faults are installed via :func:`repro.runner.faults.install`;
+anything that crosses a process boundary (parallel workers, CLI
+subprocesses) uses the ``REPRO_FAULTS`` environment variable, which is the
+cross-process contract the harness is built on.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.runner import faults
+from repro.runner.executor import ResultStore, run_campaign, telemetry_manifest
+from repro.runner.faults import parse_plan
+from repro.runner.policy import ExecutionPolicy, quarantine_path_for
+from repro.runner.spec import CampaignSpec, ScenarioSpec
+from repro.telemetry import merge as telemetry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Fast-converging retry policy for tests: real backoff shape, toy delays.
+QUICK_BACKOFF = dict(backoff_base_s=0.001, backoff_cap_s=0.01)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reload_from_env()
+    yield
+    faults.reload_from_env()
+
+
+def pair_spec():
+    """Two cheap cells (no embedding stage): fig1-example x two schemes."""
+    return CampaignSpec(
+        topologies=("fig1-example",),
+        schemes=("reconvergence", "fcp"),
+        scenarios=(ScenarioSpec("single-link"),),
+    )
+
+
+def deterministic_part(records):
+    return [{k: v for k, v in r.items() if k != "meta"} for r in records]
+
+
+def target_of(spec):
+    """A stable cell-id prefix to aim fault plans at."""
+    return spec.cells()[0].cell_id[:12]
+
+
+class TestRetries:
+    def test_serial_transient_fault_is_retried_away(self):
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        faults.install(
+            parse_plan(f"site=cell-body,kind=exception,cells={target_of(spec)},max_attempt=1")
+        )
+        policy = ExecutionPolicy(max_retries=1, **QUICK_BACKOFF)
+        result = run_campaign(spec, workers=1, policy=policy)
+        assert deterministic_part(result.records) == deterministic_part(clean.records)
+        assert result.fault_counters == {"faults/retries": 1}
+        assert result.quarantined == []
+
+    def test_parallel_transient_fault_is_retried_away(self, monkeypatch):
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            f"site=cell-body,kind=exception,cells={target_of(spec)},max_attempt=1",
+        )
+        faults.reload_from_env()
+        policy = ExecutionPolicy(max_retries=1, **QUICK_BACKOFF)
+        result = run_campaign(spec, workers=2, policy=policy)
+        assert deterministic_part(result.records) == deterministic_part(clean.records)
+        assert result.fault_counters == {"faults/retries": 1}
+
+    def test_exhausted_retries_fail_but_flush_completed_telemetry(self, tmp_path):
+        """on_error=fail still re-raises — after the manifest sidecar exists."""
+        spec = pair_spec()
+        path = tmp_path / "results.jsonl"
+        faults.install(
+            parse_plan(f"site=cell-body,kind=exception,cells={target_of(spec)}")
+        )
+        policy = ExecutionPolicy(max_retries=1, **QUICK_BACKOFF)
+        with pytest.raises(InjectedFault):
+            run_campaign(spec, workers=1, results_path=path, policy=policy)
+        # The sibling cell's record reached the store...
+        assert len(ResultStore(path).load()) == 1
+        # ...and so did the telemetry manifest, retry counters included.
+        manifest = telemetry.load_manifest(telemetry.manifest_path_for(path))
+        assert manifest["counters"]["faults/retries"] == 1
+        assert manifest["run"]["quarantined"] == 0
+
+
+class TestTimeouts:
+    def test_hung_cell_times_out_and_succeeds_on_retry(self):
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        faults.install(
+            parse_plan(
+                f"site=cell-body,kind=hang,seconds=30,cells={target_of(spec)},max_attempt=1"
+            )
+        )
+        policy = ExecutionPolicy(max_retries=1, cell_timeout=0.3, **QUICK_BACKOFF)
+        result = run_campaign(spec, workers=1, policy=policy)
+        assert deterministic_part(result.records) == deterministic_part(clean.records)
+        assert result.fault_counters == {"faults/retries": 1, "faults/timeouts": 1}
+
+    def test_permanent_hang_is_quarantined(self, tmp_path):
+        spec = pair_spec()
+        faults.install(
+            parse_plan(f"site=cell-body,kind=hang,seconds=30,cells={target_of(spec)}")
+        )
+        policy = ExecutionPolicy(cell_timeout=0.3, on_error="quarantine", **QUICK_BACKOFF)
+        result = run_campaign(
+            spec, workers=1, results_path=tmp_path / "results.jsonl", policy=policy
+        )
+        [entry] = result.quarantined
+        assert entry["cell_id"] == spec.cells()[0].cell_id
+        assert entry["error_type"] == "CellTimeoutError"
+        assert entry["attempts"] == 1
+        assert result.fault_counters["faults/quarantined_cells"] == 1
+        assert result.fault_counters["faults/timeouts"] == 1
+
+
+class TestQuarantine:
+    def test_quarantined_cell_is_excluded_not_poisoning(self, tmp_path):
+        """The aggregate over surviving cells equals the clean run minus the
+        quarantined cell — the core chaos-suite guarantee."""
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        bad = spec.cells()[0].cell_id
+        faults.install(parse_plan(f"site=cell-body,kind=exception,cells={bad[:12]}"))
+        path = tmp_path / "results.jsonl"
+        policy = ExecutionPolicy(max_retries=1, on_error="quarantine", **QUICK_BACKOFF)
+        result = run_campaign(spec, workers=1, results_path=path, policy=policy)
+        expected = [r for r in clean.records if r["cell_id"] != bad]
+        assert deterministic_part(result.records) == deterministic_part(expected)
+        # Quarantined cells never enter the results store...
+        assert bad not in ResultStore(path).completed_cell_ids()
+        # ...they live in the sidecar, with their full failure context.
+        sidecar = ResultStore(quarantine_path_for(path))
+        [entry] = sidecar.load()
+        assert entry["cell_id"] == bad
+        assert entry["error_type"] == "InjectedFault"
+        assert entry["attempts"] == 2  # first try + one retry
+        assert result.quarantine_path == sidecar.path
+
+    def test_resume_after_quarantine_completes_the_campaign(self, tmp_path):
+        """Quarantine is a parking lot, not a verdict: once the fault is
+        gone, a resumed run re-attempts exactly the quarantined cells."""
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        path = tmp_path / "results.jsonl"
+        faults.install(
+            parse_plan(f"site=cell-body,kind=exception,cells={target_of(spec)}")
+        )
+        policy = ExecutionPolicy(on_error="quarantine", **QUICK_BACKOFF)
+        first = run_campaign(spec, workers=1, results_path=path, policy=policy)
+        assert len(first.quarantined) == 1
+        faults.install(None)
+        resumed = run_campaign(
+            spec, workers=1, results_path=path, resume=True, policy=policy
+        )
+        assert resumed.skipped == spec.cell_count() - 1
+        assert resumed.executed == 1
+        assert resumed.quarantined == []
+        assert deterministic_part(resumed.records) == deterministic_part(clean.records)
+        # The healthy resume rewrites the sidecar empty.
+        assert ResultStore(quarantine_path_for(path)).load() == []
+
+    def test_zero_faults_means_zero_quarantine_and_no_counters(self, tmp_path):
+        spec = pair_spec()
+        path = tmp_path / "results.jsonl"
+        policy = ExecutionPolicy(
+            max_retries=2, cell_timeout=60.0, on_error="quarantine", **QUICK_BACKOFF
+        )
+        result = run_campaign(spec, workers=1, results_path=path, policy=policy)
+        assert result.quarantined == []
+        assert result.fault_counters == {}
+        assert ResultStore(quarantine_path_for(path)).load() == []
+        assert "faults/retries" not in telemetry_manifest(result)["counters"]
+
+
+class TestWorkerCrashes:
+    def test_crashed_worker_is_rebuilt_and_the_cell_retried(self, monkeypatch):
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            f"site=cell-body,kind=crash,cells={target_of(spec)},max_attempt=1",
+        )
+        faults.reload_from_env()
+        policy = ExecutionPolicy(max_retries=1, max_pool_rebuilds=32, **QUICK_BACKOFF)
+        result = run_campaign(spec, workers=2, policy=policy)
+        assert deterministic_part(result.records) == deterministic_part(clean.records)
+        assert result.fault_counters["faults/pool_rebuilds"] >= 1
+        assert result.fault_counters["faults/retries"] >= 1
+
+    def test_permanently_crashing_cell_is_quarantined(self, monkeypatch, tmp_path):
+        spec = pair_spec()
+        bad = spec.cells()[0].cell_id
+        monkeypatch.setenv(
+            faults.ENV_VAR, f"site=cell-body,kind=crash,cells={bad[:12]}"
+        )
+        faults.reload_from_env()
+        policy = ExecutionPolicy(
+            on_error="quarantine", max_pool_rebuilds=32, **QUICK_BACKOFF
+        )
+        result = run_campaign(
+            spec, workers=2, results_path=tmp_path / "results.jsonl", policy=policy
+        )
+        [entry] = result.quarantined
+        assert entry["cell_id"] == bad
+        assert entry["error_type"] == "WorkerCrashError"
+        assert result.fault_counters["faults/pool_rebuilds"] >= 1
+        # The sibling cell survived the crash storm.
+        assert [r["cell_id"] for r in result.records] == [spec.cells()[1].cell_id]
+
+    def test_chunk_envelope_crashes_are_bisected_to_completion(self, monkeypatch):
+        """Crashing every first-attempt chunk envelope forces the full
+        recovery machinery: drain, rebuild, bisect, solo re-dispatch."""
+        spec = pair_spec()
+        clean = run_campaign(spec, workers=1)
+        monkeypatch.setenv(
+            faults.ENV_VAR, "site=chunk-envelope,kind=crash,max_attempt=1"
+        )
+        faults.reload_from_env()
+        policy = ExecutionPolicy(max_retries=1, max_pool_rebuilds=64, **QUICK_BACKOFF)
+        result = run_campaign(spec, workers=2, policy=policy)
+        assert deterministic_part(result.records) == deterministic_part(clean.records)
+        assert result.fault_counters["faults/pool_rebuilds"] >= 1
+
+
+class TestDeterministicChaos:
+    def test_same_plan_same_counters_same_records(self):
+        spec = pair_spec()
+        plan = f"site=cell-body,kind=exception,cells={target_of(spec)},max_attempt=1"
+        policy = ExecutionPolicy(max_retries=1, **QUICK_BACKOFF)
+        outcomes = []
+        for _ in range(2):
+            faults.install(parse_plan(plan))
+            outcomes.append(run_campaign(spec, workers=1, policy=policy))
+        first, second = outcomes
+        assert deterministic_part(first.records) == deterministic_part(second.records)
+        assert first.fault_counters == second.fault_counters
+
+    def test_probabilistic_plan_is_reproducible(self):
+        """p<1 plans fire on the same cells every run — seeded, not random."""
+        spec = pair_spec()
+        plan = "site=cell-body,kind=exception,p=0.5,seed=3,max_attempt=1"
+        policy = ExecutionPolicy(max_retries=1, on_error="quarantine", **QUICK_BACKOFF)
+        counters = []
+        for _ in range(2):
+            faults.install(parse_plan(plan))
+            counters.append(run_campaign(spec, workers=1, policy=policy).fault_counters)
+        assert counters[0] == counters[1]
+
+
+def run_sweep_cli(results, cache_dir, *, workers=1, resume=False, inject_env=None):
+    """Run ``python -m repro sweep`` as a real subprocess (crash tests SIGKILL
+    the process, which must never happen to the pytest process itself).
+
+    Output goes to files, not pipes: when the parent is SIGKILLed its
+    orphaned pool workers keep inherited pipe ends open, and a pipe-based
+    ``communicate()`` would wait on them instead of the dead parent.
+    """
+    command = [
+        sys.executable, "-m", "repro", "sweep",
+        "--topologies", "fig1-example", "abilene",
+        "--schemes", "reconvergence", "fcp",
+        "--results", str(results),
+        "--cache-dir", str(cache_dir),
+        "--workers", str(workers),
+        "--quiet",
+    ]
+    if resume:
+        command.append("--resume")
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop(faults.ENV_VAR, None)
+    if inject_env:
+        env[faults.ENV_VAR] = inject_env
+    log_path = Path(str(results) + ".log")
+    with log_path.open("a") as log:
+        outcome = subprocess.run(
+            command, cwd=REPO_ROOT, env=env, stdout=log, stderr=log, timeout=300
+        )
+    outcome.log = log_path.read_text()
+    return outcome
+
+
+class TestKillResume:
+    """Satellite: SIGKILL a sweep mid-campaign, resume, demand byte-identity."""
+
+    TORN_WRITE = "site=store-append,kind=partial-write,skip=2"
+
+    @pytest.mark.parametrize("workers", [1, 2], ids=["serial", "parallel"])
+    def test_sigkill_mid_store_append_then_resume(self, tmp_path, workers):
+        cache_dir = tmp_path / "cache"
+        clean_path = tmp_path / "clean.jsonl"
+        clean = run_sweep_cli(clean_path, cache_dir, workers=workers)
+        assert clean.returncode == 0, clean.log
+
+        killed_path = tmp_path / "killed.jsonl"
+        killed = run_sweep_cli(
+            killed_path, cache_dir, workers=workers, inject_env=self.TORN_WRITE
+        )
+        assert killed.returncode == -9, (killed.returncode, killed.log)
+        # The kill happened mid-append: two whole records plus a torn tail.
+        survivors = ResultStore(killed_path)
+        assert len(survivors.load()) == 2
+        assert survivors.torn_records_skipped == 1
+
+        resumed = run_sweep_cli(killed_path, cache_dir, workers=workers, resume=True)
+        assert resumed.returncode == 0, resumed.log
+        assert deterministic_part(ResultStore(killed_path).load()) == deterministic_part(
+            ResultStore(clean_path).load()
+        )
+        # The resumed manifest covers the whole campaign, not just the tail.
+        manifest = telemetry.load_manifest(telemetry.manifest_path_for(killed_path))
+        assert manifest["campaign"]["cells"] == 4

@@ -216,8 +216,8 @@ class TestChunkedDispatch:
             topologies=("fig1-example",), schemes=("reconvergence", "fcp")
         ).cells()
         outcomes = _run_cell_chunk(cells)
-        assert [status for status, _payload in outcomes] == ["ok", "ok"]
-        chunk_records = [payload for _status, payload in outcomes]
+        assert [status for status, _payload, _info in outcomes] == ["ok", "ok"]
+        chunk_records = [payload for _status, payload, _info in outcomes]
         individual = [run_cell(cell) for cell in cells]
         assert deterministic_part(chunk_records) == deterministic_part(individual)
 
@@ -355,6 +355,48 @@ class TestResultStore:
         with path.open("a") as stream:
             stream.write('{"cell_id": "bbbb", "payl')  # killed mid-write
         assert store.completed_cell_ids() == {"aaaa"}
+        assert store.torn_records_skipped == 1
+
+    def test_appended_lines_carry_a_checksum_load_strips_it(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.append({"cell_id": "aaaa", "payload": {"x": 1}})
+        raw = store.path.read_text()
+        assert "_checksum" in raw
+        assert store.load() == [{"cell_id": "aaaa", "payload": {"x": 1}}]
+
+    def test_checksum_mismatch_on_final_line_is_dropped(self, tmp_path):
+        """Bit rot in the tail is indistinguishable from a torn write."""
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.append({"cell_id": "aaaa", "payload": {}})
+        store.append({"cell_id": "bbbb", "payload": {"v": 1}})
+        lines = store.path.read_text().splitlines()
+        lines[-1] = lines[-1].replace('"v": 1', '"v": 2')  # checksum now stale
+        store.path.write_text("\n".join(lines) + "\n")
+        assert store.completed_cell_ids() == {"aaaa"}
+        assert store.torn_records_skipped == 1
+
+    def test_mid_file_corruption_reports_line_offset_and_cell(self, tmp_path):
+        """Corruption before the tail is data loss, not a crash artefact —
+        load() must refuse, and say exactly where and which cell."""
+        store = ResultStore(tmp_path / "results.jsonl")
+        for cell_id in ("aaaa", "bbbb", "cccc"):
+            store.append({"cell_id": cell_id, "payload": {"v": 1}})
+        lines = store.path.read_text().splitlines()
+        lines[1] = lines[1].replace('"v": 1', '"v": 2')  # checksum now stale
+        store.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError) as excinfo:
+            store.load()
+        message = str(excinfo.value)
+        assert "line 2" in message
+        assert "byte offset" in message
+        assert "bbbb" in message
+
+    def test_legacy_lines_without_checksum_still_load(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"cell_id": "aaaa", "payload": {}}\n')
+        store = ResultStore(path)
+        assert store.load() == [{"cell_id": "aaaa", "payload": {}}]
+        assert store.torn_records_skipped == 0
 
 
 class TestResume:
@@ -379,6 +421,24 @@ class TestResume:
         assert resumed.skipped == 3
         assert resumed.executed == spec.cell_count() - 3
         assert deterministic_part(resumed.records) == deterministic_part(full.records)
+
+    def test_resume_over_torn_tail_reruns_that_cell_and_counts_it(self, tmp_path):
+        """A record lost to a torn write is re-executed, not silently missing."""
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        full = run_campaign(spec, workers=1, results_path=path)
+        lines = path.read_text().splitlines()
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        path.write_text(torn)
+        resumed = run_campaign(spec, workers=1, results_path=path, resume=True)
+        assert resumed.skipped == spec.cell_count() - 1
+        assert resumed.executed == 1
+        assert resumed.fault_counters["faults/torn_records_skipped"] == 1
+        assert deterministic_part(resumed.records) == deterministic_part(full.records)
+        # The store is whole again: a second resume finds nothing to do.
+        assert ResultStore(path).completed_cell_ids() == {
+            cell.cell_id for cell in spec.cells()
+        }
 
     def test_spec_change_invalidates_previous_records(self, tmp_path):
         path = tmp_path / "results.jsonl"
