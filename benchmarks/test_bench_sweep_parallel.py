@@ -43,7 +43,7 @@ def test_bench_sweep_cold_vs_cached_vs_parallel(benchmark):
             spec = _spec()
 
             started = time.perf_counter()
-            cold = run_campaign(spec, workers=1, cache_dir=cache, results_path=results)
+            cold = run_campaign(spec, workers=1, cache_dir=cache, results=results)
             timings["cold"] = (time.perf_counter() - started, cold)
 
             started = time.perf_counter()
@@ -56,7 +56,7 @@ def test_bench_sweep_cold_vs_cached_vs_parallel(benchmark):
 
             started = time.perf_counter()
             resumed = run_campaign(
-                spec, workers=1, cache_dir=cache, results_path=results, resume=True
+                spec, workers=1, cache_dir=cache, results=results, resume=True
             )
             timings["resumed"] = (time.perf_counter() - started, resumed)
         return timings

@@ -25,7 +25,10 @@ The package is organised around a small set of subsystems:
   table of the paper's evaluation.
 * :mod:`repro.runner` — the campaign runner: declarative parallel sweeps
   over the evaluation grid with a content-addressed offline-stage artifact
-  cache and resumable JSONL result stores.
+  cache and resumable results backends.
+* :mod:`repro.store` — the results layer: the queryable SQLite campaign
+  store, the checksummed JSONL interchange format, migration between the
+  two, the filter grammar and the resident serve loop.
 
 Quickstart
 ----------
@@ -41,9 +44,13 @@ True
 from repro._version import __version__
 from repro.api import (
     ArtifactCache,
+    CampaignHandle,
     CampaignResult,
     CampaignSpec,
+    CampaignStore,
     FailureScenario,
+    Filter,
+    ResultStore,
     ScenarioModel,
     ScenarioSpec,
     available_scenario_models,
@@ -51,7 +58,9 @@ from repro.api import (
     compare_schemes,
     get_scenario_model,
     node_failure_scenarios,
+    parse_filter,
     register_scenario_model,
+    resolve_results,
     run_campaign,
     sample_multi_link_failures,
     single_link_failures,
@@ -76,9 +85,13 @@ from repro import (
 __all__ = [
     "__version__",
     "ArtifactCache",
+    "CampaignHandle",
     "CampaignResult",
     "CampaignSpec",
+    "CampaignStore",
     "FailureScenario",
+    "Filter",
+    "ResultStore",
     "ScenarioModel",
     "ScenarioSpec",
     "available_scenario_models",
@@ -86,7 +99,9 @@ __all__ = [
     "compare_schemes",
     "get_scenario_model",
     "node_failure_scenarios",
+    "parse_filter",
     "register_scenario_model",
+    "resolve_results",
     "run_campaign",
     "sample_multi_link_failures",
     "single_link_failures",

@@ -339,6 +339,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.bench import (
         check_ft_overhead,
         check_regression,
+        check_throughput,
         load_bench,
         run_bench,
         write_bench,
@@ -347,6 +348,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     document = run_bench(quick=args.quick, workers=args.workers)
     rows = [
         [name, f"{value:.3f}s"] for name, value in sorted(document["timings"].items())
+    ]
+    rows += [
+        [name, f"{value:.0f}/s"]
+        for name, value in sorted(document.get("throughput", {}).items())
     ]
     print(render_table(["benchmark", "wall"], rows))
     meta = document["meta"]
@@ -367,6 +372,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"  {violation}")
             return 1
         print(f"regression check vs {args.check} passed (tolerance {args.tolerance:.0%})")
+        qps_violations = check_throughput(document, baseline, tolerance=args.tolerance)
+        if qps_violations:
+            print()
+            print(f"THROUGHPUT REGRESSION vs {args.check} (tolerance {args.tolerance:.0%}):")
+            for violation in qps_violations:
+                print(f"  {violation}")
+            return 1
+        print(f"throughput check vs {args.check} passed (tolerance {args.tolerance:.0%})")
         # Idle fault-layer overhead is gated against this run's own
         # fault-free twins (same machine, same thermal state).
         ft_violations = check_ft_overhead(document)
@@ -380,36 +393,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_manifest_arg(path_arg: str) -> Dict[str, object]:
-    """Resolve a ``repro report`` argument to a loaded telemetry manifest.
+def _resolve_results(path_arg: str):
+    """The one results-argument resolver every subcommand shares.
 
-    Accepts either the manifest itself (``*.telemetry.json``) or the JSONL
-    results file it sits next to; in the latter case the sidecar written by
-    the sweep is preferred, falling back to re-merging the records.
+    Classifies the path (SQLite store / checksummed JSONL / telemetry
+    manifest) and returns a :class:`repro.store.ResolvedResults`; a missing
+    file exits with the error instead of a traceback.
     """
-    from pathlib import Path
+    from repro.store import resolve_results
 
-    path = Path(path_arg)
-    if not path.exists():
-        raise SystemExit(f"no such file: {path}")
-    if path.suffix == ".jsonl":
-        sidecar = telemetry.manifest_path_for(path)
-        if sidecar.exists():
-            return telemetry.load_manifest(sidecar)
-        from repro.runner import ResultStore
-
-        records = ResultStore(path).load()
-        if not records:
-            raise SystemExit(f"{path} holds no complete records")
-        return telemetry.build_manifest(records)
     try:
-        return telemetry.load_manifest(path)
-    except (json.JSONDecodeError, OSError) as exc:
-        raise SystemExit(f"cannot read manifest {path}: {exc}")
+        return resolve_results(path_arg)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    manifest = _load_manifest_arg(args.results)
+    with _resolve_results(args.results) as resolved:
+        try:
+            manifest = resolved.manifest()
+        except ReproError as exc:
+            raise SystemExit(str(exc))
     if args.validate:
         problems = telemetry.validate_manifest(manifest)
         if problems:
@@ -420,6 +424,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"manifest valid ({manifest.get('schema')})")
         return 0
     print(telemetry.render_report(manifest, slowest=args.slowest))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with _resolve_results(args.results) as resolved:
+        if args.campaigns:
+            rows = resolved.campaigns()
+            if not rows:
+                print(f"{resolved.path} holds no campaigns")
+                return 1
+            print(render_table(
+                ["campaign", "records", "executed", "skipped", "wall", "status"],
+                [
+                    [
+                        str(row.get("campaign_id", "?")),
+                        str(row.get("records", "?")),
+                        str(row.get("executed", "-")),
+                        str(row.get("skipped", "-")),
+                        f"{row['elapsed_s']:.2f}s" if "elapsed_s" in row else "-",
+                        str(row.get("status", "-")),
+                    ]
+                    for row in rows
+                ],
+            ))
+            return 0
+        try:
+            records = resolved.records(
+                args.filter or None, limit=args.limit or None
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+    if args.json:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0 if records else 1
+    expression = " ".join(args.filter) if args.filter else "(match everything)"
+    print(f"{len(records)} records match {expression!r} in {resolved.path}")
+    if not records:
+        return 1
+    print()
+    print(render_table(
+        ["topology", "scheme", "scenarios", "delivery", "mean stretch",
+         "max", "coverage"],
+        campaign_aggregate.topology_summary_rows(records),
+    ))
+    if len(campaign_aggregate.families_in(records)) > 1:
+        print()
+        print(render_table(
+            ["family", "scheme", "scenarios", "delivery", "mean stretch",
+             "max", "coverage"],
+            campaign_aggregate.family_summary_rows(records),
+        ))
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.store import migrate as migrate_results
+
+    try:
+        summary = migrate_results(args.source, args.destination, args.campaign)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(f"{summary['direction']}: campaign {summary['campaign_id']}, "
+          f"{summary['records']} records -> {args.destination}")
+    if summary.get("manifest"):
+        print(f"telemetry manifest: {summary['manifest']}"
+              if isinstance(summary["manifest"], str)
+              else "telemetry manifest: imported into store")
+    if summary.get("quarantine"):
+        print(f"quarantine sidecar: {summary['quarantine']}")
+    elif summary.get("quarantined"):
+        print(f"quarantine entries imported: {summary['quarantined']}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store.serve import ServeSession, serve_forever
+
+    session = ServeSession(cache_dir=args.cache_dir)
+    for topology in args.warm or []:
+        response = session.handle(
+            {"op": "warm", "topology": topology, "schemes": args.schemes}
+        )
+        if not response.get("ok"):
+            raise SystemExit(f"cannot warm {topology!r}: {response.get('error')}")
+        print(f"warm: {response['topology']} "
+              f"({response['nodes']} routers, {response['edges']} links, "
+              f"{response['schemes_warm']} schemes)")
+    print(f"serving on {args.socket} "
+          f"(line-delimited JSON requests; op=shutdown or ctrl-c stops)")
+    try:
+        served = serve_forever(args.socket, session)
+    except KeyboardInterrupt:
+        served = session.requests_served
+        session.close()
+        print()
+    print(f"served {served} requests")
     return 0
 
 
@@ -504,7 +605,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec,
         workers=args.workers,
         cache_dir=args.cache_dir,
-        results_path=args.results,
+        results=args.results,
         resume=args.resume,
         progress=progress,
         policy=policy,
@@ -537,11 +638,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ))
         if result.quarantine_path is not None:
             print(f"quarantine sidecar: {result.quarantine_path}")
+        elif result.store is not None:
+            print(f"quarantine entries recorded in {result.results_path}")
     stats = result.cache_stats()
     if args.cache_dir:
         print(f"artifact cache: {stats['hits']} hits, {stats['misses']} misses "
               f"({args.cache_dir})")
-    if result.results_path is not None:
+    if result.store is not None:
+        print(f"results store: {result.results_path} "
+              f"(campaign {spec.spec_hash()}; query with: "
+              f"repro query {result.results_path} campaign:last1)")
+    elif result.results_path is not None:
         print(f"results: {result.results_path}")
     engine_counters = result.engine_counters()
     if engine_counters:
@@ -552,6 +659,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           for name, value in sorted(engine_counters.items())))
     if result.telemetry_path is not None:
         print(f"telemetry manifest: {result.telemetry_path}")
+    elif result.store is not None:
+        print(f"telemetry manifest recorded in {result.results_path} "
+              f"(repro report {result.results_path})")
     if args.slowest:
         manifest = result.telemetry(slowest=args.slowest)
         rows = telemetry.report.slowest_rows(manifest, args.slowest)
@@ -779,7 +889,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (0 = one per CPU)")
     sweep.add_argument("--cache-dir", default=".repro-cache",
                        help="offline-stage artifact cache directory")
-    sweep.add_argument("--results", help="JSONL file to stream cell records into")
+    sweep.add_argument("--results",
+                       help="results backend to stream cell records into, "
+                            "auto-detected by suffix: a .sqlite/.sqlite3/.db "
+                            "path lands the campaign in the queryable store, "
+                            "anything else streams checksummed JSONL")
     sweep.add_argument("--resume", action="store_true",
                        help="skip cells already recorded in --results")
     sweep.add_argument("--spec", help="load the campaign spec from this JSON file "
@@ -815,14 +929,70 @@ def build_parser() -> argparse.ArgumentParser:
              "efficiency, slowest cells)",
     )
     report.add_argument("results",
-                        help="campaign results JSONL (its .telemetry.json "
-                             "sidecar is used) or a manifest file directly")
+                        help="a results store (.sqlite — the latest campaign's "
+                             "manifest), campaign results JSONL (its "
+                             ".telemetry.json sidecar is used) or a manifest "
+                             "file directly")
     report.add_argument("--slowest", type=int, default=10, metavar="N",
                         help="rows in the slowest-cells table (default 10)")
     report.add_argument("--validate", action="store_true",
                         help="only validate the manifest schema; exit 1 on "
                              "problems (the CI smoke gate)")
     report.set_defaults(handler=_cmd_report)
+
+    query = sub.add_parser(
+        "query",
+        help="filter records out of a results store or JSONL file "
+             "(scheme=pr topology~zoo campaign:last10)",
+    )
+    query.add_argument("results",
+                       help="results store (.sqlite) or campaign JSONL file")
+    query.add_argument("filter", nargs="*", metavar="CLAUSE",
+                       help="filter clauses: field=value, field!=value, "
+                            "field~value (substring) over topology/scheme/"
+                            "discriminator/family/seed/cell, plus "
+                            "campaign:lastN | campaign:HASH | campaign:all")
+    query.add_argument("--limit", type=int, default=0, metavar="N",
+                       help="return at most N records (0 = unlimited)")
+    query.add_argument("--json", action="store_true",
+                       help="print matching records as JSON lines instead of "
+                            "summary tables")
+    query.add_argument("--campaigns", action="store_true",
+                       help="list the campaigns in the store instead of "
+                            "querying records")
+    query.set_defaults(handler=_cmd_query)
+
+    migrate_cmd = sub.add_parser(
+        "migrate",
+        help="convert campaign results between JSONL and the SQLite store "
+             "(byte-identical round trips, sidecars included)",
+    )
+    migrate_cmd.add_argument("source", help="results file to convert from")
+    migrate_cmd.add_argument("destination",
+                             help="results file to convert into; direction is "
+                                  "inferred from the two suffixes")
+    migrate_cmd.add_argument("--campaign", metavar="ID",
+                             help="campaign id (or unique prefix) to export "
+                                  "from a store / id to import under "
+                                  "(default: latest / derived)")
+    migrate_cmd.set_defaults(handler=_cmd_migrate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="resident query loop: warm engines answering deliver/stretch/"
+             "query/submit requests over a Unix socket",
+    )
+    serve.add_argument("--socket", default=".repro-serve.sock",
+                       help="Unix socket path to listen on "
+                            "(default .repro-serve.sock)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="offline-stage artifact cache directory")
+    serve.add_argument("--warm", nargs="+", metavar="TOPOLOGY",
+                       help="pre-warm these topologies before serving")
+    serve.add_argument("--schemes", nargs="+", default=["pr"],
+                       choices=available_schemes(), metavar="SCHEME",
+                       help="schemes to pre-build for each --warm topology")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

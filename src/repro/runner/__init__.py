@@ -8,7 +8,8 @@ runs.  This subsystem turns that grid into a first-class object:
 * :mod:`repro.runner.cache` — a content-addressed on-disk cache of
   offline-stage artifacts (cellular embeddings), shared across processes;
 * :mod:`repro.runner.executor` — a :mod:`concurrent.futures`-based parallel
-  executor with a streaming JSONL result store and resume-from-partial;
+  executor streaming into a results backend (the SQLite campaign store of
+  :mod:`repro.store`, or checksummed JSONL) with resume-from-partial;
 * :mod:`repro.runner.policy` — the fault-tolerance policy (per-cell
   timeouts, bounded retries with deterministic backoff, quarantine);
 * :mod:`repro.runner.faults` — a deterministic fault-injection harness for
@@ -27,9 +28,10 @@ Quickstart::
         scenarios=(ScenarioSpec("single-link"),
                    ScenarioSpec("multi-link", failures=4, samples=20)),
     )
-    result = run_campaign(spec, workers=4, cache_dir=".repro-cache",
-                          results_path="campaign.jsonl", resume=True)
-    print(result.merged_ccdf("abilene"))
+    handle = run_campaign(spec, workers=4, cache_dir=".repro-cache",
+                          results="campaign.sqlite", resume=True)
+    print(handle.merged_ccdf("abilene"))
+    print(handle.query("scheme=pr topology=abilene"))
 """
 
 from repro.runner.spec import (
@@ -58,6 +60,7 @@ from repro.runner.aggregate import (
     topology_summary_rows,
 )
 from repro.runner.executor import (
+    CampaignHandle,
     CampaignResult,
     ResultStore,
     build_scheme,
@@ -67,13 +70,21 @@ from repro.runner.executor import (
     run_cell,
     telemetry_manifest,
 )
-from repro.runner.bench import check_ft_overhead, check_regression, run_bench
+from repro.store.database import CampaignStore
+from repro.runner.bench import (
+    check_ft_overhead,
+    check_regression,
+    check_throughput,
+    run_bench,
+)
 
 __all__ = [
     "ArtifactCache",
     "CampaignCell",
+    "CampaignHandle",
     "CampaignResult",
     "CampaignSpec",
+    "CampaignStore",
     "ExecutionPolicy",
     "FaultPlan",
     "FaultSpec",
@@ -84,6 +95,7 @@ __all__ = [
     "cached_embedding",
     "check_ft_overhead",
     "check_regression",
+    "check_throughput",
     "corpus_campaign_spec",
     "coverage_reports",
     "families_in",

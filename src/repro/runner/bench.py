@@ -18,11 +18,17 @@ wall-clock timings as a JSON artifact (``BENCH_*.json``):
   multi-link samples over two ISP maps) whose per-scenario trees are almost
   all served by the incremental SSSP repair layer; ``sweep_incremental_s``
   tracks that layer specifically, and the report's ``repair_hits`` /
-  ``repair_fallbacks`` totals show how much of the workload it carried.
+  ``repair_fallbacks`` totals show how much of the workload it carried;
+* **warm query** — the resident ``repro serve`` hot path: an in-process
+  :class:`~repro.store.serve.ServeSession` answering the same filter query
+  against a warm SQLite campaign store, reported as ``query_warm_qps``
+  under the higher-is-better ``throughput`` section.
 
 The CI benchmark-regression step runs ``repro bench --quick --check
 benchmarks/bench_baseline.json``: the run fails when any timing regresses
-more than ``--tolerance`` (default 25%) against the committed baseline.
+more than ``--tolerance`` (default 25%) against the committed baseline, or
+when any ``throughput`` rate drops below the baseline by the same margin
+(see :func:`check_throughput`).
 """
 
 from __future__ import annotations
@@ -137,7 +143,7 @@ def run_bench(
         spec = _sweep_spec(quick)
 
         started = time.perf_counter()
-        cold = run_campaign(spec, workers=1, cache_dir=cache_dir, results_path=results)
+        cold = run_campaign(spec, workers=1, cache_dir=cache_dir, results=results)
         timings["sweep_cold_s"] = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -154,13 +160,41 @@ def run_bench(
 
         started = time.perf_counter()
         resumed = run_campaign(
-            spec, workers=1, cache_dir=cache_dir, results_path=results, resume=True
+            spec, workers=1, cache_dir=cache_dir, results=results, resume=True
         )
         timings["sweep_resumed_s"] = time.perf_counter() - started
 
         offline_cold = cold.offline_seconds()
         cells = cold.executed
         resumed_skipped = resumed.skipped
+
+        # Warm-query throughput: the resident ``repro serve`` hot path.
+        # The sweep lands in the SQLite campaign store, then one
+        # ServeSession answers the same cross-campaign filter query
+        # repeatedly with the store handle and engines already warm.
+        # Driven in-process (no socket) so the number tracks the query
+        # layer, not Unix-socket framing.
+        from repro.store.serve import ServeSession
+
+        store_path = Path(tmp) / "results.sqlite"
+        run_campaign(spec, workers=1, cache_dir=cache_dir, results=store_path)
+        session = ServeSession(cache_dir=cache_dir)
+        try:
+            query_request = {
+                "op": "query",
+                "results": str(store_path),
+                "filter": "scheme=pr campaign:last1",
+            }
+            warmup = session.handle(dict(query_request))
+            assert warmup.get("ok"), warmup
+            query_rounds = 100 if quick else 400
+            started = time.perf_counter()
+            for _ in range(query_rounds):
+                session.handle(dict(query_request))
+            query_elapsed = time.perf_counter() - started
+        finally:
+            session.close()
+        query_warm_qps = query_rounds / query_elapsed if query_elapsed else 0.0
 
     # Incremental-repair workload: serial, in-process, so the engine cache
     # counters below describe this process's work.  Runs after the sweep
@@ -179,6 +213,9 @@ def run_bench(
     )
     return {
         "timings": {name: round(value, 4) for name, value in timings.items()},
+        # Higher-is-better rates live apart from "timings" so the
+        # lower-is-better regression check never sees them.
+        "throughput": {"query_warm_qps": round(query_warm_qps, 1)},
         "meta": {
             "quick": quick,
             "workers": workers,
@@ -190,6 +227,7 @@ def run_bench(
             "corpus_counters": corpus_counters,
             "offline_cold_s": round(offline_cold, 4),
             "resumed_skipped": resumed_skipped,
+            "query_rounds": query_rounds,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
@@ -260,6 +298,35 @@ def check_regression(
             violations.append(
                 f"{name}: {measured:.3f}s exceeds baseline {allowed:.3f}s "
                 f"+{tolerance:.0%} (budget {budget:.3f}s)"
+            )
+    return violations
+
+
+def check_throughput(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Throughput rates in ``current`` that fall short of the baseline.
+
+    The mirror image of :func:`check_regression` for higher-is-better
+    numbers (the ``throughput`` section, e.g. ``query_warm_qps``): a rate
+    violates when it drops below ``baseline / (1 + tolerance)``.  Only keys
+    present in both documents are compared, so a baseline can trail the
+    benchmark's evolution without failing the gate.
+    """
+    violations: List[str] = []
+    baseline_rates = baseline.get("throughput", {})
+    current_rates = current.get("throughput", {})
+    for name, required in sorted(baseline_rates.items()):
+        measured = current_rates.get(name)
+        if measured is None or not isinstance(required, (int, float)):
+            continue
+        floor = required / (1.0 + tolerance)
+        if measured < floor:
+            violations.append(
+                f"{name}: {measured:.1f}/s is below baseline {required:.1f}/s "
+                f"-{tolerance:.0%} (floor {floor:.1f}/s)"
             )
     return violations
 

@@ -1,8 +1,9 @@
 """Parallel campaign execution with streaming results and resume.
 
 The executor turns a :class:`~repro.runner.spec.CampaignSpec` into records:
-one JSON-serialisable dictionary per cell, appended to a JSONL result store
-as soon as the cell finishes.  Cells are independent by construction, so
+one JSON-serialisable dictionary per cell, appended to the results backend
+(the SQLite campaign store of :mod:`repro.store`, or checksummed JSONL —
+selected by the ``results`` path suffix) as soon as the cell finishes.  Cells are independent by construction, so
 they fan out across worker processes with :mod:`concurrent.futures`; the
 artifact cache is shared through the filesystem, which means the expensive
 offline stage of a topology runs in exactly one worker and every other cell
@@ -18,23 +19,22 @@ Records have three parts:
 * ``meta`` — timing, cache statistics and the worker pid.  Never compared.
 
 Records are flushed to the store in cell order (a completed record waits
-until every earlier cell has completed), so a JSONL file produced by a
-parallel run is line-for-line comparable with a serial one.
+until every earlier cell has completed), so a results file produced by a
+parallel run is record-for-record comparable with a serial one — whichever
+backend it streamed into.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import re
 import time
-import zlib
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import telemetry
 from repro.baselines.fcp import FailureCarryingPackets
@@ -46,7 +46,6 @@ from repro.core.scheme import PacketRecycling, SimplePacketRecycling
 from repro.errors import (
     CellTimeoutError,
     ExperimentError,
-    ResultStoreError,
     WorkerCrashError,
 )
 from repro.failures.sampling import sample_multi_link_failures
@@ -75,6 +74,9 @@ from repro.runner.spec import (
     chunk_cells,
 )
 from repro.scenarios import get_scenario_model
+from repro.store.database import BoundCampaign, CampaignStore, is_store_path
+from repro.store.jsonl import ResultStore
+from repro.store.query import Filter, parse_filter
 from repro.topologies import corpus
 
 
@@ -549,171 +551,17 @@ def _run_cell_chunk(
 
 
 # ----------------------------------------------------------------------
-# JSONL result store
-# ----------------------------------------------------------------------
-class ResultStore:
-    """Append-only JSONL store of campaign cell records, crash-consistent.
-
-    One record per line, flushed (and by default fsynced) as soon as the
-    cell completes, which makes a killed campaign resumable: on the next run
-    every ``cell_id`` already in the file is skipped and its record reused.
-
-    Each line carries an injected ``_checksum`` field (CRC-32 of the record
-    without it), so every line stays plain JSON while :meth:`load` can tell
-    a *trusted* record from a corrupted one.  A torn or checksum-failing
-    **final** line is the expected shape of a crash mid-append and is
-    silently skipped (counted in :attr:`torn_records_skipped`); the same
-    damage **mid-file** means the store cannot be trusted as a whole and
-    raises :class:`~repro.errors.ResultStoreError` with the line number,
-    byte offset and (when parseable) the cell id.  The first append after
-    reopening a file truncates any torn tail so the new record starts on a
-    clean line boundary instead of welding onto the crash debris.
-
-    Per-append ``fsync`` is on by default and gated by the
-    ``REPRO_STORE_FSYNC`` environment variable (set ``0`` to trade crash
-    consistency for throughput on slow filesystems).
-    """
-
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
-        #: torn trailing records dropped by the most recent :meth:`load`.
-        self.torn_records_skipped = 0
-        # Whether this instance has verified the file ends on a clean line
-        # boundary.  A crash mid-append leaves a torn tail without a
-        # newline; appending straight onto it would weld two records into
-        # one garbage line, so the first append repairs the tail first.
-        self._tail_clean = False
-
-    def exists(self) -> bool:
-        return self.path.exists()
-
-    #: Lines are written as ``{"_checksum": "xxxxxxxx", <canonical body>`` so
-    #: :meth:`load` can verify them with one crc32 over the stored bytes
-    #: instead of re-serialising every record.
-    _CHECKSUM_PREFIX = '{"_checksum": "'
-    _CHECKSUM_HEAD = len(_CHECKSUM_PREFIX) + 8 + len('", ')
-
-    @staticmethod
-    def checksum(record: Dict[str, Any]) -> str:
-        """CRC-32 (hex) over the canonical JSON of a record sans ``_checksum``."""
-        canonical = json.dumps(
-            {k: v for k, v in record.items() if k != "_checksum"}, sort_keys=True
-        )
-        return format(zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF, "08x")
-
-    def _repair_torn_tail(self) -> None:
-        """Truncate a torn trailing line back to the last clean boundary.
-
-        Only bytes after the final newline are dropped — by construction
-        they are the unparseable remains of an interrupted append.
-        """
-        if not self.path.exists():
-            return
-        data = self.path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
-        with self.path.open("r+b") as stream:
-            stream.truncate(data.rfind(b"\n") + 1)
-
-    def append(self, record: Dict[str, Any]) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if not self._tail_clean:
-            self._repair_torn_tail()
-            self._tail_clean = True
-        body = json.dumps(record, sort_keys=True)
-        crc = format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
-        line = f'{self._CHECKSUM_PREFIX}{crc}", {body[1:]}' if len(body) > 2 else body
-        spec = faults.checkpoint("store-append", record.get("cell_id"))
-        with self.path.open("a") as stream:
-            if spec is not None and spec.kind == "partial-write":
-                # A realistic torn write is a crash mid-append: persist a
-                # prefix of the line, then die without the trailing newline.
-                stream.write(line[: max(1, len(line) // 2)])
-                stream.flush()
-                os.fsync(stream.fileno())
-                faults.crash_now()
-            stream.write(line)
-            stream.write("\n")
-            stream.flush()
-            if os.environ.get("REPRO_STORE_FSYNC", "1") != "0":
-                os.fsync(stream.fileno())
-
-    def truncate(self) -> None:
-        """Start the file over (a fresh, non-resumed campaign run)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("")
-        self._tail_clean = True
-
-    def load(self) -> List[Dict[str, Any]]:
-        """Every trusted record in the file (a torn final line is dropped).
-
-        The injected ``_checksum`` field is verified and stripped, so the
-        returned records compare equal to the in-memory records that
-        produced them.  Records written before the checksum protocol (no
-        ``_checksum`` field) are accepted unverified.
-        """
-        self.torn_records_skipped = 0
-        if not self.path.exists():
-            return []
-        records: List[Dict[str, Any]] = []
-        lines = self.path.read_text().split("\n")
-        last_content = max(
-            (i for i, line in enumerate(lines) if line.strip()), default=-1
-        )
-        offset = 0
-        for number, line in enumerate(lines):
-            stripped = line.strip()
-            if stripped:
-                try:
-                    record = json.loads(stripped)
-                    if not isinstance(record, dict):
-                        raise ValueError("record is not a JSON object")
-                    stored = record.pop("_checksum", None)
-                    if stored is not None:
-                        if stripped.startswith(self._CHECKSUM_PREFIX) and (
-                            stripped[self._CHECKSUM_HEAD - 3 : self._CHECKSUM_HEAD]
-                            == '", '
-                        ):
-                            # Our own line layout: verify the stored bytes
-                            # directly, no re-serialisation needed.
-                            body = "{" + stripped[self._CHECKSUM_HEAD :]
-                            computed = format(
-                                zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x"
-                            )
-                        else:
-                            computed = self.checksum(record)
-                        if stored != computed:
-                            raise ValueError(
-                                f"checksum mismatch (stored {stored},"
-                                f" computed {computed})"
-                            )
-                except ValueError as exc:
-                    if number == last_content:
-                        # The expected shape of a crash mid-append; the
-                        # missing cell simply re-runs on resume.
-                        self.torn_records_skipped += 1
-                    else:
-                        match = re.search(r'"cell_id"\s*:\s*"([^"]+)"', stripped)
-                        cell = f", cell {match.group(1)}" if match else ""
-                        raise ResultStoreError(
-                            f"corrupt record in {self.path} at line {number + 1}"
-                            f" (byte offset {offset}){cell}: {exc}"
-                        )
-                else:
-                    records.append(record)
-            offset += len(line.encode("utf-8")) + 1
-        return records
-
-    def completed_cell_ids(self) -> Set[str]:
-        return {record["cell_id"] for record in self.load() if "cell_id" in record}
-
-
-# ----------------------------------------------------------------------
 # campaign driver
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignResult:
-    """Everything a finished (or resumed) campaign produced."""
+    """Everything a finished (or resumed) campaign produced.
+
+    This is the ``CampaignHandle`` the redesigned results API returns: on
+    top of the aggregation views it exposes the results backend itself
+    (:attr:`store`, ``None`` for JSONL or in-memory runs), the filter-based
+    :meth:`query` and the one-dictionary :meth:`summary`.
+    """
 
     spec: CampaignSpec
     records: List[Dict[str, Any]] = field(default_factory=list)
@@ -721,6 +569,8 @@ class CampaignResult:
     skipped: int = 0
     elapsed_s: float = 0.0
     results_path: Optional[Path] = None
+    #: The SQLite store the campaign ran into (``None`` for JSONL/in-memory).
+    store: Optional[CampaignStore] = None
     #: cell_ids actually run in this invocation (resumed cells excluded).
     executed_cell_ids: Set[str] = field(default_factory=set)
     #: Worker count of this invocation (recorded in the telemetry manifest).
@@ -734,6 +584,52 @@ class CampaignResult:
     #: Non-zero ``faults/*`` counters of this invocation (retries, timeouts,
     #: quarantined cells, pool rebuilds, torn records skipped on resume).
     fault_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def campaign_id(self) -> str:
+        """The canonical campaign identity (the spec hash)."""
+        return self.spec.spec_hash()
+
+    def query(
+        self,
+        expression: Union[str, Sequence[str], Filter, None] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Records matching a filter expression (see :mod:`repro.store.query`).
+
+        A ``campaign:`` selector in the expression routes the query through
+        the backing store (cross-campaign); otherwise this campaign's own
+        records are filtered in memory, identically for every backend.
+        """
+        filt = (
+            expression
+            if isinstance(expression, Filter)
+            else parse_filter(expression)
+        )
+        if (filt.campaign_explicit or filt.campaign != ("all",)) and self.store is not None:
+            return self.store.query(filt, limit=limit)
+        records = filt.filter_records(self.records)
+        return records[:limit] if limit is not None else records
+
+    def summary(self) -> Dict[str, Any]:
+        """The run facts in one JSON-shaped dictionary."""
+        return {
+            "campaign_id": self.campaign_id,
+            "cells": self.spec.cell_count(),
+            "records": len(self.records),
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "quarantined": len(self.quarantined),
+            "elapsed_s": self.elapsed_s,
+            "workers": self.workers,
+            "results": str(self.results_path) if self.results_path else None,
+            "backend": "sqlite" if self.store is not None else (
+                "jsonl" if self.results_path is not None else "memory"
+            ),
+            "fault_counters": dict(self.fault_counters),
+            "topologies": aggregate.topologies_in(self.records),
+            "schemes": sorted({r.get("scheme", "") for r in self.records}),
+        }
 
     # Aggregation views over the records (see :mod:`repro.runner.aggregate`).
     def stretch_result(self, topology: Optional[str] = None):
@@ -803,6 +699,12 @@ class CampaignResult:
         }
 
 
+#: The name the redesigned results API returns ``run_campaign``'s value
+#: under.  An alias (not a subclass) so every existing isinstance check and
+#: caller of :class:`CampaignResult` keeps working unchanged.
+CampaignHandle = CampaignResult
+
+
 def telemetry_manifest(result: CampaignResult, slowest: int = 10) -> Dict[str, Any]:
     """The telemetry manifest of a campaign result (see :mod:`repro.telemetry`)."""
     return telemetry.build_manifest(
@@ -825,16 +727,21 @@ def telemetry_manifest(result: CampaignResult, slowest: int = 10) -> Dict[str, A
 
 ProgressCallback = Callable[[CampaignCell, Dict[str, Any], int, int], None]
 
+#: Sentinel distinguishing "not passed" from an explicit ``None`` for the
+#: deprecated ``results_path`` keyword.
+_RESULTS_PATH_UNSET: Any = object()
+
 
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
-    results_path: Optional[Union[str, Path]] = None,
+    results: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
     policy: Optional[ExecutionPolicy] = None,
-) -> CampaignResult:
+    results_path: Optional[Union[str, Path]] = _RESULTS_PATH_UNSET,
+) -> CampaignHandle:
     """Run every cell of a campaign, optionally in parallel and resumably.
 
     Parameters
@@ -846,11 +753,15 @@ def run_campaign(
     cache_dir:
         Artifact-cache directory shared by all workers; ``None`` disables
         caching (every cell recomputes its offline stage).
-    results_path:
-        JSONL file records stream into.  Required for ``resume``.
+    results:
+        Results backend records stream into, selected by suffix: a
+        ``.sqlite``/``.sqlite3``/``.db`` path opens (or creates) a
+        :class:`~repro.store.database.CampaignStore` and the campaign lands
+        in it under its spec hash; anything else streams checksummed JSONL.
+        Required for ``resume``.
     resume:
-        Skip cells whose ``cell_id`` already has a record in
-        ``results_path`` and reuse those records in the returned result.
+        Skip cells whose ``cell_id`` already has a record in ``results``
+        and reuse those records in the returned handle.
     progress:
         Called as ``progress(cell, record, done, total)`` after each cell.
     policy:
@@ -859,7 +770,19 @@ def run_campaign(
         retries, no timeout, the first error aborts the campaign (raised
         only after every completed record — and the telemetry manifest —
         has been flushed).
+    results_path:
+        Deprecated spelling of ``results`` (same values, same slot).
     """
+    if results_path is not _RESULTS_PATH_UNSET:
+        warnings.warn(
+            "run_campaign(results_path=...) is deprecated; call"
+            " run_campaign(results=...) instead (same values: a .jsonl path"
+            " streams JSONL, a .sqlite path lands in the campaign store)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if results is None:
+            results = results_path
     started = time.perf_counter()
     if policy is None:
         policy = ExecutionPolicy()
@@ -876,18 +799,33 @@ def run_campaign(
         "faults/pool_rebuilds": 0,
         "faults/torn_records_skipped": 0,
     }
-    store = ResultStore(results_path) if results_path is not None else None
+    # Backend selection: a store path binds the campaign (keyed by its spec
+    # hash) inside the SQLite store; anything else keeps the JSONL path.
+    # Both expose the same append/load/truncate surface from here on.
+    store: Optional[Union[ResultStore, BoundCampaign]] = None
+    if results is not None:
+        if is_store_path(results):
+            store = BoundCampaign(CampaignStore(results), spec.spec_hash())
+            store.begin(
+                spec_dict=spec.to_dict(),
+                cells=len(cells),
+                workers=workers,
+                resume=resume,
+            )
+        else:
+            store = ResultStore(results)
     previous: Dict[str, Dict[str, Any]] = {}
     if resume:
         if store is None:
-            raise ExperimentError("resume requires a results_path to resume from")
+            raise ExperimentError("resume requires a results backend to resume from")
         for record in store.load():
             if record.get("cell_id") in cells_by_id:
                 previous[record["cell_id"]] = record
         fault_counters["faults/torn_records_skipped"] += store.torn_records_skipped
-    elif store is not None and store.exists():
+    elif isinstance(store, ResultStore) and store.exists():
         # Without resume the file represents *this* run; appending to the
         # previous run's records would double-count every cell downstream.
+        # (The store backend already started the campaign over in begin().)
         store.truncate()
 
     pending = [cell for cell in cells if cell.cell_id not in previous]
@@ -1111,7 +1049,7 @@ def run_campaign(
     # results store — a resumed run re-attempts them).
     quarantined.sort(key=lambda entry: entry["index"])
     quarantine_path: Optional[Path] = None
-    if store is not None and policy.quarantines:
+    if isinstance(store, ResultStore) and policy.quarantines:
         quarantine_store = ResultStore(quarantine_path_for(store.path))
         quarantine_store.truncate()
         for entry in quarantined:
@@ -1124,6 +1062,7 @@ def run_campaign(
         skipped=len(previous),
         elapsed_s=time.perf_counter() - started,
         results_path=store.path if store is not None else None,
+        store=store.store if isinstance(store, BoundCampaign) else None,
         executed_cell_ids=executed_ids,
         workers=workers,
         quarantined=quarantined,
@@ -1132,12 +1071,25 @@ def run_campaign(
     )
     if store is not None:
         # The manifest merges over *all* records (resumed included), so a
-        # resumed campaign rewrites a sidecar covering the whole campaign.
+        # resumed campaign rewrites a manifest covering the whole campaign.
         # Written before the first-error re-raise below: a failing cell
         # must not lose the telemetry of the records that did complete.
-        result.telemetry_path = telemetry.write_manifest(
-            telemetry_manifest(result), telemetry.manifest_path_for(store.path)
-        )
+        manifest = telemetry_manifest(result)
+        if isinstance(store, BoundCampaign):
+            # The store backend has no sidecars: the manifest lands in the
+            # telemetry table and the quarantine entries in theirs.
+            store.finalize(
+                executed=result.executed,
+                skipped=result.skipped,
+                elapsed_s=result.elapsed_s,
+                manifest=manifest,
+                quarantined=quarantined if policy.quarantines else None,
+                status="failed" if first_error is not None else "done",
+            )
+        else:
+            result.telemetry_path = telemetry.write_manifest(
+                manifest, telemetry.manifest_path_for(store.path)
+            )
     if first_error is not None:
         raise first_error
     return result

@@ -1,0 +1,149 @@
+"""SQLite schema and migrations for the campaign results store.
+
+The store keeps every table the results pipeline produces in one database
+file: campaign identity (``campaigns``), the grid coordinates of every cell
+(``cells``, with the canonical cell-id, topology, scheme, scenario-family
+and seed columns indexed for cross-campaign queries), the full result
+records (``records``, canonical JSON — the byte-stable payloads the JSONL
+store used to hold), the merged telemetry manifest (``telemetry``) and the
+quarantine sidecar entries (``quarantine``).
+
+Migrations are append-only: :data:`MIGRATIONS` is an ordered list of SQL
+scripts, and the applied prefix is recorded in ``schema_migrations``.
+Opening a store created by an older version applies exactly the missing
+suffix; opening one created by a *newer* version fails loudly instead of
+guessing.  Every connection runs in WAL mode with a busy timeout, so
+concurrent writers (campaigns appending from different processes) serialise
+on the SQLite write lock instead of corrupting each other.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ResultStoreError
+
+#: Current schema version == ``len(MIGRATIONS)``.
+SCHEMA_VERSION = 1
+
+#: Ordered migration scripts; index ``i`` brings a store at version ``i`` to
+#: version ``i + 1``.  Never edit an entry in place — append a new one.
+MIGRATIONS = (
+    """
+    CREATE TABLE campaigns (
+        seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+        campaign_id  TEXT NOT NULL UNIQUE,
+        spec_json    TEXT,
+        cells        INTEGER,
+        workers      INTEGER,
+        executed     INTEGER NOT NULL DEFAULT 0,
+        skipped      INTEGER NOT NULL DEFAULT 0,
+        elapsed_s    REAL NOT NULL DEFAULT 0.0,
+        status       TEXT NOT NULL DEFAULT 'running'
+    );
+
+    CREATE TABLE cells (
+        campaign_id     TEXT NOT NULL,
+        cell_id         TEXT NOT NULL,
+        cell_index      INTEGER NOT NULL,
+        topology        TEXT NOT NULL,
+        scheme          TEXT NOT NULL,
+        discriminator   TEXT,
+        scenario_family TEXT,
+        scenario_json   TEXT,
+        seed            INTEGER,
+        PRIMARY KEY (campaign_id, cell_id)
+    );
+    CREATE INDEX idx_cells_topology ON cells (topology);
+    CREATE INDEX idx_cells_scheme ON cells (scheme);
+    CREATE INDEX idx_cells_family ON cells (scenario_family);
+    CREATE INDEX idx_cells_seed ON cells (seed);
+    CREATE INDEX idx_cells_order ON cells (campaign_id, cell_index);
+
+    CREATE TABLE records (
+        campaign_id TEXT NOT NULL,
+        cell_id     TEXT NOT NULL,
+        record_json TEXT NOT NULL,
+        PRIMARY KEY (campaign_id, cell_id)
+    );
+
+    CREATE TABLE telemetry (
+        campaign_id   TEXT NOT NULL PRIMARY KEY,
+        manifest_json TEXT NOT NULL
+    );
+
+    CREATE TABLE quarantine (
+        campaign_id TEXT NOT NULL,
+        cell_id     TEXT NOT NULL,
+        cell_index  INTEGER NOT NULL,
+        entry_json  TEXT NOT NULL,
+        PRIMARY KEY (campaign_id, cell_id)
+    );
+    """,
+)
+
+assert len(MIGRATIONS) == SCHEMA_VERSION
+
+
+def connect(path: Union[str, Path]) -> sqlite3.Connection:
+    """Open a store connection with the pragmas every writer relies on.
+
+    ``isolation_level=None`` puts the connection in autocommit mode so
+    transactions are explicit (``BEGIN IMMEDIATE`` ... ``COMMIT``), which is
+    the only way to get predictable lock acquisition under concurrency.
+    """
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(str(path), timeout=30.0, isolation_level=None)
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute("PRAGMA busy_timeout=30000")
+    conn.execute("PRAGMA foreign_keys=ON")
+    return conn
+
+
+def applied_version(conn: sqlite3.Connection) -> int:
+    """The schema version of an open store (0 for a fresh database)."""
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name='schema_migrations'"
+    ).fetchone()
+    if row is None:
+        return 0
+    version = conn.execute("SELECT MAX(version) FROM schema_migrations").fetchone()[0]
+    return int(version or 0)
+
+
+def ensure_schema(conn: sqlite3.Connection) -> int:
+    """Apply every pending migration; returns the resulting version.
+
+    Raises :class:`~repro.errors.ResultStoreError` when the store was
+    written by a newer schema than this code knows about.
+    """
+    conn.execute(
+        "CREATE TABLE IF NOT EXISTS schema_migrations ("
+        " version INTEGER PRIMARY KEY, script_sha TEXT)"
+    )
+    version = applied_version(conn)
+    if version > SCHEMA_VERSION:
+        raise ResultStoreError(
+            f"store schema version {version} is newer than this code's "
+            f"{SCHEMA_VERSION}; upgrade the repro package to read it"
+        )
+    for index in range(version, SCHEMA_VERSION):
+        # ``executescript`` manages its own transaction, so the migration
+        # race between two concurrent openers is resolved by re-checking
+        # the version after a failed DDL statement: whoever lost the race
+        # sees the winner's tables already present.
+        try:
+            conn.executescript(MIGRATIONS[index])
+        except sqlite3.OperationalError:
+            if applied_version(conn) > index:
+                continue
+            raise
+        conn.execute(
+            "INSERT OR IGNORE INTO schema_migrations (version) VALUES (?)",
+            (index + 1,),
+        )
+    return SCHEMA_VERSION

@@ -1,0 +1,381 @@
+"""`repro serve` — a resident query loop over warm engines and stores.
+
+One long-lived process keeps the expensive state hot — per-process
+shortest-path engines, embeddings, built forwarding schemes and open
+:class:`~repro.store.database.CampaignStore` connections — and answers
+requests over a Unix-domain socket with a line-delimited JSON protocol
+(one JSON request per line, one JSON response per line; stdlib only).
+
+:class:`ServeSession` is the transport-free core: a request dictionary in,
+a response dictionary out.  The socket loop (:func:`serve_forever`) and the
+warm-query benchmark leg both drive the same session object, so the QPS the
+bench reports is the QPS the daemon serves.
+
+Operations (``op`` field):
+
+``ping``
+    Liveness check; echoes ``payload``.
+``warm``
+    Pre-build the engine/embedding/scheme of a topology so later queries
+    skip the cold start: ``{"op": "warm", "topology": "abilene",
+    "schemes": ["pr", "lfa"]}``.
+``deliver`` / ``stretch``
+    Ad-hoc forwarding query: ``{"op": "deliver", "topology": "abilene",
+    "scheme": "pr", "source": "a", "destination": "b",
+    "failed": [[u, v], 3]}`` — failed links as edge ids or endpoint pairs.
+    Returns delivery status, hops, cost and (``stretch``/delivered) the
+    path stretch against the failure-free shortest path.
+``query``
+    Filter records out of a results store (kept open across requests):
+    ``{"op": "query", "results": "corpus.sqlite", "filter":
+    "scheme=pr topology~zoo campaign:last10", "limit": 100}``.
+``campaigns``
+    List the campaigns of a store.
+``submit``
+    Run a campaign spec (inline dictionary or path) into a results store;
+    the engines it warms stay warm for later queries.
+``stats``
+    Session cache occupancy (schemes, stores, engine counters).
+``shutdown``
+    Stop the socket loop after responding.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ExperimentError, ReproError
+from repro.graph.multigraph import Graph
+from repro.graph.spcache import engine_counter_totals, engine_for
+from repro.runner.executor import build_scheme, load_topology
+from repro.runner.spec import SCHEME_NAMES, CampaignSpec, EMBEDDING_SCHEMES
+from repro.store.database import CampaignStore, is_store_path
+from repro.store.query import parse_filter
+
+DEFAULT_SOCKET = ".repro-serve.sock"
+
+
+def _resolve_failed_links(graph: Graph, failed: Any) -> Tuple[int, ...]:
+    """Edge ids from a mixed list of edge ids and ``[u, v]`` endpoint pairs.
+
+    An endpoint pair fails every parallel edge joining the two nodes, which
+    is what "the link between u and v went down" means operationally.
+    """
+    if not failed:
+        return ()
+    ids: List[int] = []
+    for item in failed:
+        if isinstance(item, int):
+            ids.append(item)
+            continue
+        if isinstance(item, (list, tuple)) and len(item) == 2:
+            u, v = str(item[0]), str(item[1])
+            matched = graph.edge_ids_between(u, v)
+            if not matched:
+                raise ExperimentError(f"no link between {u!r} and {v!r}")
+            ids.extend(matched)
+            continue
+        raise ExperimentError(
+            f"bad failed-link entry {item!r}; use an edge id or [u, v]"
+        )
+    return tuple(sorted(set(ids)))
+
+
+class ServeSession:
+    """The transport-free serve core: warm caches + request dispatch."""
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        #: (topology spec, scheme key, discriminator) -> built scheme.
+        self._schemes: Dict[Tuple[str, str, str], Any] = {}
+        #: results path -> open CampaignStore (warm across queries).
+        self._stores: Dict[str, CampaignStore] = {}
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # warm state
+    # ------------------------------------------------------------------
+    def store_for(self, results: Union[str, Path]) -> CampaignStore:
+        key = str(Path(results))
+        store = self._stores.get(key)
+        if store is None:
+            if not is_store_path(key):
+                raise ExperimentError(
+                    f"serve queries need a SQLite store, got {results}"
+                    " (migrate JSONL results first: repro migrate)"
+                )
+            store = CampaignStore(key)
+            self._stores[key] = store
+        return store
+
+    def scheme_for(
+        self, topology: str, scheme: str, discriminator: Optional[str] = None
+    ):
+        from repro.routing.discriminator import DiscriminatorKind
+
+        if scheme not in SCHEME_NAMES:
+            raise ExperimentError(
+                f"unknown scheme key {scheme!r}; available: {sorted(SCHEME_NAMES)}"
+            )
+        kind = discriminator or DiscriminatorKind.HOP_COUNT.value
+        key = (topology, scheme, kind)
+        built = self._schemes.get(key)
+        if built is None:
+            graph = load_topology(topology)
+            embedding = None
+            if scheme in EMBEDDING_SCHEMES:
+                from repro.runner.cache import ArtifactCache, cached_embedding
+
+                cache = ArtifactCache(self.cache_dir) if self.cache_dir else None
+                embedding = cached_embedding(graph, cache=cache)
+            built = build_scheme(scheme, graph, kind, embedding)
+            self._schemes[key] = built
+        return built
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            store.close()
+        self._stores.clear()
+        self._schemes.clear()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one request; errors come back as ``{"ok": false, ...}``."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return {
+                "ok": False,
+                "error": f"unknown op {op!r}",
+                "ops": sorted(
+                    name[len("_op_") :]
+                    for name in dir(self)
+                    if name.startswith("_op_")
+                ),
+            }
+        try:
+            response = handler(request)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
+        except Exception as exc:  # noqa: BLE001 - a resident loop must not die
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": type(exc).__name__,
+            }
+        response.setdefault("ok", True)
+        self.requests_served += 1
+        return response
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True, "payload": request.get("payload")}
+
+    def _op_warm(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        topology = request.get("topology")
+        if not topology:
+            raise ExperimentError("warm needs a topology")
+        graph = load_topology(str(topology))
+        engine_for(graph)  # builds + registers the shortest-path engine
+        schemes = request.get("schemes") or []
+        for scheme in schemes:
+            self.scheme_for(str(topology), str(scheme), request.get("discriminator"))
+        return {
+            "topology": graph.name,
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "schemes_warm": len(schemes),
+        }
+
+    def _deliver(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        for field in ("topology", "scheme", "source", "destination"):
+            if not request.get(field):
+                raise ExperimentError(f"deliver needs a {field}")
+        scheme = self.scheme_for(
+            str(request["topology"]),
+            str(request["scheme"]),
+            request.get("discriminator"),
+        )
+        failed = _resolve_failed_links(scheme.graph, request.get("failed"))
+        source = str(request["source"])
+        destination = str(request["destination"])
+        outcome = scheme.deliver(source, destination, failed_links=failed)
+        delivered = outcome.status.value == "delivered"
+        response: Dict[str, Any] = {
+            "status": outcome.status.value,
+            "delivered": delivered,
+            "hops": outcome.hops,
+            "cost": outcome.cost,
+            "failed_links": list(failed),
+            "scheme": scheme.name,
+        }
+        if outcome.drop_reason:
+            response["drop_reason"] = outcome.drop_reason
+        engine = engine_for(scheme.graph)
+        baseline = engine.distances(destination).get(source)
+        response["baseline_cost"] = baseline
+        if delivered and baseline:
+            response["stretch"] = outcome.cost / baseline
+        return response
+
+    def _op_deliver(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._deliver(request)
+
+    def _op_stretch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._deliver(request)
+
+    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        results = request.get("results")
+        if not results:
+            raise ExperimentError("query needs a results store path")
+        store = self.store_for(results)
+        filt = parse_filter(request.get("filter"))
+        records = store.query(filt, limit=request.get("limit"))
+        response: Dict[str, Any] = {
+            "records": len(records),
+            "filter": filt.describe(),
+        }
+        if request.get("aggregate") == "summary":
+            from repro.runner import aggregate
+
+            response["summary_rows"] = aggregate.topology_summary_rows(records)
+        if request.get("include_records"):
+            response["matched"] = records
+        return response
+
+    def _op_campaigns(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        results = request.get("results")
+        if not results:
+            raise ExperimentError("campaigns needs a results store path")
+        return {"campaigns": self.store_for(results).campaigns()}
+
+    def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.runner.executor import run_campaign
+
+        if request.get("spec"):
+            spec = CampaignSpec.from_dict(request["spec"])
+        elif request.get("spec_path"):
+            spec = CampaignSpec.load(request["spec_path"])
+        else:
+            raise ExperimentError("submit needs a spec or spec_path")
+        results = request.get("results")
+        handle = run_campaign(
+            spec,
+            workers=int(request.get("workers", 1)),
+            cache_dir=self.cache_dir,
+            results=results,
+            resume=bool(request.get("resume", False)),
+        )
+        return {
+            "campaign_id": spec.spec_hash(),
+            "executed": handle.executed,
+            "skipped": handle.skipped,
+            "records": len(handle.records),
+            "elapsed_s": handle.elapsed_s,
+            "results": str(results) if results else None,
+        }
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "requests_served": self.requests_served,
+            "warm_schemes": sorted("/".join(key) for key in self._schemes),
+            "open_stores": sorted(self._stores),
+            "engine_counters": engine_counter_totals(),
+        }
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"shutdown": True}
+
+
+# ----------------------------------------------------------------------
+# socket transport
+# ----------------------------------------------------------------------
+def serve_forever(
+    socket_path: Union[str, Path],
+    session: Optional[ServeSession] = None,
+    ready: Optional[Any] = None,
+) -> int:
+    """Serve line-delimited JSON requests on a Unix socket until shutdown.
+
+    ``ready`` (when given) is an object with a ``set()`` method — e.g. a
+    :class:`threading.Event` — signalled once the socket is listening.
+    Returns the number of requests served.
+    """
+    socket_path = Path(socket_path)
+    if session is None:
+        session = ServeSession()
+    socket_path.parent.mkdir(parents=True, exist_ok=True)
+    if socket_path.exists():
+        socket_path.unlink()
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    running = True
+    try:
+        server.bind(str(socket_path))
+        server.listen(8)
+        if ready is not None:
+            ready.set()
+        while running:
+            conn, _ = server.accept()
+            with conn:
+                buffer = b""
+                while running:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if not line.strip():
+                            continue
+                        try:
+                            request = json.loads(line)
+                        except ValueError as exc:
+                            response: Dict[str, Any] = {
+                                "ok": False,
+                                "error": f"bad JSON request: {exc}",
+                            }
+                        else:
+                            response = session.handle(request)
+                        conn.sendall(
+                            (json.dumps(response) + "\n").encode("utf-8")
+                        )
+                        if response.get("shutdown"):
+                            running = False
+                            break
+    finally:
+        server.close()
+        if socket_path.exists():
+            socket_path.unlink()
+        session.close()
+    return session.requests_served
+
+
+def request(
+    socket_path: Union[str, Path],
+    payload: Dict[str, Any],
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    """Send one request to a running serve loop and return its response."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(str(socket_path))
+        client.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = client.recv(65536)
+            if not chunk:
+                raise ExperimentError(
+                    f"serve loop at {socket_path} closed the connection"
+                )
+            buffer += chunk
+        return json.loads(buffer.split(b"\n", 1)[0])
+    finally:
+        client.close()

@@ -8,6 +8,7 @@ from repro.cli import main
 from repro.runner.bench import (
     check_ft_overhead,
     check_regression,
+    check_throughput,
     load_bench,
     run_bench,
     write_bench,
@@ -39,6 +40,33 @@ class TestCheckRegression:
         baseline = self._doc(sweep_total_s=1.0)
         current = self._doc(sweep_total_s=1.0001)
         assert check_regression(current, baseline, tolerance=0.0)
+
+
+class TestCheckThroughput:
+    def _doc(self, **rates):
+        return {"timings": {}, "throughput": rates, "meta": {}}
+
+    def test_within_tolerance_passes(self):
+        baseline = self._doc(query_warm_qps=500.0)
+        current = self._doc(query_warm_qps=420.0)  # above 500/1.25 = 400
+        assert check_throughput(current, baseline, tolerance=0.25) == []
+
+    def test_shortfall_reported(self):
+        baseline = self._doc(query_warm_qps=500.0, other_qps=10.0)
+        current = self._doc(query_warm_qps=300.0, other_qps=10.0)
+        violations = check_throughput(current, baseline, tolerance=0.25)
+        assert len(violations) == 1
+        assert "query_warm_qps" in violations[0]
+
+    def test_missing_keys_are_not_violations(self):
+        baseline = self._doc(query_warm_qps=500.0, retired_qps=99.0)
+        current = self._doc(query_warm_qps=500.0, brand_new_qps=1.0)
+        assert check_throughput(current, baseline, tolerance=0.25) == []
+
+    def test_document_without_throughput_section(self):
+        baseline = self._doc(query_warm_qps=500.0)
+        assert check_throughput({"timings": {}}, baseline) == []
+        assert check_throughput(self._doc(query_warm_qps=1.0), {"timings": {}}) == []
 
 
 class TestCheckFtOverhead:
@@ -92,6 +120,10 @@ class TestRunBench:
             "sweep_total_s",
         }
         assert all(value >= 0 for value in timings.values())
+        # Higher-is-better rates live apart from the gated timings.
+        assert set(quick_document["throughput"]) == {"query_warm_qps"}
+        assert quick_document["throughput"]["query_warm_qps"] > 0
+        assert quick_document["meta"]["query_rounds"] == 100
         assert quick_document["meta"]["quick"] is True
         assert quick_document["meta"]["cells"] == 6
         # quick corpus slice: 4 topologies x 2 schemes.
@@ -187,3 +219,18 @@ class TestBenchCli:
         ])
         assert code == 1
         assert "PERFORMANCE REGRESSION" in capsys.readouterr().out
+
+    def test_bench_fails_on_impossible_throughput_floor(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "timings": {},
+            "throughput": {"query_warm_qps": 1e12},
+        }))
+        output = tmp_path / "BENCH_sweep.json"
+        code = main([
+            "bench", "--quick",
+            "--output", str(output),
+            "--check", str(baseline),
+        ])
+        assert code == 1
+        assert "THROUGHPUT REGRESSION" in capsys.readouterr().out

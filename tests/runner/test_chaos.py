@@ -94,7 +94,7 @@ class TestRetries:
         )
         policy = ExecutionPolicy(max_retries=1, **QUICK_BACKOFF)
         with pytest.raises(InjectedFault):
-            run_campaign(spec, workers=1, results_path=path, policy=policy)
+            run_campaign(spec, workers=1, results=path, policy=policy)
         # The sibling cell's record reached the store...
         assert len(ResultStore(path).load()) == 1
         # ...and so did the telemetry manifest, retry counters included.
@@ -124,7 +124,7 @@ class TestTimeouts:
         )
         policy = ExecutionPolicy(cell_timeout=0.3, on_error="quarantine", **QUICK_BACKOFF)
         result = run_campaign(
-            spec, workers=1, results_path=tmp_path / "results.jsonl", policy=policy
+            spec, workers=1, results=tmp_path / "results.jsonl", policy=policy
         )
         [entry] = result.quarantined
         assert entry["cell_id"] == spec.cells()[0].cell_id
@@ -144,7 +144,7 @@ class TestQuarantine:
         faults.install(parse_plan(f"site=cell-body,kind=exception,cells={bad[:12]}"))
         path = tmp_path / "results.jsonl"
         policy = ExecutionPolicy(max_retries=1, on_error="quarantine", **QUICK_BACKOFF)
-        result = run_campaign(spec, workers=1, results_path=path, policy=policy)
+        result = run_campaign(spec, workers=1, results=path, policy=policy)
         expected = [r for r in clean.records if r["cell_id"] != bad]
         assert deterministic_part(result.records) == deterministic_part(expected)
         # Quarantined cells never enter the results store...
@@ -167,11 +167,11 @@ class TestQuarantine:
             parse_plan(f"site=cell-body,kind=exception,cells={target_of(spec)}")
         )
         policy = ExecutionPolicy(on_error="quarantine", **QUICK_BACKOFF)
-        first = run_campaign(spec, workers=1, results_path=path, policy=policy)
+        first = run_campaign(spec, workers=1, results=path, policy=policy)
         assert len(first.quarantined) == 1
         faults.install(None)
         resumed = run_campaign(
-            spec, workers=1, results_path=path, resume=True, policy=policy
+            spec, workers=1, results=path, resume=True, policy=policy
         )
         assert resumed.skipped == spec.cell_count() - 1
         assert resumed.executed == 1
@@ -186,7 +186,7 @@ class TestQuarantine:
         policy = ExecutionPolicy(
             max_retries=2, cell_timeout=60.0, on_error="quarantine", **QUICK_BACKOFF
         )
-        result = run_campaign(spec, workers=1, results_path=path, policy=policy)
+        result = run_campaign(spec, workers=1, results=path, policy=policy)
         assert result.quarantined == []
         assert result.fault_counters == {}
         assert ResultStore(quarantine_path_for(path)).load() == []
@@ -219,7 +219,7 @@ class TestWorkerCrashes:
             on_error="quarantine", max_pool_rebuilds=32, **QUICK_BACKOFF
         )
         result = run_campaign(
-            spec, workers=2, results_path=tmp_path / "results.jsonl", policy=policy
+            spec, workers=2, results=tmp_path / "results.jsonl", policy=policy
         )
         [entry] = result.quarantined
         assert entry["cell_id"] == bad
@@ -330,3 +330,31 @@ class TestKillResume:
         # The resumed manifest covers the whole campaign, not just the tail.
         manifest = telemetry.load_manifest(telemetry.manifest_path_for(killed_path))
         assert manifest["campaign"]["cells"] == 4
+
+    def test_sigkill_mid_sqlite_append_then_resume(self, tmp_path):
+        """The SQLite backend honours the same store-append fault site: the
+        kill lands with the insert transaction open, WAL rollback makes the
+        third record never-happened, and resume completes the campaign."""
+        from repro.store.database import CampaignStore
+
+        cache_dir = tmp_path / "cache"
+        clean_path = tmp_path / "clean.jsonl"
+        clean = run_sweep_cli(clean_path, cache_dir)
+        assert clean.returncode == 0, clean.log
+
+        killed_path = tmp_path / "killed.sqlite"
+        killed = run_sweep_cli(killed_path, cache_dir, inject_env=self.TORN_WRITE)
+        assert killed.returncode == -9, (killed.returncode, killed.log)
+        with CampaignStore(killed_path) as store:
+            [campaign] = store.campaigns()
+            assert campaign["records"] == 2
+
+        resumed = run_sweep_cli(killed_path, cache_dir, resume=True)
+        assert resumed.returncode == 0, resumed.log
+        with CampaignStore(killed_path) as store:
+            [campaign] = store.campaigns()
+            assert campaign["status"] == "done"
+            survivors = store.load_records(campaign["campaign_id"])
+        assert deterministic_part(survivors) == deterministic_part(
+            ResultStore(clean_path).load()
+        )

@@ -72,8 +72,8 @@ class TestCorpusSharding:
         spec = small_corpus_spec()
         first = tmp_path / "first.jsonl"
         second = tmp_path / "second.jsonl"
-        run_campaign(spec, workers=1, results_path=first)
-        run_campaign(spec, workers=2, results_path=second)
+        run_campaign(spec, workers=1, results=first)
+        run_campaign(spec, workers=2, results=second)
 
         def lines(path):
             rows = []
@@ -100,7 +100,7 @@ class TestCorpusSharding:
     def test_topology_summary_rows_from_reloaded_store(self, tmp_path):
         spec = small_corpus_spec()
         path = tmp_path / "corpus.jsonl"
-        result = run_campaign(spec, workers=1, results_path=path)
+        result = run_campaign(spec, workers=1, results=path)
         reloaded = [json.loads(line) for line in path.read_text().splitlines()]
         assert topology_summary_rows(reloaded) == result.topology_summary()
 

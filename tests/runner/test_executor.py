@@ -138,10 +138,10 @@ class TestModelScenarioCells:
     def test_model_sweep_parallel_equals_serial(self, tmp_path):
         spec = model_spec()
         serial = run_campaign(
-            spec, workers=1, results_path=tmp_path / "serial.jsonl"
+            spec, workers=1, results=tmp_path / "serial.jsonl"
         )
         parallel = run_campaign(
-            spec, workers=2, results_path=tmp_path / "parallel.jsonl"
+            spec, workers=2, results=tmp_path / "parallel.jsonl"
         )
         assert deterministic_part(serial.records) == deterministic_part(parallel.records)
         serial_lines = ResultStore(tmp_path / "serial.jsonl").load()
@@ -151,10 +151,10 @@ class TestModelScenarioCells:
     def test_model_sweep_resumes_from_partial_store(self, tmp_path):
         spec = model_spec()
         path = tmp_path / "results.jsonl"
-        full = run_campaign(spec, workers=1, results_path=path)
+        full = run_campaign(spec, workers=1, results=path)
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:5]) + "\n")
-        resumed = run_campaign(spec, workers=2, results_path=path, resume=True)
+        resumed = run_campaign(spec, workers=2, results=path, resume=True)
         assert resumed.skipped == 5
         assert resumed.executed == spec.cell_count() - 5
         assert deterministic_part(resumed.records) == deterministic_part(full.records)
@@ -185,13 +185,13 @@ class TestDeterminism:
             spec,
             workers=1,
             cache_dir=tmp_path / "cache-serial",
-            results_path=tmp_path / "serial.jsonl",
+            results=tmp_path / "serial.jsonl",
         )
         parallel = run_campaign(
             spec,
             workers=2,
             cache_dir=tmp_path / "cache-parallel",
-            results_path=tmp_path / "parallel.jsonl",
+            results=tmp_path / "parallel.jsonl",
         )
         assert deterministic_part(serial.records) == deterministic_part(parallel.records)
         # The JSONL files are line-for-line comparable (records are flushed
@@ -239,7 +239,7 @@ class TestChunkedDispatch:
         )
         path = tmp_path / "results.jsonl"
         with pytest.raises(FailureScenarioError):
-            run_campaign(spec, workers=2, results_path=path)
+            run_campaign(spec, workers=2, results=path)
         completed = ResultStore(path).completed_cell_ids()
         single_link_ids = {
             cell.cell_id
@@ -267,7 +267,7 @@ class TestChunkedDispatch:
         )
         path = tmp_path / "results.jsonl"
         with pytest.raises(FailureScenarioError):
-            run_campaign(spec, workers=2, results_path=path)
+            run_campaign(spec, workers=2, results=path)
         completed = ResultStore(path).completed_cell_ids()
         single_link_ids = {
             cell.cell_id
@@ -277,7 +277,7 @@ class TestChunkedDispatch:
         assert completed == single_link_ids
         # And the resumed run only redoes the failed cells.
         with pytest.raises(FailureScenarioError):
-            run_campaign(spec, workers=2, results_path=path, resume=True)
+            run_campaign(spec, workers=2, results=path, resume=True)
         assert ResultStore(path).completed_cell_ids() == single_link_ids
 
     def test_serial_failure_semantics_match_parallel(self, tmp_path):
@@ -292,10 +292,10 @@ class TestChunkedDispatch:
         )
         serial = tmp_path / "serial.jsonl"
         with pytest.raises(FailureScenarioError):
-            run_campaign(spec, workers=1, results_path=serial)
+            run_campaign(spec, workers=1, results=serial)
         parallel = tmp_path / "parallel.jsonl"
         with pytest.raises(FailureScenarioError):
-            run_campaign(spec, workers=2, results_path=parallel)
+            run_campaign(spec, workers=2, results=parallel)
         assert (
             ResultStore(serial).completed_cell_ids()
             == ResultStore(parallel).completed_cell_ids()
@@ -332,7 +332,7 @@ class TestResultStore:
     def test_streams_one_json_line_per_cell(self, tmp_path):
         spec = tiny_spec()
         path = tmp_path / "results.jsonl"
-        result = run_campaign(spec, workers=1, results_path=path)
+        result = run_campaign(spec, workers=1, results=path)
         lines = [line for line in path.read_text().splitlines() if line.strip()]
         assert len(lines) == result.executed == spec.cell_count()
         for line in lines:
@@ -343,8 +343,8 @@ class TestResultStore:
         the previous run's lines would double-count every cell."""
         spec = tiny_spec()
         path = tmp_path / "results.jsonl"
-        run_campaign(spec, workers=1, results_path=path)
-        run_campaign(spec, workers=1, results_path=path)
+        run_campaign(spec, workers=1, results=path)
+        run_campaign(spec, workers=1, results=path)
         lines = [line for line in path.read_text().splitlines() if line.strip()]
         assert len(lines) == spec.cell_count()
 
@@ -403,9 +403,9 @@ class TestResume:
     def test_completed_campaign_resumes_to_no_work(self, tmp_path):
         spec = tiny_spec()
         path = tmp_path / "results.jsonl"
-        first = run_campaign(spec, workers=1, results_path=path)
+        first = run_campaign(spec, workers=1, results=path)
         assert first.executed == spec.cell_count()
-        resumed = run_campaign(spec, workers=1, results_path=path, resume=True)
+        resumed = run_campaign(spec, workers=1, results=path, resume=True)
         assert resumed.executed == 0
         assert resumed.skipped == spec.cell_count()
         assert deterministic_part(resumed.records) == deterministic_part(first.records)
@@ -413,11 +413,11 @@ class TestResume:
     def test_partial_campaign_resumes_remaining_cells(self, tmp_path):
         spec = tiny_spec()
         path = tmp_path / "results.jsonl"
-        full = run_campaign(spec, workers=1, results_path=path)
+        full = run_campaign(spec, workers=1, results=path)
         # Keep only the first three records, as if the run had been killed.
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:3]) + "\n")
-        resumed = run_campaign(spec, workers=1, results_path=path, resume=True)
+        resumed = run_campaign(spec, workers=1, results=path, resume=True)
         assert resumed.skipped == 3
         assert resumed.executed == spec.cell_count() - 3
         assert deterministic_part(resumed.records) == deterministic_part(full.records)
@@ -426,11 +426,11 @@ class TestResume:
         """A record lost to a torn write is re-executed, not silently missing."""
         spec = tiny_spec()
         path = tmp_path / "results.jsonl"
-        full = run_campaign(spec, workers=1, results_path=path)
+        full = run_campaign(spec, workers=1, results=path)
         lines = path.read_text().splitlines()
         torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
         path.write_text(torn)
-        resumed = run_campaign(spec, workers=1, results_path=path, resume=True)
+        resumed = run_campaign(spec, workers=1, results=path, resume=True)
         assert resumed.skipped == spec.cell_count() - 1
         assert resumed.executed == 1
         assert resumed.fault_counters["faults/torn_records_skipped"] == 1
@@ -442,9 +442,9 @@ class TestResume:
 
     def test_spec_change_invalidates_previous_records(self, tmp_path):
         path = tmp_path / "results.jsonl"
-        run_campaign(tiny_spec(), workers=1, results_path=path)
+        run_campaign(tiny_spec(), workers=1, results=path)
         changed = tiny_spec(seed=99)
-        resumed = run_campaign(changed, workers=1, results_path=path, resume=True)
+        resumed = run_campaign(changed, workers=1, results=path, resume=True)
         assert resumed.skipped == 0
         assert resumed.executed == changed.cell_count()
 
@@ -458,12 +458,12 @@ class TestResume:
         spec = tiny_spec()
         path = tmp_path / "results.jsonl"
         first = run_campaign(
-            spec, workers=1, cache_dir=tmp_path / "cache", results_path=path
+            spec, workers=1, cache_dir=tmp_path / "cache", results=path
         )
         assert first.cache_stats()["misses"] > 0
         assert first.offline_seconds() > 0
         resumed = run_campaign(
-            spec, workers=1, cache_dir=tmp_path / "cache", results_path=path, resume=True
+            spec, workers=1, cache_dir=tmp_path / "cache", results=path, resume=True
         )
         assert resumed.executed == 0
         assert resumed.cache_stats() == {"hits": 0, "misses": 0}

@@ -1,0 +1,26 @@
+"""Shared fixtures for the results-store suite."""
+
+import pytest
+
+from repro.runner.spec import CampaignSpec, ScenarioSpec
+
+
+def pair_spec(**overrides):
+    """Four cheap cells (no embedding stage): two topologies x two schemes."""
+    defaults = dict(
+        topologies=("fig1-example", "abilene"),
+        schemes=("reconvergence", "fcp"),
+        scenarios=(ScenarioSpec("single-link"),),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def deterministic_part(records):
+    """Records without the timing/pid metadata (the comparable part)."""
+    return [{k: v for k, v in r.items() if k != "meta"} for r in records]
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "campaign.sqlite"

@@ -1,0 +1,81 @@
+"""CampaignHandle: the redesigned run_campaign return surface + shims."""
+
+import pytest
+
+from repro.runner.executor import (
+    CampaignHandle,
+    CampaignResult,
+    run_campaign,
+)
+from repro.store.database import CampaignStore
+
+from tests.store.conftest import pair_spec
+
+
+class TestHandleSurface:
+    def test_handle_is_the_result_type(self):
+        """Alias, not subclass: existing isinstance checks keep working."""
+        assert CampaignHandle is CampaignResult
+
+    def test_memory_backend(self):
+        handle = run_campaign(pair_spec(), workers=1)
+        assert handle.store is None
+        summary = handle.summary()
+        assert summary["backend"] == "memory"
+        assert summary["results"] is None
+
+    def test_jsonl_backend(self, tmp_path):
+        handle = run_campaign(pair_spec(), workers=1, results=tmp_path / "c.jsonl")
+        assert handle.store is None
+        assert handle.summary()["backend"] == "jsonl"
+
+    def test_sqlite_backend_exposes_the_store(self, tmp_path):
+        handle = run_campaign(pair_spec(), workers=1, results=tmp_path / "c.sqlite")
+        assert isinstance(handle.store, CampaignStore)
+        summary = handle.summary()
+        assert summary["backend"] == "sqlite"
+        assert summary["campaign_id"] == handle.spec.spec_hash()
+        assert summary["records"] == 4
+        assert sorted(summary["topologies"]) == ["abilene", "fig1-example"]
+        assert summary["schemes"] == ["fcp", "reconvergence"]
+
+    def test_query_filters_in_memory_on_any_backend(self, tmp_path):
+        memory = run_campaign(pair_spec(), workers=1)
+        jsonl = run_campaign(pair_spec(), workers=1, results=tmp_path / "c.jsonl")
+        for handle in (memory, jsonl):
+            assert len(handle.query("scheme=fcp")) == 2
+            assert len(handle.query("topology=abilene scheme=reconvergence")) == 1
+            assert handle.query("topology~zoo") == []
+            assert len(handle.query(limit=3)) == 3
+
+    def test_query_routes_campaign_selectors_through_the_store(self, tmp_path):
+        store_path = tmp_path / "c.sqlite"
+        run_campaign(pair_spec(schemes=("reconvergence",)), workers=1,
+                     results=store_path)
+        handle = run_campaign(pair_spec(), workers=1, results=store_path)
+        # in-memory: only this campaign's records
+        assert len(handle.query("scheme=reconvergence")) == 2
+        # cross-campaign: both campaigns in the shared store
+        assert len(handle.query("scheme=reconvergence campaign:all")) == 4
+
+    def test_telemetry_view(self, tmp_path):
+        handle = run_campaign(pair_spec(), workers=1, results=tmp_path / "c.sqlite")
+        manifest = handle.telemetry()
+        assert manifest["campaign"]["spec_hash"] == handle.campaign_id
+        assert manifest["campaign"]["cells"] == 4
+
+
+class TestResultsPathShim:
+    def test_results_path_warns_and_maps(self, tmp_path):
+        results = tmp_path / "c.jsonl"
+        with pytest.warns(DeprecationWarning, match="results="):
+            handle = run_campaign(pair_spec(), workers=1, results_path=results)
+        assert results.exists()
+        assert handle.results_path == results
+
+    def test_results_wins_silently(self, tmp_path):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_campaign(pair_spec(), workers=1, results=tmp_path / "c.jsonl")

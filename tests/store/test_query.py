@@ -1,0 +1,152 @@
+"""Filter grammar: parsing, in-memory matching, and SQL parity."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner.executor import run_campaign
+from repro.store.database import CampaignStore
+from repro.store.query import campaign_ids_for, parse_filter
+
+from tests.store.conftest import pair_spec
+
+
+def record(**overrides):
+    base = {
+        "cell_id": "deadbeef0123",
+        "topology": "abilene",
+        "scheme": "pr",
+        "discriminator": "hop-count",
+        "scenario": {"kind": "single-link"},
+        "seed": 7,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestParse:
+    def test_equality_inequality_substring(self):
+        filt = parse_filter("scheme=pr topology!=geant topology~zoo")
+        ops = [(c.field, c.op) for c in filt.clauses]
+        assert ops == [("scheme", "="), ("topology", "!="), ("topology", "~")]
+
+    def test_list_and_none_inputs(self):
+        assert parse_filter(["scheme=pr", "seed=3"]).describe() == parse_filter(
+            "scheme=pr seed=3"
+        ).describe()
+        empty = parse_filter(None)
+        assert empty.clauses == ()
+        assert empty.matches(record())
+
+    def test_campaign_selectors(self):
+        assert parse_filter("campaign:all").campaign == ("all",)
+        assert parse_filter("campaign:last10").campaign == ("last", 10)
+        assert parse_filter("campaign:abc123").campaign == ("id", "abc123")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ExperimentError, match="field"):
+            parse_filter("flavor=mint")
+
+    def test_campaign_equals_gets_a_hint(self):
+        with pytest.raises(ExperimentError, match="campaign:"):
+            parse_filter("campaign=abc")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ExperimentError, match="seed"):
+            parse_filter("seed=lucky")
+
+    def test_bare_word_rejected(self):
+        with pytest.raises(ExperimentError):
+            parse_filter("abilene")
+
+    def test_last_zero_rejected(self):
+        with pytest.raises(ExperimentError, match="N >= 1"):
+            parse_filter("campaign:last0")
+
+
+class TestMatches:
+    def test_equality_and_inequality(self):
+        filt = parse_filter("scheme=pr")
+        assert filt.matches(record())
+        assert not filt.matches(record(scheme="fcp"))
+        assert parse_filter("scheme!=fcp").matches(record())
+
+    def test_substring_is_case_insensitive(self):
+        assert parse_filter("topology~BIL").matches(record())
+        assert not parse_filter("topology~zoo").matches(record())
+
+    def test_seed_compares_as_int(self):
+        assert parse_filter("seed=7").matches(record())
+        assert not parse_filter("seed=8").matches(record())
+
+    def test_family_falls_back_to_scenario_kind(self):
+        assert parse_filter("family=single-link").matches(record())
+        srlg = record(scenario={"model": "srlg", "kind": "scenario-model"})
+        assert parse_filter("family=srlg").matches(srlg)
+
+    def test_cell_prefix_match_via_substring(self):
+        assert parse_filter("cell~deadbeef").matches(record())
+
+    def test_conjunction(self):
+        filt = parse_filter("scheme=pr topology=abilene")
+        assert filt.matches(record())
+        assert not filt.matches(record(topology="geant"))
+
+
+class TestSqlParity:
+    """store.query must return exactly what the in-memory filter selects."""
+
+    EXPRESSIONS = [
+        "",
+        "scheme=fcp",
+        "scheme!=fcp",
+        "topology~bil",
+        "topology=fig1-example scheme=reconvergence",
+        "family=single-link",
+        "cell~a",
+    ]
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("query") / "c.sqlite"
+        run_campaign(pair_spec(), workers=1, results=path)
+        with CampaignStore(path) as store:
+            yield store
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_sql_matches_python(self, store, expression):
+        filt = parse_filter(expression)
+        [campaign] = [row["campaign_id"] for row in store.campaigns()]
+        in_memory = filt.filter_records(store.load_records(campaign))
+        via_sql = store.query(filt)
+        assert via_sql == in_memory
+
+    def test_limit(self, store):
+        assert len(store.query("", limit=2)) == 2
+
+    def test_like_wildcards_are_literal(self, store):
+        """``~`` is a substring test, not a LIKE pattern: % and _ are literal."""
+        assert store.query("topology~%") == []
+        assert store.query("topology~_") == []
+
+
+class TestCampaignSelection:
+    CAMPAIGNS = [
+        {"campaign_id": "aaa111"},
+        {"campaign_id": "bbb222"},
+        {"campaign_id": "ccc333"},
+    ]
+
+    def test_all_selects_everything(self):
+        assert campaign_ids_for(("all",), self.CAMPAIGNS) is None
+
+    def test_last_n_takes_the_most_recent(self):
+        assert campaign_ids_for(("last", 2), self.CAMPAIGNS) == ["bbb222", "ccc333"]
+        assert campaign_ids_for(("last", 99), self.CAMPAIGNS) == [
+            "aaa111",
+            "bbb222",
+            "ccc333",
+        ]
+
+    def test_prefix_selects_matches(self):
+        assert campaign_ids_for(("id", "bbb"), self.CAMPAIGNS) == ["bbb222"]
+        assert campaign_ids_for(("id", "zzz"), self.CAMPAIGNS) == []

@@ -1,0 +1,80 @@
+"""resolve_results: the one results-argument resolver the CLI shares."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner.executor import run_campaign
+from repro.store.resolve import classify_results_path, resolve_results
+from repro.telemetry import merge as telemetry
+
+from tests.store.conftest import pair_spec
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name,kind", [
+        ("c.sqlite", "store"),
+        ("c.sqlite3", "store"),
+        ("c.db", "store"),
+        ("c.jsonl", "jsonl"),
+        ("c.telemetry.json", "manifest"),
+        ("manifest.json", "manifest"),
+        ("results.out", "jsonl"),
+    ])
+    def test_suffix_classification(self, name, kind):
+        assert classify_results_path(name) == kind
+
+    def test_missing_file_errors_by_default(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no such"):
+            resolve_results(tmp_path / "absent.jsonl")
+        resolved = resolve_results(tmp_path / "absent.jsonl", must_exist=False)
+        assert resolved.kind == "jsonl"
+
+
+class TestResolvedViews:
+    def test_jsonl_records_and_manifest(self, tmp_path):
+        results = tmp_path / "c.jsonl"
+        run_campaign(pair_spec(), workers=1, results=results)
+        with resolve_results(results) as resolved:
+            assert resolved.kind == "jsonl"
+            assert len(resolved.records()) == 4
+            assert len(resolved.records("scheme=fcp")) == 2
+            assert resolved.manifest()["campaign"]["cells"] == 4
+            [row] = resolved.campaigns()
+            assert row["records"] == 4
+
+    def test_jsonl_manifest_rebuilt_without_sidecar(self, tmp_path):
+        results = tmp_path / "c.jsonl"
+        run_campaign(pair_spec(), workers=1, results=results)
+        telemetry.manifest_path_for(results).unlink()
+        with resolve_results(results) as resolved:
+            # rebuilt from records: no campaign identity, but full counters
+            manifest = resolved.manifest()
+            assert manifest["records"]["total"] == 4
+            assert manifest["counters"]["cells/executed"] == 4
+
+    def test_store_records_and_manifest(self, tmp_path):
+        store_path = tmp_path / "c.sqlite"
+        result = run_campaign(pair_spec(), workers=1, results=store_path)
+        with resolve_results(store_path) as resolved:
+            assert resolved.kind == "store"
+            assert len(resolved.records("campaign:last1")) == 4
+            assert resolved.manifest()["campaign"]["spec_hash"] == result.campaign_id
+            [row] = resolved.campaigns()
+            assert row["campaign_id"] == result.campaign_id
+
+    def test_manifest_file_directly(self, tmp_path):
+        results = tmp_path / "c.jsonl"
+        run_campaign(pair_spec(), workers=1, results=results)
+        sidecar = telemetry.manifest_path_for(results)
+        with resolve_results(sidecar) as resolved:
+            assert resolved.kind == "manifest"
+            assert resolved.manifest()["campaign"]["cells"] == 4
+            with pytest.raises(ExperimentError):
+                resolved.records()
+
+    def test_jsonl_store_property_refused(self, tmp_path):
+        results = tmp_path / "c.jsonl"
+        run_campaign(pair_spec(), workers=1, results=results)
+        with resolve_results(results) as resolved:
+            with pytest.raises(ExperimentError, match="not a SQLite"):
+                resolved.store

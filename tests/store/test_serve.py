@@ -1,0 +1,144 @@
+"""Resident serve loop: session ops, error containment, socket transport."""
+
+import threading
+
+import pytest
+
+from repro.runner.executor import run_campaign
+from repro.store.serve import ServeSession, request, serve_forever
+
+from tests.store.conftest import pair_spec
+
+
+@pytest.fixture
+def session():
+    session = ServeSession()
+    yield session
+    session.close()
+
+
+class TestSessionOps:
+    def test_ping_echoes_payload(self, session):
+        response = session.handle({"op": "ping", "payload": 42})
+        assert response == {"pong": True, "payload": 42, "ok": True}
+
+    def test_unknown_op_lists_the_known_ones(self, session):
+        response = session.handle({"op": "frobnicate"})
+        assert response["ok"] is False
+        assert "ping" in response["ops"]
+        assert "query" in response["ops"]
+
+    def test_warm_builds_engine_and_schemes(self, session):
+        response = session.handle(
+            {"op": "warm", "topology": "abilene", "schemes": ["reconvergence"]}
+        )
+        assert response["ok"] is True
+        assert response["nodes"] > 0
+        assert response["schemes_warm"] == 1
+
+    def test_deliver_reports_stretch(self, session):
+        baseline = session.handle({
+            "op": "deliver",
+            "topology": "fig1-example",
+            "scheme": "reconvergence",
+            "source": "A",
+            "destination": "F",
+        })
+        assert baseline["ok"] is True
+        assert baseline["delivered"] is True
+        assert baseline["stretch"] == pytest.approx(1.0)
+
+    def test_deliver_resolves_endpoint_pairs_to_edge_ids(self, session):
+        response = session.handle({
+            "op": "deliver",
+            "topology": "fig1-example",
+            "scheme": "reconvergence",
+            "source": "A",
+            "destination": "F",
+            "failed": [["E", "F"]],
+        })
+        assert response["ok"] is True
+        assert response["failed_links"], "the E-F link must resolve to an edge id"
+        assert response["stretch"] >= 1.0
+
+    def test_errors_come_back_as_responses(self, session):
+        response = session.handle({
+            "op": "deliver",
+            "topology": "fig1-example",
+            "scheme": "reconvergence",
+            "source": "a",
+            "destination": "no-such-node",
+        })
+        assert response["ok"] is False
+        assert response["error"]
+        # the session survives: the next request still works
+        assert session.handle({"op": "ping"})["ok"] is True
+
+    def test_query_against_a_store(self, session, tmp_path):
+        store_path = tmp_path / "c.sqlite"
+        run_campaign(pair_spec(), workers=1, results=store_path)
+        response = session.handle({
+            "op": "query",
+            "results": str(store_path),
+            "filter": "scheme=fcp campaign:last1",
+        })
+        assert response["ok"] is True
+        assert response["records"] == 2
+        with_rows = session.handle({
+            "op": "query",
+            "results": str(store_path),
+            "aggregate": "summary",
+            "include_records": True,
+        })
+        assert len(with_rows["matched"]) == 4
+        assert with_rows["summary_rows"]
+
+    def test_query_refuses_jsonl(self, session, tmp_path):
+        results = tmp_path / "c.jsonl"
+        run_campaign(pair_spec(), workers=1, results=results)
+        response = session.handle({"op": "query", "results": str(results)})
+        assert response["ok"] is False
+        assert "migrate" in response["error"]
+
+    def test_campaigns_listing(self, session, tmp_path):
+        store_path = tmp_path / "c.sqlite"
+        result = run_campaign(pair_spec(), workers=1, results=store_path)
+        response = session.handle({"op": "campaigns", "results": str(store_path)})
+        [row] = response["campaigns"]
+        assert row["campaign_id"] == result.campaign_id
+
+    def test_stats_reports_warm_state(self, session, tmp_path):
+        store_path = tmp_path / "c.sqlite"
+        run_campaign(pair_spec(), workers=1, results=store_path)
+        session.handle({"op": "warm", "topology": "abilene",
+                        "schemes": ["reconvergence"]})
+        session.handle({"op": "query", "results": str(store_path)})
+        stats = session.handle({"op": "stats"})
+        assert stats["requests_served"] == 2
+        assert any("abilene" in key for key in stats["warm_schemes"])
+        assert str(store_path) in stats["open_stores"]
+
+
+class TestSocketTransport:
+    def test_request_response_over_unix_socket(self, tmp_path):
+        socket_path = tmp_path / "serve.sock"
+        ready = threading.Event()
+        served = {}
+
+        def run():
+            served["count"] = serve_forever(socket_path, ready=ready)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+
+        assert request(socket_path, {"op": "ping"})["pong"] is True
+        bad = request(socket_path, {"op": "nope"})
+        assert bad["ok"] is False
+        shutdown = request(socket_path, {"op": "shutdown"})
+        assert shutdown["shutdown"] is True
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        # the unknown op is not counted as served — ping + shutdown only
+        assert served["count"] == 2
+        assert not socket_path.exists(), "socket must be unlinked on exit"

@@ -42,7 +42,7 @@ def run_fresh(tmp_path, name, workers, **kwargs):
         small_spec(),
         workers=workers,
         cache_dir=tmp_path / f"cache-{name}",
-        results_path=tmp_path / f"{name}.jsonl",
+        results=tmp_path / f"{name}.jsonl",
         **kwargs,
     )
 
@@ -103,7 +103,7 @@ class TestDeterminism:
             small_spec(),
             workers=1,
             cache_dir=tmp_path / "cache-resumed",
-            results_path=resumed_path,
+            results=resumed_path,
             resume=True,
         )
         assert resumed.skipped == len(kept)

@@ -308,6 +308,99 @@ class TestReportCommand:
         assert manifest["records"]["with_telemetry"] == 0
 
 
+class TestStoreCommands:
+    def _swept(self, tmp_path, name="run.sqlite"):
+        results = tmp_path / name
+        assert main([
+            "sweep", "--topologies", "fig1-example",
+            "--schemes", "reconvergence", "fcp",
+            "--quiet", "--cache-dir", str(tmp_path / "cache"),
+            "--results", str(results),
+        ]) == 0
+        return results
+
+    def test_sweep_into_store_prints_query_hint(self, capsys, tmp_path):
+        store = self._swept(tmp_path)
+        output = capsys.readouterr().out
+        assert "results store:" in output
+        assert "repro query" in output
+        assert store.exists()
+
+    def test_query_summary_table(self, capsys, tmp_path):
+        store = self._swept(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(store), "scheme=reconvergence"]) == 0
+        output = capsys.readouterr().out
+        assert "1 record" in output
+        assert "fig1-example" in output
+
+    def test_query_json_lines(self, capsys, tmp_path):
+        import json
+
+        store = self._swept(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(store), "--json", "--limit", "1"]) == 0
+        [line] = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(line)["topology"] == "fig1-example"
+
+    def test_query_campaigns_listing(self, capsys, tmp_path):
+        store = self._swept(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(store), "--campaigns"]) == 0
+        assert "campaign" in capsys.readouterr().out
+
+    def test_query_no_match_exits_nonzero(self, capsys, tmp_path):
+        store = self._swept(tmp_path)
+        assert main(["query", str(store), "topology~zoo"]) == 1
+
+    def test_query_bad_clause_exits_with_message(self, tmp_path):
+        store = self._swept(tmp_path)
+        with pytest.raises(SystemExit, match="field"):
+            main(["query", str(store), "flavor=mint"])
+
+    def test_query_works_on_jsonl_too(self, capsys, tmp_path):
+        results = self._swept(tmp_path, name="run.jsonl")
+        capsys.readouterr()
+        assert main(["query", str(results), "scheme=fcp"]) == 0
+        assert "1 record" in capsys.readouterr().out
+
+    def test_migrate_round_trip_and_report(self, capsys, tmp_path):
+        import filecmp
+
+        results = self._swept(tmp_path, name="run.jsonl")
+        store = tmp_path / "run.sqlite"
+        assert main(["migrate", str(results), str(store)]) == 0
+        back = tmp_path / "back.jsonl"
+        assert main(["migrate", str(store), str(back)]) == 0
+        assert filecmp.cmp(results, back, shallow=False)
+        capsys.readouterr()
+        assert main(["report", str(store), "--validate"]) == 0
+        assert "manifest valid" in capsys.readouterr().out
+
+    def test_serve_answers_over_socket_until_shutdown(self, tmp_path):
+        import threading
+
+        from repro.store.serve import request
+
+        socket_path = tmp_path / "serve.sock"
+        codes = {}
+
+        def run():
+            codes["exit"] = main(["serve", "--socket", str(socket_path),
+                                  "--cache-dir", str(tmp_path / "cache")])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if socket_path.exists():
+                break
+            thread.join(timeout=0.05)
+        assert request(socket_path, {"op": "ping"})["pong"] is True
+        request(socket_path, {"op": "shutdown"})
+        thread.join(timeout=10)
+        assert codes["exit"] == 0
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
