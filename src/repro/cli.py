@@ -500,9 +500,14 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.store.serve import ServeSession, serve_forever
+    from repro.store.serve import ServeSession, jobs_path_for, serve_forever
 
-    session = ServeSession(cache_dir=args.cache_dir)
+    jobs_path = None if args.no_jobs else (args.jobs or jobs_path_for(args.socket))
+    session = ServeSession(
+        cache_dir=args.cache_dir,
+        jobs_path=jobs_path,
+        max_queued_jobs=args.max_jobs,
+    )
     for topology in args.warm or []:
         response = session.handle(
             {"op": "warm", "topology": topology, "schemes": args.schemes}
@@ -512,10 +517,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"warm: {response['topology']} "
               f"({response['nodes']} routers, {response['edges']} links, "
               f"{response['schemes_warm']} schemes)")
+    recovered = session.recover_jobs()
+    if recovered:
+        print(f"recovered {len(recovered)} interrupted job(s): "
+              + ", ".join(recovered))
+    if jobs_path is not None:
+        print(f"job journal: {jobs_path}")
     print(f"serving on {args.socket} "
           f"(line-delimited JSON requests; op=shutdown or ctrl-c stops)")
     try:
-        served = serve_forever(args.socket, session)
+        served = serve_forever(
+            args.socket,
+            session,
+            max_inflight=args.max_inflight,
+            deadline_s=args.deadline if args.deadline > 0 else None,
+        )
     except KeyboardInterrupt:
         served = session.requests_served
         session.close()
@@ -992,6 +1008,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--schemes", nargs="+", default=["pr"],
                        choices=available_schemes(), metavar="SCHEME",
                        help="schemes to pre-build for each --warm topology")
+    serve.add_argument("--jobs", metavar="PATH",
+                       help="job-journal SQLite path for async submit "
+                            "(default: derived from --socket, e.g. "
+                            ".repro-serve.jobs.sqlite)")
+    serve.add_argument("--no-jobs", action="store_true",
+                       help="disable the job journal; submit runs "
+                            "synchronously in the request thread")
+    serve.add_argument("--max-jobs", type=int, default=64, metavar="N",
+                       help="queued+running jobs before submit sheds "
+                            "with Overloaded (default 64)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrent requests before load-shedding "
+                            "with Overloaded (default 8)")
+    serve.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                       help="per-request deadline in seconds; 0 disables "
+                            "(default 30)")
     serve.set_defaults(handler=_cmd_serve)
 
     return parser

@@ -114,5 +114,13 @@ class WorkerCrashError(ExperimentError):
     """A worker process died (SIGKILL, OOM, segfault) while running a cell."""
 
 
+class JobError(ExperimentError):
+    """A ``repro serve`` job queue operation was invalid or inconsistent."""
+
+
+class JobCancelled(JobError):
+    """A running job observed its cancel request and aborted between cells."""
+
+
 class InjectedFault(ReproError):
     """An error deliberately raised by the fault-injection harness."""

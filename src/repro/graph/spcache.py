@@ -23,6 +23,7 @@ across randomized topologies.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -506,6 +507,14 @@ class ShortestPathEngine:
 # ----------------------------------------------------------------------
 _ENGINES: "OrderedDict[Tuple, ShortestPathEngine]" = OrderedDict()
 
+#: Guards registry *membership* (insert / evict / clear): the resident
+#: ``repro serve`` daemon resolves engines from request threads while its
+#: job worker runs campaigns in the same process, and an unguarded
+#: ``move_to_end`` racing a ``popitem`` eviction is a KeyError.  Engine
+#: internals stay lock-free — per-engine memo races are contained by the
+#: daemon's per-request error handling.
+_REGISTRY_LOCK = threading.RLock()
+
 
 def engine_for(graph: Graph) -> ShortestPathEngine:
     """The shared engine of ``graph``'s *content* in this process.
@@ -516,15 +525,24 @@ def engine_for(graph: Graph) -> ShortestPathEngine:
     fresh engine on its next call, because its signature changed.
     """
     key = graph_signature(graph)
-    engine = _ENGINES.get(key)
-    if engine is not None:
-        _ENGINES.move_to_end(key)
-        return engine
+    with _REGISTRY_LOCK:
+        engine = _ENGINES.get(key)
+        if engine is not None:
+            _ENGINES.move_to_end(key)
+            return engine
+    # Built outside the lock: engine construction is the expensive part,
+    # and two threads racing to build the same engine just means the loser
+    # registers last (identical content, so either object is correct).
     engine = ShortestPathEngine(graph)
-    _ENGINES[key] = engine
-    _ENGINES.move_to_end(key)
-    while len(_ENGINES) > _MAX_ENGINES:
-        _ENGINES.popitem(last=False)
+    with _REGISTRY_LOCK:
+        existing = _ENGINES.get(key)
+        if existing is not None:
+            _ENGINES.move_to_end(key)
+            return existing
+        _ENGINES[key] = engine
+        _ENGINES.move_to_end(key)
+        while len(_ENGINES) > _MAX_ENGINES:
+            _ENGINES.popitem(last=False)
     return engine
 
 
@@ -585,12 +603,13 @@ def clear_engines(keep: Optional[Iterable[Tuple]] = None) -> None:
     workers inherit the parent's registry) while retaining the warm engines
     of the topologies the current campaign actually sweeps.
     """
-    if keep is None:
-        _ENGINES.clear()
-        return
-    keep_keys = set(keep)
-    for key in [key for key in _ENGINES if key not in keep_keys]:
-        del _ENGINES[key]
+    with _REGISTRY_LOCK:
+        if keep is None:
+            _ENGINES.clear()
+            return
+        keep_keys = set(keep)
+        for key in [key for key in _ENGINES if key not in keep_keys]:
+            del _ENGINES[key]
 
 
 def _all_engines() -> List[ShortestPathEngine]:
@@ -603,7 +622,9 @@ def _all_engines() -> List[ShortestPathEngine]:
     recency and therefore cannot change eviction behaviour.
     """
     engines: List[ShortestPathEngine] = []
-    for engine in _ENGINES.values():
+    with _REGISTRY_LOCK:
+        registered = list(_ENGINES.values())
+    for engine in registered:
         engines.append(engine)
         hop = dict.get(engine.consumer_cache, ("hop-engine",))
         if hop is not None:

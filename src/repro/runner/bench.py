@@ -22,7 +22,10 @@ wall-clock timings as a JSON artifact (``BENCH_*.json``):
 * **warm query** — the resident ``repro serve`` hot path: an in-process
   :class:`~repro.store.serve.ServeSession` answering the same filter query
   against a warm SQLite campaign store, reported as ``query_warm_qps``
-  under the higher-is-better ``throughput`` section.
+  under the higher-is-better ``throughput`` section — plus
+  ``query_warm_qps_under_load``, the same query answered while the
+  session's job worker executes a submitted campaign in the background
+  (the daemon's no-head-of-line-blocking guarantee, as a number).
 
 The CI benchmark-regression step runs ``repro bench --quick --check
 benchmarks/bench_baseline.json``: the run fails when any timing regresses
@@ -196,6 +199,42 @@ def run_bench(
             session.close()
         query_warm_qps = query_rounds / query_elapsed if query_elapsed else 0.0
 
+        # Under-load throughput: the same warm query while the daemon's
+        # job worker executes a submitted campaign in the background.
+        # The rate necessarily drops (one GIL, two workloads) — the floor
+        # gate asserts the service keeps *answering* during a job instead
+        # of blocking behind it (head-of-line protection).
+        session = ServeSession(
+            cache_dir=cache_dir, jobs_path=Path(tmp) / "jobs.sqlite"
+        )
+        try:
+            warmup = session.handle(dict(query_request))
+            assert warmup.get("ok"), warmup
+            submitted = session.handle({
+                "op": "submit",
+                "spec": spec.to_dict(),
+                "results": str(Path(tmp) / "load.sqlite"),
+                "workers": 1,
+            })
+            assert submitted.get("ok"), submitted
+            load_rounds = 0
+            started = time.perf_counter()
+            while True:
+                response = session.handle(dict(query_request))
+                assert response.get("ok"), response
+                load_rounds += 1
+                job = session.handle(
+                    {"op": "job", "job_id": submitted["job_id"]}
+                )
+                if job["job"]["state"] not in ("queued", "running"):
+                    break
+            load_elapsed = time.perf_counter() - started
+        finally:
+            session.close()
+        query_warm_qps_under_load = (
+            load_rounds / load_elapsed if load_elapsed else 0.0
+        )
+
     # Incremental-repair workload: serial, in-process, so the engine cache
     # counters below describe this process's work.  Runs after the sweep
     # block — growing the parent heap before the parallel leg forks would
@@ -215,7 +254,10 @@ def run_bench(
         "timings": {name: round(value, 4) for name, value in timings.items()},
         # Higher-is-better rates live apart from "timings" so the
         # lower-is-better regression check never sees them.
-        "throughput": {"query_warm_qps": round(query_warm_qps, 1)},
+        "throughput": {
+            "query_warm_qps": round(query_warm_qps, 1),
+            "query_warm_qps_under_load": round(query_warm_qps_under_load, 1),
+        },
         "meta": {
             "quick": quick,
             "workers": workers,
@@ -228,6 +270,7 @@ def run_bench(
             "offline_cold_s": round(offline_cold, 4),
             "resumed_skipped": resumed_skipped,
             "query_rounds": query_rounds,
+            "load_rounds": load_rounds,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),

@@ -18,7 +18,15 @@ Sites (where :func:`checkpoint` is called from):
 * ``store-append``  — before :meth:`ResultStore.append` writes a record
   (key: the record's cell id);
 * ``cache-read``    — before :meth:`ArtifactCache.load_embedding` reads an
-  artifact (key: the artifact's content-addressed key).
+  artifact (key: the artifact's content-addressed key);
+* ``serve-request`` — before a ``repro serve`` request dispatches to its
+  op handler (key: the op name);
+* ``job-journal``   — before a ``submit`` request journals its job row
+  (key: the campaign id);
+* ``job-dispatch``  — in the daemon's job worker, after a job is claimed
+  and marked ``running`` but before any cell executes (key: the job id,
+  attempt: the job's prior attempt count — ``max_attempt=1`` makes a crash
+  here fire once and let the restarted daemon recover cleanly).
 
 Kinds:
 
@@ -59,8 +67,16 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import ExperimentError, InjectedFault
 
-#: Injection sites compiled into the campaign runner.
-SITES: Tuple[str, ...] = ("cell-body", "chunk-envelope", "store-append", "cache-read")
+#: Injection sites compiled into the campaign runner and the serve daemon.
+SITES: Tuple[str, ...] = (
+    "cell-body",
+    "chunk-envelope",
+    "store-append",
+    "cache-read",
+    "serve-request",
+    "job-journal",
+    "job-dispatch",
+)
 
 #: Fault kinds the harness can act out.
 KINDS: Tuple[str, ...] = ("exception", "crash", "hang", "partial-write")

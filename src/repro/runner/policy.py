@@ -63,6 +63,44 @@ class ExecutionPolicy:
     def quarantines(self) -> bool:
         return self.on_error == "quarantine"
 
+    def to_dict(self) -> dict:
+        """The policy as a JSON-shaped dictionary (the job-journal form)."""
+        return {
+            "max_retries": self.max_retries,
+            "cell_timeout": self.cell_timeout,
+            "on_error": self.on_error,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "max_pool_rebuilds": self.max_pool_rebuilds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> "ExecutionPolicy":
+        """A policy from its dictionary form (missing keys keep defaults).
+
+        This is how a ``repro serve`` ``submit`` request carries its
+        fault-tolerance knobs into the journal and back out to the worker
+        that eventually executes the job.  Unknown keys fail loudly —
+        a typo in a policy field must not silently run with defaults.
+        """
+        if not payload:
+            return cls()
+        known = {
+            "max_retries",
+            "cell_timeout",
+            "on_error",
+            "backoff_base_s",
+            "backoff_cap_s",
+            "max_pool_rebuilds",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown execution-policy fields {unknown!r};"
+                f" expected a subset of {sorted(known)}"
+            )
+        return cls(**payload)
+
     def backoff_seconds(self, cell_id: str, attempt: int) -> float:
         """Delay before retry ``attempt`` (1-based) of a cell.
 

@@ -6,7 +6,9 @@ keeps its identity row (``campaigns``), the grid coordinates of every
 finished cell (``cells`` — canonical cell-id, topology, scheme,
 scenario-family and seed, all indexed), the full result record as canonical
 JSON (``records``), the merged telemetry manifest (``telemetry``) and any
-quarantined-cell entries (``quarantine``).
+quarantined-cell entries (``quarantine``).  The same schema also carries the
+``repro serve`` job journal (``jobs`` — see :mod:`repro.store.jobs`), so a
+daemon's journal file is an ordinary store a ``repro query`` can open.
 
 Records are stored as ``json.dumps(record, sort_keys=True)`` — the same
 canonical serialisation the checksummed JSONL format uses — so a record

@@ -5,8 +5,10 @@ file: campaign identity (``campaigns``), the grid coordinates of every cell
 (``cells``, with the canonical cell-id, topology, scheme, scenario-family
 and seed columns indexed for cross-campaign queries), the full result
 records (``records``, canonical JSON — the byte-stable payloads the JSONL
-store used to hold), the merged telemetry manifest (``telemetry``) and the
-quarantine sidecar entries (``quarantine``).
+store used to hold), the merged telemetry manifest (``telemetry``), the
+quarantine sidecar entries (``quarantine``) and the ``repro serve`` job
+journal (``jobs`` — one row per submitted campaign job, the crash-safe
+queue the daemon recovers on restart; see :mod:`repro.store.jobs`).
 
 Migrations are append-only: :data:`MIGRATIONS` is an ordered list of SQL
 scripts, and the applied prefix is recorded in ``schema_migrations``.
@@ -26,7 +28,7 @@ from typing import Union
 from repro.errors import ResultStoreError
 
 #: Current schema version == ``len(MIGRATIONS)``.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Ordered migration scripts; index ``i`` brings a store at version ``i`` to
 #: version ``i + 1``.  Never edit an entry in place — append a new one.
@@ -82,6 +84,39 @@ MIGRATIONS = (
         PRIMARY KEY (campaign_id, cell_id)
     );
     """,
+    # v2: the ``repro serve`` job journal.  A submitted campaign becomes a
+    # row here *before* anything executes; state transitions (queued ->
+    # running -> done/failed/cancelled) are single UPDATE statements, so a
+    # SIGKILL at any instant leaves a row whose state tells the restarted
+    # daemon exactly what to recover (``running`` + dead pid -> re-queued
+    # with resume forced).
+    """
+    CREATE TABLE jobs (
+        seq              INTEGER PRIMARY KEY AUTOINCREMENT,
+        job_id           TEXT NOT NULL UNIQUE,
+        campaign_id      TEXT NOT NULL,
+        spec_json        TEXT NOT NULL,
+        results          TEXT,
+        workers          INTEGER NOT NULL DEFAULT 1,
+        resume           INTEGER NOT NULL DEFAULT 0,
+        policy_json      TEXT,
+        state            TEXT NOT NULL DEFAULT 'queued',
+        attempts         INTEGER NOT NULL DEFAULT 0,
+        cancel_requested INTEGER NOT NULL DEFAULT 0,
+        worker_pid       INTEGER,
+        submitted_s      REAL,
+        heartbeat_s      REAL,
+        progress_done    INTEGER NOT NULL DEFAULT 0,
+        progress_total   INTEGER NOT NULL DEFAULT 0,
+        phase            TEXT,
+        last_error       TEXT,
+        executed         INTEGER,
+        skipped          INTEGER,
+        elapsed_s        REAL
+    );
+    CREATE INDEX idx_jobs_state ON jobs (state);
+    CREATE INDEX idx_jobs_campaign ON jobs (campaign_id);
+    """,
 )
 
 assert len(MIGRATIONS) == SCHEMA_VERSION
@@ -93,9 +128,17 @@ def connect(path: Union[str, Path]) -> sqlite3.Connection:
     ``isolation_level=None`` puts the connection in autocommit mode so
     transactions are explicit (``BEGIN IMMEDIATE`` ... ``COMMIT``), which is
     the only way to get predictable lock acquisition under concurrency.
+
+    ``check_same_thread=False`` lets the resident ``repro serve`` daemon
+    share one warm connection across its request threads; every writer in
+    this package serialises access (the session lock, the job queue lock,
+    or single-threaded use), which is the contract sqlite3 documents for
+    shared connections.
     """
     Path(path).parent.mkdir(parents=True, exist_ok=True)
-    conn = sqlite3.connect(str(path), timeout=30.0, isolation_level=None)
+    conn = sqlite3.connect(
+        str(path), timeout=30.0, isolation_level=None, check_same_thread=False
+    )
     conn.row_factory = sqlite3.Row
     conn.execute("PRAGMA journal_mode=WAL")
     conn.execute("PRAGMA synchronous=NORMAL")

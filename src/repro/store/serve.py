@@ -1,4 +1,4 @@
-"""`repro serve` — a resident query loop over warm engines and stores.
+"""`repro serve` — a supervised, concurrent, crash-safe resident service.
 
 One long-lived process keeps the expensive state hot — per-process
 shortest-path engines, embeddings, built forwarding schemes and open
@@ -7,9 +7,30 @@ requests over a Unix-domain socket with a line-delimited JSON protocol
 (one JSON request per line, one JSON response per line; stdlib only).
 
 :class:`ServeSession` is the transport-free core: a request dictionary in,
-a response dictionary out.  The socket loop (:func:`serve_forever`) and the
-warm-query benchmark leg both drive the same session object, so the QPS the
-bench reports is the QPS the daemon serves.
+a response dictionary out, safe to drive from many threads at once.  The
+socket loop (:func:`serve_forever`) and the warm-query benchmark legs both
+drive the same session object, so the QPS the bench reports is the QPS the
+daemon serves.
+
+The transport is **concurrent and bounded**: one handler thread per
+connection, a bounded in-flight request budget with explicit load-shedding
+(``{"ok": false, "error_type": "Overloaded", "retry_after_s": ...}``
+instead of unbounded blocking), a per-request deadline
+(``error_type: "DeadlineExceeded"``), and a line-size cap
+(``error_type: "LineTooLong"``).  Pipelined requests on one connection are
+answered in order; malformed lines get error responses; a client vanishing
+mid-line just drops the connection — the loop never dies with it.
+
+``submit`` is **asynchronous** when the session has a job journal (a
+``jobs`` table in the versioned SQLite schema, see
+:mod:`repro.store.jobs`): the request journals a job row and returns a
+``job_id`` immediately; a supervised background worker thread executes
+jobs through the existing :func:`~repro.runner.executor.run_campaign` +
+:class:`~repro.runner.policy.ExecutionPolicy` machinery.  On startup the
+daemon refuses to clobber a live peer's socket, recovers the journal
+(stale ``running`` jobs with dead pids are re-queued with resume forced)
+and drains — a daemon SIGKILLed mid-job, restarted and drained produces
+campaign payloads byte-identical to an uninterrupted run.
 
 Operations (``op`` field):
 
@@ -32,10 +53,25 @@ Operations (``op`` field):
 ``campaigns``
     List the campaigns of a store.
 ``submit``
-    Run a campaign spec (inline dictionary or path) into a results store;
-    the engines it warms stay warm for later queries.
+    Journal a campaign job and return its ``job_id`` (non-blocking; needs
+    a ``results`` SQLite store path and a configured journal).  Optional
+    ``workers``, ``resume`` and ``policy`` (an
+    :class:`~repro.runner.policy.ExecutionPolicy` dictionary) ride along.
+    ``"sync": true`` — or a session without a journal — falls back to the
+    legacy blocking run.
+``job``
+    One job's status and progress: ``{"op": "job", "job_id": ...}``.
+    ``wait_s`` blocks until the job is terminal (bounded); ``follow``
+    streams progress snapshots as separate response lines until the job is
+    terminal (the last line carries ``"final": true``).
+``jobs``
+    List journal rows, optionally ``{"state": "queued"}``-filtered.
+``cancel``
+    Cancel a job: immediately when queued, between cells when running.
+``drain``
+    Block (bounded by ``timeout_s``) until no job is queued or running.
 ``stats``
-    Session cache occupancy (schemes, stores, engine counters).
+    Session cache occupancy, ``serve/*`` counters, job-queue summary.
 ``shutdown``
     Stop the socket loop after responding.
 """
@@ -43,19 +79,53 @@ Operations (``op`` field):
 from __future__ import annotations
 
 import json
+import os
 import socket
+import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.errors import ExperimentError, ReproError
+from repro.errors import (
+    CellTimeoutError,
+    ExperimentError,
+    JobCancelled,
+    ReproError,
+)
 from repro.graph.multigraph import Graph
 from repro.graph.spcache import engine_counter_totals, engine_for
+from repro.runner import faults
 from repro.runner.executor import build_scheme, load_topology
+from repro.runner.policy import ExecutionPolicy, run_with_timeout
 from repro.runner.spec import SCHEME_NAMES, CampaignSpec, EMBEDDING_SCHEMES
 from repro.store.database import CampaignStore, is_store_path
+from repro.store.jobs import ACTIVE_STATES, JobQueue, public_view
 from repro.store.query import parse_filter
 
 DEFAULT_SOCKET = ".repro-serve.sock"
+
+#: A request line larger than this is rejected (LineTooLong) and the
+#: connection dropped — a hostile or broken client must not balloon the
+#: daemon's memory one unbounded buffer at a time.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: What an Overloaded response tells the client to wait before retrying.
+OVERLOAD_RETRY_AFTER_S = 0.05
+
+#: Ops the per-request deadline never applies to: they block by design,
+#: bounded by their own explicit timeouts (or end the loop outright).
+DEADLINE_EXEMPT_OPS = frozenset({"drain", "shutdown"})
+
+
+def jobs_path_for(socket_path: Union[str, Path]) -> Path:
+    """The default job-journal path of a daemon socket.
+
+    ``.repro-serve.sock`` -> ``.repro-serve.jobs.sqlite`` — next to the
+    socket, so a restarted daemon on the same socket finds the same journal.
+    """
+    path = Path(socket_path)
+    stem = path.stem if path.suffix else path.name
+    return path.with_name(stem + ".jobs.sqlite")
 
 
 def _resolve_failed_links(graph: Graph, failed: Any) -> Tuple[int, ...]:
@@ -68,6 +138,13 @@ def _resolve_failed_links(graph: Graph, failed: Any) -> Tuple[int, ...]:
         return ()
     ids: List[int] = []
     for item in failed:
+        if isinstance(item, bool):
+            # bool is an int subclass, so without this guard True/False
+            # would silently pass as edge ids 1/0.
+            raise ExperimentError(
+                f"bad failed-link entry {item!r}: booleans are not edge ids;"
+                " use an integer edge id or an [u, v] endpoint pair"
+            )
         if isinstance(item, int):
             ids.append(item)
             continue
@@ -84,32 +161,139 @@ def _resolve_failed_links(graph: Graph, failed: Any) -> Tuple[int, ...]:
     return tuple(sorted(set(ids)))
 
 
-class ServeSession:
-    """The transport-free serve core: warm caches + request dispatch."""
+class JobWorker(threading.Thread):
+    """The supervised background executor of journaled jobs.
 
-    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+    One daemon thread claiming queued jobs oldest-first and running them
+    through ``run_campaign``.  Every failure mode is contained per job —
+    the worker itself only exits when asked to (or with the process); the
+    session's :meth:`ServeSession.ensure_worker` restarts a worker that
+    died anyway, which is the supervision contract.
+    """
+
+    poll_interval_s = 0.05
+
+    def __init__(self, session: "ServeSession") -> None:
+        super().__init__(name="repro-serve-job-worker", daemon=True)
+        self.session = session
+        self._halt = threading.Event()
+        self.stopped = False  # set by stop(): died-on-purpose marker
+
+    def stop(self) -> None:
+        self.stopped = True
+        self._halt.set()
+
+    def run(self) -> None:
+        queue = self.session.jobs
+        while not self._halt.is_set():
+            try:
+                job = queue.claim(os.getpid())
+            except Exception:
+                # A journal hiccup (locked database, transient I/O) must
+                # not kill the worker; back off and try again.
+                self._halt.wait(self.poll_interval_s)
+                continue
+            if job is None:
+                self._halt.wait(self.poll_interval_s)
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Dict[str, Any]) -> None:
+        from repro.runner.executor import run_campaign
+
+        queue = self.session.jobs
+        job_id = job["job_id"]
+        try:
+            # A crash fault here SIGKILLs the daemon with the job row in
+            # ``running`` — exactly the window the journal recovery path
+            # exists for (the chaos suite injects it deliberately).
+            faults.checkpoint("job-dispatch", job_id, attempt=max(0, job["attempts"] - 1))
+            spec = CampaignSpec.from_dict(json.loads(job["spec_json"]))
+            policy = ExecutionPolicy.from_dict(
+                json.loads(job["policy_json"]) if job["policy_json"] else None
+            )
+            total = spec.cell_count()
+            queue.progress(job_id, 0, total, phase="running")
+
+            def on_progress(cell, record, done, total_cells) -> None:
+                if queue.cancel_requested(job_id):
+                    raise JobCancelled(
+                        f"job {job_id} cancelled after {done}/{total_cells} cells"
+                    )
+                queue.progress(
+                    job_id, done, total_cells, phase=f"cell {cell.cell_id[:12]}"
+                )
+
+            handle = run_campaign(
+                spec,
+                workers=int(job["workers"] or 1),
+                cache_dir=self.session.cache_dir,
+                results=job["results"],
+                resume=bool(job["resume"]),
+                progress=on_progress,
+                policy=policy,
+            )
+            if handle.store is not None:
+                handle.store.close()  # one connection per job must not pile up
+            queue.finish(job_id, handle.executed, handle.skipped, handle.elapsed_s)
+            self.session.count("serve/jobs_completed")
+        except JobCancelled as exc:
+            queue.fail(job_id, str(exc), cancelled=True)
+            self.session.count("serve/jobs_cancelled")
+        except Exception as exc:
+            queue.fail(job_id, f"{type(exc).__name__}: {exc}")
+            self.session.count("serve/jobs_failed")
+
+
+class ServeSession:
+    """The transport-free serve core: warm caches + request dispatch.
+
+    Thread-safe: the warm caches (``_schemes``, ``_stores``), the counters
+    and the shared store connections are guarded by one re-entrant lock, so
+    the concurrent transport and the job worker can drive one session.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        jobs_path: Optional[Union[str, Path]] = None,
+        max_queued_jobs: int = 64,
+    ) -> None:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         #: (topology spec, scheme key, discriminator) -> built scheme.
         self._schemes: Dict[Tuple[str, str, str], Any] = {}
         #: results path -> open CampaignStore (warm across queries).
         self._stores: Dict[str, CampaignStore] = {}
+        self._lock = threading.RLock()
         self.requests_served = 0
+        #: ``serve/*`` telemetry counters (reported by the ``stats`` op).
+        self.counters: Dict[str, int] = {}
+        #: The job journal; ``None`` keeps ``submit`` synchronous (the
+        #: in-process bench sessions and library embedders).
+        self.jobs: Optional[JobQueue] = JobQueue(jobs_path) if jobs_path else None
+        self.max_queued_jobs = max_queued_jobs
+        self._worker: Optional[JobWorker] = None
 
     # ------------------------------------------------------------------
     # warm state
     # ------------------------------------------------------------------
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
     def store_for(self, results: Union[str, Path]) -> CampaignStore:
         key = str(Path(results))
-        store = self._stores.get(key)
-        if store is None:
-            if not is_store_path(key):
-                raise ExperimentError(
-                    f"serve queries need a SQLite store, got {results}"
-                    " (migrate JSONL results first: repro migrate)"
-                )
-            store = CampaignStore(key)
-            self._stores[key] = store
-        return store
+        with self._lock:
+            store = self._stores.get(key)
+            if store is None:
+                if not is_store_path(key):
+                    raise ExperimentError(
+                        f"serve queries need a SQLite store, got {results}"
+                        " (migrate JSONL results first: repro migrate)"
+                    )
+                store = CampaignStore(key)
+                self._stores[key] = store
+            return store
 
     def scheme_for(
         self, topology: str, scheme: str, discriminator: Optional[str] = None
@@ -122,24 +306,62 @@ class ServeSession:
             )
         kind = discriminator or DiscriminatorKind.HOP_COUNT.value
         key = (topology, scheme, kind)
-        built = self._schemes.get(key)
-        if built is None:
-            graph = load_topology(topology)
-            embedding = None
-            if scheme in EMBEDDING_SCHEMES:
-                from repro.runner.cache import ArtifactCache, cached_embedding
+        with self._lock:
+            built = self._schemes.get(key)
+            if built is None:
+                graph = load_topology(topology)
+                embedding = None
+                if scheme in EMBEDDING_SCHEMES:
+                    from repro.runner.cache import ArtifactCache, cached_embedding
 
-                cache = ArtifactCache(self.cache_dir) if self.cache_dir else None
-                embedding = cached_embedding(graph, cache=cache)
-            built = build_scheme(scheme, graph, kind, embedding)
-            self._schemes[key] = built
-        return built
+                    cache = ArtifactCache(self.cache_dir) if self.cache_dir else None
+                    embedding = cached_embedding(graph, cache=cache)
+                built = build_scheme(scheme, graph, kind, embedding)
+                self._schemes[key] = built
+            return built
+
+    # ------------------------------------------------------------------
+    # job-worker supervision
+    # ------------------------------------------------------------------
+    def ensure_worker(self) -> None:
+        """Start (or restart) the job worker thread when a journal exists."""
+        if self.jobs is None:
+            return
+        with self._lock:
+            worker = self._worker
+            if worker is not None and worker.is_alive():
+                return
+            if worker is not None and not worker.stopped:
+                # The previous worker died without being asked to: restart
+                # and record the supervision event.
+                self.counters["serve/worker_restarts"] = (
+                    self.counters.get("serve/worker_restarts", 0) + 1
+                )
+            self._worker = JobWorker(self)
+            self._worker.start()
+
+    def recover_jobs(self) -> List[str]:
+        """Re-queue journal jobs orphaned by a dead daemon (startup path)."""
+        if self.jobs is None:
+            return []
+        recovered = self.jobs.recover()
+        if recovered:
+            self.count("serve/jobs_recovered", len(recovered))
+        return recovered
 
     def close(self) -> None:
-        for store in self._stores.values():
-            store.close()
-        self._stores.clear()
-        self._schemes.clear()
+        with self._lock:
+            worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.stop()
+            worker.join(timeout=2.0)
+        with self._lock:
+            for store in self._stores.values():
+                store.close()
+            self._stores.clear()
+            self._schemes.clear()
+            if self.jobs is not None:
+                self.jobs.close()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -159,6 +381,7 @@ class ServeSession:
                 ),
             }
         try:
+            faults.checkpoint("serve-request", op)
             response = handler(request)
         except ReproError as exc:
             return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
@@ -169,8 +392,18 @@ class ServeSession:
                 "error_type": type(exc).__name__,
             }
         response.setdefault("ok", True)
-        self.requests_served += 1
+        if response["ok"]:
+            with self._lock:
+                self.requests_served += 1
         return response
+
+    def _require_jobs(self) -> JobQueue:
+        if self.jobs is None:
+            raise ExperimentError(
+                "this serve session has no job journal; start the daemon"
+                " with --jobs (or pass jobs_path=) to enable async submit"
+            )
+        return self.jobs
 
     # ------------------------------------------------------------------
     # operations
@@ -237,7 +470,11 @@ class ServeSession:
             raise ExperimentError("query needs a results store path")
         store = self.store_for(results)
         filt = parse_filter(request.get("filter"))
-        records = store.query(filt, limit=request.get("limit"))
+        # The store connection is shared across request threads; the lock
+        # serialises statement execution (sqlite3's shared-connection
+        # contract), while other ops proceed between queries.
+        with self._lock:
+            records = store.query(filt, limit=request.get("limit"))
         response: Dict[str, Any] = {
             "records": len(records),
             "filter": filt.describe(),
@@ -254,17 +491,65 @@ class ServeSession:
         results = request.get("results")
         if not results:
             raise ExperimentError("campaigns needs a results store path")
-        return {"campaigns": self.store_for(results).campaigns()}
+        store = self.store_for(results)
+        with self._lock:
+            return {"campaigns": store.campaigns()}
 
     def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        from repro.runner.executor import run_campaign
-
         if request.get("spec"):
             spec = CampaignSpec.from_dict(request["spec"])
         elif request.get("spec_path"):
             spec = CampaignSpec.load(request["spec_path"])
         else:
             raise ExperimentError("submit needs a spec or spec_path")
+        policy_dict = request.get("policy")
+        policy = ExecutionPolicy.from_dict(policy_dict)  # validated up front
+        results = request.get("results")
+        if self.jobs is None or request.get("sync"):
+            return self._submit_sync(spec, request, policy)
+        if not results or not is_store_path(str(results)):
+            raise ExperimentError(
+                "async submit needs a 'results' SQLite store path"
+                " (.sqlite/.sqlite3/.db) so the job can be resumed after a"
+                " crash; pass \"sync\": true to run without one"
+            )
+        campaign_id = spec.spec_hash()
+        faults.checkpoint("job-journal", campaign_id)
+        if self.jobs.active_count() >= self.max_queued_jobs:
+            return {
+                "ok": False,
+                "error": (
+                    f"job queue is full ({self.max_queued_jobs} active jobs);"
+                    " retry later"
+                ),
+                "error_type": "Overloaded",
+                "retry_after_s": OVERLOAD_RETRY_AFTER_S,
+            }
+        job_id = self.jobs.submit(
+            campaign_id,
+            spec.to_dict(),
+            str(results),
+            workers=int(request.get("workers", 1)),
+            resume=bool(request.get("resume", False)),
+            policy_dict=policy_dict,
+            cells=spec.cell_count(),
+        )
+        self.count("serve/jobs_submitted")
+        self.ensure_worker()
+        return {
+            "job_id": job_id,
+            "campaign_id": campaign_id,
+            "state": "queued",
+            "cells": spec.cell_count(),
+            "results": str(results),
+        }
+
+    def _submit_sync(
+        self, spec: CampaignSpec, request: Dict[str, Any], policy: ExecutionPolicy
+    ) -> Dict[str, Any]:
+        """The legacy blocking submit (journal-less sessions, ``sync: true``)."""
+        from repro.runner.executor import run_campaign
+
         results = request.get("results")
         handle = run_campaign(
             spec,
@@ -272,6 +557,7 @@ class ServeSession:
             cache_dir=self.cache_dir,
             results=results,
             resume=bool(request.get("resume", False)),
+            policy=policy,
         )
         return {
             "campaign_id": spec.spec_hash(),
@@ -282,13 +568,74 @@ class ServeSession:
             "results": str(results) if results else None,
         }
 
-    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_job(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        queue = self._require_jobs()
+        job_id = request.get("job_id")
+        if not job_id:
+            raise ExperimentError("job needs a job_id")
+        wait_s = float(request.get("wait_s") or 0.0)
+        deadline = time.monotonic() + wait_s
+        job = queue.get(str(job_id))
+        while (
+            wait_s > 0
+            and job["state"] in ACTIVE_STATES
+            and time.monotonic() < deadline
+        ):
+            self.ensure_worker()
+            time.sleep(0.05)
+            job = queue.get(str(job_id))
+        response: Dict[str, Any] = {"job": public_view(job)}
+        if request.get("follow") and job["state"] not in ACTIVE_STATES:
+            response["final"] = True  # nothing left to stream
+        return response
+
+    def _op_jobs(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        queue = self._require_jobs()
+        rows = queue.list_jobs(state=request.get("state"))
+        return {"jobs": [public_view(row) for row in rows], "count": len(rows)}
+
+    def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        queue = self._require_jobs()
+        job_id = request.get("job_id")
+        if not job_id:
+            raise ExperimentError("cancel needs a job_id")
+        job = queue.cancel(str(job_id))
+        return {"job": public_view(job)}
+
+    def _op_drain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Block until the journal has no queued/running job (bounded)."""
+        queue = self._require_jobs()
+        timeout_s = float(request.get("timeout_s") or 60.0)
+        deadline = time.monotonic() + timeout_s
+        while queue.active_count() and time.monotonic() < deadline:
+            self.ensure_worker()
+            time.sleep(0.05)
+        active = queue.active_count()
         return {
-            "requests_served": self.requests_served,
-            "warm_schemes": sorted("/".join(key) for key in self._schemes),
-            "open_stores": sorted(self._stores),
-            "engine_counters": engine_counter_totals(),
+            "drained": active == 0,
+            "active": active,
+            "jobs": [public_view(row) for row in queue.list_jobs()],
         }
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            response = {
+                "requests_served": self.requests_served,
+                "warm_schemes": sorted("/".join(key) for key in self._schemes),
+                "open_stores": sorted(self._stores),
+                "engine_counters": engine_counter_totals(),
+                "counters": dict(sorted(self.counters.items())),
+            }
+        if self.jobs is not None:
+            by_state: Dict[str, int] = {}
+            for row in self.jobs.list_jobs():
+                by_state[row["state"]] = by_state.get(row["state"], 0) + 1
+            response["jobs"] = {
+                "journal": str(self.jobs.path),
+                "active": self.jobs.active_count(),
+                "by_state": dict(sorted(by_state.items())),
+            }
+        return response
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"shutdown": True}
@@ -297,12 +644,187 @@ class ServeSession:
 # ----------------------------------------------------------------------
 # socket transport
 # ----------------------------------------------------------------------
+def socket_alive(socket_path: Union[str, Path], timeout: float = 0.5) -> bool:
+    """Whether a live daemon answers a ping on ``socket_path``.
+
+    A stale socket file (its daemon SIGKILLed) refuses the connection and
+    returns ``False`` — safe to unlink.  A live peer answers and must not
+    be clobbered.
+    """
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(str(socket_path))
+        client.sendall(b'{"op": "ping"}\n')
+        return bool(client.recv(4096))
+    except OSError:
+        return False
+    finally:
+        client.close()
+
+
+def _send(conn: socket.socket, response: Dict[str, Any]) -> bool:
+    try:
+        conn.sendall((json.dumps(response) + "\n").encode("utf-8"))
+    except OSError:
+        return False
+    return True
+
+
+def _respond(
+    line: bytes,
+    session: ServeSession,
+    inflight: threading.BoundedSemaphore,
+    deadline_s: Optional[float],
+) -> Tuple[Optional[Dict[str, Any]], Dict[str, Any]]:
+    """One request line -> (parsed request or None, response)."""
+    try:
+        request_obj = json.loads(line)
+    except ValueError as exc:  # malformed JSON or invalid UTF-8
+        return None, {
+            "ok": False,
+            "error": f"bad JSON request: {exc}",
+            "error_type": "BadRequest",
+        }
+    if not isinstance(request_obj, dict):
+        return None, {
+            "ok": False,
+            "error": "request must be a JSON object",
+            "error_type": "BadRequest",
+        }
+    op = request_obj.get("op")
+    if not inflight.acquire(blocking=False):
+        session.count("serve/overloaded")
+        return request_obj, {
+            "ok": False,
+            "error": "server at capacity; retry shortly",
+            "error_type": "Overloaded",
+            "retry_after_s": OVERLOAD_RETRY_AFTER_S,
+        }
+    try:
+        exempt = op in DEADLINE_EXEMPT_OPS or (
+            op == "job"
+            and (request_obj.get("wait_s") or request_obj.get("follow"))
+        )
+        if deadline_s and not exempt:
+            try:
+                return request_obj, run_with_timeout(
+                    lambda: session.handle(request_obj),
+                    deadline_s,
+                    label=f"request op={op!r}",
+                )
+            except CellTimeoutError as exc:
+                session.count("serve/deadline_exceeded")
+                return request_obj, {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": "DeadlineExceeded",
+                    "deadline_s": deadline_s,
+                }
+        return request_obj, session.handle(request_obj)
+    finally:
+        inflight.release()
+
+
+def _follow_job(
+    conn: socket.socket,
+    session: ServeSession,
+    request_obj: Dict[str, Any],
+    first_response: Dict[str, Any],
+    stop: threading.Event,
+    poll_interval_s: float = 0.05,
+) -> None:
+    """Stream job snapshots until the job is terminal (``final: true``)."""
+    job = first_response.get("job") or {}
+    while not stop.is_set() and job.get("state") in ACTIVE_STATES:
+        time.sleep(poll_interval_s)
+        response = session.handle({"op": "job", "job_id": request_obj.get("job_id")})
+        if not response.get("ok"):
+            _send(conn, response)
+            return
+        job = response["job"]
+        if job["state"] not in ACTIVE_STATES:
+            response["final"] = True
+        if not _send(conn, response):
+            return
+
+
+def _serve_connection(
+    conn: socket.socket,
+    session: ServeSession,
+    stop: threading.Event,
+    server: socket.socket,
+    inflight: threading.BoundedSemaphore,
+    deadline_s: Optional[float],
+) -> None:
+    """One client connection: pipelined request lines, answered in order."""
+    with conn:
+        conn.settimeout(None)  # sockets from a timed accept inherit its timeout
+        buffer = b""
+        while not stop.is_set():
+            try:
+                chunk = conn.recv(65536)
+            except OSError:
+                return
+            if not chunk:
+                return  # client left (possibly mid-line); drop quietly
+            buffer += chunk
+            if b"\n" not in buffer and len(buffer) > MAX_LINE_BYTES:
+                session.count("serve/rejected_lines")
+                _send(conn, {
+                    "ok": False,
+                    "error": f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    "error_type": "LineTooLong",
+                })
+                return
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                if len(line) > MAX_LINE_BYTES:
+                    session.count("serve/rejected_lines")
+                    _send(conn, {
+                        "ok": False,
+                        "error": f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        "error_type": "LineTooLong",
+                    })
+                    return
+                request_obj, response = _respond(line, session, inflight, deadline_s)
+                if not _send(conn, response):
+                    return
+                if response.get("shutdown"):
+                    stop.set()  # the accept loop polls this between accepts
+                    return
+                if (
+                    isinstance(request_obj, dict)
+                    and request_obj.get("op") == "job"
+                    and request_obj.get("follow")
+                    and response.get("ok")
+                ):
+                    _follow_job(conn, session, request_obj, response, stop)
+                    return  # the stream consumes the connection
+
+
 def serve_forever(
     socket_path: Union[str, Path],
     session: Optional[ServeSession] = None,
     ready: Optional[Any] = None,
+    *,
+    max_inflight: int = 8,
+    deadline_s: Optional[float] = 30.0,
+    backlog: int = 16,
 ) -> int:
     """Serve line-delimited JSON requests on a Unix socket until shutdown.
+
+    Concurrent: one handler thread per connection, at most ``max_inflight``
+    requests executing at once (excess requests are shed with an
+    ``Overloaded`` response instead of queueing unboundedly), each request
+    bounded by ``deadline_s`` (``None`` disables the deadline).  A live
+    daemon already bound to ``socket_path`` is detected by pinging it and
+    refused — only a genuinely stale socket file is unlinked.
+
+    When the session has a job journal, startup recovers it (orphaned
+    ``running`` jobs are re-queued) and starts the supervised job worker.
 
     ``ready`` (when given) is an object with a ``set()`` method — e.g. a
     :class:`threading.Event` — signalled once the socket is listening.
@@ -313,69 +835,147 @@ def serve_forever(
         session = ServeSession()
     socket_path.parent.mkdir(parents=True, exist_ok=True)
     if socket_path.exists():
+        if socket_alive(socket_path):
+            raise ReproError(
+                f"another serve daemon is listening on {socket_path};"
+                " refusing to clobber its socket (stop it first, or use"
+                " a different --socket path)"
+            )
         socket_path.unlink()
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    running = True
+    stop = threading.Event()
+    inflight = threading.BoundedSemaphore(max_inflight)
+    handlers: List[threading.Thread] = []
     try:
         server.bind(str(socket_path))
-        server.listen(8)
+        server.listen(backlog)
+        # A timed accept: closing a socket another thread is blocked
+        # accept()ing on does not reliably wake it, so the shutdown op
+        # just sets ``stop`` and the loop notices within one interval.
+        server.settimeout(0.1)
+        session.recover_jobs()
+        session.ensure_worker()
         if ready is not None:
             ready.set()
-        while running:
-            conn, _ = server.accept()
-            with conn:
-                buffer = b""
-                while running:
-                    chunk = conn.recv(65536)
-                    if not chunk:
-                        break
-                    buffer += chunk
-                    while b"\n" in buffer:
-                        line, buffer = buffer.split(b"\n", 1)
-                        if not line.strip():
-                            continue
-                        try:
-                            request = json.loads(line)
-                        except ValueError as exc:
-                            response: Dict[str, Any] = {
-                                "ok": False,
-                                "error": f"bad JSON request: {exc}",
-                            }
-                        else:
-                            response = session.handle(request)
-                        conn.sendall(
-                            (json.dumps(response) + "\n").encode("utf-8")
-                        )
-                        if response.get("shutdown"):
-                            running = False
-                            break
+        while not stop.is_set():
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # server socket closed under us (teardown)
+            thread = threading.Thread(
+                target=_serve_connection,
+                args=(conn, session, stop, server, inflight, deadline_s),
+                daemon=True,
+                name="repro-serve-conn",
+            )
+            thread.start()
+            handlers.append(thread)
+            handlers = [t for t in handlers if t.is_alive()]
     finally:
-        server.close()
+        stop.set()
+        try:
+            server.close()
+        except OSError:
+            pass
+        for thread in handlers:
+            thread.join(timeout=1.0)
         if socket_path.exists():
             socket_path.unlink()
         session.close()
     return session.requests_served
 
 
+# ----------------------------------------------------------------------
+# client helpers
+# ----------------------------------------------------------------------
+def _request_once(
+    socket_path: Union[str, Path], payload: Dict[str, Any], timeout: float
+) -> Dict[str, Any]:
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(str(socket_path))
+        client.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        # The response may arrive in arbitrarily small recv chunks; keep
+        # reading until the terminating newline, however it is framed.
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = client.recv(65536)
+            if not chunk:
+                raise ReproError(
+                    f"serve loop at {socket_path} closed the connection"
+                    " before a full response"
+                )
+            buffer += chunk
+        return json.loads(buffer.split(b"\n", 1)[0])
+    except socket.timeout as exc:
+        raise ReproError(
+            f"serve request timed out after {timeout:g}s at {socket_path}"
+        ) from exc
+    finally:
+        client.close()
+
+
 def request(
     socket_path: Union[str, Path],
     payload: Dict[str, Any],
     timeout: float = 30.0,
+    retries: int = 0,
+    retry_delay_s: float = 0.05,
 ) -> Dict[str, Any]:
-    """Send one request to a running serve loop and return its response."""
+    """Send one request to a running serve loop and return its response.
+
+    Socket timeouts surface as :class:`~repro.errors.ReproError` naming the
+    socket path.  ``retries`` bounds reconnect attempts when the daemon is
+    still starting up (connection refused / socket file not yet created).
+    """
+    attempt = 0
+    while True:
+        try:
+            return _request_once(socket_path, payload, timeout)
+        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            attempt += 1
+            if attempt > retries:
+                raise ReproError(
+                    f"cannot reach serve loop at {socket_path}: {exc}"
+                ) from exc
+            time.sleep(retry_delay_s)
+
+
+def stream(
+    socket_path: Union[str, Path],
+    payload: Dict[str, Any],
+    timeout: float = 30.0,
+):
+    """Yield the response lines of a streaming request (e.g. job follow).
+
+    The generator ends after a line carrying ``"final": true``, an error
+    response, or the server closing the connection.
+    """
     client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     client.settimeout(timeout)
     try:
         client.connect(str(socket_path))
         client.sendall((json.dumps(payload) + "\n").encode("utf-8"))
         buffer = b""
-        while b"\n" not in buffer:
-            chunk = client.recv(65536)
-            if not chunk:
-                raise ExperimentError(
-                    f"serve loop at {socket_path} closed the connection"
-                )
-            buffer += chunk
-        return json.loads(buffer.split(b"\n", 1)[0])
+        while True:
+            while b"\n" not in buffer:
+                try:
+                    chunk = client.recv(65536)
+                except socket.timeout as exc:
+                    raise ReproError(
+                        f"serve stream timed out after {timeout:g}s"
+                        f" at {socket_path}"
+                    ) from exc
+                if not chunk:
+                    return
+                buffer += chunk
+            line, buffer = buffer.split(b"\n", 1)
+            response = json.loads(line)
+            yield response
+            if response.get("final") or not response.get("ok"):
+                return
     finally:
         client.close()

@@ -121,9 +121,14 @@ class TestRunBench:
         }
         assert all(value >= 0 for value in timings.values())
         # Higher-is-better rates live apart from the gated timings.
-        assert set(quick_document["throughput"]) == {"query_warm_qps"}
+        assert set(quick_document["throughput"]) == {
+            "query_warm_qps",
+            "query_warm_qps_under_load",
+        }
         assert quick_document["throughput"]["query_warm_qps"] > 0
+        assert quick_document["throughput"]["query_warm_qps_under_load"] > 0
         assert quick_document["meta"]["query_rounds"] == 100
+        assert quick_document["meta"]["load_rounds"] > 0
         assert quick_document["meta"]["quick"] is True
         assert quick_document["meta"]["cells"] == 6
         # quick corpus slice: 4 topologies x 2 schemes.

@@ -1,0 +1,133 @@
+"""Daemon chaos: SIGKILL the serve daemon mid-job, restart, drain, compare.
+
+The service-layer extension of the chaos contract: a campaign submitted to
+the daemon's job queue, killed without warning while running, then drained
+by a restarted daemon must land byte-identical (modulo timing metadata) to
+an uninterrupted in-process run.  Covers the whole crash story at once —
+the journal row surviving the SIGKILL, the stale socket being detected and
+unlinked (not a live peer), recovery re-queueing the orphaned job with
+resume forced, and the store's resume path re-running only missing cells.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner import faults
+from repro.runner.executor import run_campaign
+from repro.store.database import CampaignStore
+from repro.store.query import parse_filter
+from repro.store.serve import request
+
+from tests.store.conftest import deterministic_part, pair_spec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Crash the daemon in its job worker, after the claim marks the job
+#: ``running`` but before any cell executes — once (the restarted daemon's
+#: second attempt must run clean).
+CRASH_DISPATCH = "site=job-dispatch,kind=crash,max_attempt=1"
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reload_from_env()
+    yield
+    faults.reload_from_env()
+
+
+def start_daemon(socket_path, jobs_path, cache_dir, log_path, inject_env=None):
+    """Start ``python -m repro serve`` as a real subprocess.
+
+    Output goes to a file, not a pipe: the SIGKILLed daemon cannot flush,
+    and the test must never block on a dead process's pipe ends.
+    """
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--socket", str(socket_path),
+        "--jobs", str(jobs_path),
+        "--cache-dir", str(cache_dir),
+    ]
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop(faults.ENV_VAR, None)
+    if inject_env:
+        env[faults.ENV_VAR] = inject_env
+    log = open(log_path, "a")
+    try:
+        return subprocess.Popen(
+            command, cwd=REPO_ROOT, env=env, stdout=log, stderr=log
+        )
+    finally:
+        log.close()
+
+
+def ask(socket_path, payload, timeout=60.0):
+    """A request with startup retries (the daemon may still be binding)."""
+    return request(socket_path, payload, timeout=timeout, retries=200)
+
+
+class TestDaemonKillRestartDrain:
+    def test_sigkill_mid_job_then_restart_drains_byte_identical(self, tmp_path):
+        spec = pair_spec()
+        cache_dir = tmp_path / "cache"
+        socket_path = tmp_path / "serve.sock"
+        jobs_path = tmp_path / "serve.jobs.sqlite"
+        log_path = tmp_path / "daemon.log"
+        chaos_store = tmp_path / "chaos.sqlite"
+
+        clean = run_campaign(
+            spec, workers=1, cache_dir=cache_dir, results=tmp_path / "clean.sqlite"
+        )
+
+        # Round 1: the fault plan SIGKILLs the daemon the moment its worker
+        # claims the job — journal row committed, zero cells executed.
+        daemon = start_daemon(
+            socket_path, jobs_path, cache_dir, log_path, inject_env=CRASH_DISPATCH
+        )
+        try:
+            submitted = ask(socket_path, {
+                "op": "submit",
+                "spec": spec.to_dict(),
+                "results": str(chaos_store),
+            })
+            assert submitted["ok"], submitted
+            job_id = submitted["job_id"]
+            assert daemon.wait(timeout=60) == -signal.SIGKILL
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+        assert socket_path.exists(), "SIGKILL must leave the stale socket behind"
+
+        # Round 2: a clean daemon on the same socket + journal.  Startup
+        # must unlink the stale socket (its owner is dead), re-queue the
+        # orphaned job with resume forced, and drain it to completion.
+        daemon = start_daemon(socket_path, jobs_path, cache_dir, log_path)
+        try:
+            drained = ask(socket_path, {"op": "drain", "timeout_s": 120}, timeout=150)
+            assert drained["ok"] and drained["drained"], drained
+            job = ask(socket_path, {"op": "job", "job_id": job_id})["job"]
+            assert job["state"] == "done"
+            assert job["attempts"] == 2, "the crashed claim counts as attempt 1"
+            assert job["resume"] is True, "recovery must force the resume path"
+            assert ask(socket_path, {"op": "shutdown"})["shutdown"] is True
+            assert daemon.wait(timeout=60) == 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+        assert not socket_path.exists(), "clean shutdown must unlink the socket"
+
+        store = CampaignStore(chaos_store)
+        try:
+            drained_records = store.query(parse_filter("campaign:last1"))
+        finally:
+            store.close()
+        assert deterministic_part(drained_records) == deterministic_part(
+            clean.records
+        ), "drained-after-crash payloads must be byte-identical to a clean run"

@@ -1,0 +1,157 @@
+"""Job journal: submit/claim lifecycle, cancellation, crash recovery."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import JobError
+from repro.store.jobs import JobQueue, pid_alive, public_view
+
+from tests.store.conftest import pair_spec
+
+
+@pytest.fixture
+def queue(tmp_path):
+    queue = JobQueue(tmp_path / "jobs.sqlite")
+    yield queue
+    queue.close()
+
+
+def submit_one(queue, **overrides):
+    spec = pair_spec()
+    kwargs = dict(
+        campaign_id=spec.spec_hash(),
+        spec_dict=spec.to_dict(),
+        results="results.sqlite",
+        cells=spec.cell_count(),
+    )
+    kwargs.update(overrides)
+    return queue.submit(**kwargs)
+
+
+class TestLifecycle:
+    def test_submit_creates_a_queued_row(self, queue):
+        job_id = submit_one(queue)
+        job = queue.get(job_id)
+        assert job["state"] == "queued"
+        assert job["attempts"] == 0
+        assert job["progress_total"] == pair_spec().cell_count()
+        assert job_id.startswith(pair_spec().spec_hash()[:12])
+
+    def test_claim_is_oldest_first_and_marks_running(self, queue):
+        first = submit_one(queue)
+        second = submit_one(queue)
+        claimed = queue.claim(worker_pid=os.getpid())
+        assert claimed["job_id"] == first
+        assert claimed["attempts"] == 1
+        assert queue.get(first)["state"] == "running"
+        assert queue.get(second)["state"] == "queued"
+        assert queue.claim(worker_pid=os.getpid())["job_id"] == second
+        assert queue.claim(worker_pid=os.getpid()) is None
+
+    def test_progress_only_touches_running_jobs(self, queue):
+        job_id = submit_one(queue)
+        queue.progress(job_id, 2, 4, phase="early")  # still queued: ignored
+        assert queue.get(job_id)["progress_done"] == 0
+        queue.claim(worker_pid=os.getpid())
+        queue.progress(job_id, 2, 4, phase="mid")
+        job = queue.get(job_id)
+        assert (job["progress_done"], job["phase"]) == (2, "mid")
+
+    def test_finish_and_fail_are_terminal(self, queue):
+        done_id = submit_one(queue)
+        queue.claim(worker_pid=os.getpid())
+        queue.finish(done_id, executed=4, skipped=0, elapsed_s=1.5)
+        done = queue.get(done_id)
+        assert done["state"] == "done"
+        assert done["progress_done"] == done["progress_total"]
+
+        failed_id = submit_one(queue)
+        queue.claim(worker_pid=os.getpid())
+        queue.fail(failed_id, "boom")
+        assert queue.get(failed_id)["state"] == "failed"
+        assert queue.get(failed_id)["last_error"] == "boom"
+        assert queue.active_count() == 0
+
+    def test_get_unknown_job_raises(self, queue):
+        with pytest.raises(JobError, match="no job"):
+            queue.get("nope-1")
+
+    def test_list_jobs_validates_state(self, queue):
+        with pytest.raises(JobError, match="unknown job state"):
+            queue.list_jobs(state="exploded")
+
+    def test_public_view_shape(self, queue):
+        job_id = submit_one(queue)
+        view = public_view(queue.get(job_id))
+        assert view["job_id"] == job_id
+        assert view["state"] == "queued"
+        assert view["progress"] == {
+            "done": 0, "total": pair_spec().cell_count(), "phase": None,
+        }
+        assert "seq" not in view
+
+
+class TestCancellation:
+    def test_queued_job_cancels_immediately(self, queue):
+        job_id = submit_one(queue)
+        assert queue.cancel(job_id)["state"] == "cancelled"
+        assert queue.claim(worker_pid=os.getpid()) is None
+
+    def test_running_job_gets_the_flag_only(self, queue):
+        job_id = submit_one(queue)
+        queue.claim(worker_pid=os.getpid())
+        assert not queue.cancel_requested(job_id)
+        cancelled = queue.cancel(job_id)
+        assert cancelled["state"] == "running", "running jobs cancel between cells"
+        assert queue.cancel_requested(job_id)
+
+    def test_terminal_job_is_left_untouched(self, queue):
+        job_id = submit_one(queue)
+        queue.claim(worker_pid=os.getpid())
+        queue.finish(job_id, executed=4, skipped=0, elapsed_s=0.1)
+        assert queue.cancel(job_id)["state"] == "done"
+
+
+class TestRecovery:
+    def dead_pid(self):
+        """A real pid that is certainly dead: a finished child process."""
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait(timeout=30)
+        return child.pid
+
+    def test_dead_worker_job_is_requeued_with_resume_forced(self, queue):
+        job_id = submit_one(queue, resume=False)
+        queue.claim(worker_pid=self.dead_pid())
+        assert queue.recover() == [job_id]
+        job = queue.get(job_id)
+        assert job["state"] == "queued"
+        assert job["resume"] == 1, "recovery must force the resume path"
+        assert job["worker_pid"] is None
+        assert job["attempts"] == 1, "the lost attempt stays on the record"
+
+    def test_own_pid_counts_as_stale_on_startup(self, queue):
+        # A restarted daemon can be handed its predecessor's pid by the OS;
+        # recovery runs before this process claims anything, so a running
+        # row with *our* pid is necessarily stale.
+        job_id = submit_one(queue)
+        queue.claim(worker_pid=os.getpid())
+        assert queue.recover() == [job_id]
+
+    def test_live_foreign_worker_is_left_alone(self, queue):
+        live = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            submit_one(queue)
+            queue.claim(worker_pid=live.pid)
+            assert queue.recover() == []
+        finally:
+            live.kill()
+            live.wait(timeout=30)
+
+    def test_pid_alive_probe(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(None)
+        assert not pid_alive(0)
+        assert not pid_alive(self.dead_pid())
